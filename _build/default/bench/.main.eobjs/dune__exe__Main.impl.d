@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner List Micro Printf Repro_datagen Repro_harness Term

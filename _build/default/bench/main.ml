@@ -1,0 +1,92 @@
+(* Benchmark driver: regenerates every evaluation artifact of the paper
+   (Tables 1-2, Figures 13-15) plus our ablations, and offers bechamel
+   micro-benchmarks of the core operations.
+
+   With no arguments it runs the whole experiment grid on all nine datasets
+   at their Table 1 sizes with moderate query counts; `--full` switches to
+   the paper's query counts (5000/500/1000), `--quick` to a 1/10-scale
+   three-dataset smoke run. *)
+
+module Experiments = Repro_harness.Experiments
+module Dataset = Repro_datagen.Dataset
+
+let standard =
+  { Experiments.default with
+    (* full-size data, moderate query batches so the grid completes in
+       minutes; --full restores the paper's counts *)
+    n_q1 = 500;
+    n_q2 = 50;
+    n_q3 = 100
+  }
+
+let resolve_config ~quick ~full ~scale ~datasets ~no_verify =
+  let base =
+    if quick then Experiments.quick
+    else if full then Experiments.default
+    else standard
+  in
+  let base = match scale with Some s -> { base with Experiments.scale = s } | None -> base in
+  let base =
+    match datasets with
+    | [] -> base
+    | names ->
+      let specs =
+        List.map
+          (fun n ->
+            match Dataset.by_name n with
+            | Some s -> s
+            | None -> failwith (Printf.sprintf "unknown dataset %s" n))
+          names
+      in
+      { base with Experiments.datasets = specs }
+  in
+  if no_verify then { base with Experiments.verify = false } else base
+
+let run_experiment name config =
+  match name with
+  | "all" -> Experiments.run_all config
+  | "table1" -> ignore (Experiments.table1 (Experiments.create_context config))
+  | "table2" -> ignore (Experiments.table2 (Experiments.create_context config))
+  | "fig13" -> ignore (Experiments.fig13 (Experiments.create_context config))
+  | "fig14" -> ignore (Experiments.fig14 (Experiments.create_context config))
+  | "fig15" -> ignore (Experiments.fig15 (Experiments.create_context config))
+  | "ablation" -> Experiments.ablation (Experiments.create_context config)
+  | "micro" -> Micro.run ()
+  | other -> failwith (Printf.sprintf "unknown experiment %s" other)
+
+open Cmdliner
+
+let experiment =
+  let doc =
+    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, or micro."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"1/10-scale smoke run on one dataset per family.")
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale query counts (5000/500/1000).")
+
+let scale =
+  Arg.(value & opt (some float) None & info [ "scale" ] ~doc:"Dataset node-target factor.")
+
+let datasets =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "datasets" ] ~doc:"Comma-separated dataset names (default: all nine).")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip result verification against the naive evaluator.")
+
+let cmd =
+  let run experiment quick full scale datasets no_verify =
+    let config = resolve_config ~quick ~full ~scale ~datasets ~no_verify in
+    run_experiment experiment config
+  in
+  Cmd.v
+    (Cmd.info "apex-bench" ~doc:"APEX reproduction benchmarks")
+    Term.(const run $ experiment $ quick $ full $ scale $ datasets $ no_verify)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,239 @@
+(* apex-cli: command-line access to the APEX reproduction.
+
+     apex-cli generate -d Flix01 -o flix.xml     # synthesize a dataset
+     apex-cli stats -d Ged01                      # Table 1 characteristics
+     apex-cli indexes -d Ged01 --minsup 0.005     # Table 2 index sizes
+     apex-cli query -d Flix01 -q '//movie/title' --index apex
+     apex-cli workload -d Flix01 -n 20            # sample generated queries
+
+   Datasets are the nine named specs of Table 1 (four_tragedy, shakes_11,
+   shakes_all, Flix01-03, Ged01-03); --scale shrinks them. Alternatively
+   -f FILE.xml loads any XML document (with --idref naming the IDREF-typed
+   attributes). *)
+
+module Dataset = Repro_datagen.Dataset
+module G = Repro_graph.Data_graph
+module Apex = Repro_apex.Apex
+module Query = Repro_pathexpr.Query
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let load_graph ~dataset ~file ~idref ~scale =
+  match dataset, file with
+  | Some name, None ->
+    (match Dataset.by_name name with
+     | Some spec -> Dataset.build_graph (Dataset.scaled spec scale)
+     | None -> failwith (Printf.sprintf "unknown dataset %S (try: %s)" name
+                           (String.concat ", " (List.map (fun s -> s.Dataset.name) Dataset.all))))
+  | None, Some path ->
+    let doc, subset = Repro_xml.Xml_parser.parse_string_full (read_file path) in
+    (match subset, idref with
+     | Some text, [] ->
+       (* ID/IDREF typing straight from the document's own DTD *)
+       (match Repro_xml.Dtd.parse text with
+        | Ok dtd -> G.of_document_dtd dtd doc
+        | Error m -> failwith (Printf.sprintf "DTD parse error in %s: %s" path m))
+     | _, idref -> G.of_document ~idref_attrs:idref doc)
+  | _ -> failwith "specify exactly one of -d DATASET or -f FILE"
+
+let cmd_generate dataset output scale =
+  match Dataset.by_name dataset with
+  | None -> failwith (Printf.sprintf "unknown dataset %S" dataset)
+  | Some spec ->
+    let doc = Dataset.generate_document (Dataset.scaled spec scale) in
+    let dtd = Dataset.dtd_text spec.Dataset.family in
+    (match output with
+     | Some path ->
+       Repro_xml.Xml_print.to_file ~dtd path doc;
+       Printf.printf "wrote %s (with internal DTD)\n" path
+     | None -> print_string (Repro_xml.Xml_print.to_string ~dtd doc))
+
+let cmd_stats dataset file idref scale =
+  let g = load_graph ~dataset ~file ~idref ~scale in
+  let s = Repro_graph.Graph_stats.compute g in
+  Printf.printf "nodes   %d\nedges   %d\nlabels  %d (%d IDREF-typed)\n"
+    s.Repro_graph.Graph_stats.nodes s.Repro_graph.Graph_stats.edges
+    s.Repro_graph.Graph_stats.labels s.Repro_graph.Graph_stats.idref_labels
+
+let cmd_indexes dataset file idref scale minsup n_workload =
+  let g = load_graph ~dataset ~file ~idref ~scale in
+  let apex0 = Apex.build g in
+  let n0, e0 = Apex.stats apex0 in
+  Printf.printf "APEX0       %6d nodes %6d edges\n" n0 e0;
+  let rand = Random.State.make [| 4242 |] in
+  let q1 = Repro_workload.Generate.qtype1 ~n:n_workload rand g in
+  let workload = Repro_harness.Env.compile_workload g q1 in
+  Apex.refresh apex0 ~workload ~min_support:minsup;
+  let n, e = Apex.stats apex0 in
+  Printf.printf "APEX(%.3g) %6d nodes %6d edges  (workload: %d queries)\n" minsup n e
+    (List.length workload);
+  (match Repro_baselines.Dataguide.build g with
+   | dg ->
+     let n, e = Repro_baselines.Summary_index.stats dg in
+     Printf.printf "DataGuide   %6d nodes %6d edges\n" n e
+   | exception Failure _ -> Printf.printf "DataGuide   (state explosion)\n");
+  let oi = Repro_baselines.One_index.build g in
+  let n, e = Repro_baselines.Summary_index.stats oi in
+  Printf.printf "1-index     %6d nodes %6d edges\n" n e;
+  let fab = Repro_baselines.Index_fabric.build g in
+  Printf.printf "Fabric      %6d keys  %6d trie nodes %5d blocks\n"
+    (Repro_baselines.Index_fabric.n_keys fab)
+    (Repro_baselines.Index_fabric.n_trie_nodes fab)
+    (Repro_baselines.Index_fabric.n_blocks fab)
+
+let cmd_query dataset file idref scale query_text index minsup =
+  let g = load_graph ~dataset ~file ~idref ~scale in
+  let q =
+    match Query.parse query_text with
+    | Ok q -> q
+    | Error m -> failwith (Printf.sprintf "query parse error: %s" m)
+  in
+  let cost = Repro_storage.Cost.create () in
+  let result =
+    match index with
+    | "naive" -> Repro_pathexpr.Naive_eval.eval_query g q
+    | "apex" | "apex0" ->
+      let apex = Apex.build g in
+      if String.equal index "apex" then begin
+        let rand = Random.State.make [| 4242 |] in
+        let q1 = Repro_workload.Generate.qtype1 ~n:500 rand g in
+        Apex.refresh apex ~workload:(Repro_harness.Env.compile_workload g q1)
+          ~min_support:minsup
+      end;
+      Repro_apex.Apex_query.eval_query ~cost apex q
+    | "sdg" -> Repro_baselines.Summary_index.eval_query ~cost (Repro_baselines.Dataguide.build g) q
+    | "1index" ->
+      Repro_baselines.Summary_index.eval_query ~cost (Repro_baselines.One_index.build g) q
+    | other -> failwith (Printf.sprintf "unknown index %S (apex, apex0, sdg, 1index, naive)" other)
+  in
+  Printf.printf "%d result(s)\n" (Array.length result);
+  Array.iteri (fun i nid -> if i < 20 then Printf.printf "  nid %d\n" nid) result;
+  if Array.length result > 20 then Printf.printf "  ... (%d more)\n" (Array.length result - 20);
+  if not (String.equal index "naive") then
+    Printf.printf "cost: %s\n" (Format.asprintf "%a" Repro_storage.Cost.pp cost)
+
+let cmd_xpath dataset file idref scale path_text minsup show_xml explain =
+  let g = load_graph ~dataset ~file ~idref ~scale in
+  let path =
+    match Repro_xpath.Xpath_parser.parse path_text with
+    | Ok p -> p
+    | Error m -> failwith (Printf.sprintf "xpath parse error: %s" m)
+  in
+  let apex = Apex.build g in
+  let rand = Random.State.make [| 4242 |] in
+  let q1 = Repro_workload.Generate.qtype1 ~n:500 rand g in
+  Apex.refresh apex ~workload:(Repro_harness.Env.compile_workload g q1) ~min_support:minsup;
+  if explain then
+    Printf.printf "plan: %s\n" (Repro_xpath.Xpath_plan.describe (Repro_xpath.Xpath_plan.plan g path));
+  let cost = Repro_storage.Cost.create () in
+  let result = Repro_xpath.Xpath_plan.execute ~cost apex path in
+  Printf.printf "%d result(s)\n" (Array.length result);
+  Array.iteri
+    (fun i nid ->
+      if i < 10 then
+        if show_xml then print_endline (Repro_graph.Subtree.to_xml_string g nid)
+        else Printf.printf "  nid %d\n" nid)
+    result;
+  if Array.length result > 10 then Printf.printf "  ... (%d more)\n" (Array.length result - 10);
+  Printf.printf "cost: %s\n" (Format.asprintf "%a" Repro_storage.Cost.pp cost)
+
+let cmd_validate file dtd_file =
+  let text = read_file file in
+  let doc, subset = Repro_xml.Xml_parser.parse_string_full text in
+  let dtd_text =
+    match dtd_file, subset with
+    | Some path, _ -> read_file path
+    | None, Some s -> s
+    | None, None -> failwith "no DTD: the file has no internal subset and no --dtd was given"
+  in
+  match Repro_xml.Dtd.parse dtd_text with
+  | Error m -> failwith (Printf.sprintf "DTD parse error: %s" m)
+  | Ok dtd ->
+    (match Repro_xml.Dtd.validate dtd doc with
+     | [] -> print_endline "valid"
+     | violations ->
+       List.iteri
+         (fun i v ->
+           if i < 25 then Printf.printf "%s: %s\n" v.Repro_xml.Dtd.path v.Repro_xml.Dtd.message)
+         violations;
+       if List.length violations > 25 then
+         Printf.printf "... (%d more)\n" (List.length violations - 25);
+       exit 1)
+
+let cmd_workload dataset file idref scale n qtype =
+  let g = load_graph ~dataset ~file ~idref ~scale in
+  let rand = Random.State.make [| 4242 |] in
+  let queries =
+    match qtype with
+    | 1 -> Repro_workload.Generate.qtype1 ~n rand g
+    | 2 -> Repro_workload.Generate.qtype2 ~n rand g
+    | 3 -> Repro_workload.Generate.qtype3 ~n rand g
+    | _ -> failwith "--qtype must be 1, 2 or 3"
+  in
+  Array.iter (fun q -> print_endline (Query.to_string q)) queries
+
+open Cmdliner
+
+let dataset_arg =
+  Arg.(value & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc:"Named dataset.")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"XML file to load.")
+
+let idref_arg =
+  Arg.(value & opt (list string) [] & info [ "idref" ] ~doc:"IDREF-typed attribute names.")
+
+let scale_arg = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Dataset size factor.")
+let minsup_arg = Arg.(value & opt float 0.005 & info [ "minsup" ] ~doc:"Minimum support.")
+
+let generate_cmd =
+  let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output path.") in
+  let dataset = Arg.(required & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc:"Dataset.") in
+  Cmd.v (Cmd.info "generate" ~doc:"Synthesize a dataset as XML")
+    Term.(const cmd_generate $ dataset $ output $ scale_arg)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Data graph characteristics (Table 1)")
+    Term.(const cmd_stats $ dataset_arg $ file_arg $ idref_arg $ scale_arg)
+
+let indexes_cmd =
+  let n_workload = Arg.(value & opt int 1000 & info [ "workload" ] ~doc:"Workload size.") in
+  Cmd.v (Cmd.info "indexes" ~doc:"Index sizes (Table 2)")
+    Term.(const cmd_indexes $ dataset_arg $ file_arg $ idref_arg $ scale_arg $ minsup_arg $ n_workload)
+
+let query_cmd =
+  let query_text = Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Path query.") in
+  let index = Arg.(value & opt string "apex" & info [ "index" ] ~doc:"apex, apex0, sdg, 1index or naive.") in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a path query")
+    Term.(const cmd_query $ dataset_arg $ file_arg $ idref_arg $ scale_arg $ query_text $ index $ minsup_arg)
+
+let xpath_cmd =
+  let path_text = Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"XPath expression.") in
+  let show_xml = Arg.(value & flag & info [ "xml" ] ~doc:"Materialize results as XML subtrees.") in
+  let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the chosen plan.") in
+  Cmd.v (Cmd.info "xpath" ~doc:"Evaluate an XPath expression through the planner")
+    Term.(const cmd_xpath $ dataset_arg $ file_arg $ idref_arg $ scale_arg $ path_text $ minsup_arg
+          $ show_xml $ explain)
+
+let validate_cmd =
+  let file = Arg.(required & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"XML file.") in
+  let dtd_file = Arg.(value & opt (some string) None & info [ "dtd" ] ~docv:"DTD" ~doc:"External DTD file (internal-subset syntax).") in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a document against a DTD")
+    Term.(const cmd_validate $ file $ dtd_file)
+
+let workload_cmd =
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of queries.") in
+  let qtype = Arg.(value & opt int 1 & info [ "qtype" ] ~doc:"Query class (1, 2 or 3).") in
+  Cmd.v (Cmd.info "workload" ~doc:"Sample generated queries")
+    Term.(const cmd_workload $ dataset_arg $ file_arg $ idref_arg $ scale_arg $ n $ qtype)
+
+let () =
+  let main =
+    Cmd.group (Cmd.info "apex-cli" ~doc:"APEX adaptive path index for XML data")
+      [ generate_cmd; stats_cmd; indexes_cmd; query_cmd; xpath_cmd; validate_cmd; workload_cmd ]
+  in
+  exit (Cmd.eval main)

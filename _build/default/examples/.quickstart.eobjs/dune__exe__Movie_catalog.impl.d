@@ -1,0 +1,1 @@
+examples/movie_catalog.ml: Array Format Printf Repro_apex Repro_baselines Repro_graph Repro_pathexpr Repro_storage Repro_xml

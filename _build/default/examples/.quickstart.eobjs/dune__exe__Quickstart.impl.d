@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Repro_apex Repro_graph Repro_pathexpr Repro_xml

@@ -1,0 +1,1 @@
+examples/workload_adaptation.ml: Array List Option Printf Repro_apex Repro_datagen Repro_graph Repro_harness Repro_pathexpr

@@ -1,0 +1,1 @@
+examples/xpath_explorer.ml: Array List Option Printf Repro_apex Repro_datagen Repro_graph Repro_harness Repro_storage Repro_xpath Xpath_eval Xpath_parser Xpath_plan

@@ -1,0 +1,1 @@
+examples/xpath_explorer.mli:

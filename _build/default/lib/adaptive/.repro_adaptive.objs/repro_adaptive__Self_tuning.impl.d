@@ -1,0 +1,1 @@
+lib/adaptive/self_tuning.ml: Repro_apex Repro_graph Repro_storage Repro_workload

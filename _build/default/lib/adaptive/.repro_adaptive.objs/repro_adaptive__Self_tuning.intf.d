@@ -1,0 +1,1 @@
+lib/adaptive/self_tuning.mli: Repro_apex Repro_graph Repro_pathexpr Repro_storage Repro_workload

@@ -1,0 +1,52 @@
+type t = {
+  apex : Repro_apex.Apex.t;
+  log : Repro_workload.Query_log.t;
+  min_support : float;
+  refresh_every : int;
+  pool : Repro_storage.Buffer_pool.t option;
+  mutable last_refresh_at : int;  (* total_recorded at the last refresh *)
+  mutable refreshes : int;
+}
+
+let materialize t =
+  match t.pool with
+  | Some pool -> Repro_apex.Apex.materialize t.apex pool
+  | None -> ()
+
+let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool graph =
+  let t =
+    { apex = Repro_apex.Apex.build graph;
+      log = Repro_workload.Query_log.create ~capacity:log_capacity;
+      min_support;
+      refresh_every;
+      pool;
+      last_refresh_at = 0;
+      refreshes = 0
+    }
+  in
+  materialize t;
+  t
+
+let force_refresh t =
+  Repro_apex.Apex.refresh t.apex
+    ~workload:(Repro_workload.Query_log.to_workload t.log)
+    ~min_support:t.min_support;
+  materialize t;
+  t.last_refresh_at <- Repro_workload.Query_log.total_recorded t.log;
+  t.refreshes <- t.refreshes + 1
+
+let maybe_refresh t =
+  if Repro_workload.Query_log.total_recorded t.log - t.last_refresh_at >= t.refresh_every then
+    force_refresh t
+
+let query ?cost ?table t q =
+  let result = Repro_apex.Apex_query.eval_query ?cost ?table t.apex q in
+  Repro_workload.Query_log.record_query t.log
+    (Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex))
+    q;
+  maybe_refresh t;
+  result
+
+let apex t = t.apex
+let log t = t.log
+let refreshes t = t.refreshes

@@ -1,0 +1,42 @@
+(** A self-tuning APEX: query evaluation, workload logging, and periodic
+    incremental refresh behind one handle.
+
+    This is the loop of Figure 4 run automatically: every evaluated query
+    is recorded in a bounded {!Repro_workload.Query_log}; after each
+    [refresh_every] recorded queries the frequently-used-path extraction
+    and incremental update run on the current window. The paper leaves the
+    refresh trigger to the end user ("by request or periodical") — this
+    component implements both: the periodic policy plus {!force_refresh}. *)
+
+type t
+
+val create :
+  ?log_capacity:int ->
+  ?min_support:float ->
+  ?refresh_every:int ->
+  ?pool:Repro_storage.Buffer_pool.t ->
+  Repro_graph.Data_graph.t ->
+  t
+(** Builds APEX0 over the graph. Defaults: a 1000-entry log, minSup 0.005,
+    refresh every 500 recorded queries. When [pool] is given the index is
+    (re)materialized there after every refresh, so costed evaluation pays
+    page I/O throughout. *)
+
+val query :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  t ->
+  Repro_pathexpr.Query.t ->
+  Repro_graph.Data_graph.nid array
+(** Evaluate, log, and refresh if the policy says so. Results are always
+    identical to evaluating against a non-adaptive APEX — adaptation only
+    moves cost. *)
+
+val force_refresh : t -> unit
+(** Run extraction + update on the current log window immediately. *)
+
+val apex : t -> Repro_apex.Apex.t
+val log : t -> Repro_workload.Query_log.t
+
+val refreshes : t -> int
+(** Number of refreshes performed so far (periodic and forced). *)

@@ -1,0 +1,1 @@
+lib/apex/apex.ml: Array Gapex Hash_tree Hashtbl List Repro_graph Repro_mining Repro_storage Repro_util Stack

@@ -1,0 +1,1 @@
+lib/apex/apex.mli: Gapex Hash_tree Repro_graph Repro_pathexpr Repro_storage

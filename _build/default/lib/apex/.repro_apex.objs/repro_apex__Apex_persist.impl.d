@@ -1,0 +1,1 @@
+lib/apex/apex_persist.ml: Apex Array Gapex Hash_tree Hashtbl List Repro_graph Repro_storage Repro_util

@@ -1,0 +1,1 @@
+lib/apex/apex_persist.mli: Apex Repro_graph Repro_storage

@@ -1,0 +1,1 @@
+lib/apex/apex_query.mli: Apex Repro_graph Repro_pathexpr Repro_storage

@@ -1,0 +1,1 @@
+lib/apex/apex_spec.ml: Apex Array Gapex Hash_tree Hashtbl List Repro_graph Repro_mining Repro_pathexpr Repro_util

@@ -1,0 +1,1 @@
+lib/apex/apex_spec.mli: Apex Repro_graph Repro_pathexpr

@@ -1,0 +1,1 @@
+lib/apex/gapex.ml: Hashtbl List Repro_graph Repro_storage

@@ -1,0 +1,1 @@
+lib/apex/gapex.mli: Hashtbl Repro_graph Repro_storage

@@ -1,0 +1,1 @@
+lib/apex/hash_tree.ml: Array Gapex Hashtbl List Repro_graph Repro_pathexpr Repro_storage

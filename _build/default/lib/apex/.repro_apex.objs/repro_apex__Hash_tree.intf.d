@@ -1,0 +1,1 @@
+lib/apex/hash_tree.mli: Gapex Repro_graph Repro_pathexpr Repro_storage

@@ -1,0 +1,131 @@
+module G = Repro_graph.Data_graph
+module Edge_set = Repro_graph.Edge_set
+module Cost = Repro_storage.Cost
+module Vec = Repro_util.Vec
+
+type t = {
+  mutable graph : G.t;
+  gapex : Gapex.t;
+  tree : Hash_tree.t;
+  mutable store : Repro_storage.Extent_store.t option;
+}
+
+let graph t = t.graph
+let tree t = t.tree
+let summary t = t.gapex
+let stats t = Gapex.stats t.gapex
+
+(* Outgoing data edges of the endpoints of [source], grouped by label.
+   Returned sorted by label for deterministic traversal. *)
+let successor_groups g source =
+  let by_label : (int, int Vec.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      G.iter_out g v (fun l w ->
+          let vec =
+            match Hashtbl.find_opt by_label l with
+            | Some vec -> vec
+            | None ->
+              let vec = Vec.create () in
+              Hashtbl.add by_label l vec;
+              vec
+          in
+          Vec.push vec (Edge_set.pack v w)))
+    (Edge_set.endpoints source);
+  Hashtbl.fold (fun l vec acc -> (l, Edge_set.of_packed_array (Vec.to_array vec)) :: acc) by_label []
+  |> List.sort (fun (l1, _) (l2, _) -> compare l1 l2)
+
+(* The unified Figure 6 / Figure 11 traversal. Tasks carry the G_APEX node,
+   the extent delta that caused the (re)visit, and the reversed label path
+   by which the traversal reached the node. *)
+let run_update t =
+  Gapex.reset_visited t.gapex;
+  let stack = Stack.create () in
+  Stack.push (Gapex.xroot t.gapex, Edge_set.empty, []) stack;
+  while not (Stack.is_empty stack) do
+    let xnode, delta, rev_path = Stack.pop stack in
+    let first_visit = not xnode.Gapex.visited in
+    if first_visit || not (Edge_set.is_empty delta) then begin
+      xnode.Gapex.visited <- true;
+      (* on a first visit verify everything the full extent implies; on a
+         revisit only the delta's consequences can have changed *)
+      let source = if first_visit then xnode.Gapex.extent else delta in
+      List.iter
+        (fun (l, edges) ->
+          let rev_child = l :: rev_path in
+          match Hash_tree.lookup_slot ~create_head:true t.tree ~rev_path:rev_child with
+          | None -> assert false (* create_head guarantees a slot *)
+          | Some slot ->
+            let xchild =
+              match Hash_tree.slot_get slot with
+              | Some n -> n
+              | None ->
+                let n = Gapex.new_node t.gapex in
+                Hash_tree.slot_set slot (Some n);
+                n
+            in
+            let grow = Edge_set.diff edges xchild.Gapex.extent in
+            xchild.Gapex.extent <- Edge_set.union xchild.Gapex.extent grow;
+            Gapex.make_edge xnode l xchild;
+            Stack.push (xchild, grow, rev_child) stack)
+        (successor_groups t.graph source)
+    end
+  done
+
+let build g =
+  let t =
+    { graph = g;
+      gapex = Gapex.create ~root_extent:(G.root_edge g);
+      tree = Hash_tree.create ();
+      store = None
+    }
+  in
+  run_update t;
+  t
+
+let refresh t ~workload ~min_support =
+  Hash_tree.reset_marks t.tree;
+  Hash_tree.count_workload t.tree workload;
+  let threshold =
+    Repro_mining.Path_miner.support_threshold ~min_support
+      ~n_queries:(List.length workload)
+  in
+  Hash_tree.prune t.tree ~threshold;
+  t.store <- None;
+  run_update t
+
+let extend_data t g' =
+  let g = t.graph in
+  if G.n_nodes g' < G.n_nodes g || G.n_edges g' < G.n_edges g then
+    invalid_arg "Apex.extend_data: the new graph must extend the indexed one";
+  for v = 0 to G.n_nodes g - 1 do
+    if G.out_degree g' v < G.out_degree g v then
+      invalid_arg "Apex.extend_data: the new graph must extend the indexed one"
+  done;
+  t.graph <- g';
+  t.store <- None;
+  run_update t
+
+let build_adapted g ~workload ~min_support =
+  let t = build g in
+  refresh t ~workload ~min_support;
+  t
+
+let assemble ~graph ~gapex ~tree = { graph; gapex; tree; store = None }
+
+let materialize ?codec t pool =
+  let store = Repro_storage.Extent_store.create ?codec pool in
+  List.iter
+    (fun (n : Gapex.node) ->
+      n.Gapex.handle <- Some (Repro_storage.Extent_store.append store n.Gapex.extent))
+    (Gapex.reachable t.gapex);
+  t.store <- Some store
+
+let load_extent ?cost t (n : Gapex.node) =
+  match t.store, n.Gapex.handle with
+  | Some store, Some h -> Repro_storage.Extent_store.load ?cost store h
+  | _ ->
+    (match cost with
+     | Some c -> c.Cost.extent_edges <- c.Cost.extent_edges + Edge_set.cardinal n.Gapex.extent
+     | None -> ());
+    n.Gapex.extent

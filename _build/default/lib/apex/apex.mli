@@ -1,0 +1,73 @@
+(** APEX — the adaptive path index (Sections 4–5).
+
+    An index instance owns a hash tree ({!Hash_tree}) and a graph summary
+    ({!Gapex}) over one data graph. {!build} constructs APEX0 (Figure 6,
+    every label path of length ≤ 2 represented); {!refresh} runs
+    frequently-used-path extraction over a query workload (Figure 8)
+    followed by the incremental update (Figure 11) — it never rebuilds from
+    scratch.
+
+    The update engine unifies Figure 6 and Figure 11: both are a traversal
+    that, per visited node, groups the outgoing data edges of its extent's
+    endpoints by label, routes each group to the [G_APEX] node designated by
+    the hash-tree lookup of the traversal path (creating nodes for
+    invalidated or new slots), and recurses on extent growth. It deviates
+    from Figure 11's letter in one respect: a node first visited through an
+    extent-delta still verifies {e all} its outgoing groups (the pseudo-code
+    would verify only the delta-derived ones and later skip the node as
+    visited, leaving stale children unverified). An explicit work stack
+    replaces recursion so deep reference chains cannot overflow. *)
+
+type t
+
+val build : Repro_graph.Data_graph.t -> t
+(** APEX0: the required set is exactly the length-1 paths. *)
+
+val refresh :
+  t -> workload:Repro_pathexpr.Label_path.t list -> min_support:float -> unit
+(** Extract frequently used paths from the workload (support = fraction of
+    queries containing the path as a contiguous subpath, Definition 6) and
+    incrementally update the index. With an empty workload this prunes every
+    longer path and the index degenerates back to APEX0 shape. *)
+
+val extend_data : t -> Repro_graph.Data_graph.t -> unit
+(** Re-point the index at a grown version of its data graph (typically from
+    {!Repro_graph.Data_graph.append_subtree}) and update it incrementally:
+    existing extents are reused and only the consequences of the new edges
+    propagate — target edge sets only grow under document growth, which is
+    exactly the monotone case the update engine converges on. The result is
+    indistinguishable from an index built fresh over the grown graph.
+    Re-materialize before running costed queries again.
+    @raise Invalid_argument when the graph does not extend the indexed one
+    (fewer nodes/edges, or a shrunken adjacency list). *)
+
+val build_adapted :
+  Repro_graph.Data_graph.t ->
+  workload:Repro_pathexpr.Label_path.t list ->
+  min_support:float ->
+  t
+(** [build] then [refresh]. *)
+
+val graph : t -> Repro_graph.Data_graph.t
+val tree : t -> Hash_tree.t
+val summary : t -> Gapex.t
+
+val stats : t -> int * int
+(** Reachable [(nodes, edges)] of [G_APEX] — Table 2's APEX rows. *)
+
+val assemble :
+  graph:Repro_graph.Data_graph.t -> gapex:Gapex.t -> tree:Hash_tree.t -> t
+(** Wrap pre-built components into an index (used by {!Apex_persist.load});
+    the caller is responsible for their consistency. *)
+
+val materialize :
+  ?codec:Repro_storage.Extent_store.codec -> t -> Repro_storage.Buffer_pool.t -> unit
+(** Write every reachable extent to an extent store (default codec [`Raw])
+    so query evaluation pays page I/O. Call after the last [refresh];
+    refreshing again requires re-materializing. *)
+
+val load_extent :
+  ?cost:Repro_storage.Cost.t -> t -> Gapex.node -> Repro_graph.Edge_set.t
+(** The node's extent, through the buffer pool when materialized (charging
+    [extent_pages]/[extent_edges]); the in-memory extent otherwise (charging
+    only [extent_edges]). *)

@@ -1,0 +1,95 @@
+(* Image layout (flat ints):
+     [magic] [n_nodes] [root_index]
+     per node (in index order):
+       [extent_len] packed-edge*  [out_degree] ([label] [target_index])*
+     hash-tree stream (Hash_tree.encode format)                          *)
+
+module Edge_set = Repro_graph.Edge_set
+module Vec = Repro_util.Vec
+
+let magic = 0x41504558 (* "APEX" *)
+
+let save apex store =
+  let gapex = Apex.summary apex in
+  let nodes = Gapex.reachable gapex in
+  let index_of = Hashtbl.create (List.length nodes) in
+  List.iteri (fun i (n : Gapex.node) -> Hashtbl.add index_of n.Gapex.id i) nodes;
+  let node_index (n : Gapex.node) =
+    match Hashtbl.find_opt index_of n.Gapex.id with
+    | Some i -> i
+    | None -> invalid_arg "Apex_persist.save: hash tree references an unreachable node"
+  in
+  let out = Vec.create ~capacity:1024 () in
+  Vec.push out magic;
+  Vec.push out (List.length nodes);
+  Vec.push out (node_index (Gapex.xroot gapex));
+  List.iter
+    (fun (n : Gapex.node) ->
+      let extent = (n.Gapex.extent :> int array) in
+      Vec.push out (Array.length extent);
+      Array.iter (Vec.push out) extent;
+      let edges = Gapex.out_edges n in
+      Vec.push out (List.length edges);
+      List.iter
+        (fun (l, y) ->
+          Vec.push out l;
+          Vec.push out (node_index y))
+        edges)
+    nodes;
+  List.iter (Vec.push out) (Hash_tree.encode (Apex.tree apex) ~node_index);
+  Repro_storage.Extent_store.append_ints store (Vec.to_array out)
+
+let load graph store handle =
+  let arr = Repro_storage.Extent_store.load_ints store handle in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length arr then invalid_arg "Apex_persist.load: truncated image"
+    else begin
+      let v = arr.(!pos) in
+      incr pos;
+      v
+    end
+  in
+  if next () <> magic then invalid_arg "Apex_persist.load: bad magic";
+  let n_nodes = next () in
+  let root_index = next () in
+  if root_index < 0 || root_index >= n_nodes then invalid_arg "Apex_persist.load: bad root";
+  (* first pass: read extents and edge lists *)
+  let extents = Array.make n_nodes Edge_set.empty in
+  let edges = Array.make n_nodes [] in
+  for i = 0 to n_nodes - 1 do
+    let len = next () in
+    let packed = Array.init len (fun _ -> next ()) in
+    extents.(i) <- Edge_set.of_packed_array packed;
+    let deg = next () in
+    edges.(i) <- List.init deg (fun _ ->
+        let l = next () in
+        let target = next () in
+        (l, target))
+  done;
+  (* materialize the node objects: the root first (Gapex.create), the rest
+     via new_node, then rewire *)
+  let gapex = Gapex.create ~root_extent:extents.(root_index) in
+  let nodes =
+    Array.init n_nodes (fun i ->
+        if i = root_index then Gapex.xroot gapex
+        else begin
+          let n = Gapex.new_node gapex in
+          n.Gapex.extent <- extents.(i);
+          n
+        end)
+  in
+  Array.iteri
+    (fun i adj ->
+      List.iter
+        (fun (l, target) ->
+          if target < 0 || target >= n_nodes then invalid_arg "Apex_persist.load: bad edge";
+          Gapex.make_edge nodes.(i) l nodes.(target))
+        adj)
+    edges;
+  let tree = Hash_tree.decode ~node_of:(fun i ->
+      if i < 0 || i >= n_nodes then invalid_arg "Apex_persist.load: bad slot index"
+      else nodes.(i)) arr ~pos
+  in
+  if !pos <> Array.length arr then invalid_arg "Apex_persist.load: trailing data";
+  Apex.assemble ~graph ~gapex ~tree

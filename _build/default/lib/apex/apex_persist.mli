@@ -1,0 +1,22 @@
+(** Persistence: serialize a whole APEX instance — [G_APEX] nodes, extents,
+    summary edges, and the [H_APEX] hash tree — into the page store, and
+    load it back against the same data graph.
+
+    The image is a flat integer stream stored like any extent, so it rides
+    the same pager/buffer-pool machinery. Loading restores structure and
+    extents exactly ({!Apex_spec.apex_extents} of the copy equals the
+    original's); materialization state is not part of the image — call
+    {!Apex.materialize} on the loaded index before running costed
+    queries. *)
+
+val save : Apex.t -> Repro_storage.Extent_store.t -> Repro_storage.Extent_store.handle
+(** Write the index image at the store's tail. *)
+
+val load :
+  Repro_graph.Data_graph.t ->
+  Repro_storage.Extent_store.t ->
+  Repro_storage.Extent_store.handle ->
+  Apex.t
+(** Rebuild the index from an image. The graph must be the one the saved
+    index was built over (extents reference its nids).
+    @raise Invalid_argument on a malformed image. *)

@@ -1,0 +1,146 @@
+module G = Repro_graph.Data_graph
+module Edge_set = Repro_graph.Edge_set
+module Label = Repro_graph.Label
+module Cost = Repro_storage.Cost
+module Query = Repro_pathexpr.Query
+
+let charge_join cost a b =
+  match cost with
+  | Some c -> c.Cost.join_edges <- c.Cost.join_edges + Edge_set.cardinal a + Edge_set.cardinal b
+  | None -> ()
+
+let union_extents ?cost t nodes =
+  Edge_set.union_many (List.map (fun n -> Apex.load_extent ?cost t n) nodes)
+
+(* locate a (sub)path and union the located nodes' extents; each lookup
+   touches one hash-tree page (H_APEX is shallow: a handful of hnodes per
+   suffix chain fit one page) *)
+let locate_union ?cost t ~rev_path =
+  (match cost with
+   | Some c -> c.Cost.struct_pages <- c.Cost.struct_pages + 1
+   | None -> ());
+  match Hash_tree.locate ?cost (Apex.tree t) ~rev_path with
+  | None -> None
+  | Some (Hash_tree.Exact nodes) -> Some (union_extents ?cost t nodes, true)
+  | Some (Hash_tree.Approx nodes) -> Some (union_extents ?cost t nodes, false)
+
+let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let eval_q1 ?cost t path =
+  let n = List.length path in
+  let rev = List.rev path in
+  match locate_union ?cost t ~rev_path:rev with
+  | None -> [||]
+  | Some (ext, true) -> Edge_set.endpoints ext
+  | Some (e_full, false) ->
+    (* sweep prefixes l_i..l_j for j = n-1 downto 1, keeping each looked-up
+       edge set; the sweep must reach an exactly-covered prefix by j = 1
+       since every length-1 path is required *)
+    let rec sweep j acc =
+      if j = 0 then [||] (* unreachable: length-1 lookups are exact *)
+      else
+        let rev_prefix = drop (n - j) rev in
+        match locate_union ?cost t ~rev_path:rev_prefix with
+        | None -> [||]
+        | Some (ext, true) ->
+          (* multi-way join back up to l_n *)
+          let cur =
+            List.fold_left
+              (fun cur e ->
+                if Edge_set.is_empty cur then cur
+                else begin
+                  charge_join cost cur e;
+                  Edge_set.join cur e
+                end)
+              ext acc
+          in
+          Edge_set.endpoints cur
+        | Some (ext, false) -> sweep (j - 1) (ext :: acc)
+    in
+    sweep (n - 1) [ e_full ]
+
+(* QTYPE2 is the paper's two-phase plan: (1) query pruning and rewriting by
+   navigating G_APEX from the nodes whose incoming label is [la], collecting
+   every label sequence la.m_1...m_k.lb reachable over non-attribute edges
+   (Section 6.1's no-dereference rule); (2) each rewritten sequence is then
+   evaluated like QTYPE1, so sequences that are stored frequent suffixes
+   come straight out of H_APEX — the adaptivity win. *)
+let eval_q2 ?cost ?(max_rewrite_depth = 16) t la lb =
+  let labels = G.labels (Apex.graph t) in
+  match Hash_tree.locate ?cost (Apex.tree t) ~rev_path:[ la ] with
+  | None | Some (Hash_tree.Approx _) -> [||]
+  | Some (Hash_tree.Exact starts) ->
+    let pages_seen = Hashtbl.create 32 in
+    let visit (node : Gapex.node) =
+      match cost with
+      | Some c ->
+        c.Cost.index_node_visits <- c.Cost.index_node_visits + 1;
+        let page = node.Gapex.id / 128 in
+        if not (Hashtbl.mem pages_seen page) then begin
+          Hashtbl.add pages_seen page ();
+          c.Cost.struct_pages <- c.Cost.struct_pages + 1
+        end
+      | None -> ()
+    in
+    (* Summary nodes may repeat along a rewriting (recursive structures
+       summarize to cycles), so the search cannot simply forbid revisits;
+       instead the running extent join is carried as a pruning oracle — a
+       branch whose join is empty has no data witness and is cut, which is
+       also what terminates cycles, with [max_rewrite_depth] as a backstop. *)
+    let extent_cache : (int, Edge_set.t) Hashtbl.t = Hashtbl.create 64 in
+    let extent_of (node : Gapex.node) =
+      match Hashtbl.find_opt extent_cache node.Gapex.id with
+      | Some e -> e
+      | None ->
+        let e = Apex.load_extent ?cost t node in
+        Hashtbl.add extent_cache node.Gapex.id e;
+        e
+    in
+    let rewritings : (Label.t list, unit) Hashtbl.t = Hashtbl.create 32 in
+    let rec rewrite (node : Gapex.node) cur rev_seq depth =
+      visit node;
+      List.iter
+        (fun (l, (y : Gapex.node)) ->
+          if not (Label.is_attribute labels l) then begin
+            (match cost with
+             | Some c -> c.Cost.index_edge_lookups <- c.Cost.index_edge_lookups + 1
+             | None -> ());
+            let ey = extent_of y in
+            charge_join cost cur ey;
+            let nxt = Edge_set.join cur ey in
+            if not (Edge_set.is_empty nxt) then begin
+              let rev_seq = l :: rev_seq in
+              if l = lb then Hashtbl.replace rewritings (List.rev rev_seq) ();
+              if depth < max_rewrite_depth then rewrite y nxt rev_seq (depth + 1)
+            end
+          end)
+        (Gapex.out_edges node)
+    in
+    List.iter (fun (start : Gapex.node) -> rewrite start (extent_of start) [ la ] 1) starts;
+    let results =
+      Hashtbl.fold (fun seq () acc -> eval_q1 ?cost t seq :: acc) rewritings []
+    in
+    Repro_util.Int_sorted.union_many results
+
+let eval_q3 ?cost ?table t path value =
+  let candidates = eval_q1 ?cost t path in
+  match table with
+  | Some tbl -> Repro_storage.Data_table.filter_matching ?cost tbl candidates value
+  | None ->
+    let keep nid =
+      match G.value (Apex.graph t) nid with
+      | Some v -> String.equal v value
+      | None -> false
+    in
+    Array.of_seq (Seq.filter keep (Array.to_seq candidates))
+
+let eval ?cost ?table ?max_rewrite_depth t compiled =
+  match compiled with
+  | Query.C1 path -> eval_q1 ?cost t path
+  | Query.C2 (la, lb) -> eval_q2 ?cost ?max_rewrite_depth t la lb
+  | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
+
+let eval_query ?cost ?table t q =
+  match Query.compile (G.labels (Apex.graph t)) q with
+  | Some compiled -> eval ?cost ?table t compiled
+  | None -> [||]

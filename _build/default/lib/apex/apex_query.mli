@@ -1,0 +1,41 @@
+(** Query evaluation over APEX (Section 6.1, "Query Processor
+    Implementation").
+
+    - QTYPE1 [//l_i/.../l_n]: look the full path up in [H_APEX] (in reverse);
+      if the longest stored suffix covers the whole path, the answer is read
+      straight off the located extents. Otherwise the processor looks up
+      each prefix [l_i..l_j] (j decreasing) until one is covered exactly,
+      keeping the union of extents per lookup, and multi-way-joins the edge
+      sets back up to [l_n].
+    - QTYPE2 [//l_i//l_j]: query pruning and rewriting on [G_APEX] — a
+      depth-first search from the nodes whose incoming label is [l_i],
+      following non-attribute edges, joining extents along the way and
+      emitting results whenever an [l_j]-edge is crossed. Branches with an
+      empty running edge set are pruned.
+    - QTYPE3 [//path\[text()=v\]]: QTYPE1 followed by data-table probes.
+
+    Results are nid arrays sorted ascending (document order). *)
+
+val eval :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  ?max_rewrite_depth:int ->
+  Apex.t ->
+  Repro_pathexpr.Query.compiled ->
+  Repro_graph.Data_graph.nid array
+(** [table] is used for QTYPE3 value checks when provided (charging
+    [table_pages]); otherwise values are read from the in-memory graph.
+    [max_rewrite_depth] (default 16) bounds QTYPE2 rewriting length —
+    summary nodes may repeat along a rewriting (recursive structures
+    summarize to cycles); branches whose running edge set joins to empty
+    are pruned, which on data whose non-attribute region is acyclic makes
+    the bound vacuous for paths that could produce results. *)
+
+val eval_query :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  Apex.t ->
+  Repro_pathexpr.Query.t ->
+  Repro_graph.Data_graph.nid array
+(** Compile against the data graph's label table, then {!eval}; a query
+    naming an unknown label returns the empty result. *)

@@ -1,0 +1,33 @@
+(** Declarative reference semantics of APEX (Definitions 6–10), used to
+    property-test the operational algorithms on acyclic data.
+
+    For each required path [p], the target edge set [T^R(p)] is, by the
+    Q_G/Q_A set algebra of Definition 9, exactly the set of incoming edges
+    whose root label path has [p] as its {e longest required suffix}. This
+    module computes those buckets directly by enumerating every root-to-node
+    data path — exponential in the worst case, so only suitable for the
+    small random DAGs the tests generate. *)
+
+val required_of_workload :
+  Repro_graph.Data_graph.t ->
+  workload:Repro_pathexpr.Label_path.t list ->
+  min_support:float ->
+  Repro_pathexpr.Label_path.t list
+(** Definition 6 via the standalone miner: frequent workload subpaths plus
+    every length-1 label of the data. *)
+
+val target_edge_sets :
+  Repro_graph.Data_graph.t ->
+  required:Repro_pathexpr.Label_path.t list ->
+  (Repro_pathexpr.Label_path.t * Repro_graph.Edge_set.t) list
+(** [(p, T^R(p))] for every required path with a non-empty target edge set,
+    sorted by path. The data graph must be acyclic.
+    @raise Invalid_argument on cyclic data. *)
+
+val apex_extents :
+  Apex.t -> (Repro_pathexpr.Label_path.t * Repro_graph.Edge_set.t) list
+(** The operational counterpart: every hash-tree slot holding a node, as
+    [(slot's suffix, node's extent)], sorted. Remainder slots report their
+    hnode's suffix — the same key {!target_edge_sets} uses, since a
+    remainder holds exactly the paths whose longest required suffix is the
+    hnode's path. *)

@@ -1,0 +1,269 @@
+module Label_path = Repro_pathexpr.Label_path
+module Cost = Repro_storage.Cost
+
+type slot = { mutable xnode : Gapex.node option }
+
+type entry = {
+  label : Repro_graph.Label.t;
+  mutable count : int;
+  mutable is_new : bool;
+  e_slot : slot;
+  mutable next : hnode option;
+}
+
+and hnode = {
+  entries : (Repro_graph.Label.t, entry) Hashtbl.t;
+  r_slot : slot;  (* the remainder entry's xnode field *)
+}
+
+type t = { head : hnode }
+
+let mk_hnode () = { entries = Hashtbl.create 8; r_slot = { xnode = None } }
+
+let create () = { head = mk_hnode () }
+
+let slot_get s = s.xnode
+let slot_set s v = s.xnode <- v
+
+let mk_entry label = { label; count = 0; is_new = true; e_slot = { xnode = None }; next = None }
+
+let charge cost =
+  match cost with
+  | Some c -> c.Cost.hash_probes <- c.Cost.hash_probes + 1
+  | None -> ()
+
+(* Figure 9, generalized with entry creation at HashHead for update-time use
+   and with path-exhaustion resolving to the deeper hnode's remainder. *)
+let lookup_slot ?cost ?(create_head = false) t ~rev_path =
+  let rec step hnode label rest =
+    charge cost;
+    match Hashtbl.find_opt hnode.entries label with
+    | None ->
+      if hnode != t.head then Some hnode.r_slot
+      else if create_head then begin
+        let e = mk_entry label in
+        e.is_new <- false;
+        (* not a workload discovery *)
+        Hashtbl.add hnode.entries label e;
+        Some e.e_slot
+      end
+      else None
+    | Some e ->
+      (match e.next with
+       | None -> Some e.e_slot
+       | Some sub ->
+         (match rest with
+          | [] -> Some sub.r_slot
+          | l :: rest' -> step sub l rest'))
+  in
+  match rev_path with
+  | [] -> invalid_arg "Hash_tree.lookup_slot: empty path"
+  | last :: rest -> step t.head last rest
+
+(* every G_APEX node in the subtree rooted at [hnode] *)
+let rec collect_subtree hnode acc =
+  let acc = match hnode.r_slot.xnode with Some n -> n :: acc | None -> acc in
+  Hashtbl.fold
+    (fun _ e acc ->
+      let acc = match e.e_slot.xnode with Some n -> n :: acc | None -> acc in
+      match e.next with Some sub -> collect_subtree sub acc | None -> acc)
+    hnode.entries acc
+
+type located =
+  | Exact of Gapex.node list
+  | Approx of Gapex.node list
+
+let locate ?cost t ~rev_path =
+  let rec step hnode label rest =
+    charge cost;
+    match Hashtbl.find_opt hnode.entries label with
+    | None ->
+      if hnode == t.head then None
+      else
+        Some (Approx (match hnode.r_slot.xnode with Some n -> [ n ] | None -> []))
+    | Some e ->
+      (match e.next, rest with
+       | None, [] -> Some (Exact (match e.e_slot.xnode with Some n -> [ n ] | None -> []))
+       | None, _ :: _ -> Some (Approx (match e.e_slot.xnode with Some n -> [ n ] | None -> []))
+       | Some sub, [] -> Some (Exact (collect_subtree sub []))
+       | Some sub, l :: rest' -> step sub l rest')
+  in
+  match rev_path with
+  | [] -> invalid_arg "Hash_tree.locate: empty path"
+  | last :: rest -> step t.head last rest
+
+(* --- extraction (Figure 8) --- *)
+
+let rec iter_entries hnode f =
+  Hashtbl.iter
+    (fun _ e ->
+      f e;
+      match e.next with Some sub -> iter_entries sub f | None -> ())
+    hnode.entries
+
+let reset_marks t =
+  iter_entries t.head (fun e ->
+      e.count <- 0;
+      e.is_new <- false)
+
+(* insert one subpath (reverse navigation), creating entries/hnodes as
+   needed, and bump the final entry's count *)
+let count_subpath t rev_sub =
+  let rec step hnode label rest =
+    let e =
+      match Hashtbl.find_opt hnode.entries label with
+      | Some e -> e
+      | None ->
+        let e = mk_entry label in
+        Hashtbl.add hnode.entries label e;
+        e
+    in
+    match rest with
+    | [] -> e.count <- e.count + 1
+    | l :: rest' ->
+      let sub =
+        match e.next with
+        | Some sub -> sub
+        | None ->
+          let sub = mk_hnode () in
+          e.next <- Some sub;
+          sub
+      in
+      step sub l rest'
+  in
+  match rev_sub with
+  | [] -> ()
+  | last :: rest -> step t.head last rest
+
+let count_workload t queries =
+  List.iter
+    (fun q -> List.iter (fun sub -> count_subpath t (List.rev sub)) (Label_path.subpaths q))
+    queries
+
+let prune t ~threshold =
+  let rec prune_hnode hnode ~is_head =
+    let snapshot = Hashtbl.fold (fun _ e acc -> e :: acc) hnode.entries [] in
+    List.iter
+      (fun e ->
+        if float_of_int e.count < threshold then begin
+          (* infrequent: drop its subtree; outside HashHead drop the entry
+             itself, which folds its paths back into this hnode's remainder
+             — so that remainder's node is stale now *)
+          if e.next <> None then begin
+            e.next <- None;
+            (* the entry now stands for everything that its subtree
+               partitioned; any node it held is stale *)
+            e.e_slot.xnode <- None
+          end;
+          if not is_head then begin
+            Hashtbl.remove hnode.entries e.label;
+            (* deleting a previously-required entry folds its paths back
+               into this hnode's remainder, so its node is stale; an entry
+               that was only just created by counting never had a node and
+               leaves the remainder untouched *)
+            if not e.is_new then hnode.r_slot.xnode <- None
+          end
+        end
+        else begin
+          (match e.next with
+           | Some sub ->
+             if prune_hnode sub ~is_head:false then begin
+               e.next <- None
+               (* e.e_slot is already empty by the invariant *)
+             end
+           | None -> ());
+          (* a path that was maximal but now has longer frequent suffixes:
+             its node must be rebuilt as a remainder (lines 12-13) *)
+          if e.next <> None && e.e_slot.xnode <> None then e.e_slot.xnode <- None;
+          (* a new frequent sibling changes what "remainder" means
+             (lines 14-15) *)
+          if e.is_new && hnode.r_slot.xnode <> None then hnode.r_slot.xnode <- None
+        end)
+      snapshot;
+    Hashtbl.length hnode.entries = 0
+  in
+  ignore (prune_hnode t.head ~is_head:true)
+
+(* --- introspection --- *)
+
+let iter_slots t f =
+  let rec walk hnode suffix =
+    if suffix <> [] then f suffix hnode.r_slot true;
+    Hashtbl.iter
+      (fun _ e ->
+        let s = e.label :: suffix in
+        f s e.e_slot false;
+        match e.next with Some sub -> walk sub s | None -> ())
+      hnode.entries
+  in
+  walk t.head []
+
+let n_entries t =
+  let n = ref 0 in
+  iter_entries t.head (fun _ -> incr n);
+  !n
+
+(* --- persistence ---
+   hnode   := [n_entries] entry* [remainder_idx+1]
+   entry   := [label] [count] [is_new] [xnode_idx+1] [has_sub] sub?   *)
+
+let encode t ~node_index =
+  let out = ref [] in
+  let push i = out := i :: !out in
+  let slot_code s = match s.xnode with Some n -> node_index n + 1 | None -> 0 in
+  let rec enc_hnode h =
+    push (Hashtbl.length h.entries);
+    let entries =
+      Hashtbl.fold (fun _ e acc -> e :: acc) h.entries []
+      |> List.sort (fun a b -> compare a.label b.label)
+    in
+    List.iter
+      (fun e ->
+        push e.label;
+        push e.count;
+        push (if e.is_new then 1 else 0);
+        push (slot_code e.e_slot);
+        match e.next with
+        | Some sub ->
+          push 1;
+          enc_hnode sub
+        | None -> push 0)
+      entries;
+    push (slot_code h.r_slot)
+  in
+  enc_hnode t.head;
+  List.rev !out
+
+let decode ~node_of arr ~pos =
+  let next () =
+    if !pos >= Array.length arr then invalid_arg "Hash_tree.decode: truncated image"
+    else begin
+      let v = arr.(!pos) in
+      incr pos;
+      v
+    end
+  in
+  let slot_of code = { xnode = (if code = 0 then None else Some (node_of (code - 1))) } in
+  let rec dec_hnode () =
+    let n = next () in
+    let h = mk_hnode () in
+    for _ = 1 to n do
+      let label = next () in
+      let count = next () in
+      let is_new = next () = 1 in
+      let slot = slot_of (next ()) in
+      let has_sub = next () = 1 in
+      let sub = if has_sub then Some (dec_hnode ()) else None in
+      Hashtbl.add h.entries label { label; count; is_new; e_slot = slot; next = sub }
+    done;
+    (* remainder slot: mk_hnode made a fresh one; replace its contents *)
+    let r = slot_of (next ()) in
+    h.r_slot.xnode <- r.xnode;
+    h
+  in
+  { head = dec_hnode () }
+
+let check_invariant t =
+  let ok = ref true in
+  iter_entries t.head (fun e -> if e.next <> None && e.e_slot.xnode <> None then ok := false);
+  !ok

@@ -1,0 +1,88 @@
+(** The hash tree [H_APEX] (Sections 4–5).
+
+    Label paths are stored in {e reverse}: the root hnode (HashHead) is
+    keyed by the last label of a path, subtrees by earlier labels. Each
+    entry carries the five fields of Figure 7 — label, count, new, xnode,
+    next — and every hnode additionally has a [remainder] slot holding the
+    [G_APEX] node for "all paths ending with this suffix not covered by a
+    longer required path" (Definition 9's target edge sets).
+
+    Invariant maintained across extraction + update: an entry never has
+    both a non-empty [next] and a non-empty [xnode]. *)
+
+type t
+
+type slot
+(** A mutable xnode field — either an entry's or a remainder's. *)
+
+val create : unit -> t
+
+val slot_get : slot -> Gapex.node option
+val slot_set : slot -> Gapex.node option -> unit
+
+(** {1 Lookup (Figure 9)} *)
+
+val lookup_slot :
+  ?cost:Repro_storage.Cost.t ->
+  ?create_head:bool ->
+  t ->
+  rev_path:Repro_graph.Label.t list ->
+  slot option
+(** [rev_path] is the label path last-label-first (lookup order). Returns
+    the slot representing the {e longest required suffix} of the path: the
+    matched entry's slot when it is a maximal suffix, otherwise the
+    appropriate remainder slot. With [create_head] (update-time behaviour,
+    default false) a missing HashHead entry is created — length-1 paths are
+    always required; without it a missing HashHead entry yields [None]. *)
+
+type located =
+  | Exact of Gapex.node list
+      (** the stored suffixes cover exactly the queried path; the nodes'
+          extents union to [T(path)] *)
+  | Approx of Gapex.node list
+      (** only a shorter suffix is stored; the nodes over-approximate and a
+          join pass is needed *)
+
+val locate : ?cost:Repro_storage.Cost.t -> t -> rev_path:Repro_graph.Label.t list -> located option
+(** Query-time location: [None] means the last label is unknown (empty
+    result). [Exact nodes] collects every node under the matched subtree
+    (all longer-suffix entries plus remainders). *)
+
+(** {1 Workload extraction (Figure 8)} *)
+
+val reset_marks : t -> unit
+(** Set all counts to 0 and all new-flags to false (line 1). *)
+
+val count_workload : t -> Repro_pathexpr.Label_path.t list -> unit
+(** Count every distinct subpath of every query, creating entries as
+    needed; a query containing a subpath several times counts once. *)
+
+val prune : t -> threshold:float -> unit
+(** Remove entries with count below [threshold] (never from HashHead),
+    dropping emptied hnodes, and invalidate the xnode slots whose contents
+    the change affects (Figure 8 lines 10–15; additionally, deleting an
+    entry invalidates its sibling remainder, whose target edge set grows —
+    a case Figure 8's pseudo-code does not spell out). *)
+
+(** {1 Introspection} *)
+
+val iter_slots : t -> (Repro_graph.Label.t list -> slot -> bool -> unit) -> unit
+(** [f suffix slot is_remainder] for every slot in the tree; [suffix] is in
+    path order (first label … last label). Remainder slots are visited with
+    the suffix of their {e hnode}'s path. *)
+
+val n_entries : t -> int
+(** Total entries across all hnodes (HashHead included). *)
+
+val check_invariant : t -> bool
+(** No entry has both a subtree and an xnode. *)
+
+(** {1 Persistence} *)
+
+val encode : t -> node_index:(Gapex.node -> int) -> int list
+(** Flat integer encoding of the whole tree (labels, counts, flags, slot
+    node indices, subtree structure), for {!Apex_persist}. *)
+
+val decode : node_of:(int -> Gapex.node) -> int array -> pos:int ref -> t
+(** Inverse of {!encode}, reading from [arr] starting at [!pos] and
+    advancing it. @raise Invalid_argument on a malformed image. *)

@@ -1,0 +1,1 @@
+lib/baselines/dataguide.ml: Array Hashtbl List Queue Repro_graph Repro_util Summary_index

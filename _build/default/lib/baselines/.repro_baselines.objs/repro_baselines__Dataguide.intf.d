@@ -1,0 +1,1 @@
+lib/baselines/dataguide.mli: Repro_graph Summary_index

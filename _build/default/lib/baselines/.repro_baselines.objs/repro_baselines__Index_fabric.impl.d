@@ -1,0 +1,1 @@
+lib/baselines/index_fabric.ml: Array Buffer Char Hashtbl List Patricia Repro_graph Repro_pathexpr Repro_storage Repro_util String

@@ -1,0 +1,1 @@
+lib/baselines/index_fabric.mli: Repro_graph Repro_pathexpr Repro_storage

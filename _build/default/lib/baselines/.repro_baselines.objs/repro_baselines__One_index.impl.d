@@ -1,0 +1,1 @@
+lib/baselines/one_index.ml: Array Hashtbl List Repro_graph Repro_util Summary_index

@@ -1,0 +1,1 @@
+lib/baselines/one_index.mli: Repro_graph Summary_index

@@ -1,0 +1,1 @@
+lib/baselines/patricia.ml: Buffer Char Hashtbl List String

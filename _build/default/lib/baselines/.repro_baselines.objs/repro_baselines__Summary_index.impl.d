@@ -1,0 +1,1 @@
+lib/baselines/summary_index.ml: Array Hashtbl List Printf Repro_graph Repro_pathexpr Repro_storage Repro_util Seq String

@@ -1,0 +1,1 @@
+lib/baselines/summary_index.mli: Repro_graph Repro_pathexpr Repro_storage

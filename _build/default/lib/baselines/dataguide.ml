@@ -1,0 +1,52 @@
+module G = Repro_graph.Data_graph
+module Vec = Repro_util.Vec
+
+module Key = struct
+  type t = int array
+
+  let equal = Repro_util.Int_sorted.equal
+  let hash (t : t) = Hashtbl.hash t
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let successor_sets g members =
+  let by_label : (int, int Vec.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun u ->
+      G.iter_out g u (fun l v ->
+          match Hashtbl.find_opt by_label l with
+          | Some vec -> Vec.push vec v
+          | None ->
+            let vec = Vec.create () in
+            Vec.push vec v;
+            Hashtbl.add by_label l vec))
+    members;
+  Hashtbl.fold
+    (fun l vec acc -> (l, Repro_util.Int_sorted.of_unsorted (Vec.to_array vec)) :: acc)
+    by_label []
+  |> List.sort (fun (l1, _) (l2, _) -> compare l1 l2)
+
+let build ?(max_nodes = 2_000_000) g =
+  let b = Summary_index.builder g in
+  let ids : int Tbl.t = Tbl.create 1024 in
+  let queue = Queue.create () in
+  let intern members =
+    match Tbl.find_opt ids members with
+    | Some id -> id
+    | None ->
+      let id = Summary_index.add_node b ~targets:members in
+      if id >= max_nodes then failwith "Dataguide.build: state explosion (max_nodes exceeded)";
+      Tbl.add ids members id;
+      Queue.add (id, members) queue;
+      id
+  in
+  let root_id = intern [| G.root g |] in
+  assert (root_id = 0);
+  while not (Queue.is_empty queue) do
+    let id, members = Queue.pop queue in
+    List.iter
+      (fun (l, succ) -> Summary_index.add_edge b id l (intern succ))
+      (successor_sets g members)
+  done;
+  Summary_index.freeze b

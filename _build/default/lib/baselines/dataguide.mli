@@ -1,0 +1,12 @@
+(** The strong DataGuide (Goldman & Widom), by subset construction.
+
+    An index node is a set of data nodes (a target set); following label
+    [l] from a node leads to the set of all [l]-successors of its members —
+    the NFA→DFA construction the paper describes, linear for tree data and
+    exponential in the worst case for graphs, and "much larger than the
+    original data" on very irregular inputs (the effect Table 2 shows for
+    GedML). *)
+
+val build : ?max_nodes:int -> Repro_graph.Data_graph.t -> Summary_index.t
+(** @raise Failure when the construction exceeds [max_nodes] (default
+    2_000_000) states — the known exponential blow-up guard. *)

@@ -1,0 +1,138 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+module Cost = Repro_storage.Cost
+module Query = Repro_pathexpr.Query
+
+type t = {
+  graph : G.t;
+  trie : Patricia.t;
+  block_of : int array;  (* trie node id -> block id *)
+  n_blocks : int;
+}
+
+let separator = '\000'
+
+let designator l =
+  if l < 0 || l > 254 then invalid_arg "Index_fabric: more than 255 distinct labels";
+  Char.chr (l + 1)
+
+(* document-tree parent: the first incoming edge; reference edges are
+   created after the tree walk, so they always come later *)
+let tree_parent g v =
+  let result = ref None in
+  G.iter_in g v (fun l u -> if !result = None then result := Some (l, u));
+  !result
+
+let key_of_path labels value =
+  let buf = Buffer.create (List.length labels + String.length value + 1) in
+  List.iter (fun l -> Buffer.add_char buf (designator l)) labels;
+  Buffer.add_char buf separator;
+  Buffer.add_string buf value;
+  Buffer.contents buf
+
+let root_path g v =
+  let rec climb v acc =
+    match tree_parent g v with
+    | Some (l, u) -> climb u (l :: acc)
+    | None -> acc
+  in
+  climb v []
+
+let build ?(block_size = 8192) g =
+  let trie = Patricia.create () in
+  for v = 0 to G.n_nodes g - 1 do
+    match G.value g v with
+    | Some value -> Patricia.insert trie (key_of_path (root_path g v) value) v
+    | None -> ()
+  done;
+  (* pack trie nodes into blocks depth-first: a node costs its compressed
+     edge plus a fixed header, and a block never splits a node *)
+  let block_of = Array.make (Patricia.n_nodes trie) 0 in
+  let block = ref 0 in
+  let used = ref 0 in
+  Patricia.iter_nodes trie ~enter:(fun ~id ~depth:_ ~edge ~key_prefix:_ payloads ->
+      let size = String.length edge + 24 + (8 * List.length payloads) in
+      if !used + size > block_size && !used > 0 then begin
+        incr block;
+        used := 0
+      end;
+      used := !used + size;
+      block_of.(id) <- !block);
+  { graph = g; trie; block_of; n_blocks = !block + 1 }
+
+let n_keys t = Patricia.n_keys t.trie
+let n_trie_nodes t = Patricia.n_nodes t.trie
+let n_blocks t = t.n_blocks
+
+let charge_block cost seen block =
+  match cost with
+  | Some c ->
+    if not (Hashtbl.mem seen block) then begin
+      Hashtbl.add seen block ();
+      c.Cost.trie_pages <- c.Cost.trie_pages + 1
+    end
+  | None -> ()
+
+(* The layered-fabric traversal: the designator (label-path) region of the
+   trie is scanned exhaustively — on regularly structured data it is tiny,
+   on irregular data it is most of the index, which is the paper's
+   explanation for the Fabric's Figure 15 behaviour — while a value subtree
+   is entered only when the designator prefix ends with the query path and
+   its bytes still prefix the query value. *)
+let eval_q3 ?cost t path value =
+  let suffix =
+    String.init (List.length path) (fun i -> designator (List.nth path i))
+  in
+  let seen_blocks = Hashtbl.create 64 in
+  let results = Repro_util.Vec.create () in
+  let ls = String.length suffix in
+  Patricia.scan t.trie ~visit:(fun ~id ~key_prefix ~payloads ->
+      (match cost with
+       | Some c -> c.Cost.trie_node_visits <- c.Cost.trie_node_visits + 1
+       | None -> ());
+      charge_block cost seen_blocks t.block_of.(id);
+      match String.index_opt key_prefix separator with
+      | None -> `Descend (* still in the designator region *)
+      | Some i ->
+        let ll = i in
+        if ls <= ll && String.equal (String.sub key_prefix (ll - ls) ls) suffix then begin
+          let vlen = String.length key_prefix - i - 1 in
+          let vq = String.length value in
+          if vlen <= vq && String.equal (String.sub key_prefix (i + 1) vlen)
+                             (String.sub value 0 vlen)
+          then begin
+            if vlen = vq && payloads <> [] then
+              List.iter (fun nid -> Repro_util.Vec.push results nid) payloads;
+            `Descend
+          end
+          else `Prune
+        end
+        else `Prune);
+  Repro_util.Int_sorted.of_unsorted (Repro_util.Vec.to_array results)
+
+let lookup_rooted ?cost t path value =
+  let key = key_of_path path value in
+  let payloads, visited = Patricia.find_with_path t.trie key in
+  (match cost with
+   | Some c ->
+     c.Cost.trie_node_visits <- c.Cost.trie_node_visits + List.length visited;
+     let seen = Hashtbl.create 8 in
+     List.iter (fun id -> charge_block (Some c) seen t.block_of.(id)) visited
+   | None -> ());
+  Repro_util.Int_sorted.of_unsorted (Array.of_list payloads)
+
+let eval_query ?cost t q =
+  match q with
+  | Query.Qtype3 (steps, value) ->
+    let tbl = G.labels t.graph in
+    let rec resolve acc = function
+      | [] -> Some (List.rev acc)
+      | s :: rest ->
+        (match Label.find tbl s with
+         | Some l -> resolve (l :: acc) rest
+         | None -> None)
+    in
+    (match resolve [] steps with
+     | Some path -> Some (eval_q3 ?cost t path value)
+     | None -> Some [||])
+  | Query.Qtype1 _ | Query.Qtype2 _ -> None

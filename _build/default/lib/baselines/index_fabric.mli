@@ -1,0 +1,52 @@
+(** The Index Fabric (Cooper et al.): a Patricia trie over
+    designator-encoded label paths plus data values.
+
+    Every element with a data value contributes a key — its {e document
+    tree} root path encoded one byte per label ("designators") followed by
+    a separator and the value — so answers to value queries come from the
+    index alone. Parent/child structure of valueless elements and
+    dereference information are not kept, which is why the Fabric cannot
+    serve QTYPE1/QTYPE2 and why a partial-matching QTYPE3 query must scan
+    the whole trie (Section 6.1).
+
+    Trie nodes are packed depth-first into fixed-size blocks (8 KB in the
+    paper's experiments); a query charges one [trie_pages] unit per distinct
+    block it touches. *)
+
+type t
+
+val build : ?block_size:int -> Repro_graph.Data_graph.t -> t
+(** [block_size] defaults to 8192 bytes. Requires at most 255 distinct
+    labels (one designator byte each). *)
+
+val n_keys : t -> int
+val n_trie_nodes : t -> int
+val n_blocks : t -> int
+
+val eval_q3 :
+  ?cost:Repro_storage.Cost.t ->
+  t ->
+  Repro_graph.Label.t list ->
+  string ->
+  Repro_graph.Data_graph.nid array
+(** [//l_i/.../l_n[text()=value]] by exhaustive trie traversal: every node
+    visit charges [trie_node_visits], every newly touched block
+    [trie_pages]; keys whose label path ends with the query path and whose
+    value matches contribute their nids. Sorted ascending. *)
+
+val lookup_rooted :
+  ?cost:Repro_storage.Cost.t ->
+  t ->
+  Repro_graph.Label.t list ->
+  string ->
+  Repro_graph.Data_graph.nid array
+(** The Fabric's fast path for comparison/testing: an exact {e root-anchored}
+    path + value key search (what the Fabric was designed for). *)
+
+val eval_query :
+  ?cost:Repro_storage.Cost.t ->
+  t ->
+  Repro_pathexpr.Query.t ->
+  Repro_graph.Data_graph.nid array option
+(** [Some result] for QTYPE3 queries, [None] for query types the Fabric
+    does not support. *)

@@ -1,0 +1,59 @@
+module G = Repro_graph.Data_graph
+module Vec = Repro_util.Vec
+
+(* Naive signature refinement: block(v) refines by the set of
+   (label, block(u)) over incoming edges u --l--> v, iterated to fixpoint.
+   Each round is O(E log E); rounds are bounded by the longest incoming
+   path over which structure still differs. *)
+let compute_blocks g =
+  let n = G.n_nodes g in
+  let block = Array.make n 0 in
+  let changed = ref true in
+  let n_blocks = ref 1 in
+  while !changed do
+    let sigs : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create n in
+    let next = Array.make n 0 in
+    let fresh = ref 0 in
+    for v = 0 to n - 1 do
+      let incoming = ref [] in
+      G.iter_in g v (fun l u -> incoming := (l, block.(u)) :: !incoming);
+      let key = (block.(v), List.sort_uniq compare !incoming) in
+      (match Hashtbl.find_opt sigs key with
+       | Some id -> next.(v) <- id
+       | None ->
+         Hashtbl.add sigs key !fresh;
+         next.(v) <- !fresh;
+         incr fresh)
+    done;
+    changed := !fresh <> !n_blocks;
+    n_blocks := !fresh;
+    Array.blit next 0 block 0 n
+  done;
+  (block, !n_blocks)
+
+let n_blocks g = snd (compute_blocks g)
+
+let build g =
+  let block, k = compute_blocks g in
+  let members = Array.make k [] in
+  for v = G.n_nodes g - 1 downto 0 do
+    members.(block.(v)) <- v :: members.(block.(v))
+  done;
+  (* the index root must be node 0 of the summary: remap blocks so the
+     root's block is first *)
+  let root_block = block.(G.root g) in
+  let remap b = if b = root_block then 0 else if b = 0 then root_block else b in
+  let b = Summary_index.builder g in
+  for id = 0 to k - 1 do
+    let targets = Array.of_list members.(remap id) in
+    ignore (Summary_index.add_node b ~targets)
+  done;
+  let edges = Hashtbl.create 256 in
+  G.iter_edges g (fun u l v ->
+      let key = (remap block.(u), l, remap block.(v)) in
+      if not (Hashtbl.mem edges key) then begin
+        Hashtbl.add edges key ();
+        let x, l, y = key in
+        Summary_index.add_edge b x l y
+      end);
+  Summary_index.freeze b

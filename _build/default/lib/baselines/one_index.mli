@@ -1,0 +1,15 @@
+(** The 1-index (Milo & Suciu): backward-bisimulation quotient.
+
+    Two data nodes share a block when they are backward-bisimilar — they
+    have the same incoming label structure recursively, hence the same set
+    of incoming label paths. The index graph is the quotient: one node per
+    block (its extent the block members), an [l]-edge between blocks when
+    some member pair has one. Coincides with the strong DataGuide on tree
+    data and is its non-deterministic version otherwise; never larger than
+    the data. *)
+
+val build : Repro_graph.Data_graph.t -> Summary_index.t
+
+val n_blocks : Repro_graph.Data_graph.t -> int
+(** Number of bisimulation blocks (= index nodes), without building the
+    index graph. *)

@@ -1,0 +1,216 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+module Cost = Repro_storage.Cost
+module Query = Repro_pathexpr.Query
+module Vec = Repro_util.Vec
+
+type node = {
+  targets : int array;
+  mutable out : (Label.t * int) list;  (* reverse insertion order; frozen sorted *)
+  mutable handle : Repro_storage.Extent_store.handle option;
+}
+
+type t = {
+  graph : G.t;
+  nodes : node array;
+  mutable store : Repro_storage.Extent_store.t option;
+}
+
+type builder = {
+  b_graph : G.t;
+  b_nodes : node Vec.t;
+  mutable b_edges : int;
+}
+
+let builder g = { b_graph = g; b_nodes = Vec.create (); b_edges = 0 }
+
+let add_node b ~targets =
+  let id = Vec.length b.b_nodes in
+  Vec.push b.b_nodes { targets; out = []; handle = None };
+  id
+
+let add_edge b x l y =
+  let node = Vec.get b.b_nodes x in
+  ignore (Vec.get b.b_nodes y);
+  node.out <- (l, y) :: node.out;
+  b.b_edges <- b.b_edges + 1
+
+let freeze b =
+  let nodes = Vec.to_array b.b_nodes in
+  Array.iter (fun n -> n.out <- List.sort compare n.out) nodes;
+  { graph = b.b_graph; nodes; store = None }
+
+let graph t = t.graph
+let n_nodes t = Array.length t.nodes
+let n_edges t = Array.fold_left (fun acc n -> acc + List.length n.out) 0 t.nodes
+let stats t = (n_nodes t, n_edges t)
+
+let targets t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Summary_index.targets: unknown node %d" id)
+  else t.nodes.(id).targets
+
+let materialize ?codec t pool =
+  let store = Repro_storage.Extent_store.create ?codec pool in
+  Array.iter
+    (fun n -> n.handle <- Some (Repro_storage.Extent_store.append_ints store n.targets))
+    t.nodes;
+  t.store <- Some store
+
+let load_targets ?cost t n =
+  match t.store, n.handle with
+  | Some store, Some h -> Repro_storage.Extent_store.load_ints ?cost store h
+  | _ ->
+    (match cost with
+     | Some c -> c.Cost.extent_edges <- c.Cost.extent_edges + Array.length n.targets
+     | None -> ());
+    n.targets
+
+let charge_visit cost =
+  match cost with
+  | Some c -> c.Cost.index_node_visits <- c.Cost.index_node_visits + 1
+  | None -> ()
+
+let charge_edge cost =
+  match cost with
+  | Some c -> c.Cost.index_edge_lookups <- c.Cost.index_edge_lookups + 1
+  | None -> ()
+
+(* Product traversal with an arbitrary finite match automaton. [step] maps
+   (state, edge label) to the successor state and whether the edge completes
+   a match; matched successors contribute their target sets. *)
+(* index nodes are packed ~128 to a disk page; a query charges each
+   structure page it touches once *)
+let nodes_per_page = 128
+
+let product_eval ?cost t ~n_states ~start ~step =
+  let n = Array.length t.nodes in
+  let visited = Array.make (n * n_states) false in
+  let pages_seen = Hashtbl.create 64 in
+  let charge_struct_page id =
+    match cost with
+    | Some c ->
+      let page = id / nodes_per_page in
+      if not (Hashtbl.mem pages_seen page) then begin
+        Hashtbl.add pages_seen page ();
+        c.Cost.struct_pages <- c.Cost.struct_pages + 1
+      end
+    | None -> ()
+  in
+  (* Phase 1 — query pruning and rewriting (exhaustive navigation): collect
+     the root-anchored index path of every match. *)
+  let rewritings = ref [] in
+  let rec go id state rev_path =
+    let key = (id * n_states) + state in
+    if not visited.(key) then begin
+      visited.(key) <- true;
+      charge_visit cost;
+      charge_struct_page id;
+      List.iter
+        (fun (l, y) ->
+          charge_edge cost;
+          let state', matched = step state l in
+          let rev_path' = y :: rev_path in
+          if matched then rewritings := List.rev rev_path' :: !rewritings;
+          go y state' rev_path')
+        t.nodes.(id).out
+    end
+  in
+  go 0 start [ 0 ];
+  (* Phase 2 — each rewritten simple path expression is handed to the
+     standard path evaluator, which walks it from the root loading the
+     extent of every step (the evaluation architecture the paper ascribes
+     to DataGuide-style processing); the answer is the last step's target
+     set. Extents load once per query. *)
+  let extent_cache : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let extent_of id =
+    match Hashtbl.find_opt extent_cache id with
+    | Some e -> e
+    | None ->
+      let e = load_targets ?cost t t.nodes.(id) in
+      Hashtbl.add extent_cache id e;
+      e
+  in
+  let results =
+    List.map
+      (fun path ->
+        match path with
+        | [] -> [||]
+        | _root :: steps ->
+          let rec walk prev = function
+            | [] -> prev
+            | id :: rest ->
+              let cur = extent_of id in
+              (match cost with
+               | Some c ->
+                 c.Cost.join_edges <- c.Cost.join_edges + Array.length prev + Array.length cur
+               | None -> ());
+              walk cur rest
+          in
+          walk [||] steps)
+      !rewritings
+  in
+  Repro_util.Int_sorted.union_many results
+
+(* ends-with automaton for a label sequence (KMP) *)
+let kmp_step pattern =
+  let m = Array.length pattern in
+  let fail = Array.make (m + 1) 0 in
+  for k = 2 to m do
+    let rec go j =
+      if pattern.(k - 1) = pattern.(j) then j + 1 else if j = 0 then 0 else go fail.(j)
+    in
+    fail.(k) <- go fail.(k - 1)
+  done;
+  let rec step state c =
+    if state < m && pattern.(state) = c then state + 1
+    else if state = 0 then 0
+    else step fail.(state) c
+  in
+  fun state c ->
+    (* after a full match, continue from the longest proper border *)
+    let state = if state = m then fail.(m) else state in
+    let state' = step state c in
+    (state', state' = m)
+
+let eval_q1 ?cost t path =
+  let pattern = Array.of_list path in
+  let step = kmp_step pattern in
+  product_eval ?cost t ~n_states:(Array.length pattern + 1) ~start:0 ~step
+
+let eval_q2 ?cost t la lb =
+  let labels = G.labels t.graph in
+  let step state l =
+    let matched = state = 1 && l = lb in
+    let state' =
+      if Label.is_attribute labels l then if l = la then 1 else 0
+      else if state = 1 then 1
+      else if l = la then 1
+      else 0
+    in
+    (state', matched)
+  in
+  product_eval ?cost t ~n_states:2 ~start:0 ~step
+
+let eval_q3 ?cost ?table t path value =
+  let candidates = eval_q1 ?cost t path in
+  match table with
+  | Some tbl -> Repro_storage.Data_table.filter_matching ?cost tbl candidates value
+  | None ->
+    let keep nid =
+      match G.value t.graph nid with
+      | Some v -> String.equal v value
+      | None -> false
+    in
+    Array.of_seq (Seq.filter keep (Array.to_seq candidates))
+
+let eval ?cost ?table t compiled =
+  match compiled with
+  | Query.C1 path -> eval_q1 ?cost t path
+  | Query.C2 (la, lb) -> eval_q2 ?cost t la lb
+  | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
+
+let eval_query ?cost ?table t q =
+  match Query.compile (G.labels t.graph) q with
+  | Some compiled -> eval ?cost ?table t compiled
+  | None -> [||]

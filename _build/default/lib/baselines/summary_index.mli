@@ -1,0 +1,68 @@
+(** Common representation and query processor for root-path summary
+    indexes — the strong DataGuide and the 1-index.
+
+    Both indexes are graphs whose nodes carry {e target sets} (the data
+    nodes reachable by the label paths leading to the index node) and whose
+    label paths from the index root are exactly the label paths of the data
+    (sound and complete for root paths). They differ only in construction:
+    subset construction (deterministic) vs. backward-bisimulation blocks
+    (possibly several same-label edges per node).
+
+    Query processing is the paper's "exhaustive navigation": a
+    partial-matching query [//l_i/.../l_n] is evaluated by traversing the
+    whole index graph in a product with a match automaton over the pattern
+    (the compile-time pruning/rewriting of [18]); every index node is
+    potentially visited, which is exactly the cost APEX avoids. *)
+
+type t
+
+type builder
+(** Used by {!Dataguide} and {!One_index}. *)
+
+val builder : Repro_graph.Data_graph.t -> builder
+
+val add_node : builder -> targets:int array -> int
+(** New index node (dense ids from 0) with its sorted target set. The first
+    node added is the index root. *)
+
+val add_edge : builder -> int -> Repro_graph.Label.t -> int -> unit
+
+val freeze : builder -> t
+
+val graph : t -> Repro_graph.Data_graph.t
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val stats : t -> int * int
+(** [(nodes, edges)] — Table 2's DataGuide rows. *)
+
+val targets : t -> int -> int array
+(** The target set of index node [id] (sorted). @raise Invalid_argument on
+    an unknown id. *)
+
+val materialize :
+  ?codec:Repro_storage.Extent_store.codec -> t -> Repro_storage.Buffer_pool.t -> unit
+(** Store every target set in an extent store (default [`Raw]); queries
+    then pay page I/O. *)
+
+val eval :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  t ->
+  Repro_pathexpr.Query.compiled ->
+  Repro_graph.Data_graph.nid array
+(** - [C1 path]: depth-first product traversal of the index with a
+      Knuth-Morris-Pratt ends-with automaton for [path]; unions the target
+      sets of every match.
+    - [C2 (a, b)]: product with the two-state gap automaton ("seen [a]",
+      reset on attribute edges per Section 6.1's no-dereference rule).
+    - [C3 (path, v)]: [C1] then data-table (or in-memory) value probes.
+
+    Results sorted ascending. *)
+
+val eval_query :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  t ->
+  Repro_pathexpr.Query.t ->
+  Repro_graph.Data_graph.nid array

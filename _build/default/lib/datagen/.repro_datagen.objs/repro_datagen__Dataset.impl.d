@@ -1,0 +1,1 @@
+lib/datagen/dataset.ml: Flixgen Gedgen List Playgen String

@@ -1,0 +1,1 @@
+lib/datagen/dataset.mli: Repro_graph Repro_xml

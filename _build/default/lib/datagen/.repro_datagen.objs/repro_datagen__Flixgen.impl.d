@@ -1,0 +1,1 @@
+lib/datagen/flixgen.ml: Array List Printf Random Repro_graph Repro_util Repro_xml Vocab

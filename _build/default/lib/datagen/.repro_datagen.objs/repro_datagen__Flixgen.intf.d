@@ -1,0 +1,1 @@
+lib/datagen/flixgen.mli: Repro_graph Repro_xml

@@ -1,0 +1,1 @@
+lib/datagen/gedgen.mli: Repro_graph Repro_xml

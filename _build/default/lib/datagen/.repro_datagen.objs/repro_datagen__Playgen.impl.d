@@ -1,0 +1,1 @@
+lib/datagen/playgen.ml: Array Float List Random Repro_graph Repro_util Repro_xml Vocab

@@ -1,0 +1,1 @@
+lib/datagen/playgen.mli: Repro_graph Repro_xml

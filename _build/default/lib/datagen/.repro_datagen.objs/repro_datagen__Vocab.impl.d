@@ -1,0 +1,1 @@
+lib/datagen/vocab.ml: Array List Printf Random String

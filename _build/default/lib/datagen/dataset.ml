@@ -1,0 +1,51 @@
+type family = Play | Flix | Ged
+
+type spec = {
+  name : string;
+  family : family;
+  seed : int;
+  target_nodes : int;
+}
+
+let all =
+  [ { name = "four_tragedy"; family = Play; seed = 101; target_nodes = 22791 };
+    { name = "shakes_11"; family = Play; seed = 102; target_nodes = 48818 };
+    { name = "shakes_all"; family = Play; seed = 103; target_nodes = 179691 };
+    { name = "Flix01"; family = Flix; seed = 201; target_nodes = 14734 };
+    { name = "Flix02"; family = Flix; seed = 202; target_nodes = 41691 };
+    { name = "Flix03"; family = Flix; seed = 203; target_nodes = 335401 };
+    { name = "Ged01"; family = Ged; seed = 301; target_nodes = 8259 };
+    { name = "Ged02"; family = Ged; seed = 302; target_nodes = 30875 };
+    { name = "Ged03"; family = Ged; seed = 303; target_nodes = 381046 }
+  ]
+
+let small = List.filter (fun s -> List.mem s.name [ "four_tragedy"; "Flix01"; "Ged01" ]) all
+
+let by_name name = List.find_opt (fun s -> String.equal s.name name) all
+
+let idref_attrs = function
+  | Play -> []
+  | Flix -> Flixgen.idref_attrs
+  | Ged -> Gedgen.idref_attrs
+
+let dtd_text = function
+  | Play -> Playgen.dtd
+  | Flix -> Flixgen.dtd
+  | Ged -> Gedgen.dtd
+
+let generate_document spec =
+  match spec.family with
+  | Play -> Playgen.generate ~seed:spec.seed ~target_nodes:spec.target_nodes
+  | Flix -> Flixgen.generate ~seed:spec.seed ~target_nodes:spec.target_nodes
+  | Ged -> Gedgen.generate ~seed:spec.seed ~target_nodes:spec.target_nodes
+
+let build_graph spec =
+  let doc = generate_document spec in
+  match spec.family with
+  | Play -> Playgen.to_graph doc
+  | Flix -> Flixgen.to_graph doc
+  | Ged -> Gedgen.to_graph doc
+
+let scaled spec f =
+  if f <= 0.0 then invalid_arg "Dataset.scaled: factor must be positive";
+  { spec with target_nodes = max 200 (int_of_float (float_of_int spec.target_nodes *. f)) }

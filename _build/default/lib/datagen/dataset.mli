@@ -1,0 +1,42 @@
+(** Registry of the nine datasets of Table 1.
+
+    Each spec pins a generator family, a seed and a node-count target, so
+    every component (tests, examples, benchmarks) works with the same
+    deterministic data. Targets are the paper's node counts; generated
+    counts land within a few percent. *)
+
+type family = Play | Flix | Ged
+
+type spec = {
+  name : string;  (** e.g. ["four_tragedy"] — paper's file name sans [.xml] *)
+  family : family;
+  seed : int;
+  target_nodes : int;
+}
+
+val all : spec list
+(** The nine datasets, in Table 1 order: [four_tragedy], [shakes_11],
+    [shakes_all], [Flix01..03], [Ged01..03]. *)
+
+val small : spec list
+(** The smallest dataset of each family — what the default test/bench
+    configuration uses to keep runtimes reasonable. *)
+
+val by_name : string -> spec option
+
+val idref_attrs : family -> string list
+
+val dtd_text : family -> string
+(** The family's DTD (internal-subset syntax); every generated document
+    validates against it, and its ID/IDREF declarations reproduce
+    {!idref_attrs}. *)
+
+val generate_document : spec -> Repro_xml.Xml_tree.document
+
+val build_graph : spec -> Repro_graph.Data_graph.t
+(** Generate and encode. Deterministic in the spec. *)
+
+val scaled : spec -> float -> spec
+(** [scaled spec f] shrinks/grows the node target by factor [f] (keeping
+    name, family, seed) — used to run the full experiment grid at reduced
+    scale. *)

@@ -1,0 +1,249 @@
+module T = Repro_xml.Xml_tree
+
+let el = T.element
+let txt s = T.Text s
+
+type ctx = {
+  rand : Random.State.t;
+  mutable nodes : int;
+  mutable n_people : int;
+  mutable n_studios : int;
+  mutable n_movies : int;
+}
+
+let mk ctx ?(attrs = []) tag children =
+  (* the element itself + one node per non-id attribute (value leaf or IDREF
+     attribute node) *)
+  let counted = List.length (List.filter (fun (k, _) -> k <> "id") attrs) in
+  ctx.nodes <- ctx.nodes + 1 + counted;
+  T.Element (el ~attrs ~children tag)
+
+let leaf ctx tag s = mk ctx tag [ txt s ]
+
+let opt ctx p f = if Vocab.chance ctx.rand p then [ f ctx ] else []
+
+let person ctx =
+  let r = ctx.rand in
+  ctx.n_people <- ctx.n_people + 1;
+  let id = Printf.sprintf "p%d" ctx.n_people in
+  let children =
+    [ leaf ctx "name" (Vocab.person_name r) ]
+    @ opt ctx 0.7 (fun c -> leaf c "born" (Vocab.year r))
+    @ opt ctx 0.15 (fun c -> leaf c "died" (Vocab.year r))
+    @ opt ctx 0.4 (fun c -> leaf c "bio" (Vocab.sentence r))
+    @ opt ctx 0.05 (fun c -> leaf c "awardnote" (Vocab.sentence r))
+  in
+  mk ctx ~attrs:[ ("id", id) ] "person" children
+
+let studio ctx =
+  let r = ctx.rand in
+  ctx.n_studios <- ctx.n_studios + 1;
+  let id = Printf.sprintf "s%d" ctx.n_studios in
+  mk ctx ~attrs:[ ("id", id) ] "studio"
+    ([ leaf ctx "name" (Vocab.title r) ] @ opt ctx 0.6 (fun c -> leaf c "city" (Vocab.place r)))
+
+let review ctx =
+  let r = ctx.rand in
+  mk ctx "review"
+    ([ leaf ctx "reviewer" (Vocab.person_name r); leaf ctx "plotsummary" (Vocab.sentence r) ]
+    @ opt ctx 0.8 (fun c -> leaf c "rating" (string_of_int (Vocab.int_between r 1 10)))
+    @ opt ctx 0.3 (fun c -> leaf c "remarks" (Vocab.sentence r))
+    @ opt ctx 0.04 (fun c -> leaf c "goofs" (Vocab.sentence r))
+    @ opt ctx 0.04 (fun c -> leaf c "trivia" (Vocab.sentence r))
+    @ opt ctx 0.03 (fun c -> leaf c "quote" (Vocab.sentence r)))
+
+let video ctx =
+  let r = ctx.rand in
+  let format =
+    match Random.State.int r 10 with
+    | 0 | 1 | 2 | 3 -> leaf ctx "vhs" "available"
+    | 4 | 5 | 6 -> leaf ctx "dvd" "available"
+    | 7 | 8 -> leaf ctx "laserdisc" "available"
+    | _ -> leaf ctx "betamax" "collector"
+  in
+  mk ctx "video"
+    ([ format ]
+    @ opt ctx 0.3 (fun c -> leaf c "widescreen" "yes")
+    @ opt ctx 0.5 (fun c -> leaf c "releasedate" (Vocab.year r)))
+
+let cast ctx =
+  let r = ctx.rand in
+  let leads =
+    List.init (Vocab.int_between r 1 2) (fun _ ->
+        mk ctx "leadcast"
+          [ leaf ctx "castname" (Vocab.person_name r); leaf ctx "role" (Vocab.title r) ])
+  in
+  let others =
+    List.init (Vocab.int_between r 0 4) (fun _ ->
+        mk ctx "othercast" [ leaf ctx "castname" (Vocab.person_name r) ])
+  in
+  mk ctx "cast" (leads @ others)
+
+let songs ctx =
+  let r = ctx.rand in
+  mk ctx "soundtrack"
+    (List.init (Vocab.int_between r 1 3) (fun _ ->
+         mk ctx "song" [ leaf ctx "songtitle" (Vocab.title r); leaf ctx "composer" (Vocab.person_name r) ]))
+
+let movie ctx =
+  let r = ctx.rand in
+  ctx.n_movies <- ctx.n_movies + 1;
+  let id = Printf.sprintf "m%d" ctx.n_movies in
+  let attrs = ref [ ("id", id) ] in
+  if Vocab.chance r 0.03 && ctx.n_people > 0 then
+    attrs := ("director", Printf.sprintf "p%d" (1 + Random.State.int r ctx.n_people)) :: !attrs;
+  if Vocab.chance r 0.02 && ctx.n_people > 1 then
+    attrs :=
+      ("cast",
+       Printf.sprintf "p%d p%d" (1 + Random.State.int r ctx.n_people)
+         (1 + Random.State.int r ctx.n_people))
+      :: !attrs;
+  if Vocab.chance r 0.015 && ctx.n_studios > 0 then
+    attrs := ("studio", Printf.sprintf "s%d" (1 + Random.State.int r ctx.n_studios)) :: !attrs;
+  let rating =
+    if Vocab.chance r 0.7 then leaf ctx "mpaarating" (Vocab.pick r [| "G"; "PG"; "PG-13"; "R" |])
+    else leaf ctx "unrated" "true"
+  in
+  let children =
+    [ leaf ctx "title" (Vocab.title r) ]
+    @ opt ctx 0.15 (fun c -> leaf c "alttitle" (Vocab.title r))
+    @ [ leaf ctx "year" (Vocab.year r);
+        leaf ctx "genre" (Vocab.pick r [| "horror"; "scifi"; "noir"; "western"; "comedy" |])
+      ]
+    @ opt ctx 0.3 (fun c -> leaf c "subgenre" (Vocab.pick r [| "slasher"; "space"; "heist" |]))
+    @ [ rating; leaf ctx "runtime" (string_of_int (Vocab.int_between r 60 140)) ]
+    @ opt ctx 0.6 (fun c -> leaf c "country" "US")
+    @ opt ctx 0.4 (fun c -> leaf c "language" "English")
+    @ opt ctx 0.3 (fun c -> leaf c "colortype" (Vocab.pick r [| "color"; "bw" |]))
+    @ [ cast ctx; review ctx ]
+    @ opt ctx 0.7 (fun c -> video c)
+    @ opt ctx 0.4 (fun c -> leaf c "distributor" (Vocab.title r))
+    @ opt ctx 0.05 (fun c -> leaf c "boxoffice" (string_of_int (Vocab.int_between r 10000 999999)))
+    @ opt ctx 0.04 (fun c ->
+          mk c "awards" [ mk c "award" [ leaf c "category" (Vocab.title r) ] ])
+    @ opt ctx 0.03 (fun c -> leaf c "sequel" (Vocab.title r))
+    @ opt ctx 0.03 (fun c -> songs c)
+    @ opt ctx 0.02 (fun c ->
+          mk c "pointofcontact"
+            ([ leaf c "email" "info@example.com" ]
+            @ opt c 0.5 (fun c -> leaf c "url" "http://example.com")
+            @ opt c 0.3 (fun c -> leaf c "phone" "555-0100")))
+    @ List.concat_map
+        (fun (p, tag) -> opt ctx p (fun c -> leaf c tag (Vocab.sentence r)))
+        (* ultra-rare review fields: present only in the larger corpora,
+           growing the label count from ~62 to ~70 (Table 1) *)
+        [ (0.005, "cultstatus"); (0.004, "madefortv"); (0.004, "drivein");
+          (0.003, "restoration"); (0.003, "novelization"); (0.0025, "remakeof");
+          (0.002, "banned"); (0.002, "colorized"); (0.0015, "serialpart");
+          (0.0015, "doublefeature"); (0.001, "fxhouse"); (0.001, "stuntcoord");
+          (0.0008, "makeupartist")
+        ]
+  in
+  mk ctx ~attrs:!attrs "movie" children
+
+let generate ~seed ~target_nodes =
+  let ctx =
+    { rand = Random.State.make [| seed; 0xF11C |]; nodes = 1; n_people = 0; n_studios = 0; n_movies = 0 }
+  in
+  let items = Repro_util.Vec.create () in
+  (* a starting pool of reference targets, then movies interleaved with the
+     occasional new person/studio *)
+  for _ = 1 to 6 do
+    Repro_util.Vec.push items (person ctx)
+  done;
+  for _ = 1 to 2 do
+    Repro_util.Vec.push items (studio ctx)
+  done;
+  while ctx.nodes < target_nodes do
+    Repro_util.Vec.push items (movie ctx);
+    if Vocab.chance ctx.rand 0.15 then Repro_util.Vec.push items (person ctx);
+    if Vocab.chance ctx.rand 0.03 then Repro_util.Vec.push items (studio ctx)
+  done;
+  { T.decl = [ ("version", "1.0") ];
+    root = el ~children:(Array.to_list (Repro_util.Vec.to_array items)) "flixinfo"
+  }
+
+(* The DTD the generator's output conforms to (validated in tests). *)
+let dtd =
+  {|<!ELEMENT flixinfo ((person|studio|movie)+)>
+<!ELEMENT person (name, born?, died?, bio?, awardnote?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT studio (name, city?)>
+<!ATTLIST studio id ID #REQUIRED>
+<!ELEMENT movie (title, alttitle?, year, genre, subgenre?, (mpaarating|unrated), runtime, country?, language?, colortype?, cast, review, video?, distributor?, boxoffice?, awards?, sequel?, soundtrack?, pointofcontact?, cultstatus?, madefortv?, drivein?, restoration?, novelization?, remakeof?, banned?, colorized?, serialpart?, doublefeature?, fxhouse?, stuntcoord?, makeupartist?)>
+<!ATTLIST movie
+  id ID #REQUIRED
+  director IDREF #IMPLIED
+  cast IDREFS #IMPLIED
+  studio IDREF #IMPLIED>
+<!ELEMENT cast (leadcast+, othercast*)>
+<!ELEMENT leadcast (castname, role)>
+<!ELEMENT othercast (castname)>
+<!ELEMENT review (reviewer, plotsummary, rating?, remarks?, goofs?, trivia?, quote?)>
+<!ELEMENT video ((vhs|dvd|laserdisc|betamax), widescreen?, releasedate?)>
+<!ELEMENT awards (award)>
+<!ELEMENT award (category)>
+<!ELEMENT soundtrack (song+)>
+<!ELEMENT song (songtitle, composer)>
+<!ELEMENT pointofcontact (email, url?, phone?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT born (#PCDATA)>
+<!ELEMENT died (#PCDATA)>
+<!ELEMENT bio (#PCDATA)>
+<!ELEMENT awardnote (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT alttitle (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ELEMENT subgenre (#PCDATA)>
+<!ELEMENT mpaarating (#PCDATA)>
+<!ELEMENT unrated (#PCDATA)>
+<!ELEMENT runtime (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT language (#PCDATA)>
+<!ELEMENT colortype (#PCDATA)>
+<!ELEMENT castname (#PCDATA)>
+<!ELEMENT role (#PCDATA)>
+<!ELEMENT reviewer (#PCDATA)>
+<!ELEMENT plotsummary (#PCDATA)>
+<!ELEMENT rating (#PCDATA)>
+<!ELEMENT remarks (#PCDATA)>
+<!ELEMENT goofs (#PCDATA)>
+<!ELEMENT trivia (#PCDATA)>
+<!ELEMENT quote (#PCDATA)>
+<!ELEMENT vhs (#PCDATA)>
+<!ELEMENT dvd (#PCDATA)>
+<!ELEMENT laserdisc (#PCDATA)>
+<!ELEMENT betamax (#PCDATA)>
+<!ELEMENT widescreen (#PCDATA)>
+<!ELEMENT releasedate (#PCDATA)>
+<!ELEMENT distributor (#PCDATA)>
+<!ELEMENT boxoffice (#PCDATA)>
+<!ELEMENT category (#PCDATA)>
+<!ELEMENT sequel (#PCDATA)>
+<!ELEMENT songtitle (#PCDATA)>
+<!ELEMENT composer (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT url (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT cultstatus (#PCDATA)>
+<!ELEMENT madefortv (#PCDATA)>
+<!ELEMENT drivein (#PCDATA)>
+<!ELEMENT restoration (#PCDATA)>
+<!ELEMENT novelization (#PCDATA)>
+<!ELEMENT remakeof (#PCDATA)>
+<!ELEMENT banned (#PCDATA)>
+<!ELEMENT colorized (#PCDATA)>
+<!ELEMENT serialpart (#PCDATA)>
+<!ELEMENT doublefeature (#PCDATA)>
+<!ELEMENT fxhouse (#PCDATA)>
+<!ELEMENT stuntcoord (#PCDATA)>
+<!ELEMENT makeupartist (#PCDATA)>
+|}
+
+let idref_attrs = [ "director"; "cast"; "studio" ]
+
+let to_graph doc = Repro_graph.Data_graph.of_document ~idref_attrs doc
+
+let dataset ~seed ~target_nodes = to_graph (generate ~seed ~target_nodes)

@@ -1,0 +1,22 @@
+(** Generator for the FlixML dataset family (B-movie reviews).
+
+    Graph-structured XML with moderate irregularity: many optional
+    elements, alternative content (video formats, rating styles), and a
+    sprinkle of ID/IDREF cross references — 3 IDREF-typed labels
+    ([@director], [@cast], [@studio]) with few instances, matching the small
+    edges-minus-nodes gap of Table 1. Rare labels appear with low
+    probability per movie so the label count grows from ~62 to ~70 with
+    corpus size. *)
+
+val dtd : string
+(** Internal-subset DTD describing the generator's output; every generated
+    document validates against it ({!Repro_xml.Dtd.validate}). *)
+
+val generate : seed:int -> target_nodes:int -> Repro_xml.Xml_tree.document
+
+val idref_attrs : string list
+(** Attribute names to treat as IDREF when building the graph. *)
+
+val to_graph : Repro_xml.Xml_tree.document -> Repro_graph.Data_graph.t
+
+val dataset : seed:int -> target_nodes:int -> Repro_graph.Data_graph.t

@@ -1,0 +1,444 @@
+module T = Repro_xml.Xml_tree
+
+let el = T.element
+let txt s = T.Text s
+
+type ctx = {
+  rand : Random.State.t;
+  mutable nodes : int;
+  n_indi : int;
+  n_fam : int;
+  n_sour : int;
+  n_note : int;
+  n_subm : int;
+  n_repo : int;
+  n_obje : int;
+}
+
+let mk ctx ?(attrs = []) tag children =
+  let counted = List.length (List.filter (fun (k, _) -> k <> "id") attrs) in
+  ctx.nodes <- ctx.nodes + 1 + counted;
+  T.Element (el ~attrs ~children tag)
+
+let leaf ctx tag s = mk ctx tag [ txt s ]
+
+let opt ctx p f = if Vocab.chance ctx.rand p then [ f ctx ] else []
+
+(* Reference structure: each block of 8 consecutive individuals and 3
+   families forms a canonical mini-pedigree — family 0 marries offsets 0+1
+   with children 4+5, family 1 marries 2+3 with children 6+7, family 2 is
+   the second generation (4 marries 6, with 5 and 7 linked as children).
+   The first generation's FAMC points at family 2 of the *previous* block,
+   chaining pedigrees into arbitrarily deep reference paths. Whether an
+   attribute is present stays random (irregularity), but its target is a
+   pure function of the record id: canonical targets make the subsets
+   arising in the strong DataGuide's construction coincide, so the index
+   stays buildable (while still growing to a large fraction of the data,
+   as in Table 2) — mirroring the clustered ids the IBM generator produced
+   from the GedML DTD. *)
+let indis_per_block = 8
+let fams_per_block = 3
+
+(* individual [i] (1-based): block and offset *)
+let indi_block i = (i - 1) / indis_per_block
+let indi_offset i = (i - 1) mod indis_per_block
+
+let fam_id ctx b role =
+  let j = (b * fams_per_block) + role + 1 in
+  if j >= 1 && j <= ctx.n_fam then Some (Printf.sprintf "f%d" j) else None
+
+let indi_id ctx b offset =
+  let i = (b * indis_per_block) + offset + 1 in
+  if i >= 1 && i <= ctx.n_indi then Some (Printf.sprintf "i%d" i) else None
+
+(* the family individual [i] is a child of *)
+let famc_of ctx i =
+  let b = indi_block i in
+  match indi_offset i with
+  | 4 | 5 -> fam_id ctx b 0
+  | 6 | 7 -> fam_id ctx b 1
+  | _ -> fam_id ctx (b - 1) 2 (* first generation: parents in the previous block *)
+
+(* the family individual [i] is a spouse in *)
+let fams_of ctx i =
+  let b = indi_block i in
+  match indi_offset i with
+  | 0 | 1 -> fam_id ctx b 0
+  | 2 | 3 -> fam_id ctx b 1
+  | 4 | 6 -> fam_id ctx b 2
+  | _ -> None
+
+let husb_of ctx j =
+  let b = (j - 1) / fams_per_block in
+  match (j - 1) mod fams_per_block with
+  | 0 -> indi_id ctx b 0
+  | 1 -> indi_id ctx b 2
+  | _ -> indi_id ctx b 4
+
+let wife_of ctx j =
+  let b = (j - 1) / fams_per_block in
+  match (j - 1) mod fams_per_block with
+  | 0 -> indi_id ctx b 1
+  | 1 -> indi_id ctx b 3
+  | _ -> indi_id ctx b 6
+
+let chil_of ctx j =
+  let b = (j - 1) / fams_per_block in
+  let offsets =
+    match (j - 1) mod fams_per_block with
+    | 0 -> [ 4; 5 ]
+    | 1 -> [ 6; 7 ]
+    | _ -> [ 5; 7 ]
+  in
+  match List.filter_map (indi_id ctx b) offsets with
+  | [] -> None
+  | ids -> Some (String.concat " " ids)
+
+(* one canonical record of the given pool per block *)
+let pooled ctx prefix pool_size i_block =
+  let n_blocks = max 1 ((ctx.n_indi + indis_per_block - 1) / indis_per_block) in
+  let j = 1 + (i_block * pool_size / n_blocks) in
+  if j >= 1 && j <= pool_size then Some (Printf.sprintf "%s%d" prefix j) else None
+
+(* buddy individual: the neighbour with the offset's lowest bit flipped *)
+let buddy_of ctx i =
+  indi_id ctx (indi_block i) (indi_offset i lxor 1)
+
+(* inline source citation, as GEDCOM nests them under events; citations
+   carry notes which may themselves cite sources, recursively — this deep
+   optional nesting is what makes the set of distinct root label paths (and
+   hence the path indexes over them) large on GedML *)
+let rec citation ctx depth =
+  let r = ctx.rand in
+  mk ctx "SOUR"
+    (opt ctx 0.5 (fun c -> leaf c "PAGE" (string_of_int (Vocab.int_between r 1 400)))
+    @ opt ctx 0.4 (fun c -> leaf c "TEXT" (Vocab.sentence r))
+    @ opt ctx 0.15 (fun c -> leaf c "QUAY" (string_of_int (Vocab.int_between r 0 3)))
+    @ opt ctx 0.1 (fun c -> mk c "DATA" ([ leaf c "DATE" (Vocab.date r) ] @ opt c 0.4 (fun c -> leaf c "TEXT" (Vocab.sentence r))))
+    @ opt ctx 0.3 (fun c -> note_struct c depth))
+
+and note_struct ctx depth =
+  let r = ctx.rand in
+  if depth >= 3 then leaf ctx "NOTE" (Vocab.sentence r)
+  else
+    mk ctx "NOTE"
+      ([ Repro_xml.Xml_tree.Text (Vocab.sentence r) ]
+      |> fun base ->
+      match
+        opt ctx 0.35 (fun c -> citation c (depth + 1))
+        @ opt ctx 0.15 (fun c -> leaf c "CONT" (Vocab.sentence r))
+      with
+      | [] -> base
+      | children -> children)
+
+let event ctx tag =
+  let r = ctx.rand in
+  mk ctx tag
+    (opt ctx 0.9 (fun c -> leaf c "DATE" (Vocab.date r))
+    @ opt ctx 0.7 (fun c -> leaf c "PLAC" (Vocab.place r))
+    @ opt ctx 0.1 (fun c -> leaf c "AGE" (string_of_int (Vocab.int_between r 0 99)))
+    @ opt ctx 0.25 (fun c -> citation c 0)
+    @ opt ctx 0.15 (fun c -> note_struct c 0)
+    @ opt ctx 0.02 (fun c -> mk c "OBJE" [ leaf c "FORM" "jpeg"; leaf c "FILE" "scan.img" ]))
+
+let addr ctx =
+  let r = ctx.rand in
+  mk ctx "ADDR"
+    ([ leaf ctx "CITY" (Vocab.place r) ]
+    @ opt ctx 0.5 (fun c -> leaf c "STAE" (Vocab.pick r [| "CA"; "NY"; "TX"; "OH"; "VT" |]))
+    @ opt ctx 0.4 (fun c -> leaf c "CTRY" "USA"))
+
+let name_elem ctx =
+  let r = ctx.rand in
+  (* irregularity: half the NAMEs are flat text, half are structured *)
+  if Vocab.chance r 0.5 then leaf ctx "NAME" (Vocab.person_name r)
+  else
+    mk ctx "NAME" [ leaf ctx "GIVN" (Vocab.given_name r); leaf ctx "SURN" (Vocab.family_name r) ]
+
+let indi ctx i =
+  let r = ctx.rand in
+  let b = indi_block i in
+  let add p name target attrs =
+    match target with
+    | Some id when Vocab.chance ctx.rand p -> (name, id) :: attrs
+    | Some _ | None -> ignore r; attrs
+  in
+  let attrs =
+    [ ("id", Printf.sprintf "i%d" i) ]
+    |> add 0.30 "famc" (famc_of ctx i)
+    |> add 0.20 "fams" (fams_of ctx i)
+    |> add 0.3 "sour" (pooled ctx "s" ctx.n_sour b)
+    |> add 0.25 "note" (pooled ctx "n" ctx.n_note b)
+    |> add 0.05 "asso" (buddy_of ctx i)
+    |> add 0.03 "alia" (buddy_of ctx i)
+    |> add 0.03 "obje" (pooled ctx "o" ctx.n_obje b)
+    |> add 0.02 "subm" (pooled ctx "u" ctx.n_subm b)
+    |> add 0.015 "anci" (pooled ctx "u" ctx.n_subm b)
+    |> add 0.015 "desi" (pooled ctx "u" ctx.n_subm b)
+  in
+  let children =
+    [ name_elem ctx; leaf ctx "SEX" (Vocab.pick r [| "M"; "F" |]); event ctx "BIRT" ]
+    @ opt ctx 0.35 (fun c ->
+          let base = event c "DEAT" in
+          match base with
+          | T.Element e when Vocab.chance r 0.2 ->
+            T.Element { e with T.children = e.T.children @ [ leaf c "CAUS" (Vocab.sentence r) ] }
+          | other -> other)
+    @ opt ctx 0.12 (fun c -> event c "BURI")
+    @ opt ctx 0.15 (fun c -> event c "BAPM")
+    @ opt ctx 0.05 (fun c -> event c "CHR")
+    @ opt ctx 0.25 (fun c -> leaf c "OCCU" (Vocab.pick r [| "farmer"; "smith"; "teacher"; "miller"; "clerk" |]))
+    @ opt ctx 0.15 (fun c -> mk c "RESI" [ addr c ])
+    @ opt ctx 0.025 (fun c -> event c "EMIG")
+    @ opt ctx 0.025 (fun c -> event c "IMMI")
+    @ opt ctx 0.03 (fun c -> event c "CENS")
+    @ opt ctx 0.012 (fun c -> event c "PROB")
+    @ opt ctx 0.012 (fun c -> event c "WILL")
+    @ opt ctx 0.012 (fun c -> event c "GRAD")
+    @ opt ctx 0.012 (fun c -> event c "RETI")
+    @ opt ctx 0.05 (fun c ->
+          mk c "EVEN" ([ leaf c "TYPE" (Vocab.title r) ] @ opt c 0.8 (fun c -> leaf c "DATE" (Vocab.date r))))
+    (* the long tail: event kinds so rare they only surface in large files,
+       which is what grows the label count from ~65 to ~84 across
+       Ged01→Ged03 (Table 1) *)
+    @ List.concat_map
+        (fun (p, tag) -> opt ctx p (fun c -> event c tag))
+        [ (0.00140, "ADOP"); (0.00110, "CONF"); (0.00100, "NATU"); (0.00090, "EDUC");
+          (0.00085, "RELI"); (0.00070, "CREM"); (0.00065, "FCOM"); (0.00055, "DSCR");
+          (0.00050, "NCHI"); (0.00042, "ORDN"); (0.00040, "PROP"); (0.00034, "NMR");
+          (0.00032, "BLES"); (0.00027, "IDNO"); (0.00026, "CASTE"); (0.00022, "CHRA");
+          (0.00020, "SSN"); (0.00017, "BARM"); (0.00014, "BASM")
+        ]
+  in
+  mk ctx ~attrs "INDI" children
+
+let fam ctx i =
+  let b = (i - 1) / fams_per_block in
+  let add p name target attrs =
+    match target with
+    | Some id when Vocab.chance ctx.rand p -> (name, id) :: attrs
+    | Some _ | None -> attrs
+  in
+  let attrs =
+    [ ("id", Printf.sprintf "f%d" i) ]
+    |> add 0.6 "husb" (husb_of ctx i)
+    |> add 0.6 "wife" (wife_of ctx i)
+    |> add 0.7 "chil" (chil_of ctx i)
+    |> add 0.2 "sour" (pooled ctx "s" ctx.n_sour b)
+    |> add 0.15 "note" (pooled ctx "n" ctx.n_note b)
+  in
+  let children =
+    opt ctx 0.8 (fun c -> event c "MARR")
+    @ opt ctx 0.08 (fun c -> event c "DIV")
+    @ opt ctx 0.05 (fun c -> event c "ENGA")
+  in
+  mk ctx ~attrs "FAM" children
+
+let sour ctx i =
+  let r = ctx.rand in
+  let attrs =
+    [ ("id", Printf.sprintf "s%d" i) ]
+    |> (fun attrs ->
+         match pooled ctx "r" ctx.n_repo ((i - 1) * indis_per_block) with
+         | Some id when Vocab.chance ctx.rand 0.3 -> ("repo", id) :: attrs
+         | Some _ | None -> ignore r; attrs)
+  in
+  mk ctx ~attrs "SOUR"
+    ([ leaf ctx "TITL" (Vocab.title r) ]
+    @ opt ctx 0.5 (fun c -> leaf c "AUTH" (Vocab.person_name r))
+    @ opt ctx 0.4 (fun c -> leaf c "PUBL" (Vocab.place r))
+    @ opt ctx 0.3 (fun c -> leaf c "TEXT" (Vocab.sentence r))
+    @ opt ctx 0.2 (fun c -> leaf c "PAGE" (string_of_int (Vocab.int_between r 1 400))))
+
+let note ctx i =
+  mk ctx ~attrs:[ ("id", Printf.sprintf "n%d" i) ] "NOTE" [ txt (Vocab.sentence ctx.rand) ]
+
+let subm ctx i =
+  mk ctx ~attrs:[ ("id", Printf.sprintf "u%d" i) ] "SUBM"
+    ([ leaf ctx "NAME" (Vocab.person_name ctx.rand) ] @ opt ctx 0.5 (fun c -> addr c))
+
+let repo ctx i =
+  mk ctx ~attrs:[ ("id", Printf.sprintf "r%d" i) ] "REPO"
+    ([ leaf ctx "NAME" (Vocab.title ctx.rand) ] @ opt ctx 0.4 (fun c -> addr c))
+
+let obje ctx i =
+  mk ctx ~attrs:[ ("id", Printf.sprintf "o%d" i) ] "OBJE"
+    [ leaf ctx "FORM" (Vocab.pick ctx.rand [| "jpeg"; "tiff" |]); leaf ctx "FILE" "scan.img" ]
+
+let head ctx =
+  mk ctx "HEAD"
+    [ leaf ctx "DEST" "ANSTFILE";
+      mk ctx "GEDC" [ leaf ctx "VERS" "5.5"; leaf ctx "FORM" "GedML" ];
+      leaf ctx "CHAR" "UTF-8"
+    ]
+
+let generate ~seed ~target_nodes =
+  (* ~19 nodes per individual including its share of families, sources and
+     notes; sized up-front so every cross reference has a valid target *)
+  let n_indi = max 4 (target_nodes / 18) in
+  let ctx =
+    { rand = Random.State.make [| seed; 0x6ED0 |];
+      nodes = 1;
+      n_indi;
+      n_fam = max fams_per_block ((n_indi + indis_per_block - 1) / indis_per_block * fams_per_block);
+      n_sour = max 1 (n_indi / 10);
+      n_note = max 1 (n_indi / 8);
+      n_subm = max 1 (n_indi / 50);
+      n_repo = max 1 (n_indi / 60);
+      n_obje = max 1 (n_indi / 40)
+    }
+  in
+  let items = Repro_util.Vec.create () in
+  Repro_util.Vec.push items (head ctx);
+  for i = 1 to ctx.n_subm do
+    Repro_util.Vec.push items (subm ctx i)
+  done;
+  for i = 1 to ctx.n_repo do
+    Repro_util.Vec.push items (repo ctx i)
+  done;
+  for i = 1 to ctx.n_obje do
+    Repro_util.Vec.push items (obje ctx i)
+  done;
+  for i = 1 to ctx.n_sour do
+    Repro_util.Vec.push items (sour ctx i)
+  done;
+  for i = 1 to ctx.n_note do
+    Repro_util.Vec.push items (note ctx i)
+  done;
+  for i = 1 to ctx.n_indi do
+    Repro_util.Vec.push items (indi ctx i);
+    if i * ctx.n_fam / ctx.n_indi > (i - 1) * ctx.n_fam / ctx.n_indi then
+      Repro_util.Vec.push items (fam ctx (i * ctx.n_fam / ctx.n_indi))
+  done;
+  (* top up with additional individuals if the random draw left the file
+     short of its node target (their ids exceed every reference range, so
+     they are simply unreferenced records); settle the remainder with
+     standalone notes *)
+  let extra_indi = ref ctx.n_indi in
+  while ctx.nodes < target_nodes - 20 do
+    incr extra_indi;
+    Repro_util.Vec.push items (indi ctx !extra_indi)
+  done;
+  let extra_note = ref ctx.n_note in
+  while ctx.nodes < target_nodes - 1 do
+    incr extra_note;
+    Repro_util.Vec.push items (note ctx !extra_note)
+  done;
+  Repro_util.Vec.push items (mk ctx "TRLR" []);
+  { T.decl = [ ("version", "1.0") ];
+    root = el ~children:(Array.to_list (Repro_util.Vec.to_array items)) "GED"
+  }
+
+(* The DTD the generator's output conforms to (validated in tests). SOUR
+   and NOTE have union content models because the same tags serve both as
+   top-level records and as inline citations/notes - the nesting that makes
+   GedML's set of distinct label paths large. *)
+let dtd =
+  {|<!ELEMENT GED (HEAD, SUBM+, REPO+, OBJE+, SOUR+, NOTE+, (INDI|FAM)+, NOTE*, TRLR)>
+<!ELEMENT HEAD (DEST, GEDC, CHAR)>
+<!ELEMENT GEDC (VERS, FORM)>
+<!ELEMENT SUBM (NAME, ADDR?)>
+<!ATTLIST SUBM id ID #REQUIRED>
+<!ELEMENT REPO (NAME, ADDR?)>
+<!ATTLIST REPO id ID #REQUIRED>
+<!ELEMENT OBJE (FORM, FILE)>
+<!ATTLIST OBJE id ID #IMPLIED>
+<!ELEMENT ADDR (CITY, STAE?, CTRY?)>
+<!ELEMENT SOUR ((TITL, AUTH?, PUBL?, TEXT?, PAGE?) | (PAGE?, TEXT?, QUAY?, DATA?, NOTE?))>
+<!ATTLIST SOUR id ID #IMPLIED repo IDREF #IMPLIED>
+<!ELEMENT DATA (DATE, TEXT?)>
+<!ELEMENT NOTE (#PCDATA|SOUR|CONT)*>
+<!ATTLIST NOTE id ID #IMPLIED>
+<!ELEMENT NAME (#PCDATA|GIVN|SURN)*>
+<!ELEMENT INDI (NAME, SEX, BIRT, DEAT?, BURI?, BAPM?, CHR?, OCCU?, RESI?, EMIG?, IMMI?, CENS?, PROB?, WILL?, GRAD?, RETI?, EVEN?, ADOP?, CONF?, NATU?, EDUC?, RELI?, CREM?, FCOM?, DSCR?, NCHI?, ORDN?, PROP?, NMR?, BLES?, IDNO?, CASTE?, CHRA?, SSN?, BARM?, BASM?)>
+<!ATTLIST INDI
+  id ID #REQUIRED
+  famc IDREF #IMPLIED
+  fams IDREF #IMPLIED
+  sour IDREF #IMPLIED
+  note IDREF #IMPLIED
+  asso IDREF #IMPLIED
+  alia IDREF #IMPLIED
+  obje IDREF #IMPLIED
+  subm IDREF #IMPLIED
+  anci IDREF #IMPLIED
+  desi IDREF #IMPLIED>
+<!ELEMENT FAM (MARR?, DIV?, ENGA?)>
+<!ATTLIST FAM
+  id ID #REQUIRED
+  husb IDREF #IMPLIED
+  wife IDREF #IMPLIED
+  chil IDREFS #IMPLIED
+  sour IDREF #IMPLIED
+  note IDREF #IMPLIED>
+<!ELEMENT DEAT (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?, CAUS?)>
+<!ELEMENT EVEN (TYPE, DATE?)>
+<!ELEMENT RESI (ADDR)>
+<!ELEMENT TRLR EMPTY>
+<!ELEMENT BIRT (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT BURI (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT BAPM (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CHR (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT EMIG (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT IMMI (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CENS (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT PROB (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT WILL (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT GRAD (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT RETI (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT MARR (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT DIV (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT ENGA (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT ADOP (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CONF (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT NATU (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT EDUC (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT RELI (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CREM (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT FCOM (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT DSCR (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT NCHI (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT ORDN (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT PROP (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT NMR (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT BLES (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT IDNO (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CASTE (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT CHRA (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT SSN (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT BARM (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT BASM (DATE?, PLAC?, AGE?, SOUR?, NOTE?, OBJE?)>
+<!ELEMENT DEST (#PCDATA)>
+<!ELEMENT CHAR (#PCDATA)>
+<!ELEMENT VERS (#PCDATA)>
+<!ELEMENT FORM (#PCDATA)>
+<!ELEMENT FILE (#PCDATA)>
+<!ELEMENT CITY (#PCDATA)>
+<!ELEMENT STAE (#PCDATA)>
+<!ELEMENT CTRY (#PCDATA)>
+<!ELEMENT TITL (#PCDATA)>
+<!ELEMENT AUTH (#PCDATA)>
+<!ELEMENT PUBL (#PCDATA)>
+<!ELEMENT TEXT (#PCDATA)>
+<!ELEMENT PAGE (#PCDATA)>
+<!ELEMENT QUAY (#PCDATA)>
+<!ELEMENT DATE (#PCDATA)>
+<!ELEMENT PLAC (#PCDATA)>
+<!ELEMENT AGE (#PCDATA)>
+<!ELEMENT CAUS (#PCDATA)>
+<!ELEMENT OCCU (#PCDATA)>
+<!ELEMENT SEX (#PCDATA)>
+<!ELEMENT GIVN (#PCDATA)>
+<!ELEMENT SURN (#PCDATA)>
+<!ELEMENT TYPE (#PCDATA)>
+<!ELEMENT CONT (#PCDATA)>
+|}
+
+let idref_attrs =
+  [ "famc"; "fams"; "husb"; "wife"; "chil"; "sour"; "note"; "subm"; "asso"; "alia"; "anci";
+    "desi"; "repo"; "obje"
+  ]
+
+let to_graph doc = Repro_graph.Data_graph.of_document ~idref_attrs doc
+
+let dataset ~seed ~target_nodes = to_graph (generate ~seed ~target_nodes)

@@ -1,0 +1,20 @@
+(** Generator for the GedML dataset family (genealogy).
+
+    Highly irregular, graph-structured XML: individuals and families
+    cross-reference each other densely (FAMC/FAMS/HUSB/WIFE/CHIL plus
+    source/note/submitter/media citations), giving 14 IDREF-typed labels and
+    an edge count well above the node count, as in Table 1. Rare event
+    elements (EMIG, PROB, WILL, ...) appear with low probability so the
+    label count grows from ~65 to ~84 with corpus size. *)
+
+val dtd : string
+(** Internal-subset DTD describing the generator's output; every generated
+    document validates against it ({!Repro_xml.Dtd.validate}). *)
+
+val generate : seed:int -> target_nodes:int -> Repro_xml.Xml_tree.document
+
+val idref_attrs : string list
+
+val to_graph : Repro_xml.Xml_tree.document -> Repro_graph.Data_graph.t
+
+val dataset : seed:int -> target_nodes:int -> Repro_graph.Data_graph.t

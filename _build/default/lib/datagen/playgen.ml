@@ -1,0 +1,127 @@
+module T = Repro_xml.Xml_tree
+
+let el = T.element
+let txt s = T.Text s
+
+(* Every generated element counts toward the budget: in the Section 3
+   encoding each element (leaf or not) becomes exactly one graph node. *)
+type ctx = {
+  rand : Random.State.t;
+  mutable nodes : int;
+}
+
+let mk ctx ?attrs tag children =
+  ctx.nodes <- ctx.nodes + 1;
+  T.Element (el ?attrs ~children tag)
+
+let leaf ctx tag s = mk ctx tag [ txt s ]
+
+let speech ctx =
+  let r = ctx.rand in
+  let speakers = List.init (if Vocab.chance r 0.06 then 2 else 1) (fun _ -> leaf ctx "SPEAKER" (Vocab.family_name r)) in
+  let lines = List.init (Vocab.int_between r 2 7) (fun _ -> leaf ctx "LINE" (Vocab.line r)) in
+  let stagedir = if Vocab.chance r 0.08 then [ leaf ctx "STAGEDIR" (Vocab.sentence r) ] else [] in
+  mk ctx "SPEECH" (speakers @ lines @ stagedir)
+
+(* [scale] shrinks the bulk counts so a play can be sized to the remaining
+   node budget; 1.0 reproduces the paper's ~5000-node plays. *)
+let scaled_count r scale lo hi floor =
+  max floor (int_of_float (float_of_int (Vocab.int_between r lo hi) *. scale))
+
+let scene ctx ~scale =
+  let r = ctx.rand in
+  let title = leaf ctx "TITLE" (Vocab.title r) in
+  let subhead = if Vocab.chance r 0.003 then [ leaf ctx "SUBHEAD" (Vocab.title r) ] else [] in
+  let opening = if Vocab.chance r 0.7 then [ leaf ctx "STAGEDIR" (Vocab.sentence r) ] else [] in
+  let speeches = List.init (scaled_count r scale 15 35 2) (fun _ -> speech ctx) in
+  mk ctx "SCENE" ((title :: subhead) @ opening @ speeches)
+
+let act ctx ~scale =
+  let r = ctx.rand in
+  let title = leaf ctx "TITLE" (Vocab.title r) in
+  let prologue =
+    if Vocab.chance r 0.015 then
+      [ mk ctx "PROLOGUE" [ leaf ctx "TITLE" "Prologue"; speech ctx ] ]
+    else []
+  in
+  let scenes = List.init (scaled_count r scale 3 7 1) (fun _ -> scene ctx ~scale) in
+  let epilogue =
+    if Vocab.chance r 0.01 then
+      [ mk ctx "EPILOGUE" [ leaf ctx "TITLE" "Epilogue"; speech ctx ] ]
+    else []
+  in
+  mk ctx "ACT" ((title :: prologue) @ scenes @ epilogue)
+
+let personae ctx =
+  let r = ctx.rand in
+  let title = leaf ctx "TITLE" "Dramatis Personae" in
+  let personas = List.init (Vocab.int_between r 10 24) (fun _ -> leaf ctx "PERSONA" (Vocab.person_name r)) in
+  let pgroup =
+    if Vocab.chance r 0.6 then
+      [ mk ctx "PGROUP"
+          (List.init (Vocab.int_between r 2 4) (fun _ -> leaf ctx "PERSONA" (Vocab.person_name r))
+          @ [ leaf ctx "GRPDESCR" (Vocab.sentence r) ])
+      ]
+    else []
+  in
+  mk ctx "PERSONAE" ((title :: personas) @ pgroup)
+
+let play ctx ~scale =
+  let r = ctx.rand in
+  let title = leaf ctx "TITLE" ("The Tragedy of " ^ Vocab.title r) in
+  let subtitle = if Vocab.chance r 0.02 then [ leaf ctx "SUBTITLE" (Vocab.title r) ] else [] in
+  let fm = mk ctx "FM" (List.init 3 (fun _ -> leaf ctx "P" (Vocab.sentence r))) in
+  let induct =
+    if Vocab.chance r 0.03 then
+      [ mk ctx "INDUCT" [ leaf ctx "TITLE" "Induction"; scene ctx ~scale ] ]
+    else []
+  in
+  let acts = List.init 5 (fun _ -> act ctx ~scale) in
+  mk ctx "PLAY"
+    ((title :: subtitle)
+    @ [ fm; personae ctx; leaf ctx "SCNDESCR" (Vocab.sentence r); leaf ctx "PLAYSUBT" (Vocab.title r) ]
+    @ induct @ acts)
+
+let generate ~seed ~target_nodes =
+  let ctx = { rand = Random.State.make [| seed; 0x51AB |]; nodes = 1 } in
+  let plays = Repro_util.Vec.create () in
+  while ctx.nodes < target_nodes do
+    let remaining = target_nodes - ctx.nodes in
+    let scale = Float.min 1.0 (Float.max 0.05 (float_of_int remaining /. 5000.)) in
+    Repro_util.Vec.push plays (play ctx ~scale)
+  done;
+  { T.decl = [ ("version", "1.0") ];
+    root = el ~children:(Array.to_list (Repro_util.Vec.to_array plays)) "PLAYS"
+  }
+
+(* The DTD the generator's output conforms to; Dataset tests validate
+   every generated document against it, mirroring the paper's setup of
+   generating data from a DTD. *)
+let dtd =
+  {|<!ELEMENT PLAYS (PLAY+)>
+<!ELEMENT PLAY (TITLE, SUBTITLE?, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?, ACT+)>
+<!ELEMENT FM (P+)>
+<!ELEMENT PERSONAE (TITLE, PERSONA+, PGROUP?)>
+<!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+<!ELEMENT INDUCT (TITLE, SCENE)>
+<!ELEMENT ACT (TITLE, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT PROLOGUE (TITLE, SPEECH)>
+<!ELEMENT EPILOGUE (TITLE, SPEECH)>
+<!ELEMENT SCENE (TITLE, SUBHEAD?, STAGEDIR?, SPEECH+)>
+<!ELEMENT SPEECH (SPEAKER+, LINE+, STAGEDIR?)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT P (#PCDATA)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT GRPDESCR (#PCDATA)>
+<!ELEMENT SCNDESCR (#PCDATA)>
+<!ELEMENT PLAYSUBT (#PCDATA)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA)>
+<!ELEMENT STAGEDIR (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+|}
+
+let to_graph doc = Repro_graph.Data_graph.of_document doc
+
+let dataset ~seed ~target_nodes = to_graph (generate ~seed ~target_nodes)

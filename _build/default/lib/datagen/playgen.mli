@@ -1,0 +1,21 @@
+(** Generator for the Shakespeare-play dataset family.
+
+    Tree-structured XML with the label vocabulary and shape of the
+    Shakespeare collection used in the paper (PLAY/ACT/SCENE/SPEECH/...):
+    minor structural irregularity, no attributes, roughly 5000 graph nodes
+    per play. Rare labels (PROLOGUE, EPILOGUE, INDUCT, SUBHEAD, SUBTITLE)
+    appear with low probability per play, so label counts grow with corpus
+    size as in Table 1 (17 → 22). *)
+
+val dtd : string
+(** Internal-subset DTD describing the generator's output; every generated
+    document validates against it ({!Repro_xml.Dtd.validate}). *)
+
+val generate : seed:int -> target_nodes:int -> Repro_xml.Xml_tree.document
+(** Deterministic in [seed]; generates whole plays until the element count
+    reaches [target_nodes]. *)
+
+val to_graph : Repro_xml.Xml_tree.document -> Repro_graph.Data_graph.t
+(** Section 3 encoding (no ID/IDREF attributes in this family). *)
+
+val dataset : seed:int -> target_nodes:int -> Repro_graph.Data_graph.t

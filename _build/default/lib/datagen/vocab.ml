@@ -1,0 +1,60 @@
+let pick rand arr =
+  if Array.length arr = 0 then invalid_arg "Vocab.pick: empty array";
+  arr.(Random.State.int rand (Array.length arr))
+
+let given_names =
+  [| "Alice"; "Bruno"; "Carmen"; "Dmitri"; "Elena"; "Felix"; "Greta"; "Hugo"; "Ingrid"; "Jonas";
+     "Kira"; "Leo"; "Mara"; "Nils"; "Olga"; "Pavel"; "Quincy"; "Rosa"; "Stefan"; "Tilda";
+     "Ursula"; "Viktor"; "Wanda"; "Xavier"; "Yara"; "Zeno"
+  |]
+
+let family_names =
+  [| "Archer"; "Bennett"; "Castillo"; "Drummond"; "Eriksen"; "Fontaine"; "Galloway"; "Hartmann";
+     "Ivanov"; "Jacobsen"; "Keller"; "Lindqvist"; "Moreau"; "Novak"; "Okafor"; "Petrov";
+     "Quintero"; "Rasmussen"; "Silva"; "Thornton"; "Ueda"; "Vargas"; "Whitfield"; "Yamada"
+  |]
+
+let words =
+  [| "shadow"; "river"; "golden"; "night"; "storm"; "ancient"; "silver"; "whisper"; "ember";
+     "frost"; "garden"; "hollow"; "iron"; "jade"; "kingdom"; "lantern"; "meadow"; "nebula";
+     "ocean"; "prairie"; "quarry"; "raven"; "summit"; "thunder"; "umbra"; "valley"; "willow";
+     "zephyr"; "crimson"; "dusty"; "echo"; "fable"
+  |]
+
+let places =
+  [| "Springfield"; "Riverton"; "Oakdale"; "Millbrook"; "Fairview"; "Ashford"; "Brookhaven";
+     "Cedarville"; "Dunmore"; "Eastleigh"; "Foxborough"; "Glenwood"
+  |]
+
+let months = [| "JAN"; "FEB"; "MAR"; "APR"; "MAY"; "JUN"; "JUL"; "AUG"; "SEP"; "OCT"; "NOV"; "DEC" |]
+
+let given_name rand = pick rand given_names
+let family_name rand = pick rand family_names
+let person_name rand = given_name rand ^ " " ^ family_name rand
+
+let capitalize s = String.capitalize_ascii s
+
+let title rand =
+  let n = 2 + Random.State.int rand 3 in
+  String.concat " " (List.init n (fun _ -> capitalize (pick rand words)))
+
+let sentence rand =
+  let n = 6 + Random.State.int rand 11 in
+  capitalize (String.concat " " (List.init n (fun _ -> pick rand words))) ^ "."
+
+let line rand =
+  let n = 4 + Random.State.int rand 5 in
+  capitalize (String.concat " " (List.init n (fun _ -> pick rand words)))
+
+let year rand = string_of_int (1900 + Random.State.int rand 102)
+
+let date rand =
+  Printf.sprintf "%d %s %s" (1 + Random.State.int rand 28) (pick rand months) (year rand)
+
+let place rand = pick rand places
+
+let chance rand p = Random.State.float rand 1.0 < p
+
+let int_between rand lo hi =
+  if hi < lo then invalid_arg "Vocab.int_between: hi < lo";
+  lo + Random.State.int rand (hi - lo + 1)

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-text for the synthetic datasets. *)
+
+val pick : Random.State.t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)
+
+val person_name : Random.State.t -> string
+(** "Given Family". *)
+
+val given_name : Random.State.t -> string
+val family_name : Random.State.t -> string
+
+val title : Random.State.t -> string
+(** Two to four capitalized words. *)
+
+val sentence : Random.State.t -> string
+(** Six to sixteen lowercase words with a period. *)
+
+val line : Random.State.t -> string
+(** A shortish verse-like line (for play LINEs). *)
+
+val year : Random.State.t -> string
+(** Between 1900 and 2001. *)
+
+val date : Random.State.t -> string
+(** "12 MAR 1923" GEDCOM-style. *)
+
+val place : Random.State.t -> string
+
+val chance : Random.State.t -> float -> bool
+(** [chance rand p] is true with probability [p]. *)
+
+val int_between : Random.State.t -> int -> int -> int
+(** Inclusive bounds. *)

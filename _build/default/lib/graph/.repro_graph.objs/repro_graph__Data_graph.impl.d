@@ -1,0 +1,1 @@
+lib/graph/data_graph.ml: Array Edge_set Format Hashtbl Label List Printf Repro_util Repro_xml String

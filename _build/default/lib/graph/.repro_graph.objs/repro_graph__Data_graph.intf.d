@@ -1,0 +1,1 @@
+lib/graph/data_graph.mli: Edge_set Format Label Repro_xml

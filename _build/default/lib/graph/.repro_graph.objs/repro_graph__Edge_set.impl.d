@@ -1,0 +1,1 @@
+lib/graph/edge_set.ml: Array Format List Printf Repro_util Seq

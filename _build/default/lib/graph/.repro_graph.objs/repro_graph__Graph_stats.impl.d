@@ -1,0 +1,1 @@
+lib/graph/graph_stats.ml: Data_graph Format Label List

@@ -1,0 +1,1 @@
+lib/graph/graph_stats.mli: Data_graph Format

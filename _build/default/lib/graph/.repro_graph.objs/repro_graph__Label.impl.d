@@ -1,0 +1,1 @@
+lib/graph/label.ml: Char Format Hashtbl Printf Repro_util String

@@ -1,0 +1,1 @@
+lib/graph/subtree.ml: Data_graph Label List Option Printf Repro_xml String

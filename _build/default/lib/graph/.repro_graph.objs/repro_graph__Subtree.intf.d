@@ -1,0 +1,1 @@
+lib/graph/subtree.mli: Data_graph Repro_xml

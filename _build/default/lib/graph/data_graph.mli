@@ -1,0 +1,128 @@
+(** The XML data graph [G_XML] (Definition 1 of the paper).
+
+    A rooted, directed, edge-labeled graph. Nodes are dense integer ids
+    ([nid]) assigned in document order, so sorting result nids ascending
+    yields document order. Leaf nodes may carry a data value (character
+    data or an attribute value).
+
+    Built either from a parsed XML document ({!of_document}), which encodes
+    attributes and ID/IDREF references exactly as Section 3 prescribes, or
+    directly through {!Builder} (tests, tiny examples). *)
+
+type t
+
+type nid = int
+
+(** {1 Accessors} *)
+
+val labels : t -> Label.table
+val root : t -> nid
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val value : t -> nid -> string option
+(** Data value of a leaf node. *)
+
+val out_degree : t -> nid -> int
+
+val iter_out : t -> nid -> (Label.t -> nid -> unit) -> unit
+(** Iterate the outgoing edges of a node, in insertion (document) order. *)
+
+val fold_out : t -> nid -> ('acc -> Label.t -> nid -> 'acc) -> 'acc -> 'acc
+
+val iter_in : t -> nid -> (Label.t -> nid -> unit) -> unit
+(** Iterate the incoming edges of a node as [(label, source)]. The reverse
+    adjacency is computed on first use and cached. *)
+
+val iter_edges : t -> (nid -> Label.t -> nid -> unit) -> unit
+(** Iterate every edge as [(source, label, target)]. *)
+
+val idref_labels : t -> Label.t list
+(** Labels that were introduced for IDREF-typed attributes (the ['@']-edges
+    created by reference resolution, not the reference edges themselves). *)
+
+val root_edge : t -> Edge_set.t
+(** The singleton [<NULL, root>] pseudo-edge set seeding index builds. *)
+
+val id_of : t -> nid -> string option
+(** The XML id under which the node was registered at encoding time (for
+    graphs built by {!of_document} with ID-typed attributes); [None]
+    otherwise. The inverse map is built on first use and extended lazily. *)
+
+val edges_with_label : t -> Label.t -> Edge_set.t
+(** All edges [<u, v>] such that [u --l--> v]; computed on first use per
+    label and cached. *)
+
+(** {1 Construction} *)
+
+val of_document :
+  ?id_attrs:string list ->
+  ?idref_attrs:string list ->
+  Repro_xml.Xml_tree.document ->
+  t
+(** Encode a parsed document per Section 3:
+    - each element becomes a node; an edge labeled with the child's tag
+      links parent to child;
+    - an element whose content is only character data becomes a leaf
+      carrying that text;
+    - an attribute named in [idref_attrs] becomes an edge labeled
+      [@name] to a fresh attribute node, and from there one reference
+      edge per whitespace-separated target id, labeled with the {e target
+      element's} tag;
+    - an attribute named in [id_attrs] (default [["id"]]) registers the
+      element for reference resolution and produces no edge;
+    - any other attribute becomes a leaf node reached by an [@name] edge,
+      carrying the attribute value.
+
+    Dangling IDREFs (no element with that id) are silently dropped.
+    Attribute-name matching is exact (case-sensitive). *)
+
+val of_document_dtd : Repro_xml.Dtd.t -> Repro_xml.Xml_tree.document -> t
+(** {!of_document} with the ID and IDREF attribute names taken from the
+    DTD's [<!ATTLIST>] declarations — the paper's Section 3 setting, where
+    attribute typing comes from the document type definition. *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_node : ?value:string -> t -> nid
+  (** Fresh node; nids are assigned densely from 0. *)
+
+  val add_edge : t -> nid -> string -> nid -> unit
+  (** [add_edge b u label v] adds [u --label--> v].
+      @raise Invalid_argument on unknown nids. *)
+
+  val build : root:nid -> t -> graph
+  (** Freeze. Labels beginning with ['@'] whose target has outgoing edges
+      are recorded as IDREF labels. @raise Invalid_argument on unknown
+      root. *)
+end
+
+val append_subtree :
+  ?id_attrs:string list ->
+  ?idref_attrs:string list ->
+  t ->
+  parent:nid ->
+  Repro_xml.Xml_tree.element ->
+  t
+(** Functional document growth: a new graph extending this one with the
+    fragment encoded per Section 3 and linked below [parent] by an edge
+    labeled with the fragment's tag. New nodes get nids after all existing
+    ones; existing nids, edges and extents of the old graph are unchanged
+    (the old value remains valid). IDREFs in the fragment resolve against
+    ids recorded when the original document was encoded plus the fragment's
+    own; dangling references are dropped. The label table is shared (it
+    only ever grows). @raise Invalid_argument on an unknown parent. *)
+
+(** {1 Queries used by tests and the naive evaluator} *)
+
+val reachable_by_label_path : t -> Label.t list -> Edge_set.t
+(** [T(p)] of Definition 7 computed by direct graph traversal: the set of
+    incoming edges of nodes reachable from {e any} node by traversing the
+    label path [p]. Exact but O(nodes × path length); reference semantics
+    for testing indexes. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = int array
+
+let bits = 31
+let mask = (1 lsl bits) - 1
+let null = mask
+
+let pack u v =
+  if u < 0 || u > mask || v < 0 || v > mask then
+    invalid_arg (Printf.sprintf "Edge_set.pack: component out of range (%d, %d)" u v)
+  else (u lsl bits) lor v
+
+let unpack e = (e lsr bits, e land mask)
+
+let empty = [||]
+
+let of_packed_array a =
+  if Repro_util.Int_sorted.is_sorted_set a then a else Repro_util.Int_sorted.of_unsorted a
+
+let of_list l = of_packed_array (Array.of_list (List.map (fun (u, v) -> pack u v) l))
+
+let to_list t = Array.to_list (Array.map unpack t)
+let cardinal = Array.length
+let is_empty t = Array.length t = 0
+let mem t u v = Repro_util.Int_sorted.mem t (pack u v)
+let union = Repro_util.Int_sorted.union
+let union_many = Repro_util.Int_sorted.union_many
+let inter = Repro_util.Int_sorted.inter
+let diff = Repro_util.Int_sorted.diff
+let subset = Repro_util.Int_sorted.subset
+let equal = Repro_util.Int_sorted.equal
+
+let iter f t =
+  Array.iter
+    (fun e ->
+      let u, v = unpack e in
+      f u v)
+    t
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun u v -> acc := f !acc u v) t;
+  !acc
+
+let endpoints t =
+  Repro_util.Int_sorted.of_unsorted (Array.map (fun e -> e land mask) t)
+
+let parents t =
+  let ps = Array.map (fun e -> e lsr bits) t in
+  Repro_util.Int_sorted.of_unsorted (Array.of_seq (Seq.filter (fun u -> u <> null) (Array.to_seq ps)))
+
+let semijoin_parents t sorted_parents =
+  Array.of_seq
+    (Seq.filter (fun e -> Repro_util.Int_sorted.mem sorted_parents (e lsr bits)) (Array.to_seq t))
+
+let join a b = semijoin_parents b (endpoints a)
+
+let pp ppf t =
+  Format.fprintf ppf "{@[<hov>";
+  iter
+    (fun u v ->
+      if u = null then Format.fprintf ppf "<NULL,%d>@ " v else Format.fprintf ppf "<%d,%d>@ " u v)
+    t;
+  Format.fprintf ppf "@]}"

@@ -1,0 +1,55 @@
+(** Sets of graph edges, the contents of index extents.
+
+    An extent element is a pair [<parent_nid, nid>] (Definition 7 of the
+    paper: the incoming edge of a node reachable by a label path). Pairs are
+    packed into single OCaml ints — 31 bits per component — and stored as
+    strictly increasing arrays, so set operations are linear merges and the
+    natural order is (parent, child) lexicographic.
+
+    The special parent [null] encodes the paper's [<NULL, root>] edge. *)
+
+type t = private int array
+
+val null : int
+(** Pseudo-nid used as the parent of the root edge. *)
+
+val pack : int -> int -> int
+(** [pack u v] packs parent [u] (or {!null}) and child [v].
+    @raise Invalid_argument when a component exceeds 31 bits. *)
+
+val unpack : int -> int * int
+
+val empty : t
+val of_list : (int * int) list -> t
+val of_packed_array : int array -> t
+(** Takes ownership conceptually; sorts/dedups if needed. *)
+
+val to_list : t -> (int * int) list
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> int -> bool
+val union : t -> t -> t
+val union_many : t list -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val iter : (int -> int -> unit) -> t -> unit
+val fold : ('acc -> int -> int -> 'acc) -> 'acc -> t -> 'acc
+
+val endpoints : t -> int array
+(** Strictly increasing array of the child components — the nodes an extent
+    denotes as query results. *)
+
+val parents : t -> int array
+(** Strictly increasing array of the parent components ({!null} excluded). *)
+
+val join : t -> t -> t
+(** [join a b] keeps the edges of [b] whose parent is an endpoint of [a] —
+    one step of the paper's multi-way extent join. *)
+
+val semijoin_parents : t -> int array -> t
+(** Keep the edges of the set whose parent occurs in the given sorted
+    array. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = {
+  nodes : int;
+  edges : int;
+  labels : int;
+  idref_labels : int;
+}
+
+let compute g =
+  { nodes = Data_graph.n_nodes g;
+    edges = Data_graph.n_edges g;
+    labels = Label.count (Data_graph.labels g);
+    idref_labels = List.length (Data_graph.idref_labels g)
+  }
+
+let pp ppf t = Format.fprintf ppf "%d %d %d(%d)" t.nodes t.edges t.labels t.idref_labels

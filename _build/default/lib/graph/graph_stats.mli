@@ -1,0 +1,14 @@
+(** Dataset characteristics as reported in Table 1 of the paper. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  labels : int;  (** distinct labels *)
+  idref_labels : int;  (** IDREF-typed labels, the parenthesised count *)
+}
+
+val compute : Data_graph.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [nodes edges labels(idref)], matching the paper's row
+    format. *)

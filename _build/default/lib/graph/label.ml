@@ -1,0 +1,33 @@
+type t = int
+
+type table = {
+  by_string : (string, int) Hashtbl.t;
+  by_id : string Repro_util.Vec.t;
+}
+
+let create_table () =
+  { by_string = Hashtbl.create 64; by_id = Repro_util.Vec.create () }
+
+let intern tbl s =
+  match Hashtbl.find_opt tbl.by_string s with
+  | Some id -> id
+  | None ->
+    let id = Repro_util.Vec.length tbl.by_id in
+    Hashtbl.add tbl.by_string s id;
+    Repro_util.Vec.push tbl.by_id s;
+    id
+
+let find tbl s = Hashtbl.find_opt tbl.by_string s
+
+let to_string tbl id =
+  if id < 0 || id >= Repro_util.Vec.length tbl.by_id then
+    invalid_arg (Printf.sprintf "Label.to_string: unknown label id %d" id)
+  else Repro_util.Vec.get tbl.by_id id
+
+let count tbl = Repro_util.Vec.length tbl.by_id
+
+let is_attribute tbl id =
+  let s = to_string tbl id in
+  String.length s > 0 && Char.equal s.[0] '@'
+
+let pp tbl ppf id = Format.pp_print_string ppf (to_string tbl id)

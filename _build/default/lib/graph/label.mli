@@ -1,0 +1,31 @@
+(** Interned edge labels.
+
+    All labels of a data graph (element tags, ['@'] attribute names, and the
+    tags used on ID/IDREF reference edges) are interned to small integers so
+    that hot paths compare and hash ints. A {!table} is owned by one data
+    graph and shared with every index built over it. *)
+
+type t = int
+(** An interned label. Valid only with the table that produced it. *)
+
+type table
+
+val create_table : unit -> table
+
+val intern : table -> string -> t
+(** Existing id for the string, or a fresh one. *)
+
+val find : table -> string -> t option
+(** Existing id only; [None] when the string was never interned. *)
+
+val to_string : table -> t -> string
+(** @raise Invalid_argument on an id not produced by this table. *)
+
+val count : table -> int
+(** Number of distinct labels interned so far. *)
+
+val is_attribute : table -> t -> bool
+(** True when the label string starts with ['@'] (attribute / IDREF edge out
+    of an element, per Section 3 of the paper). *)
+
+val pp : table -> Format.formatter -> t -> unit

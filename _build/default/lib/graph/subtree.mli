@@ -1,0 +1,19 @@
+(** Materialize query results back into XML.
+
+    Reconstructs the document subtree rooted at a node of a graph that was
+    encoded by {!Data_graph.of_document}: ['@']-edges to value leaves become
+    attributes, ['@']-edges to reference nodes become IDREF attributes
+    (values recovered from the graph's id map, or rendered as [#nid] for
+    targets without a recorded id), plain edges become child elements, and
+    node values become character data. Reference targets themselves are not
+    inlined — exactly inverse to the Section 3 encoding. *)
+
+val element :
+  ?tag:string -> Data_graph.t -> Data_graph.nid -> Repro_xml.Xml_tree.element
+(** The subtree rooted at the node. [tag] overrides the element name — it
+    is required knowledge for the document root, whose tag the graph
+    encoding does not retain (defaults to the node's incoming tree-edge
+    label, or ["root"]). @raise Invalid_argument on an unknown nid. *)
+
+val to_xml_string : ?tag:string -> Data_graph.t -> Data_graph.nid -> string
+(** {!element} serialized. *)

@@ -1,0 +1,1 @@
+lib/harness/env.ml: Array List Random Repro_datagen Repro_graph Repro_pathexpr Repro_storage Repro_workload

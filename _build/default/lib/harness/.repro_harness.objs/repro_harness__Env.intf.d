@@ -1,0 +1,1 @@
+lib/harness/env.mli: Repro_datagen Repro_graph Repro_pathexpr Repro_storage

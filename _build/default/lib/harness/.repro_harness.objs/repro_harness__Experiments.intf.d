@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Repro_datagen Repro_graph Repro_storage Repro_workload

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Array Printf Repro_pathexpr Repro_storage Unix

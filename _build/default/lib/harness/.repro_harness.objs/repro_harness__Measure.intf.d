@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Repro_graph Repro_pathexpr Repro_storage Stdlib

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Fun List Printf String

@@ -1,0 +1,34 @@
+module G = Repro_graph.Data_graph
+module Query = Repro_pathexpr.Query
+
+type t = {
+  spec : Repro_datagen.Dataset.spec;
+  graph : G.t;
+  pool : Repro_storage.Buffer_pool.t;
+  table : Repro_storage.Data_table.t;
+  q1 : Query.t array;
+  q2 : Query.t array;
+  q3 : Query.t array;
+  workload : Repro_pathexpr.Label_path.t list;
+}
+
+let compile_workload g queries =
+  Array.to_list queries
+  |> List.filter_map (fun q ->
+         match Query.compile (G.labels g) q with
+         | Some (Query.C1 p) -> Some p
+         | Some (Query.C2 _ | Query.C3 _) | None -> None)
+
+let prepare ?(scale = 1.0) ?(n_q1 = 5000) ?(n_q2 = 500) ?(n_q3 = 1000)
+    ?(workload_fraction = 0.2) ?(page_size = 8192) ?(pool_pages = 1024) spec =
+  let spec = if scale = 1.0 then spec else Repro_datagen.Dataset.scaled spec scale in
+  let graph = Repro_datagen.Dataset.build_graph spec in
+  let pager = Repro_storage.Pager.create ~page_size () in
+  let pool = Repro_storage.Buffer_pool.create pager ~capacity:pool_pages in
+  let table = Repro_storage.Data_table.build pool graph in
+  let rand = Random.State.make [| spec.Repro_datagen.Dataset.seed; 0xBEEF |] in
+  let q1 = Repro_workload.Generate.qtype1 ~n:n_q1 rand graph in
+  let q2 = Repro_workload.Generate.qtype2 ~n:n_q2 rand graph in
+  let q3 = Repro_workload.Generate.qtype3 ~n:n_q3 rand graph in
+  let sample = Repro_workload.Generate.sample rand ~fraction:workload_fraction q1 in
+  { spec; graph; pool; table; q1; q2; q3; workload = compile_workload graph sample }

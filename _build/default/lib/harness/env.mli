@@ -1,0 +1,38 @@
+(** A prepared experimental environment: one dataset plus its query sets,
+    storage, and data table — everything Section 6.1 fixes before measuring.
+
+    Query counts default to the paper's (5000 QTYPE1 / 500 QTYPE2 / 1000
+    QTYPE3, workload = 20% of QTYPE1); [scale] shrinks the dataset's node
+    target for quick runs. All generation is deterministic in the dataset
+    spec. *)
+
+type t = {
+  spec : Repro_datagen.Dataset.spec;
+  graph : Repro_graph.Data_graph.t;
+  pool : Repro_storage.Buffer_pool.t;
+  table : Repro_storage.Data_table.t;
+  q1 : Repro_pathexpr.Query.t array;
+  q2 : Repro_pathexpr.Query.t array;
+  q3 : Repro_pathexpr.Query.t array;
+  workload : Repro_pathexpr.Label_path.t list;
+      (** the mined 20% sample of [q1], compiled to label paths *)
+}
+
+val prepare :
+  ?scale:float ->
+  ?n_q1:int ->
+  ?n_q2:int ->
+  ?n_q3:int ->
+  ?workload_fraction:float ->
+  ?page_size:int ->
+  ?pool_pages:int ->
+  Repro_datagen.Dataset.spec ->
+  t
+(** Defaults: [scale]=1.0, paper query counts, 8 KB pages, a 1024-page
+    buffer pool. *)
+
+val compile_workload :
+  Repro_graph.Data_graph.t ->
+  Repro_pathexpr.Query.t array ->
+  Repro_pathexpr.Label_path.t list
+(** QTYPE1 queries as label paths (unknown-label queries dropped). *)

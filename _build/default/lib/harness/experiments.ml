@@ -1,0 +1,513 @@
+module Dataset = Repro_datagen.Dataset
+module Apex = Repro_apex.Apex
+module Apex_query = Repro_apex.Apex_query
+module Summary_index = Repro_baselines.Summary_index
+module Dataguide = Repro_baselines.Dataguide
+module One_index = Repro_baselines.One_index
+module Index_fabric = Repro_baselines.Index_fabric
+module Cost = Repro_storage.Cost
+module Query = Repro_pathexpr.Query
+
+type config = {
+  scale : float;
+  datasets : Dataset.spec list;
+  n_q1 : int;
+  n_q2 : int;
+  n_q3 : int;
+  min_sups : float list;
+  chosen_min_sup : float;
+  verify : bool;
+}
+
+let default =
+  { scale = 1.0;
+    datasets = Dataset.all;
+    n_q1 = 5000;
+    n_q2 = 500;
+    n_q3 = 1000;
+    min_sups = [ 0.002; 0.005; 0.01; 0.03; 0.05 ];
+    chosen_min_sup = 0.005;
+    verify = true
+  }
+
+let quick =
+  { scale = 0.1;
+    datasets = Dataset.small;
+    n_q1 = 600;
+    n_q2 = 80;
+    n_q3 = 150;
+    min_sups = [ 0.002; 0.005; 0.02; 0.05 ];
+    chosen_min_sup = 0.005;
+    verify = true
+  }
+
+type context = {
+  config : config;
+  envs : (string, Env.t) Hashtbl.t;
+  apex0s : (string, Apex.t) Hashtbl.t;
+  apexes : (string * string, Apex.t) Hashtbl.t;  (* keyed by (dataset, minSup string) *)
+  dataguides : (string, Summary_index.t option) Hashtbl.t;
+  fabrics : (string, Index_fabric.t) Hashtbl.t;
+  one_indexes : (string, Summary_index.t) Hashtbl.t;
+}
+
+let create_context config =
+  { config;
+    envs = Hashtbl.create 8;
+    apex0s = Hashtbl.create 8;
+    apexes = Hashtbl.create 32;
+    dataguides = Hashtbl.create 8;
+    fabrics = Hashtbl.create 8;
+    one_indexes = Hashtbl.create 8
+  }
+
+let memo tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    Hashtbl.add tbl key v;
+    v
+
+let ms_key ms = Printf.sprintf "%g" ms
+
+let env ctx (spec : Dataset.spec) =
+  memo ctx.envs spec.Dataset.name (fun () ->
+      let c = ctx.config in
+      Env.prepare ~scale:c.scale ~n_q1:c.n_q1 ~n_q2:c.n_q2 ~n_q3:c.n_q3 spec)
+
+let apex0 ctx spec =
+  memo ctx.apex0s spec.Dataset.name (fun () ->
+      let e = env ctx spec in
+      let apex = Apex.build e.Env.graph in
+      Apex.materialize apex e.Env.pool;
+      apex)
+
+let apex ctx spec ms =
+  memo ctx.apexes (spec.Dataset.name, ms_key ms) (fun () ->
+      let e = env ctx spec in
+      let apex = Apex.build_adapted e.Env.graph ~workload:e.Env.workload ~min_support:ms in
+      Apex.materialize apex e.Env.pool;
+      apex)
+
+let dataguide ctx spec =
+  memo ctx.dataguides spec.Dataset.name (fun () ->
+      let e = env ctx spec in
+      match Dataguide.build e.Env.graph with
+      | dg ->
+        Summary_index.materialize dg e.Env.pool;
+        Some dg
+      | exception Failure _ -> None)
+
+let fabric ctx spec =
+  memo ctx.fabrics spec.Dataset.name (fun () -> Index_fabric.build (env ctx spec).Env.graph)
+
+let one_index ctx spec =
+  memo ctx.one_indexes spec.Dataset.name (fun () ->
+      let e = env ctx spec in
+      let oi = One_index.build e.Env.graph in
+      Summary_index.materialize oi e.Env.pool;
+      oi)
+
+let release ctx name =
+  Hashtbl.remove ctx.envs name;
+  Hashtbl.remove ctx.apex0s name;
+  Hashtbl.remove ctx.dataguides name;
+  Hashtbl.remove ctx.fabrics name;
+  Hashtbl.remove ctx.one_indexes name;
+  Hashtbl.iter
+    (fun (ds, ms) _ -> if String.equal ds name then Hashtbl.remove ctx.apexes (ds, ms))
+    (Hashtbl.copy ctx.apexes)
+
+(* --- evaluator closures --- *)
+
+let apex_eval e apex ~cost q = Apex_query.eval_query ~cost ~table:e.Env.table apex q
+
+let summary_eval e index ~cost q = Summary_index.eval_query ~cost ~table:e.Env.table index q
+
+let fabric_eval fab ~cost q =
+  match Index_fabric.eval_query ~cost fab q with
+  | Some r -> r
+  | None -> [||]
+
+let verify ctx e name queries eval =
+  if ctx.config.verify then
+    match Measure.verify_sample e.Env.graph queries eval with
+    | Ok () -> ()
+    | Error m ->
+      failwith (Printf.sprintf "verification failed for %s on %s: %s" name e.Env.spec.Dataset.name m)
+
+let measure ctx e name queries eval =
+  verify ctx e name queries eval;
+  Repro_storage.Buffer_pool.flush e.Env.pool;
+  Measure.run queries eval
+
+(* --- Table 1 --- *)
+
+let table1 ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        (spec.Dataset.name, Repro_graph.Graph_stats.compute e.Env.graph))
+      ctx.config.datasets
+  in
+  Report.table ~title:"Table 1: data set characteristics"
+    ~header:[ "Data Set"; "nodes"; "edges"; "labels" ]
+    (List.map
+       (fun (name, s) ->
+         [ name;
+           string_of_int s.Repro_graph.Graph_stats.nodes;
+           string_of_int s.Repro_graph.Graph_stats.edges;
+           Printf.sprintf "%d(%d)" s.Repro_graph.Graph_stats.labels
+             s.Repro_graph.Graph_stats.idref_labels
+         ])
+       rows);
+  rows
+
+let workload_characteristics ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        (spec.Dataset.name, Repro_workload.Workload_stats.compute e.Env.graph e.Env.q1))
+      ctx.config.datasets
+  in
+  Report.table ~title:"Workload characteristics (QTYPE1 query set)"
+    ~header:[ "Data Set"; "queries"; "distinct"; "mean len"; "max"; "deref %"; "root-anchored %" ]
+    (List.map
+       (fun (name, s) ->
+         [ name;
+           string_of_int s.Repro_workload.Workload_stats.queries;
+           string_of_int s.Repro_workload.Workload_stats.distinct;
+           Printf.sprintf "%.2f" s.Repro_workload.Workload_stats.mean_length;
+           string_of_int s.Repro_workload.Workload_stats.max_length;
+           Printf.sprintf "%.0f" (100. *. s.Repro_workload.Workload_stats.with_dereference);
+           Printf.sprintf "%.0f" (100. *. s.Repro_workload.Workload_stats.root_anchored)
+         ])
+       rows);
+  rows
+
+(* --- Table 2 --- *)
+
+type index_size = { index : string; nodes : int; edges : int }
+
+let table2 ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let sdg =
+          match dataguide ctx spec with
+          | Some dg ->
+            let n, e = Summary_index.stats dg in
+            { index = "SDG"; nodes = n; edges = e }
+          | None -> { index = "SDG"; nodes = -1; edges = -1 }
+        in
+        let n0, e0 = Apex.stats (apex0 ctx spec) in
+        let apex_sizes =
+          List.map
+            (fun ms ->
+              let n, e = Apex.stats (apex ctx spec ms) in
+              { index = Printf.sprintf "APEX(%g)" ms; nodes = n; edges = e })
+            ctx.config.min_sups
+        in
+        (spec.Dataset.name, (sdg :: { index = "APEX0"; nodes = n0; edges = e0 } :: apex_sizes)))
+      ctx.config.datasets
+  in
+  let show n = if n < 0 then "blowup" else string_of_int n in
+  Report.table ~title:"Table 2: index sizes (nodes/edges)"
+    ~header:
+      ("Data Set"
+      :: (match rows with
+          | (_, sizes) :: _ -> List.map (fun s -> s.index) sizes
+          | [] -> []))
+    (List.map
+       (fun (name, sizes) ->
+         name :: List.map (fun s -> Printf.sprintf "%s/%s" (show s.nodes) (show s.edges)) sizes)
+       rows);
+  rows
+
+(* --- figures --- *)
+
+type series_point = {
+  engine : string;
+  weighted_cost : float;
+  wall_seconds : float;
+  cost : Cost.t;
+}
+
+let point name (m : Measure.result) =
+  { engine = name; weighted_cost = Measure.weighted m; wall_seconds = m.Measure.wall_seconds; cost = m.Measure.cost }
+
+let print_series title rows =
+  Report.table ~title ~header:[ "Data Set"; "engine"; "weighted cost"; "wall (s)"; "pages"; "steps" ]
+    (List.concat_map
+       (fun (name, points) ->
+         List.map
+           (fun p ->
+             [ name;
+               p.engine;
+               Report.float0 p.weighted_cost;
+               Printf.sprintf "%.3f" p.wall_seconds;
+               string_of_int
+                 (p.cost.Cost.extent_pages + p.cost.Cost.table_pages + p.cost.Cost.trie_pages
+                 + p.cost.Cost.struct_pages);
+               string_of_int
+                 (p.cost.Cost.index_node_visits + p.cost.Cost.index_edge_lookups
+                 + p.cost.Cost.hash_probes + p.cost.Cost.trie_node_visits)
+             ])
+           points)
+       rows)
+
+let fig13 ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let points = ref [] in
+        (match dataguide ctx spec with
+         | Some dg ->
+           points := [ point "SDG" (measure ctx e "SDG" e.Env.q1 (summary_eval e dg)) ]
+         | None -> ());
+        points :=
+          !points @ [ point "APEX0" (measure ctx e "APEX0" e.Env.q1 (apex_eval e (apex0 ctx spec))) ];
+        List.iter
+          (fun ms ->
+            let name = Printf.sprintf "APEX(%g)" ms in
+            points :=
+              !points @ [ point name (measure ctx e name e.Env.q1 (apex_eval e (apex ctx spec ms))) ])
+          ctx.config.min_sups;
+        (spec.Dataset.name, !points))
+      ctx.config.datasets
+  in
+  print_series "Figure 13: total QTYPE1 evaluation cost" rows;
+  rows
+
+let fig14 ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let ms = ctx.config.chosen_min_sup in
+        let points = ref [] in
+        (match dataguide ctx spec with
+         | Some dg -> points := [ point "SDG" (measure ctx e "SDG" e.Env.q2 (summary_eval e dg)) ]
+         | None -> ());
+        points :=
+          !points
+          @ [ point "APEX0" (measure ctx e "APEX0" e.Env.q2 (apex_eval e (apex0 ctx spec)));
+              point
+                (Printf.sprintf "APEX(%g)" ms)
+                (measure ctx e "APEX" e.Env.q2 (apex_eval e (apex ctx spec ms)))
+            ];
+        (spec.Dataset.name, !points))
+      ctx.config.datasets
+  in
+  print_series "Figure 14: total QTYPE2 evaluation cost" rows;
+  rows
+
+let fig15 ctx =
+  let rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let ms = ctx.config.chosen_min_sup in
+        let points = ref [] in
+        points :=
+          [ point "Fabric" (measure ctx e "Fabric" e.Env.q3 (fabric_eval (fabric ctx spec))) ];
+        (match dataguide ctx spec with
+         | Some dg -> points := !points @ [ point "SDG" (measure ctx e "SDG" e.Env.q3 (summary_eval e dg)) ]
+         | None -> ());
+        points :=
+          !points
+          @ [ point
+                (Printf.sprintf "APEX(%g)" ms)
+                (measure ctx e "APEX" e.Env.q3 (apex_eval e (apex ctx spec ms)))
+            ];
+        (spec.Dataset.name, !points))
+      ctx.config.datasets
+  in
+  print_series "Figure 15: total QTYPE3 evaluation cost" rows;
+  rows
+
+(* --- ablations --- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ablation ctx =
+  let ms = ctx.config.chosen_min_sup in
+  (* 1. mining algorithms agree; compare their runtimes *)
+  let mining_rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let w = e.Env.workload in
+        let naive, t_naive = time (fun () -> Repro_mining.Path_miner.frequent ~min_support:ms w) in
+        let apriori, t_apriori = time (fun () -> Repro_mining.Apriori.frequent ~min_support:ms w) in
+        if naive <> apriori then failwith "ablation: mining algorithms disagree";
+        [ spec.Dataset.name;
+          string_of_int (List.length naive);
+          Printf.sprintf "%.4f" t_naive;
+          Printf.sprintf "%.4f" t_apriori
+        ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: frequent-path mining (naive one-scan vs apriori)"
+    ~header:[ "Data Set"; "frequent paths"; "naive (s)"; "apriori (s)" ]
+    mining_rows;
+  (* 2. incremental refresh vs fresh rebuild *)
+  let update_rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let w = Array.of_list e.Env.workload in
+        let half = Array.length w / 2 in
+        let w1 = Array.to_list (Array.sub w 0 half) in
+        let w2 = Array.to_list (Array.sub w half (Array.length w - half)) in
+        let incremental = Apex.build_adapted e.Env.graph ~workload:w1 ~min_support:ms in
+        let (), t_inc = time (fun () -> Apex.refresh incremental ~workload:w2 ~min_support:ms) in
+        let _, t_fresh = time (fun () -> Apex.build_adapted e.Env.graph ~workload:w2 ~min_support:ms) in
+        let n, _ = Apex.stats incremental in
+        [ spec.Dataset.name;
+          string_of_int n;
+          Printf.sprintf "%.4f" t_inc;
+          Printf.sprintf "%.4f" t_fresh;
+          Printf.sprintf "%.2fx" (t_fresh /. Float.max 1e-9 t_inc)
+        ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: incremental update vs rebuild from scratch"
+    ~header:[ "Data Set"; "APEX nodes"; "refresh (s)"; "rebuild (s)"; "speedup" ]
+    update_rows;
+  (* 3. the 1-index as a fourth QTYPE1 engine *)
+  let oi_rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let oi = one_index ctx spec in
+        let n, edges = Summary_index.stats oi in
+        let m = measure ctx e "1-index" e.Env.q1 (summary_eval e oi) in
+        [ spec.Dataset.name;
+          Printf.sprintf "%d/%d" n edges;
+          Report.float0 (Measure.weighted m);
+          Printf.sprintf "%.3f" m.Measure.wall_seconds
+        ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: 1-index on QTYPE1"
+    ~header:[ "Data Set"; "size"; "weighted cost"; "wall (s)" ]
+    oi_rows;
+  (* 4. buffer-pool sensitivity for APEX QTYPE1 *)
+  let pool_rows =
+    List.concat_map
+      (fun spec ->
+        let e = env ctx spec in
+        List.map
+          (fun pool_pages ->
+            let pager = Repro_storage.Pager.create ~page_size:8192 () in
+            let pool = Repro_storage.Buffer_pool.create pager ~capacity:pool_pages in
+            let a = Apex.build_adapted e.Env.graph ~workload:e.Env.workload ~min_support:ms in
+            Apex.materialize a pool;
+            let m =
+              Measure.run e.Env.q1 (fun ~cost q ->
+                  Apex_query.eval_query ~cost ~table:e.Env.table a q)
+            in
+            let stats = Repro_storage.Pager.stats pager in
+            [ spec.Dataset.name;
+              string_of_int pool_pages;
+              Report.float0 (Measure.weighted m);
+              string_of_int stats.Repro_storage.Io_stats.disk_reads;
+              string_of_int stats.Repro_storage.Io_stats.cache_hits
+            ])
+          [ 16; 128; 1024 ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: buffer-pool size (APEX QTYPE1)"
+    ~header:[ "Data Set"; "pool pages"; "weighted cost"; "disk reads"; "cache hits" ]
+    pool_rows;
+  (* 5. data-table organization: sorted heap pages + sparse directory vs a
+     B+-tree, as the validation backend for QTYPE3 *)
+  let table_rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let a = apex ctx spec ms in
+        let heap = measure ctx e "APEX+heap-table" e.Env.q3 (apex_eval e a) in
+        (* load the same values into a B+-tree and validate through it *)
+        let pager = Repro_storage.Pager.create () in
+        let pool = Repro_storage.Buffer_pool.create pager ~capacity:1024 in
+        let btree = Repro_storage.Btree.create pool in
+        Repro_storage.Data_table.iter e.Env.table (fun nid v -> Repro_storage.Btree.insert btree nid v);
+        let btree_eval ~cost q =
+          match Query.compile (Repro_graph.Data_graph.labels e.Env.graph) q with
+          | Some (Query.C3 (path, value)) ->
+            let candidates = Apex_query.eval ~cost a (Query.C1 path) in
+            Array.of_seq
+              (Seq.filter
+                 (fun nid -> Repro_storage.Btree.find ~cost btree nid = Some value)
+                 (Array.to_seq candidates))
+          | Some compiled -> Apex_query.eval ~cost a compiled
+          | None -> [||]
+        in
+        let bt = measure ctx e "APEX+btree-table" e.Env.q3 btree_eval in
+        [ spec.Dataset.name;
+          Report.float0 (Measure.weighted heap);
+          Report.float0 (Measure.weighted bt);
+          string_of_int (Repro_storage.Btree.height btree)
+        ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: QTYPE3 validation backend (heap table vs B+-tree)"
+    ~header:[ "Data Set"; "heap table"; "B+-tree"; "tree height" ]
+    table_rows;
+  (* 6. extent codec: raw 8-byte ints vs zigzag-delta varints *)
+  let codec_rows =
+    List.map
+      (fun spec ->
+        let e = env ctx spec in
+        let run codec =
+          let pager = Repro_storage.Pager.create () in
+          let pool = Repro_storage.Buffer_pool.create pager ~capacity:1024 in
+          let a = Apex.build_adapted e.Env.graph ~workload:e.Env.workload ~min_support:ms in
+          Apex.materialize ~codec a pool;
+          let m =
+            Measure.run e.Env.q1 (fun ~cost q ->
+                Apex_query.eval_query ~cost ~table:e.Env.table a q)
+          in
+          (Measure.weighted m, Repro_storage.Pager.n_pages pager)
+        in
+        let raw_cost, raw_pages = run `Raw in
+        let var_cost, var_pages = run `Delta_varint in
+        [ spec.Dataset.name;
+          Report.float0 raw_cost;
+          string_of_int raw_pages;
+          Report.float0 var_cost;
+          string_of_int var_pages;
+          Printf.sprintf "%.1fx" (float_of_int raw_pages /. float_of_int (max 1 var_pages))
+        ])
+      ctx.config.datasets
+  in
+  Report.table ~title:"Ablation: extent codec (raw vs delta-varint)"
+    ~header:[ "Data Set"; "raw cost"; "raw pages"; "varint cost"; "varint pages"; "compression" ]
+    codec_rows
+
+let run_all config =
+  Report.section (Printf.sprintf "APEX reproduction experiments (scale %gx)" config.scale);
+  (* group work per dataset so memory for one dataset's indexes can be
+     released before the next *)
+  List.iter
+    (fun spec ->
+      let sub = { config with datasets = [ spec ] } in
+      let ctx = create_context sub in
+      ignore (table1 ctx);
+      ignore (workload_characteristics ctx);
+      ignore (table2 ctx);
+      ignore (fig13 ctx);
+      ignore (fig14 ctx);
+      ignore (fig15 ctx);
+      ablation ctx;
+      release ctx spec.Dataset.name)
+    config.datasets

@@ -1,0 +1,74 @@
+(** The paper's experiments (Section 6) plus our ablations.
+
+    Each function prepares the required environments and indexes, runs the
+    query batches, prints a paper-style table, and returns the measured
+    rows so tests and EXPERIMENTS.md generation can consume them.
+
+    A {!context} caches datasets, query sets, and built indexes across
+    experiments so [run_all] does not rebuild Ged03 five times. *)
+
+type config = {
+  scale : float;  (** dataset node-target factor (1.0 = Table 1 sizes) *)
+  datasets : Repro_datagen.Dataset.spec list;
+  n_q1 : int;
+  n_q2 : int;
+  n_q3 : int;
+  min_sups : float list;  (** Table 2 / Figure 13 sweep *)
+  chosen_min_sup : float;  (** Figures 14–15 use one value (paper: 0.005) *)
+  verify : bool;  (** cross-check evaluators against the naive traversal *)
+}
+
+val default : config
+(** Full scale, all nine datasets, paper query counts,
+    minSup ∈ \{0.002, 0.005, 0.01, 0.03, 0.05\}, 0.005 chosen, verify on. *)
+
+val quick : config
+(** One dataset per family at 1/10 scale with reduced query counts — used
+    by the default [bench] invocation and the test suite. *)
+
+type context
+
+val create_context : config -> context
+
+(** {1 Experiments} *)
+
+type index_size = { index : string; nodes : int; edges : int }
+
+val table1 : context -> (string * Repro_graph.Graph_stats.t) list
+(** Dataset characteristics (paper Table 1). *)
+
+val workload_characteristics :
+  context -> (string * Repro_workload.Workload_stats.t) list
+(** Properties of the generated QTYPE1 sets (mean length, dereference and
+    root-anchored fractions — the paper reports ~25% simple path
+    expressions). *)
+
+val table2 : context -> (string * index_size list) list
+(** Index sizes: strong DataGuide, APEX0, APEX per minSup (paper
+    Table 2). *)
+
+type series_point = {
+  engine : string;  (** e.g. "SDG", "APEX0", "APEX(0.005)" *)
+  weighted_cost : float;
+  wall_seconds : float;
+  cost : Repro_storage.Cost.t;
+}
+
+val fig13 : context -> (string * series_point list) list
+(** Total QTYPE1 evaluation cost per dataset: SDG, APEX0, and APEX across
+    the minSup sweep (paper Figure 13). *)
+
+val fig14 : context -> (string * series_point list) list
+(** Total QTYPE2 cost: SDG vs APEX0 vs APEX(chosen) (paper Figure 14). *)
+
+val fig15 : context -> (string * series_point list) list
+(** Total QTYPE3 cost: Index Fabric vs SDG vs APEX(chosen) (paper
+    Figure 15). *)
+
+val ablation : context -> unit
+(** Our additions: naive vs apriori mining agreement and timing;
+    incremental refresh vs fresh rebuild timing; the 1-index as a fourth
+    engine on QTYPE1; buffer-pool-size sensitivity for APEX QTYPE1. *)
+
+val run_all : config -> unit
+(** All of the above, printing every table. *)

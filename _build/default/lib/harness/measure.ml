@@ -1,0 +1,41 @@
+type result = {
+  queries : int;
+  answered : int;
+  result_nodes : int;
+  cost : Repro_storage.Cost.t;
+  wall_seconds : float;
+}
+
+let run queries eval =
+  let cost = Repro_storage.Cost.create () in
+  let answered = ref 0 in
+  let result_nodes = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun q ->
+      let r = eval ~cost q in
+      if Array.length r > 0 then incr answered;
+      result_nodes := !result_nodes + Array.length r)
+    queries;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  { queries = Array.length queries; answered = !answered; result_nodes = !result_nodes; cost; wall_seconds }
+
+let weighted r = Repro_storage.Cost.weighted_total r.cost
+
+let verify_sample ?(n = 25) g queries eval =
+  let limit = min n (Array.length queries) in
+  let rec go i =
+    if i >= limit then Ok ()
+    else begin
+      let q = queries.(i) in
+      let cost = Repro_storage.Cost.create () in
+      let got = eval ~cost q in
+      let expected = Repro_pathexpr.Naive_eval.eval_query g q in
+      if got = expected then go (i + 1)
+      else
+        Error
+          (Printf.sprintf "query %s: expected %d results, got %d"
+             (Repro_pathexpr.Query.to_string q) (Array.length expected) (Array.length got))
+    end
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Batch measurement: run a query set against an evaluator, accumulating
+    logical cost and wall-clock time. *)
+
+type result = {
+  queries : int;
+  answered : int;  (** queries with a non-empty result *)
+  result_nodes : int;  (** total result cardinality *)
+  cost : Repro_storage.Cost.t;
+  wall_seconds : float;
+}
+
+val run :
+  Repro_pathexpr.Query.t array ->
+  (cost:Repro_storage.Cost.t -> Repro_pathexpr.Query.t -> Repro_graph.Data_graph.nid array) ->
+  result
+(** Evaluate every query once, with one shared cost accumulator. *)
+
+val weighted : result -> float
+(** {!Repro_storage.Cost.weighted_total} of the accumulated cost. *)
+
+val verify_sample :
+  ?n:int ->
+  Repro_graph.Data_graph.t ->
+  Repro_pathexpr.Query.t array ->
+  (cost:Repro_storage.Cost.t -> Repro_pathexpr.Query.t -> Repro_graph.Data_graph.nid array) ->
+  (unit, string) Stdlib.result
+(** Check the evaluator against the naive traversal on the first [n]
+    (default 25) queries — a guard that benchmark numbers measure correct
+    engines. *)

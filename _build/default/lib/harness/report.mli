@@ -1,0 +1,11 @@
+(** Plain-text table rendering for experiment output. *)
+
+val table : title:string -> header:string list -> string list list -> unit
+(** Print an aligned table to stdout. *)
+
+val section : string -> unit
+(** Print a section banner. *)
+
+val float2 : float -> string
+val float0 : float -> string
+val scientific : float -> string

@@ -1,0 +1,1 @@
+lib/mining/apriori.ml: Array Hashtbl List Path_miner Repro_pathexpr

@@ -1,0 +1,1 @@
+lib/mining/path_miner.ml: Hashtbl List Repro_pathexpr

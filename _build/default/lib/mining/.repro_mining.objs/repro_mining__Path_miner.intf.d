@@ -1,0 +1,1 @@
+lib/mining/path_miner.mli: Repro_graph Repro_pathexpr

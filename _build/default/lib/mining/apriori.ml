@@ -1,0 +1,68 @@
+module Label_path = Repro_pathexpr.Label_path
+
+(* count the queries containing each candidate (set semantics per query) *)
+let count_candidates candidates queries =
+  let counts = Hashtbl.create (List.length candidates) in
+  List.iter (fun c -> Hashtbl.replace counts c (ref 0)) candidates;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt counts c with
+          | Some r when Label_path.is_subpath ~sub:c q -> incr r
+          | Some _ | None -> ())
+        candidates)
+    queries;
+  counts
+
+let drop_first p = match p with [] -> [] | _ :: tl -> tl
+
+let rec drop_last p =
+  match p with [] | [ _ ] -> [] | x :: tl -> x :: drop_last tl
+
+let levels ~min_support queries =
+  let threshold =
+    Path_miner.support_threshold ~min_support ~n_queries:(List.length queries)
+  in
+  let filter_frequent candidates =
+    let counts = count_candidates candidates queries in
+    List.filter (fun c -> float_of_int !(Hashtbl.find counts c) >= threshold) candidates
+  in
+  (* level 1: all distinct labels in the workload *)
+  let singles =
+    List.concat_map (fun q -> List.map (fun l -> [ l ]) q) queries
+    |> List.sort_uniq Label_path.compare
+  in
+  let l1 = filter_frequent singles in
+  let rec go acc prev =
+    if prev = [] then List.rev acc
+    else begin
+      (* candidates: p ++ [last q] for frequent p, q of the previous level
+         overlapping on all but their outer labels *)
+      let prev_set = Hashtbl.create (List.length prev) in
+      List.iter (fun p -> Hashtbl.replace prev_set p ()) prev;
+      let candidates =
+        List.concat_map
+          (fun p ->
+            let p_tail = drop_first p in
+            List.filter_map
+              (fun q ->
+                if Label_path.equal p_tail (drop_last q) then
+                  Some (p @ [ List.nth q (List.length q - 1) ])
+                else None)
+              prev)
+          prev
+        |> List.sort_uniq Label_path.compare
+        (* prune: every contiguous (k-1)-subpath must be frequent; with the
+           overlap join only the two outer windows need checking, and both
+           are by construction, so no further pruning is required *)
+      in
+      let next = filter_frequent candidates in
+      if next = [] then List.rev acc else go (next :: acc) next
+    end
+  in
+  Array.of_list (go [ l1 ] l1)
+
+let frequent ~min_support queries =
+  levels ~min_support queries |> Array.to_list |> List.concat
+  |> List.sort Label_path.compare

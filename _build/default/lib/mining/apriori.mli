@@ -1,0 +1,24 @@
+(** Level-wise (apriori-style) frequent-path mining.
+
+    Section 5.2 notes that classic sequential-pattern mining's
+    anti-monotonicity does not carry over to paths when subsequences are
+    non-contiguous; for {e contiguous} subpaths it does hold — if
+    [a.b.c] is frequent then both [a.b] and [b.c] are — which is the minor
+    modification the paper alludes to. Candidates of length k are built by
+    overlap-joining frequent paths of length k-1, then counted in one scan
+    per level. Produces exactly the same result as
+    {!Path_miner.frequent}. *)
+
+val frequent :
+  min_support:float ->
+  Repro_pathexpr.Label_path.t list ->
+  Repro_pathexpr.Label_path.t list
+(** Frequent contiguous subpaths, sorted (same contract as
+    {!Path_miner.frequent}). *)
+
+val levels :
+  min_support:float ->
+  Repro_pathexpr.Label_path.t list ->
+  Repro_pathexpr.Label_path.t list array
+(** The frequent sets per level (index 0 = length-1 paths), exposing the
+    lattice for the ablation benchmark. *)

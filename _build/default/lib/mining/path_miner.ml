@@ -1,0 +1,37 @@
+module Label_path = Repro_pathexpr.Label_path
+
+let distinct_subpaths ?max_length q =
+  let subs = Label_path.subpaths q in
+  match max_length with
+  | None -> subs
+  | Some k -> List.filter (fun p -> List.length p <= k) subs
+
+let count_subpaths ?max_length queries =
+  let counts : (Label_path.t, int ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt counts p with
+          | Some r -> incr r
+          | None -> Hashtbl.add counts p (ref 1))
+        (distinct_subpaths ?max_length q))
+    queries;
+  Hashtbl.fold (fun p r acc -> (p, !r) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Label_path.compare a b)
+
+let support_threshold ~min_support ~n_queries =
+  (* an empty workload supports nothing: treat it as one phantom query so a
+     positive minSup prunes every path *)
+  min_support *. float_of_int (max 1 n_queries)
+
+let frequent ~min_support queries =
+  let threshold = support_threshold ~min_support ~n_queries:(List.length queries) in
+  count_subpaths queries
+  |> List.filter (fun (_, c) -> float_of_int c >= threshold)
+  |> List.map fst
+
+let required ~min_support ~all_labels queries =
+  let freq = frequent ~min_support queries in
+  let singles = List.map (fun l -> [ l ]) all_labels in
+  List.sort_uniq Label_path.compare (freq @ singles)

@@ -1,0 +1,34 @@
+(** Frequently-used-path extraction — the naive one-scan algorithm.
+
+    The support of a label path [p] is the fraction of workload queries that
+    contain [p] as a contiguous subpath (Section 4). A query containing [p]
+    several times still counts once. This standalone miner mirrors the
+    counting that {!Repro_apex.Hash_tree} performs in place and serves as
+    its test oracle and as the ablation baseline. *)
+
+val count_subpaths :
+  ?max_length:int ->
+  Repro_pathexpr.Label_path.t list ->
+  (Repro_pathexpr.Label_path.t * int) list
+(** For every distinct subpath occurring in the workload (up to
+    [max_length], default unlimited), the number of queries containing it.
+    Sorted by path. *)
+
+val support_threshold : min_support:float -> n_queries:int -> float
+(** The count a path needs to be frequent: [min_support *. n_queries]
+    (compared with [>=], matching the paper's example where 2 of 3 queries
+    meet minSup 0.6). *)
+
+val frequent :
+  min_support:float ->
+  Repro_pathexpr.Label_path.t list ->
+  Repro_pathexpr.Label_path.t list
+(** Label paths with support ≥ [min_support], sorted. *)
+
+val required :
+  min_support:float ->
+  all_labels:Repro_graph.Label.t list ->
+  Repro_pathexpr.Label_path.t list ->
+  Repro_pathexpr.Label_path.t list
+(** Definition 6: the frequent paths plus every length-1 path of the data's
+    label set. *)

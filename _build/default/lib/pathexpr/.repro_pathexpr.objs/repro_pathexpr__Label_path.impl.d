@@ -1,0 +1,1 @@
+lib/pathexpr/label_path.ml: Format Int List Repro_graph String

@@ -1,0 +1,1 @@
+lib/pathexpr/label_path.mli: Format Repro_graph

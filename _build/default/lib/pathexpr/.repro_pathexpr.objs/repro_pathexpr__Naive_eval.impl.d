@@ -1,0 +1,1 @@
+lib/pathexpr/naive_eval.ml: Array Query Queue Repro_graph Repro_util Seq String

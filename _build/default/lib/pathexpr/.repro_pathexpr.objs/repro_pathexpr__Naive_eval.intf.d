@@ -1,0 +1,1 @@
+lib/pathexpr/naive_eval.mli: Query Repro_graph

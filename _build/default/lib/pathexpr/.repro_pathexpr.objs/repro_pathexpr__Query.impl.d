@@ -1,0 +1,1 @@
+lib/pathexpr/query.ml: Buffer Format Label_path List Printf Repro_graph String

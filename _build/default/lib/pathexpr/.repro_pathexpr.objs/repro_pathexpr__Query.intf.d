@@ -1,0 +1,1 @@
+lib/pathexpr/query.mli: Format Label_path Repro_graph

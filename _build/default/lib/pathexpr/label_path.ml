@@ -1,0 +1,55 @@
+type t = Repro_graph.Label.t list
+
+let equal = List.equal Int.equal
+let compare = List.compare Int.compare
+let length = List.length
+
+let is_suffix ~suffix p =
+  let ls = List.length suffix and lp = List.length p in
+  ls <= lp
+  &&
+  let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  equal suffix (drop (lp - ls) p)
+
+let rec is_prefix ~prefix p =
+  match prefix, p with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: ta, b :: tb -> Int.equal a b && is_prefix ~prefix:ta tb
+
+let rec is_subpath ~sub p =
+  match p with
+  | [] -> sub = []
+  | _ :: tl -> is_prefix ~prefix:sub p || is_subpath ~sub tl
+
+let rec suffixes = function
+  | [] -> []
+  | _ :: tl as p -> p :: suffixes tl
+
+let prefixes p =
+  let rec go acc rev = function
+    | [] -> List.rev acc
+    | x :: tl ->
+      let rev = x :: rev in
+      go (List.rev rev :: acc) rev tl
+  in
+  go [] [] p
+
+let subpaths p =
+  let all = List.concat_map prefixes (suffixes p) in
+  List.sort_uniq compare all
+
+let to_string tbl p = String.concat "." (List.map (Repro_graph.Label.to_string tbl) p)
+
+let of_string tbl s =
+  let parts = String.split_on_char '.' s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | part :: rest ->
+      (match Repro_graph.Label.find tbl part with
+       | Some l -> go (l :: acc) rest
+       | None -> None)
+  in
+  if List.exists (fun p -> String.length p = 0) parts then None else go [] parts
+
+let pp tbl ppf p = Format.pp_print_string ppf (to_string tbl p)

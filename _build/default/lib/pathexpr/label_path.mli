@@ -1,0 +1,35 @@
+(** Label paths (Definition 2) and their containment relations
+    (Definition 5).
+
+    A label path is a non-empty sequence of interned labels; functions here
+    are pure list algebra shared by the miner, the hash tree and the query
+    processors. *)
+
+type t = Repro_graph.Label.t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val length : t -> int
+
+val is_suffix : suffix:t -> t -> bool
+(** [is_suffix ~suffix p] — [suffix] is a suffix of [p] (Definition 5;
+    every path is a suffix of itself). *)
+
+val is_subpath : sub:t -> t -> bool
+(** [sub] occurs contiguously inside the path. *)
+
+val suffixes : t -> t list
+(** All non-empty suffixes, longest first. *)
+
+val subpaths : t -> t list
+(** All non-empty contiguous subpaths, without duplicates. *)
+
+val to_string : Repro_graph.Label.table -> t -> string
+(** Dot-separated rendering used throughout the paper, e.g.
+    ["actor.name"]. *)
+
+val of_string : Repro_graph.Label.table -> string -> t option
+(** Parse a dot-separated rendering; [None] if any label is unknown to the
+    table (such a path can match nothing in the graph). *)
+
+val pp : Repro_graph.Label.table -> Format.formatter -> t -> unit

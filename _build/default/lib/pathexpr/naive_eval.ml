@@ -1,0 +1,49 @@
+module G = Repro_graph.Data_graph
+module Edge_set = Repro_graph.Edge_set
+module Label = Repro_graph.Label
+
+let eval_q1 g path = Edge_set.endpoints (G.reachable_by_label_path g path)
+
+let eval_q2 g la lb =
+  let n = G.n_nodes g in
+  let labels = G.labels g in
+  (* seeds: endpoints of a-labeled edges *)
+  let in_closure = Array.make n false in
+  let queue = Queue.create () in
+  Array.iter
+    (fun v ->
+      if not in_closure.(v) then begin
+        in_closure.(v) <- true;
+        Queue.add v queue
+      end)
+    (Edge_set.endpoints (G.edges_with_label g la));
+  (* forward closure avoiding reference relationships *)
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    G.iter_out g u (fun l v ->
+        if (not (Label.is_attribute labels l)) && not in_closure.(v) then begin
+          in_closure.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  let result =
+    Edge_set.fold
+      (fun acc u v -> if u <> Edge_set.null && in_closure.(u) then v :: acc else acc)
+      []
+      (G.edges_with_label g lb)
+  in
+  Repro_util.Int_sorted.of_unsorted (Array.of_list result)
+
+let eval g = function
+  | Query.C1 path -> eval_q1 g path
+  | Query.C2 (la, lb) -> eval_q2 g la lb
+  | Query.C3 (path, value) ->
+    Array.of_seq
+      (Seq.filter
+         (fun nid -> match G.value g nid with Some v' -> String.equal value v' | None -> false)
+         (Array.to_seq (eval_q1 g path)))
+
+let eval_query g q =
+  match Query.compile (G.labels g) q with
+  | Some c -> eval g c
+  | None -> [||]

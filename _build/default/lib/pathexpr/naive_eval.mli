@@ -1,0 +1,21 @@
+(** Index-free query evaluation by direct graph traversal.
+
+    The reference semantics every index implementation is tested against,
+    and the "no index" baseline. Results are nid arrays sorted ascending —
+    document order (Section 3: results are sorted as a post-processing
+    step). *)
+
+val eval :
+  Repro_graph.Data_graph.t -> Query.compiled -> Repro_graph.Data_graph.nid array
+(** Evaluate a compiled query:
+    - [C1 p] — nodes reachable from {e any} node by traversing [p]
+      (Definition 7's [T(p)] endpoints);
+    - [C2 (a, b)] — nodes with an incoming [b]-edge from the forward closure
+      of nodes with an incoming [a]-edge, where the closure does not
+      traverse reference relationships (['@'] labels), per Section 6.1;
+    - [C3 (p, v)] — the [C1 p] result filtered to nodes whose data value
+      equals [v]. *)
+
+val eval_query :
+  Repro_graph.Data_graph.t -> Query.t -> Repro_graph.Data_graph.nid array
+(** {!Query.compile} then {!eval}; unknown labels give an empty result. *)

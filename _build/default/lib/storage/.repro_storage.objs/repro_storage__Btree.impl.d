@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Buffer_pool Bytes Codec Cost List Pager String

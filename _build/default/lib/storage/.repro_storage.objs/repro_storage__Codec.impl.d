@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Bytes Int64 Printf

@@ -1,0 +1,1 @@
+lib/storage/data_table.ml: Array Buffer_pool Bytes Codec Cost Pager Repro_graph Repro_util Seq String

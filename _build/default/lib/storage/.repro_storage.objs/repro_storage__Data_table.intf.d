@@ -1,0 +1,1 @@
+lib/storage/data_table.mli: Buffer_pool Cost Repro_graph

@@ -1,0 +1,1 @@
+lib/storage/extent_store.ml: Array Buffer Buffer_pool Bytes Char Codec Cost Pager Repro_graph String

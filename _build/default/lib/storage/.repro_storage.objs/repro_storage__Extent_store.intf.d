@@ -1,0 +1,1 @@
+lib/storage/extent_store.mli: Buffer_pool Cost Repro_graph

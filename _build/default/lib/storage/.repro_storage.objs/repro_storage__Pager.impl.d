@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Bytes Io_stats Printf Repro_util

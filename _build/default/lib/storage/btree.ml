@@ -1,0 +1,261 @@
+(* Page layouts (little-endian):
+     leaf:  [u16 kind=1][u16 count][i64 next+1]  then  ([i64 key][u16 len][bytes])*
+     inner: [u16 kind=2][u16 count][i64 child0]  then  ([i64 sep][i64 child])*
+   An inner node with count separators has count+1 children; child i+1 holds
+   keys >= sep i. *)
+
+type t = {
+  pool : Buffer_pool.t;
+  mutable root : Pager.pid;
+  mutable count : int;
+  mutable height : int;
+}
+
+let kind_leaf = 1
+let kind_inner = 2
+
+let leaf_header = 12
+let inner_header = 12
+let inner_pair = 16
+
+let page_size t = Pager.page_size (Buffer_pool.pager t.pool)
+
+let charge cost =
+  match cost with
+  | Some c -> c.Cost.table_pages <- c.Cost.table_pages + 1
+  | None -> ()
+
+(* --- encode / decode --- *)
+
+let decode_leaf buf =
+  let count = Codec.get_u16 buf 2 in
+  let next = Codec.get_i64 buf 4 - 1 in
+  let entries = ref [] in
+  let off = ref leaf_header in
+  for _ = 1 to count do
+    let key = Codec.get_i64 buf !off in
+    let len = Codec.get_u16 buf (!off + 8) in
+    entries := (key, Bytes.sub_string buf (!off + 10) len) :: !entries;
+    off := !off + 10 + len
+  done;
+  (List.rev !entries, next)
+
+let leaf_bytes entries =
+  List.fold_left (fun acc (_, v) -> acc + 10 + String.length v) leaf_header entries
+
+let encode_leaf t ~next entries =
+  let buf = Bytes.make (page_size t) '\000' in
+  Codec.set_u16 buf 0 kind_leaf;
+  Codec.set_u16 buf 2 (List.length entries);
+  Codec.set_i64 buf 4 (next + 1);
+  let off = ref leaf_header in
+  List.iter
+    (fun (key, v) ->
+      Codec.set_i64 buf !off key;
+      Codec.set_u16 buf (!off + 8) (String.length v);
+      Bytes.blit_string v 0 buf (!off + 10) (String.length v);
+      off := !off + 10 + String.length v)
+    entries;
+  buf
+
+let decode_inner buf =
+  let count = Codec.get_u16 buf 2 in
+  let child0 = Codec.get_i64 buf 4 in
+  let pairs = ref [] in
+  for i = 0 to count - 1 do
+    let off = inner_header + (i * inner_pair) in
+    pairs := (Codec.get_i64 buf off, Codec.get_i64 buf (off + 8)) :: !pairs
+  done;
+  (child0, List.rev !pairs)
+
+let encode_inner t child0 pairs =
+  let buf = Bytes.make (page_size t) '\000' in
+  Codec.set_u16 buf 0 kind_inner;
+  Codec.set_u16 buf 2 (List.length pairs);
+  Codec.set_i64 buf 4 child0;
+  List.iteri
+    (fun i (sep, child) ->
+      let off = inner_header + (i * inner_pair) in
+      Codec.set_i64 buf off sep;
+      Codec.set_i64 buf (off + 8) child)
+    pairs;
+  buf
+
+let node_kind buf = Codec.get_u16 buf 0
+
+(* --- construction --- *)
+
+let create pool =
+  let pager = Buffer_pool.pager pool in
+  let root = Pager.alloc pager in
+  let t = { pool; root; count = 0; height = 1 } in
+  Buffer_pool.write pool root (encode_leaf t ~next:(-1) []);
+  t
+
+(* --- insert --- *)
+
+let max_inner_pairs t = (page_size t - inner_header) / inner_pair
+
+let split_list l =
+  let n = List.length l in
+  let rec go i acc = function
+    | rest when i = n / 2 -> (List.rev acc, rest)
+    | x :: rest -> go (i + 1) (x :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  go 0 [] l
+
+(* returns (separator, new right sibling pid) on split *)
+let rec insert_at t pid key v =
+  let buf = Buffer_pool.get t.pool pid in
+  if node_kind buf = kind_leaf then begin
+    let entries, next = decode_leaf buf in
+    let replaced = List.mem_assoc key entries in
+    let entries =
+      if replaced then List.map (fun (k, v') -> if k = key then (k, v) else (k, v')) entries
+      else
+        let rec ins = function
+          | (k, _) :: _ as rest when k > key -> (key, v) :: rest
+          | e :: rest -> e :: ins rest
+          | [] -> [ (key, v) ]
+        in
+        ins entries
+    in
+    if not replaced then t.count <- t.count + 1;
+    if leaf_bytes entries <= page_size t then begin
+      Buffer_pool.write t.pool pid (encode_leaf t ~next entries);
+      None
+    end
+    else begin
+      let left, right = split_list entries in
+      match right with
+      | [] -> invalid_arg "Btree.insert: payload too large for a page"
+      | (sep, _) :: _ ->
+        let right_pid = Pager.alloc (Buffer_pool.pager t.pool) in
+        Buffer_pool.write t.pool right_pid (encode_leaf t ~next right);
+        Buffer_pool.write t.pool pid (encode_leaf t ~next:right_pid left);
+        if left = [] then invalid_arg "Btree.insert: payload too large for a page";
+        Some (sep, right_pid)
+    end
+  end
+  else begin
+    let child0, pairs = decode_inner buf in
+    let child =
+      List.fold_left (fun acc (sep, c) -> if key >= sep then c else acc) child0 pairs
+    in
+    match insert_at t child key v with
+    | None -> None
+    | Some (sep, right_pid) ->
+      let pairs =
+        let rec ins = function
+          | (s, _) :: _ as rest when s > sep -> (sep, right_pid) :: rest
+          | p :: rest -> p :: ins rest
+          | [] -> [ (sep, right_pid) ]
+        in
+        ins pairs
+      in
+      if List.length pairs <= max_inner_pairs t then begin
+        Buffer_pool.write t.pool pid (encode_inner t child0 pairs);
+        None
+      end
+      else begin
+        let left, right = split_list pairs in
+        match right with
+        | [] -> assert false
+        | (up_sep, up_child) :: right_rest ->
+          let right_pid' = Pager.alloc (Buffer_pool.pager t.pool) in
+          Buffer_pool.write t.pool right_pid' (encode_inner t up_child right_rest);
+          Buffer_pool.write t.pool pid (encode_inner t child0 left);
+          Some (up_sep, right_pid')
+      end
+  end
+
+let insert t key v =
+  if String.length v + 10 + leaf_header > page_size t then
+    invalid_arg "Btree.insert: payload too large for a page";
+  match insert_at t t.root key v with
+  | None -> ()
+  | Some (sep, right_pid) ->
+    let new_root = Pager.alloc (Buffer_pool.pager t.pool) in
+    Buffer_pool.write t.pool new_root (encode_inner t t.root [ (sep, right_pid) ]);
+    t.root <- new_root;
+    t.height <- t.height + 1
+
+(* --- lookups --- *)
+
+(* descend to the leaf for [key], charging one page per inner node; the
+   caller charges the leaf page(s) it actually reads *)
+let rec descend ?cost t pid key =
+  let buf = Buffer_pool.get t.pool pid in
+  if node_kind buf = kind_leaf then pid
+  else begin
+    charge cost;
+    let child0, pairs = decode_inner buf in
+    let child =
+      List.fold_left (fun acc (sep, c) -> if key >= sep then c else acc) child0 pairs
+    in
+    descend ?cost t child key
+  end
+
+let find ?cost t key =
+  let leaf = descend ?cost t t.root key in
+  charge cost;
+  let entries, _ = decode_leaf (Buffer_pool.get t.pool leaf) in
+  List.assoc_opt key entries
+
+let mem ?cost t key = find ?cost t key <> None
+
+let range ?cost t ~lo ~hi =
+  if hi < lo then []
+  else begin
+    let leaf = descend ?cost t t.root lo in
+    let acc = ref [] in
+    let rec walk pid =
+      if pid >= 0 then begin
+        charge cost;
+        let entries, next = decode_leaf (Buffer_pool.get t.pool pid) in
+        let keep = List.filter (fun (k, _) -> k >= lo && k <= hi) entries in
+        acc := List.rev_append keep !acc;
+        let continue = match List.rev entries with (k, _) :: _ -> k <= hi | [] -> true in
+        if continue then walk next
+      end
+    in
+    walk leaf;
+    List.rev !acc
+  end
+
+let iter t f =
+  (* leftmost leaf, then the chain *)
+  let rec leftmost pid =
+    let buf = Buffer_pool.get t.pool pid in
+    if node_kind buf = kind_leaf then pid
+    else begin
+      let child0, _ = decode_inner buf in
+      leftmost child0
+    end
+  in
+  let rec walk pid =
+    if pid >= 0 then begin
+      let entries, next = decode_leaf (Buffer_pool.get t.pool pid) in
+      List.iter (fun (k, v) -> f k v) entries;
+      walk next
+    end
+  in
+  walk (leftmost t.root)
+
+let cardinal t = t.count
+let height t = t.height
+
+let n_pages t =
+  let n = ref 0 in
+  let rec count pid =
+    incr n;
+    let buf = Buffer_pool.get t.pool pid in
+    if node_kind buf = kind_inner then begin
+      let child0, pairs = decode_inner buf in
+      count child0;
+      List.iter (fun (_, c) -> count c) pairs
+    end
+  in
+  count t.root;
+  !n

@@ -1,0 +1,34 @@
+(** A disk-resident B+-tree over integer keys with string payloads.
+
+    Inner and leaf nodes live in pages of the shared {!Pager}; reads go
+    through a {!Buffer_pool}. Used as the indexed backing for id maps and
+    as an alternative {!Data_table} organization (the ablation benchmark
+    compares the two). Keys are unique: inserting an existing key replaces
+    its payload.
+
+    Probes charge [table_pages] on the supplied {!Cost.t} — one unit per
+    page on the root-to-leaf descent — so query processors can account for
+    value-validation I/O uniformly. *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** An empty tree (one leaf page). *)
+
+val insert : t -> int -> string -> unit
+(** @raise Invalid_argument when the payload cannot fit in a page. *)
+
+val find : ?cost:Cost.t -> t -> int -> string option
+
+val mem : ?cost:Cost.t -> t -> int -> bool
+
+val range : ?cost:Cost.t -> t -> lo:int -> hi:int -> (int * string) list
+(** All entries with [lo <= key <= hi], ascending; leaf pages are chained
+    so the scan costs the descent plus one page per leaf touched. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** Full ascending scan. *)
+
+val cardinal : t -> int
+val height : t -> int
+val n_pages : t -> int

@@ -1,0 +1,78 @@
+(* Classic LRU: hash table keyed by pid + intrusive doubly-linked list in
+   recency order (head = most recent). *)
+
+type entry = {
+  pid : Pager.pid;
+  mutable data : bytes;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t = {
+  pager : Pager.t;
+  cap : int;
+  table : (Pager.pid, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+}
+
+let create pager ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { pager; cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.cap
+let pager t = t.pager
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.cap then
+    match t.tail with
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.pid
+    | None -> ()
+
+let stats t = Pager.stats t.pager
+
+let get t pid =
+  match Hashtbl.find_opt t.table pid with
+  | Some e ->
+    (stats t).cache_hits <- (stats t).cache_hits + 1;
+    unlink t e;
+    push_front t e;
+    e.data
+  | None ->
+    (stats t).cache_misses <- (stats t).cache_misses + 1;
+    let data = Pager.read t.pager pid in
+    evict_if_full t;
+    let e = { pid; data; prev = None; next = None } in
+    Hashtbl.add t.table pid e;
+    push_front t e;
+    data
+
+let write t pid buf =
+  Pager.write t.pager pid buf;
+  match Hashtbl.find_opt t.table pid with
+  | Some e ->
+    e.data <- Bytes.copy buf;
+    unlink t e;
+    push_front t e
+  | None -> ()
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let cached_pages t = Hashtbl.length t.table

@@ -1,0 +1,27 @@
+(** LRU buffer pool over a {!Pager}.
+
+    Reads go through the cache: a hit costs no disk access, a miss costs one
+    disk read and may evict the least recently used page. Writes are
+    write-through. All traffic is visible in {!Pager.stats} plus the pool's
+    hit/miss counters. *)
+
+type t
+
+val create : Pager.t -> capacity:int -> t
+(** [capacity] is the number of pages held in memory; must be positive. *)
+
+val capacity : t -> int
+val pager : t -> Pager.t
+
+val get : t -> Pager.pid -> bytes
+(** The page contents. The returned buffer is the cached page itself —
+    callers must treat it as read-only. *)
+
+val write : t -> Pager.pid -> bytes -> unit
+(** Write-through: updates both the cache and the disk. *)
+
+val flush : t -> unit
+(** Drop all cached pages (e.g. between benchmark runs for cold-cache
+    measurements). Counters are not reset. *)
+
+val cached_pages : t -> int

@@ -1,0 +1,8 @@
+let set_i64 buf off v = Bytes.set_int64_le buf off (Int64.of_int v)
+let get_i64 buf off = Int64.to_int (Bytes.get_int64_le buf off)
+
+let set_u16 buf off v =
+  if v < 0 || v > 0xFFFF then invalid_arg (Printf.sprintf "Codec.set_u16: %d out of range" v);
+  Bytes.set_uint16_le buf off v
+
+let get_u16 buf off = Bytes.get_uint16_le buf off

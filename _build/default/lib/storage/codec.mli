@@ -1,0 +1,11 @@
+(** Little-endian fixed-width encodings shared by page layouts. *)
+
+val set_i64 : bytes -> int -> int -> unit
+(** Write an OCaml int (≤ 63 bits) as 8 bytes at the given offset. *)
+
+val get_i64 : bytes -> int -> int
+
+val set_u16 : bytes -> int -> int -> unit
+(** @raise Invalid_argument when the value does not fit 16 bits. *)
+
+val get_u16 : bytes -> int -> int

@@ -1,0 +1,76 @@
+type t = {
+  mutable index_node_visits : int;
+  mutable struct_pages : int;
+  mutable index_edge_lookups : int;
+  mutable hash_probes : int;
+  mutable trie_node_visits : int;
+  mutable trie_pages : int;
+  mutable extent_pages : int;
+  mutable extent_edges : int;
+  mutable join_edges : int;
+  mutable table_pages : int;
+}
+
+let create () =
+  { index_node_visits = 0;
+    struct_pages = 0;
+    index_edge_lookups = 0;
+    hash_probes = 0;
+    trie_node_visits = 0;
+    trie_pages = 0;
+    extent_pages = 0;
+    extent_edges = 0;
+    join_edges = 0;
+    table_pages = 0
+  }
+
+let reset t =
+  t.index_node_visits <- 0;
+  t.struct_pages <- 0;
+  t.index_edge_lookups <- 0;
+  t.hash_probes <- 0;
+  t.trie_node_visits <- 0;
+  t.trie_pages <- 0;
+  t.extent_pages <- 0;
+  t.extent_edges <- 0;
+  t.join_edges <- 0;
+  t.table_pages <- 0
+
+let copy t =
+  { index_node_visits = t.index_node_visits;
+    struct_pages = t.struct_pages;
+    index_edge_lookups = t.index_edge_lookups;
+    hash_probes = t.hash_probes;
+    trie_node_visits = t.trie_node_visits;
+    trie_pages = t.trie_pages;
+    extent_pages = t.extent_pages;
+    extent_edges = t.extent_edges;
+    join_edges = t.join_edges;
+    table_pages = t.table_pages
+  }
+
+let add acc x =
+  acc.index_node_visits <- acc.index_node_visits + x.index_node_visits;
+  acc.struct_pages <- acc.struct_pages + x.struct_pages;
+  acc.index_edge_lookups <- acc.index_edge_lookups + x.index_edge_lookups;
+  acc.hash_probes <- acc.hash_probes + x.hash_probes;
+  acc.trie_node_visits <- acc.trie_node_visits + x.trie_node_visits;
+  acc.trie_pages <- acc.trie_pages + x.trie_pages;
+  acc.extent_pages <- acc.extent_pages + x.extent_pages;
+  acc.extent_edges <- acc.extent_edges + x.extent_edges;
+  acc.join_edges <- acc.join_edges + x.join_edges;
+  acc.table_pages <- acc.table_pages + x.table_pages
+
+let weighted_total t =
+  let pages = float_of_int (t.extent_pages + t.table_pages + t.trie_pages + t.struct_pages) in
+  let steps =
+    float_of_int (t.index_node_visits + t.index_edge_lookups + t.hash_probes + t.trie_node_visits)
+  in
+  let streaming = float_of_int (t.extent_edges + t.join_edges) in
+  pages +. (steps /. 50.) +. (streaming /. 500.)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d join=%d table=%d"
+    t.index_node_visits t.struct_pages t.index_edge_lookups t.hash_probes t.trie_node_visits
+    t.trie_pages t.extent_pages t.extent_edges t.join_edges t.table_pages

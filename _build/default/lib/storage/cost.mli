@@ -1,0 +1,44 @@
+(** Logical cost counters for query processing.
+
+    The paper reports wall-clock seconds on 2002 hardware with disk-resident
+    data; these counters are the hardware-independent equivalent our
+    benchmarks report alongside wall-clock. Each query processor increments
+    the counters that correspond to its work:
+
+    - [index_node_visits] / [index_edge_lookups] — navigation over the index
+      graph (DataGuide/1-index/G_APEX traversal during pruning & rewriting);
+    - [hash_probes] — H_APEX hash-tree probes;
+    - [trie_node_visits] — Patricia-trie traversal (Index Fabric);
+    - [extent_pages] / [extent_edges] — extent retrieval through the buffer
+      pool;
+    - [join_edges] — edges processed by multi-way extent joins;
+    - [table_pages] — data-table pages probed for value predicates. *)
+
+type t = {
+  mutable index_node_visits : int;
+  mutable struct_pages : int;
+      (** distinct pages of disk-resident index {e structure} (summary-graph
+          nodes, hash-tree hnodes) touched, deduplicated per query *)
+  mutable index_edge_lookups : int;
+  mutable hash_probes : int;
+  mutable trie_node_visits : int;
+  mutable trie_pages : int;
+  mutable extent_pages : int;
+  mutable extent_edges : int;
+  mutable join_edges : int;
+  mutable table_pages : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val weighted_total : t -> float
+(** Single scalar used for plot-style comparisons: page accesses dominate
+    (weight 1.0 per page), in-memory structure steps cost 1/50 page, and
+    per-edge streaming work costs 1/500 page. The exact weights only scale
+    the series; orderings are driven by the counter magnitudes. *)
+
+val pp : Format.formatter -> t -> unit

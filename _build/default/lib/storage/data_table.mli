@@ -1,0 +1,32 @@
+(** The data table: nid → data value, disk resident.
+
+    The paper's QTYPE3 processing tests candidate nodes "by looking up the
+    data table which keeps all node identifiers (nid) and corresponding data
+    values". Records are packed into pages sorted by nid, with an in-memory
+    sparse directory (first nid of each page), so a probe costs one page read
+    plus an in-page scan — charged as [table_pages] on the {!Cost.t}. *)
+
+type t
+
+val build : Buffer_pool.t -> Repro_graph.Data_graph.t -> t
+(** Store every node that has a data value. Values longer than what fits in
+    one page are truncated (never the case for our datasets). *)
+
+val n_entries : t -> int
+val n_pages : t -> int
+
+val lookup : ?cost:Cost.t -> t -> Repro_graph.Data_graph.nid -> string option
+
+val matches : ?cost:Cost.t -> t -> Repro_graph.Data_graph.nid -> string -> bool
+(** [matches t nid v] — the node has a data value equal to [v]. *)
+
+val filter_matching :
+  ?cost:Cost.t -> t -> Repro_graph.Data_graph.nid array -> string -> Repro_graph.Data_graph.nid array
+(** Keep the candidates whose value equals the given string. The candidate
+    array must be sorted ascending; each table page is charged once per
+    call (consecutive candidates share pages — the per-query working-set
+    cost model). *)
+
+val iter : t -> (Repro_graph.Data_graph.nid -> string -> unit) -> unit
+(** Iterate all (nid, value) records in nid order, bypassing the cache (used
+    by index builders, e.g. to enumerate Index Fabric keys). *)

@@ -1,0 +1,156 @@
+type codec =
+  [ `Raw
+  | `Delta_varint
+  ]
+
+type handle = {
+  first_page : Pager.pid;
+  first_off : int;
+  n_bytes : int;
+  n_ints : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  enc : codec;
+  mutable cur_page : Pager.pid;
+  mutable cur_off : int;
+  mutable cur_buf : bytes;
+}
+
+let create ?(codec = `Raw) pool =
+  let pager = Buffer_pool.pager pool in
+  let pid = Pager.alloc pager in
+  { pool; enc = codec; cur_page = pid; cur_off = 0; cur_buf = Bytes.make (Pager.page_size pager) '\000' }
+
+let codec t = t.enc
+
+(* --- encoding --- *)
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let low = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let encode enc ints =
+  match enc with
+  | `Raw ->
+    let buf = Bytes.create (8 * Array.length ints) in
+    Array.iteri (fun i v -> Codec.set_i64 buf (i * 8) v) ints;
+    Bytes.unsafe_to_string buf
+  | `Delta_varint ->
+    let buf = Buffer.create (Array.length ints * 2) in
+    let prev = ref 0 in
+    Array.iter
+      (fun v ->
+        add_varint buf (zigzag (v - !prev));
+        prev := v)
+      ints;
+    Buffer.contents buf
+
+let decode enc data n_ints =
+  match enc with
+  | `Raw ->
+    Array.init n_ints (fun i -> Codec.get_i64 (Bytes.unsafe_of_string data) (i * 8))
+  | `Delta_varint ->
+    let out = Array.make n_ints 0 in
+    let pos = ref 0 in
+    let prev = ref 0 in
+    for i = 0 to n_ints - 1 do
+      let v = ref 0 and shift = ref 0 and continue = ref true in
+      while !continue do
+        let byte = Char.code data.[!pos] in
+        incr pos;
+        v := !v lor ((byte land 0x7F) lsl !shift);
+        shift := !shift + 7;
+        if byte land 0x80 = 0 then continue := false
+      done;
+      prev := !prev + unzigzag !v;
+      out.(i) <- !prev
+    done;
+    out
+
+(* --- page-spanning byte blobs --- *)
+
+let flush_current t = Buffer_pool.write t.pool t.cur_page t.cur_buf
+
+let next_page t =
+  flush_current t;
+  let pager = Buffer_pool.pager t.pool in
+  t.cur_page <- Pager.alloc pager;
+  t.cur_off <- 0;
+  Bytes.fill t.cur_buf 0 (Bytes.length t.cur_buf) '\000'
+
+let append_blob t data ~n_ints =
+  let pager = Buffer_pool.pager t.pool in
+  let page_size = Pager.page_size pager in
+  (* A blob occupies consecutive pids ([load] walks [pid; pid+1; ...]).
+     Within one append, allocations are consecutive; but if another store
+     allocated pages since our last write, restart on a fresh tail page. *)
+  if t.cur_page <> Pager.n_pages pager - 1 then next_page t;
+  if t.cur_off >= page_size then next_page t;
+  let handle =
+    { first_page = t.cur_page; first_off = t.cur_off; n_bytes = String.length data; n_ints }
+  in
+  let remaining = ref (String.length data) in
+  let src = ref 0 in
+  while !remaining > 0 do
+    if t.cur_off >= page_size then next_page t;
+    let chunk = min !remaining (page_size - t.cur_off) in
+    Bytes.blit_string data !src t.cur_buf t.cur_off chunk;
+    t.cur_off <- t.cur_off + chunk;
+    src := !src + chunk;
+    remaining := !remaining - chunk
+  done;
+  flush_current t;
+  handle
+
+let pages_spanned t h =
+  if h.n_bytes = 0 then 0
+  else begin
+    let page_size = Pager.page_size (Buffer_pool.pager t.pool) in
+    ((h.first_off + h.n_bytes + page_size - 1) / page_size)
+  end
+
+let load_blob ?cost t h =
+  let page_size = Pager.page_size (Buffer_pool.pager t.pool) in
+  let out = Bytes.create h.n_bytes in
+  let pages = pages_spanned t h in
+  let copied = ref 0 in
+  for i = 0 to pages - 1 do
+    let buf = Buffer_pool.get t.pool (h.first_page + i) in
+    let start = if i = 0 then h.first_off else 0 in
+    let chunk = min (h.n_bytes - !copied) (page_size - start) in
+    Bytes.blit buf start out !copied chunk;
+    copied := !copied + chunk
+  done;
+  (match cost with
+   | Some c ->
+     c.Cost.extent_pages <- c.Cost.extent_pages + pages;
+     c.Cost.extent_edges <- c.Cost.extent_edges + h.n_ints
+   | None -> ());
+  Bytes.unsafe_to_string out
+
+(* --- public API --- *)
+
+let append_ints t ints = append_blob t (encode t.enc ints) ~n_ints:(Array.length ints)
+
+let append t (set : Repro_graph.Edge_set.t) = append_ints t (set :> int array)
+
+let load_ints ?cost t h = decode t.enc (load_blob ?cost t h) h.n_ints
+
+let load ?cost t h = Repro_graph.Edge_set.of_packed_array (load_ints ?cost t h)
+
+let cardinal h = h.n_ints
+let stored_bytes h = h.n_bytes

@@ -1,0 +1,53 @@
+(** Disk-resident storage for index extents.
+
+    Extents (edge sets, {!Repro_graph.Edge_set.t}) are serialized as a
+    stream of integers appended sequentially across pages. Loading an
+    extent reads every page it touches through the buffer pool and charges
+    [extent_pages]/[extent_edges] to the supplied {!Cost.t}, which is how
+    "gather the extent" acquires its I/O cost in the benchmarks.
+
+    Two on-page codecs:
+    - [`Raw]: 8 bytes per integer;
+    - [`Delta_varint]: zigzag-encoded deltas in LEB128 varints — sorted
+      streams (every extent is strictly increasing) compress severalfold,
+      shrinking the page counts queries pay for. The ablation benchmark
+      compares the two. *)
+
+type t
+
+type codec =
+  [ `Raw
+  | `Delta_varint
+  ]
+
+type handle
+(** Location of one stored extent. *)
+
+val create : ?codec:codec -> Buffer_pool.t -> t
+(** Default codec [`Raw]. *)
+
+val codec : t -> codec
+
+val append : t -> Repro_graph.Edge_set.t -> handle
+(** Serialize an extent at the current tail. Build-time writes are counted
+    in the pager's {!Io_stats}. *)
+
+val load : ?cost:Cost.t -> t -> handle -> Repro_graph.Edge_set.t
+(** Read the extent back through the buffer pool. *)
+
+val cardinal : handle -> int
+(** Number of integers, without I/O. *)
+
+val pages_spanned : t -> handle -> int
+(** Number of pages {!load} will touch. *)
+
+val stored_bytes : handle -> int
+(** Encoded size of the extent. *)
+
+val append_ints : t -> int array -> handle
+(** Store a raw int array (e.g. a DataGuide target set or a persistence
+    image) with the same layout and accounting as {!append}. Values must be
+    non-negative. *)
+
+val load_ints : ?cost:Cost.t -> t -> handle -> int array
+(** Counterpart of {!append_ints}. *)

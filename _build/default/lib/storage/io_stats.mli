@@ -1,0 +1,14 @@
+(** Counters for the simulated disk and buffer pool. *)
+
+type t = {
+  mutable disk_reads : int;  (** pages fetched from the simulated disk *)
+  mutable disk_writes : int;  (** pages written to the simulated disk *)
+  mutable cache_hits : int;  (** page requests served by the buffer pool *)
+  mutable cache_misses : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val total_page_requests : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type pid = int
+
+type t = {
+  page_size : int;
+  pages : bytes Repro_util.Vec.t;
+  stats : Io_stats.t;
+}
+
+let create ?(page_size = 8192) () =
+  if page_size < 64 then invalid_arg "Pager.create: page_size too small";
+  { page_size; pages = Repro_util.Vec.create (); stats = Io_stats.create () }
+
+let page_size t = t.page_size
+let n_pages t = Repro_util.Vec.length t.pages
+let stats t = t.stats
+
+let alloc t =
+  let pid = n_pages t in
+  Repro_util.Vec.push t.pages (Bytes.make t.page_size '\000');
+  pid
+
+let check t pid =
+  if pid < 0 || pid >= n_pages t then
+    invalid_arg (Printf.sprintf "Pager: unknown page %d (have %d)" pid (n_pages t))
+
+let read t pid =
+  check t pid;
+  t.stats.disk_reads <- t.stats.disk_reads + 1;
+  Bytes.copy (Repro_util.Vec.get t.pages pid)
+
+let write t pid buf =
+  check t pid;
+  if Bytes.length buf <> t.page_size then
+    invalid_arg
+      (Printf.sprintf "Pager.write: buffer is %d bytes, page size is %d" (Bytes.length buf)
+         t.page_size);
+  t.stats.disk_writes <- t.stats.disk_writes + 1;
+  Repro_util.Vec.set t.pages pid (Bytes.copy buf)
+
+let unsafe_borrow t pid =
+  check t pid;
+  Repro_util.Vec.get t.pages pid

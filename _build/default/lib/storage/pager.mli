@@ -1,0 +1,34 @@
+(** Simulated disk: an array of fixed-size pages with access counting.
+
+    The "disk" is main memory, but every read and write is counted in
+    {!Io_stats.t}, which is what the benchmark cost model consumes. Page
+    contents are bytes; callers encode their records with {!Codec}. *)
+
+type t
+
+type pid = int
+(** Page identifier, dense from 0. *)
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] defaults to 8192 bytes, the block size used for the Index
+    Fabric in the paper's experiments. *)
+
+val page_size : t -> int
+val n_pages : t -> int
+val stats : t -> Io_stats.t
+
+val alloc : t -> pid
+(** Append a fresh zeroed page. Not counted as I/O (allocation happens at
+    build time; builds report their own cost separately). *)
+
+val read : t -> pid -> bytes
+(** Copy of the page contents; counts one disk read.
+    @raise Invalid_argument on an unknown pid. *)
+
+val write : t -> pid -> bytes -> unit
+(** Replace the page contents; counts one disk write. The buffer must be
+    exactly [page_size] long. @raise Invalid_argument otherwise. *)
+
+val unsafe_borrow : t -> pid -> bytes
+(** The live page buffer without copying or counting — only for the buffer
+    pool implementation. *)

@@ -1,0 +1,90 @@
+let of_unsorted a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let out = Array.make n a.(0) in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub out 0 !k
+  end
+
+let is_sorted_set a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+let mem a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true else if a.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let merge_with ~keep_left_only ~keep_right_only ~keep_both a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Vec.create ~capacity:(na + nb) () in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      if keep_both then Vec.push out x;
+      incr i;
+      incr j
+    end
+    else if x < y then begin
+      if keep_left_only then Vec.push out x;
+      incr i
+    end
+    else begin
+      if keep_right_only then Vec.push out y;
+      incr j
+    end
+  done;
+  if keep_left_only then
+    while !i < na do
+      Vec.push out a.(!i);
+      incr i
+    done;
+  if keep_right_only then
+    while !j < nb do
+      Vec.push out b.(!j);
+      incr j
+    done;
+  Vec.to_array out
+
+let union a b =
+  if Array.length a = 0 then Array.copy b
+  else if Array.length b = 0 then Array.copy a
+  else merge_with ~keep_left_only:true ~keep_right_only:true ~keep_both:true a b
+
+let inter a b = merge_with ~keep_left_only:false ~keep_right_only:false ~keep_both:true a b
+let diff a b = merge_with ~keep_left_only:true ~keep_right_only:false ~keep_both:false a b
+
+let subset a b = Array.length (diff a b) = 0
+
+let equal a b = a = b
+
+let union_many sets =
+  let rec round = function
+    | [] -> [||]
+    | [ s ] -> s
+    | sets ->
+      let rec pair = function
+        | a :: b :: rest -> union a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      round (pair sets)
+  in
+  round sets

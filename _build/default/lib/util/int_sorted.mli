@@ -1,0 +1,24 @@
+(** Sets of integers represented as strictly increasing arrays.
+
+    Used for node-id result sets and packed edge sets: compact, cache
+    friendly, and set operations are linear merges. All functions expect
+    (and produce) strictly increasing arrays; {!of_unsorted} establishes the
+    invariant. *)
+
+val of_unsorted : int array -> int array
+(** Sort and remove duplicates (fresh array). *)
+
+val is_sorted_set : int array -> bool
+(** True when the array is strictly increasing. *)
+
+val mem : int array -> int -> bool
+(** Binary search. *)
+
+val union : int array -> int array -> int array
+val inter : int array -> int array -> int array
+val diff : int array -> int array -> int array
+val subset : int array -> int array -> bool
+val equal : int array -> int array -> bool
+
+val union_many : int array list -> int array
+(** Union of any number of sets (k-way merge via repeated pairing). *)

@@ -1,0 +1,54 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () = { data = [||]; len = -capacity }
+(* A vector starts without a witness element, so [data] stays empty until the
+   first push; the negative [len] remembers the requested capacity. *)
+
+let length v = if v.len < 0 then 0 else v.len
+
+let grow v x =
+  let cap = if v.len < 0 then max 8 (-v.len) else max 8 (2 * Array.length v.data) in
+  let data = Array.make cap x in
+  Array.blit v.data 0 data 0 (length v);
+  v.data <- data;
+  v.len <- length v
+
+let push v x =
+  if v.len < 0 || v.len >= Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i =
+  if i < 0 || i >= length v then invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i (length v))
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let iter f v =
+  for i = 0 to length v - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to length v - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let to_array v = Array.sub v.data 0 (length v)
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let clear v = if v.len > 0 then v.len <- 0

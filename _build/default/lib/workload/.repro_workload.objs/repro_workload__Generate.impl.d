@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Float List Random Repro_graph Repro_pathexpr Simple_paths String

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Random Repro_graph Repro_pathexpr

@@ -1,0 +1,1 @@
+lib/workload/query_log.ml: Array List Repro_graph Repro_pathexpr

@@ -1,0 +1,1 @@
+lib/workload/query_log.mli: Repro_graph Repro_pathexpr

@@ -1,0 +1,1 @@
+lib/workload/simple_paths.ml: Array Hashtbl List Random Repro_graph Repro_util

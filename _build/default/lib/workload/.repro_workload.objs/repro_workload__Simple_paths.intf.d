@@ -1,0 +1,1 @@
+lib/workload/simple_paths.mli: Random Repro_graph Repro_pathexpr

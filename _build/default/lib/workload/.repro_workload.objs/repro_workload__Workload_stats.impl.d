@@ -1,0 +1,1 @@
+lib/workload/workload_stats.ml: Array Format Hashtbl List Repro_graph Repro_pathexpr String

@@ -1,0 +1,1 @@
+lib/workload/workload_stats.mli: Format Repro_graph Repro_pathexpr

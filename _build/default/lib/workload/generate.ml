@@ -1,0 +1,88 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+module Query = Repro_pathexpr.Query
+
+let label_names g steps = List.map (fun (l, _) -> Label.to_string (G.labels g) l) steps
+
+(* random contiguous subsequence: 0 <= i <= j < len, uniform over pairs *)
+let random_span rand len =
+  let i = Random.State.int rand len in
+  let j = i + Random.State.int rand (len - i) in
+  (i, j)
+
+let sub_list l i j =
+  List.filteri (fun k _ -> k >= i && k <= j) l
+
+let qtype1 ?(n = 5000) rand g =
+  Array.init n (fun _ ->
+      (* long walks: the paper samples stored simple path expressions, most
+         of which are deep (reference-crossing) paths *)
+      let steps =
+        Simple_paths.random_walk rand ~stop_probability:0.08 ~max_length:12 ~attribute_bias:6.0 g
+      in
+      let names = label_names g steps in
+      let i, j = random_span rand (List.length names) in
+      Query.Qtype1 (sub_list names i j))
+
+let qtype2 ?(n = 500) rand g =
+  let labels = G.labels g in
+  let rec draw attempts =
+    if attempts = 0 then None
+    else begin
+      let steps = Simple_paths.random_walk rand ~stop_probability:0.1 g in
+      let plain =
+        List.filter_map
+          (fun (l, _) -> if Label.is_attribute labels l then None else Some (Label.to_string labels l))
+          steps
+      in
+      (* two positions with distinct labels, order preserved *)
+      let arr = Array.of_list plain in
+      let len = Array.length arr in
+      if len < 2 then draw (attempts - 1)
+      else begin
+        let i = Random.State.int rand (len - 1) in
+        let j = i + 1 + Random.State.int rand (len - i - 1) in
+        if String.equal arr.(i) arr.(j) then draw (attempts - 1) else Some (arr.(i), arr.(j))
+      end
+    end
+  in
+  Array.init n (fun _ ->
+      match draw 200 with
+      | Some (a, b) -> Query.Qtype2 (a, b)
+      | None -> invalid_arg "Generate.qtype2: could not find two distinct labels on any path")
+
+let qtype3 ?(n = 1000) rand g =
+  let labels = G.labels g in
+  let rec draw attempts =
+    if attempts = 0 then
+      invalid_arg "Generate.qtype3: no walks ending on a value node without dereferences"
+    else
+      match Simple_paths.walk_to_value rand g with
+      | None -> draw (attempts - 1)
+      | Some (steps, value) ->
+        if List.exists (fun (l, _) -> Label.is_attribute labels l) steps then draw (attempts - 1)
+        else begin
+          let names = label_names g steps in
+          let len = List.length names in
+          (* favour long suffixes: many QTYPE3 queries name (nearly) the
+             whole path to the value, which is what makes their candidate
+             sets small on irregularly structured data *)
+          let i = if Random.State.float rand 1.0 < 0.7 then 0 else Random.State.int rand len in
+          Query.Qtype3 (sub_list names i (len - 1), value)
+        end
+  in
+  Array.init n (fun _ -> draw 200)
+
+let sample rand ~fraction queries =
+  if fraction <= 0.0 || fraction > 1.0 then invalid_arg "Generate.sample: fraction must be in (0, 1]";
+  let n = Array.length queries in
+  let k = max 1 (int_of_float (Float.round (fraction *. float_of_int n))) in
+  (* partial Fisher-Yates: the first k positions of a shuffled copy *)
+  let copy = Array.copy queries in
+  for i = 0 to min (k - 1) (n - 2) do
+    let j = i + Random.State.int rand (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 (min k n)

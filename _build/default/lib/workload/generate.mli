@@ -1,0 +1,33 @@
+(** Random query generation following the protocol of Section 6.1.
+
+    The paper stores all simple path expressions and samples them; on
+    cyclic graphs that set is unbounded, so we sample simple path
+    expressions by random walks instead (every generated query is still
+    backed by at least one instance in the data). Counts default to the
+    paper's: 5000 QTYPE1, 500 QTYPE2, 1000 QTYPE3; the workload used for
+    mining is a 20% sample of the QTYPE1 set. *)
+
+val qtype1 :
+  ?n:int -> Random.State.t -> Repro_graph.Data_graph.t -> Repro_pathexpr.Query.t array
+(** [//l_i/.../l_n]: a random contiguous subsequence of a random simple
+    path expression with the descendant axis prepended (default [n] =
+    5000). *)
+
+val qtype2 :
+  ?n:int -> Random.State.t -> Repro_graph.Data_graph.t -> Repro_pathexpr.Query.t array
+(** [//l_i//l_j]: two distinct non-attribute labels chosen in order from a
+    random simple path expression (default [n] = 500). Results may be
+    empty, as in the paper. *)
+
+val qtype3 :
+  ?n:int -> Random.State.t -> Repro_graph.Data_graph.t -> Repro_pathexpr.Query.t array
+(** [//l_i/.../l_n\[text()=v\]]: a random suffix of a walk ending on a value
+    node, with that node's value — results are non-empty by construction
+    (default [n] = 1000). Dereference steps never appear (Section 6.1: the
+    Index Fabric keeps no dereference information), so walks through
+    ['@'] labels are re-drawn. *)
+
+val sample :
+  Random.State.t -> fraction:float -> Repro_pathexpr.Query.t array -> Repro_pathexpr.Query.t array
+(** Uniform sample without replacement, e.g. [~fraction:0.2] for the query
+    workload handed to the miner. *)

@@ -1,0 +1,39 @@
+type t = {
+  ring : Repro_pathexpr.Label_path.t array;
+  capacity : int;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Query_log.create: capacity must be positive";
+  { ring = Array.make capacity []; capacity; total = 0 }
+
+let record t path =
+  t.ring.(t.total mod t.capacity) <- path;
+  t.total <- t.total + 1
+
+let record_query t labels q =
+  let resolve steps =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | s :: tl ->
+        (match Repro_graph.Label.find labels s with
+         | Some l -> go (l :: acc) tl
+         | None -> None)
+    in
+    go [] steps
+  in
+  match q with
+  | Repro_pathexpr.Query.Qtype1 steps | Repro_pathexpr.Query.Qtype3 (steps, _) ->
+    (match resolve steps with Some p when p <> [] -> record t p | Some _ | None -> ())
+  | Repro_pathexpr.Query.Qtype2 _ -> ()
+
+let length t = min t.total t.capacity
+let total_recorded t = t.total
+
+let to_workload t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.total mod t.capacity in
+  List.init n (fun i -> t.ring.((start + i) mod t.capacity))
+
+let clear t = t.total <- 0

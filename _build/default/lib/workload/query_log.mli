@@ -1,0 +1,34 @@
+(** The query workload log.
+
+    Section 4 assumes "a database system keeps the set (= workload) of
+    queries (= label paths)"; this is that component: a bounded ring of the
+    most recent query paths, convertible to miner input. Bounding the log
+    gives the workload a sliding window, so old interests age out of the
+    index on the next refresh. *)
+
+type t
+
+val create : capacity:int -> t
+(** Keep at most [capacity] most-recent entries (older ones are
+    overwritten). @raise Invalid_argument when capacity is not positive. *)
+
+val record : t -> Repro_pathexpr.Label_path.t -> unit
+(** Log one executed query's label path. *)
+
+val record_query :
+  t -> Repro_graph.Label.table -> Repro_pathexpr.Query.t -> unit
+(** Log a query: QTYPE1 paths are recorded as-is, QTYPE3 paths without
+    their value predicate; QTYPE2 and unknown-label queries are skipped
+    (they contribute no label path, matching the paper's workload of
+    QTYPE1-style paths). *)
+
+val length : t -> int
+(** Entries currently held (≤ capacity). *)
+
+val total_recorded : t -> int
+(** Entries ever recorded, including overwritten ones. *)
+
+val to_workload : t -> Repro_pathexpr.Label_path.t list
+(** The current window, oldest first. *)
+
+val clear : t -> unit

@@ -1,0 +1,123 @@
+module G = Repro_graph.Data_graph
+
+(* Enumeration walks the determinized label structure (the same subset
+   construction that underlies the strong DataGuide): a state is a set of
+   data nodes, transitions group the states' outgoing edges by label. Paths
+   from the root state then correspond one-to-one to distinct label paths of
+   the data. States are memoized so the (possibly cyclic) automaton is built
+   at most once. *)
+
+module Node_set = struct
+  type t = int array (* strictly increasing *)
+
+  let equal = Repro_util.Int_sorted.equal
+  let hash (t : t) = Hashtbl.hash t
+end
+
+module State_tbl = Hashtbl.Make (Node_set)
+
+let successors g (state : Node_set.t) =
+  let by_label : (int, int Repro_util.Vec.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun u ->
+      G.iter_out g u (fun l v ->
+          match Hashtbl.find_opt by_label l with
+          | Some vec -> Repro_util.Vec.push vec v
+          | None ->
+            let vec = Repro_util.Vec.create () in
+            Repro_util.Vec.push vec v;
+            Hashtbl.add by_label l vec))
+    state;
+  Hashtbl.fold
+    (fun l vec acc -> (l, Repro_util.Int_sorted.of_unsorted (Repro_util.Vec.to_array vec)) :: acc)
+    by_label []
+  |> List.sort (fun (l1, _) (l2, _) -> compare l1 l2)
+
+let enumerate ?(max_length = 16) ?(limit = 100_000) g =
+  let memo : (int * Node_set.t) list State_tbl.t = State_tbl.create 256 in
+  let out = Repro_util.Vec.create () in
+  let count = ref 0 in
+  let rec go state depth rev_path =
+    if depth < max_length && !count < limit then begin
+      let succ =
+        match State_tbl.find_opt memo state with
+        | Some s -> s
+        | None ->
+          let s = successors g state in
+          State_tbl.add memo state s;
+          s
+      in
+      List.iter
+        (fun (l, next) ->
+          if !count < limit then begin
+            let rev_path = l :: rev_path in
+            incr count;
+            Repro_util.Vec.push out (List.rev rev_path);
+            go next (depth + 1) rev_path
+          end)
+        succ
+    end
+  in
+  go [| G.root g |] 0 [];
+  List.of_seq (Array.to_seq (Repro_util.Vec.to_array out))
+
+let random_walk rand ?(max_length = 20) ?(stop_probability = 0.25) ?(attribute_bias = 1.0) g =
+  if G.out_degree g (G.root g) = 0 then
+    invalid_arg "Simple_paths.random_walk: root has no outgoing edges";
+  let labels = G.labels g in
+  let pick_edge u =
+    let deg = G.out_degree g u in
+    if deg = 0 then None
+    else if attribute_bias = 1.0 then begin
+      let k = Random.State.int rand deg in
+      let result = ref None in
+      let i = ref 0 in
+      G.iter_out g u (fun l v ->
+          if !i = k then result := Some (l, v);
+          incr i);
+      !result
+    end
+    else begin
+      (* weighted choice: attribute edges carry [attribute_bias] weight, so
+         walks favour the reference chains that dominate the set of distinct
+         simple path expressions on graph-shaped data *)
+      let weight l = if Repro_graph.Label.is_attribute labels l then attribute_bias else 1.0 in
+      let total = G.fold_out g u (fun acc l _ -> acc +. weight l) 0.0 in
+      let target = Random.State.float rand total in
+      let acc = ref 0.0 in
+      let result = ref None in
+      G.iter_out g u (fun l v ->
+          if !result = None then begin
+            acc := !acc +. weight l;
+            if !acc > target then result := Some (l, v)
+          end);
+      !result
+    end
+  in
+  let rec go u steps len =
+    match pick_edge u with
+    | None -> List.rev steps
+    | Some (l, v) ->
+      let steps = (l, v) :: steps in
+      if len + 1 >= max_length || Random.State.float rand 1.0 < stop_probability then
+        List.rev steps
+      else go v steps (len + 1)
+  in
+  go (G.root g) [] 0
+
+let walk_to_value rand ?(max_length = 20) ?(max_attempts = 64) g =
+  let rec attempt k =
+    if k = 0 then None
+    else begin
+      (* walk with no early stopping: run until a dead end, which in the
+         Section 3 encoding is a value leaf or an empty element *)
+      let steps = random_walk rand ~max_length ~stop_probability:0.0 g in
+      match List.rev steps with
+      | (_, last) :: _ ->
+        (match G.value g last with
+         | Some v -> Some (steps, v)
+         | None -> attempt (k - 1))
+      | [] -> attempt (k - 1)
+    end
+  in
+  attempt max_attempts

@@ -1,0 +1,44 @@
+(** Simple path expressions: label paths of the root node (Section 6.1).
+
+    Two ways to obtain them: exhaustive enumeration (exact, for small or
+    tree-shaped data and for tests) and random walks (sampling, scales to
+    cyclic graphs where the set of simple path expressions is unbounded). *)
+
+val enumerate :
+  ?max_length:int ->
+  ?limit:int ->
+  Repro_graph.Data_graph.t ->
+  Repro_pathexpr.Label_path.t list
+(** All distinct label paths starting at the root, up to [max_length]
+    (default 16) labels, stopping after [limit] (default 100_000) paths.
+    Implemented by a depth-first walk of the determinized label structure,
+    so each returned path is distinct and is guaranteed to have at least one
+    instance in the data. *)
+
+val random_walk :
+  Random.State.t ->
+  ?max_length:int ->
+  ?stop_probability:float ->
+  ?attribute_bias:float ->
+  Repro_graph.Data_graph.t ->
+  (Repro_graph.Label.t * Repro_graph.Data_graph.nid) list
+(** A random root-to-somewhere path as [(label, node)] steps, at least one
+    step long. After each step the walk halts with [stop_probability]
+    (default 0.25) or when out-degree is zero or [max_length] (default 20)
+    is reached. [attribute_bias] (default 1.0) multiplies the choice weight
+    of ['@'] edges: values above 1 steer walks into reference chains, which
+    is how sampling-by-walk approximates the paper's uniform choice among
+    {e distinct} simple path expressions — on graph data those are
+    dominated by reference-crossing paths. @raise Invalid_argument if the
+    root has no outgoing edges. *)
+
+val walk_to_value :
+  Random.State.t ->
+  ?max_length:int ->
+  ?max_attempts:int ->
+  Repro_graph.Data_graph.t ->
+  ((Repro_graph.Label.t * Repro_graph.Data_graph.nid) list * string) option
+(** A random walk that ends on a node carrying a data value, paired with
+    that value (for generating QTYPE3 queries with non-empty results).
+    [None] if no such walk was found within [max_attempts] (default 64)
+    tries. *)

@@ -1,0 +1,68 @@
+module G = Repro_graph.Data_graph
+module Query = Repro_pathexpr.Query
+
+type t = {
+  queries : int;
+  mean_length : float;
+  max_length : int;
+  with_dereference : float;
+  root_anchored : float;
+  distinct : int;
+}
+
+(* the query path is a prefix of some root path: walk the instance sets
+   starting from the root only *)
+let is_root_anchored g path =
+  let rec go frontier = function
+    | [] -> true
+    | l :: rest ->
+      let next = ref [] in
+      List.iter (fun u -> G.iter_out g u (fun l' v -> if l = l' then next := v :: !next)) frontier;
+      (match !next with
+       | [] -> false
+       | frontier -> go frontier rest)
+  in
+  go [ G.root g ] path
+
+let compute g queries =
+  let labels = G.labels g in
+  let n = Array.length queries in
+  let total_len = ref 0 in
+  let max_len = ref 0 in
+  let derefs = ref 0 in
+  let anchored = ref 0 in
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun q ->
+      Hashtbl.replace seen (Query.to_string q) ();
+      let steps =
+        match q with
+        | Query.Qtype1 steps | Query.Qtype3 (steps, _) -> steps
+        | Query.Qtype2 (a, b) -> [ a; b ]
+      in
+      let len = List.length steps in
+      total_len := !total_len + len;
+      if len > !max_len then max_len := len;
+      if List.exists (fun s -> String.length s > 0 && s.[0] = '@') steps then incr derefs;
+      match q with
+      | Query.Qtype2 _ -> ()
+      | Query.Qtype1 _ | Query.Qtype3 _ ->
+        (match Query.compile labels q with
+         | Some (Query.C1 p) | Some (Query.C3 (p, _)) ->
+           if is_root_anchored g p then incr anchored
+         | Some (Query.C2 _) | None -> ()))
+    queries;
+  { queries = n;
+    mean_length = (if n = 0 then 0.0 else float_of_int !total_len /. float_of_int n);
+    max_length = !max_len;
+    with_dereference = (if n = 0 then 0.0 else float_of_int !derefs /. float_of_int n);
+    root_anchored = (if n = 0 then 0.0 else float_of_int !anchored /. float_of_int n);
+    distinct = Hashtbl.length seen
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d queries (%d distinct), mean length %.2f (max %d), %.0f%% with dereference, %.0f%% root-anchored"
+    t.queries t.distinct t.mean_length t.max_length
+    (100. *. t.with_dereference)
+    (100. *. t.root_anchored)

@@ -1,0 +1,20 @@
+(** Characteristics of a generated query set, for comparison with the
+    paper's remarks in Section 6.1 ("the percentage of simple path
+    expressions in the query workload ... was about 25%"). *)
+
+type t = {
+  queries : int;
+  mean_length : float;  (** mean number of steps *)
+  max_length : int;
+  with_dereference : float;  (** fraction containing an ['@'] step *)
+  root_anchored : float;
+      (** fraction whose label path is a prefix of some root path — the
+          paper's "simple path expressions" *)
+  distinct : int;  (** distinct queries *)
+}
+
+val compute : Repro_graph.Data_graph.t -> Repro_pathexpr.Query.t array -> t
+(** QTYPE2 queries count with length 2 and are never root-anchored;
+    unknown-label queries are never root-anchored. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Buffer Hashtbl List Option Printf Repro_util String Xml_lexer Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Buffer List Printf String Xml_lexer Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_print.ml: Buffer List Printf String Xml_tree

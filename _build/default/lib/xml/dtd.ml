@@ -1,0 +1,587 @@
+type content_particle =
+  | Elem of string
+  | Seq of content_particle list
+  | Choice of content_particle list
+  | Opt of content_particle
+  | Star of content_particle
+  | Plus of content_particle
+
+type content_model =
+  | Empty
+  | Any
+  | Pcdata
+  | Mixed of string list
+  | Children of content_particle
+
+type attribute_type =
+  | Cdata
+  | Id
+  | Idref
+  | Idrefs
+  | Nmtoken
+  | Nmtokens
+  | Entity
+  | Entities
+  | Enumeration of string list
+
+type attribute_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attribute = {
+  att_name : string;
+  att_type : attribute_type;
+  att_default : attribute_default;
+}
+
+type t = {
+  order : string list;  (* element declaration order, reversed *)
+  elements : (string, content_model) Hashtbl.t;
+  attlists : (string, attribute list) Hashtbl.t;
+}
+
+(* --- parsing --- *)
+
+exception Fail of string
+
+let fail lexer fmt =
+  let line, col = Xml_lexer.pos lexer in
+  Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "%d:%d: %s" line col m))) fmt
+
+let rec skip_misc lexer =
+  Xml_lexer.skip_whitespace lexer;
+  if Xml_lexer.looking_at lexer "<!--" then begin
+    Xml_lexer.expect_string lexer "<!--";
+    Xml_lexer.skip_until lexer "-->";
+    skip_misc lexer
+  end
+  else if Xml_lexer.looking_at lexer "<?" then begin
+    Xml_lexer.expect_string lexer "<?";
+    Xml_lexer.skip_until lexer "?>";
+    skip_misc lexer
+  end
+
+let rec parse_cp lexer =
+  Xml_lexer.skip_whitespace lexer;
+  let base =
+    if Xml_lexer.looking_at lexer "(" then begin
+      Xml_lexer.expect_char lexer '(';
+      let inner = parse_group lexer in
+      Xml_lexer.skip_whitespace lexer;
+      Xml_lexer.expect_char lexer ')';
+      inner
+    end
+    else Elem (Xml_lexer.name lexer)
+  in
+  match Xml_lexer.peek lexer with
+  | Some '?' ->
+    Xml_lexer.advance lexer;
+    Opt base
+  | Some '*' ->
+    Xml_lexer.advance lexer;
+    Star base
+  | Some '+' ->
+    Xml_lexer.advance lexer;
+    Plus base
+  | Some _ | None -> base
+
+and parse_group lexer =
+  let first = parse_cp lexer in
+  Xml_lexer.skip_whitespace lexer;
+  match Xml_lexer.peek lexer with
+  | Some ',' ->
+    let rec more acc =
+      Xml_lexer.skip_whitespace lexer;
+      if Xml_lexer.looking_at lexer "," then begin
+        Xml_lexer.expect_char lexer ',';
+        more (parse_cp lexer :: acc)
+      end
+      else Seq (List.rev acc)
+    in
+    more [ first ]
+  | Some '|' ->
+    let rec more acc =
+      Xml_lexer.skip_whitespace lexer;
+      if Xml_lexer.looking_at lexer "|" then begin
+        Xml_lexer.expect_char lexer '|';
+        more (parse_cp lexer :: acc)
+      end
+      else Choice (List.rev acc)
+    in
+    more [ first ]
+  | Some _ | None -> first
+
+let parse_content_model lexer =
+  Xml_lexer.skip_whitespace lexer;
+  if Xml_lexer.looking_at lexer "EMPTY" then begin
+    Xml_lexer.expect_string lexer "EMPTY";
+    Empty
+  end
+  else if Xml_lexer.looking_at lexer "ANY" then begin
+    Xml_lexer.expect_string lexer "ANY";
+    Any
+  end
+  else if Xml_lexer.looking_at lexer "(" then begin
+    Xml_lexer.expect_char lexer '(';
+    Xml_lexer.skip_whitespace lexer;
+    if Xml_lexer.looking_at lexer "#PCDATA" then begin
+      Xml_lexer.expect_string lexer "#PCDATA";
+      let rec names acc =
+        Xml_lexer.skip_whitespace lexer;
+        if Xml_lexer.looking_at lexer "|" then begin
+          Xml_lexer.expect_char lexer '|';
+          Xml_lexer.skip_whitespace lexer;
+          names (Xml_lexer.name lexer :: acc)
+        end
+        else List.rev acc
+      in
+      let mixed = names [] in
+      Xml_lexer.skip_whitespace lexer;
+      Xml_lexer.expect_char lexer ')';
+      if Xml_lexer.looking_at lexer "*" then Xml_lexer.expect_char lexer '*'
+      else if mixed <> [] then fail lexer "mixed content must end with )*";
+      if mixed = [] then Pcdata else Mixed mixed
+    end
+    else begin
+      let inner = parse_group lexer in
+      Xml_lexer.skip_whitespace lexer;
+      Xml_lexer.expect_char lexer ')';
+      let particle =
+        match Xml_lexer.peek lexer with
+        | Some '?' ->
+          Xml_lexer.advance lexer;
+          Opt inner
+        | Some '*' ->
+          Xml_lexer.advance lexer;
+          Star inner
+        | Some '+' ->
+          Xml_lexer.advance lexer;
+          Plus inner
+        | Some _ | None -> inner
+      in
+      Children particle
+    end
+  end
+  else fail lexer "expected EMPTY, ANY or a content model"
+
+let parse_attribute_type lexer =
+  let keyword k v =
+    if Xml_lexer.looking_at lexer k then begin
+      Xml_lexer.expect_string lexer k;
+      Some v
+    end
+    else None
+  in
+  (* note: longer keywords first (IDREFS before IDREF before ID) *)
+  match
+    List.find_map
+      (fun (k, v) -> keyword k v)
+      [ ("CDATA", Cdata); ("IDREFS", Idrefs); ("IDREF", Idref); ("ID", Id);
+        ("NMTOKENS", Nmtokens); ("NMTOKEN", Nmtoken); ("ENTITIES", Entities); ("ENTITY", Entity)
+      ]
+  with
+  | Some t -> t
+  | None ->
+    if Xml_lexer.looking_at lexer "(" then begin
+      Xml_lexer.expect_char lexer '(';
+      let rec values acc =
+        Xml_lexer.skip_whitespace lexer;
+        let v = Xml_lexer.name lexer in
+        Xml_lexer.skip_whitespace lexer;
+        if Xml_lexer.looking_at lexer "|" then begin
+          Xml_lexer.expect_char lexer '|';
+          values (v :: acc)
+        end
+        else begin
+          Xml_lexer.expect_char lexer ')';
+          List.rev (v :: acc)
+        end
+      in
+      Enumeration (values [])
+    end
+    else fail lexer "expected an attribute type"
+
+let parse_attribute_default lexer =
+  Xml_lexer.skip_whitespace lexer;
+  if Xml_lexer.looking_at lexer "#REQUIRED" then begin
+    Xml_lexer.expect_string lexer "#REQUIRED";
+    Required
+  end
+  else if Xml_lexer.looking_at lexer "#IMPLIED" then begin
+    Xml_lexer.expect_string lexer "#IMPLIED";
+    Implied
+  end
+  else if Xml_lexer.looking_at lexer "#FIXED" then begin
+    Xml_lexer.expect_string lexer "#FIXED";
+    Xml_lexer.skip_whitespace lexer;
+    Fixed (Xml_lexer.quoted lexer ~decode:Xml_lexer.decode_references)
+  end
+  else Default (Xml_lexer.quoted lexer ~decode:Xml_lexer.decode_references)
+
+let parse input =
+  let lexer = Xml_lexer.of_string input in
+  let t = { order = []; elements = Hashtbl.create 16; attlists = Hashtbl.create 16 } in
+  let order = ref [] in
+  try
+    let rec loop () =
+      skip_misc lexer;
+      if Xml_lexer.eof lexer then ()
+      else if Xml_lexer.looking_at lexer "<!ELEMENT" then begin
+        Xml_lexer.expect_string lexer "<!ELEMENT";
+        Xml_lexer.skip_whitespace lexer;
+        let name = Xml_lexer.name lexer in
+        let model = parse_content_model lexer in
+        Xml_lexer.skip_whitespace lexer;
+        Xml_lexer.expect_char lexer '>';
+        if Hashtbl.mem t.elements name then fail lexer "duplicate element declaration %s" name;
+        Hashtbl.add t.elements name model;
+        order := name :: !order;
+        loop ()
+      end
+      else if Xml_lexer.looking_at lexer "<!ATTLIST" then begin
+        Xml_lexer.expect_string lexer "<!ATTLIST";
+        Xml_lexer.skip_whitespace lexer;
+        let elem = Xml_lexer.name lexer in
+        let rec atts acc =
+          Xml_lexer.skip_whitespace lexer;
+          if Xml_lexer.looking_at lexer ">" then begin
+            Xml_lexer.expect_char lexer '>';
+            List.rev acc
+          end
+          else begin
+            let att_name = Xml_lexer.name lexer in
+            Xml_lexer.skip_whitespace lexer;
+            let att_type = parse_attribute_type lexer in
+            let att_default = parse_attribute_default lexer in
+            atts ({ att_name; att_type; att_default } :: acc)
+          end
+        in
+        let new_atts = atts [] in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt t.attlists elem) in
+        Hashtbl.replace t.attlists elem (existing @ new_atts);
+        loop ()
+      end
+      else fail lexer "expected <!ELEMENT or <!ATTLIST"
+    in
+    loop ();
+    Ok { t with order = List.rev !order }
+  with
+  | Fail m -> Error m
+  | Xml_lexer.Error (m, line, col) -> Error (Printf.sprintf "%d:%d: %s" line col m)
+
+let parse_exn input =
+  match parse input with
+  | Ok t -> t
+  | Error m -> invalid_arg (Printf.sprintf "Dtd.parse_exn: %s" m)
+
+(* --- accessors --- *)
+
+let element_names t = t.order
+let content_model t name = Hashtbl.find_opt t.elements name
+let attributes t name = Option.value ~default:[] (Hashtbl.find_opt t.attlists name)
+
+let attribute_names_with t p =
+  Hashtbl.fold
+    (fun _ atts acc ->
+      List.fold_left (fun acc a -> if p a.att_type then a.att_name :: acc else acc) acc atts)
+    t.attlists []
+  |> List.sort_uniq compare
+
+let id_attributes t = attribute_names_with t (function Id -> true | _ -> false)
+
+let idref_attributes t =
+  attribute_names_with t (function Idref | Idrefs -> true | _ -> false)
+
+(* --- rendering --- *)
+
+let rec particle_to_string = function
+  | Elem n -> n
+  | Seq ps -> "(" ^ String.concat "," (List.map particle_to_string ps) ^ ")"
+  | Choice ps -> "(" ^ String.concat "|" (List.map particle_to_string ps) ^ ")"
+  | Opt p -> particle_to_string p ^ "?"
+  | Star p -> particle_to_string p ^ "*"
+  | Plus p -> particle_to_string p ^ "+"
+
+let model_to_string = function
+  | Empty -> "EMPTY"
+  | Any -> "ANY"
+  | Pcdata -> "(#PCDATA)"
+  | Mixed names -> "(#PCDATA|" ^ String.concat "|" names ^ ")*"
+  | Children (Seq _ as p) | Children (Choice _ as p) -> particle_to_string p
+  | Children p -> "(" ^ particle_to_string p ^ ")"
+
+let type_to_string = function
+  | Cdata -> "CDATA"
+  | Id -> "ID"
+  | Idref -> "IDREF"
+  | Idrefs -> "IDREFS"
+  | Nmtoken -> "NMTOKEN"
+  | Nmtokens -> "NMTOKENS"
+  | Entity -> "ENTITY"
+  | Entities -> "ENTITIES"
+  | Enumeration vs -> "(" ^ String.concat "|" vs ^ ")"
+
+let default_to_string = function
+  | Required -> "#REQUIRED"
+  | Implied -> "#IMPLIED"
+  | Fixed v -> Printf.sprintf "#FIXED \"%s\"" v
+  | Default v -> Printf.sprintf "\"%s\"" v
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      (match Hashtbl.find_opt t.elements name with
+       | Some model ->
+         Buffer.add_string buf (Printf.sprintf "<!ELEMENT %s %s>\n" name (model_to_string model))
+       | None -> ());
+      match attributes t name with
+      | [] -> ()
+      | atts ->
+        Buffer.add_string buf (Printf.sprintf "<!ATTLIST %s" name);
+        List.iter
+          (fun a ->
+            Buffer.add_string buf
+              (Printf.sprintf "\n  %s %s %s" a.att_name (type_to_string a.att_type)
+                 (default_to_string a.att_default)))
+          atts;
+        Buffer.add_string buf ">\n")
+    t.order;
+  (* attlists for undeclared elements, if any *)
+  Hashtbl.iter
+    (fun elem atts ->
+      if not (Hashtbl.mem t.elements elem) then begin
+        Buffer.add_string buf (Printf.sprintf "<!ATTLIST %s" elem);
+        List.iter
+          (fun a ->
+            Buffer.add_string buf
+              (Printf.sprintf "\n  %s %s %s" a.att_name (type_to_string a.att_type)
+                 (default_to_string a.att_default)))
+          atts;
+        Buffer.add_string buf ">\n"
+      end)
+    t.attlists;
+  Buffer.contents buf
+
+let apply_defaults t (doc : Xml_tree.document) =
+  let rec fix (e : Xml_tree.element) =
+    let declared = attributes t e.tag in
+    let missing =
+      List.filter_map
+        (fun a ->
+          if List.mem_assoc a.att_name e.attrs then None
+          else
+            match a.att_default with
+            | Default v | Fixed v -> Some (a.att_name, v)
+            | Required | Implied -> None)
+        declared
+    in
+    { e with
+      attrs = e.attrs @ missing;
+      children =
+        List.map
+          (function
+            | Xml_tree.Element c -> Xml_tree.Element (fix c)
+            | Xml_tree.Text _ as t -> t)
+          e.children
+    }
+  in
+  { doc with root = fix doc.root }
+
+(* --- validation --- *)
+
+(* Thompson construction over child-element names *)
+module Nfa = struct
+  type state = {
+    mutable eps : int list;
+    mutable trans : (string * int) list;
+  }
+
+  type t = {
+    states : state Repro_util.Vec.t;
+    start : int;
+    accept : int;
+  }
+
+  let add_state states =
+    let id = Repro_util.Vec.length states in
+    Repro_util.Vec.push states { eps = []; trans = [] };
+    id
+
+  let build particle =
+    let states = Repro_util.Vec.create () in
+    let rec go p =
+      match p with
+      | Elem name ->
+        let s = add_state states and a = add_state states in
+        (Repro_util.Vec.get states s).trans <- [ (name, a) ];
+        (s, a)
+      | Seq ps ->
+        List.fold_left
+          (fun (s, a) p ->
+            let s', a' = go p in
+            (Repro_util.Vec.get states a).eps <- s' :: (Repro_util.Vec.get states a).eps;
+            (s, a'))
+          (let s = add_state states in
+           (s, s))
+          ps
+      | Choice ps ->
+        let s = add_state states and a = add_state states in
+        List.iter
+          (fun p ->
+            let s', a' = go p in
+            (Repro_util.Vec.get states s).eps <- s' :: (Repro_util.Vec.get states s).eps;
+            (Repro_util.Vec.get states a').eps <- a :: (Repro_util.Vec.get states a').eps)
+          ps;
+        (s, a)
+      | Opt p ->
+        let s', a' = go p in
+        (Repro_util.Vec.get states s').eps <- a' :: (Repro_util.Vec.get states s').eps;
+        (s', a')
+      | Star p ->
+        let s = add_state states in
+        let s', a' = go p in
+        (Repro_util.Vec.get states s).eps <- s' :: (Repro_util.Vec.get states s).eps;
+        (Repro_util.Vec.get states a').eps <- s :: (Repro_util.Vec.get states a').eps;
+        (s, s)
+      | Plus p ->
+        let s', a' = go p in
+        (Repro_util.Vec.get states a').eps <- s' :: (Repro_util.Vec.get states a').eps;
+        (s', a')
+    in
+    let start, accept = go particle in
+    { states; start; accept }
+
+  let closure t set =
+    let seen = Hashtbl.create 16 in
+    let rec go id =
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        List.iter go (Repro_util.Vec.get t.states id).eps
+      end
+    in
+    List.iter go set;
+    Hashtbl.fold (fun id () acc -> id :: acc) seen []
+
+  let matches t names =
+    let step set name =
+      List.concat_map
+        (fun id ->
+          List.filter_map
+            (fun (n, target) -> if String.equal n name then Some target else None)
+            (Repro_util.Vec.get t.states id).trans)
+        set
+    in
+    let final = List.fold_left (fun set name -> closure t (step set name)) (closure t [ t.start ]) names in
+    List.mem t.accept final
+end
+
+type violation = {
+  path : string;
+  message : string;
+}
+
+let is_nmtoken s =
+  String.length s > 0
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' | ':' -> true | _ -> false)
+       s
+
+let split_tokens v =
+  String.split_on_char ' ' v |> List.filter (fun s -> String.length s > 0)
+
+let validate t (doc : Xml_tree.document) =
+  let violations = ref [] in
+  let report path fmt = Printf.ksprintf (fun m -> violations := { path; message = m } :: !violations) fmt in
+  let automata : (string, Nfa.t) Hashtbl.t = Hashtbl.create 16 in
+  let automaton name particle =
+    match Hashtbl.find_opt automata name with
+    | Some a -> a
+    | None ->
+      let a = Nfa.build particle in
+      Hashtbl.add automata name a;
+      a
+  in
+  let seen_ids : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let pending_refs : (string * string) list ref = ref [] in
+  let rec walk path (e : Xml_tree.element) =
+    let path = path ^ "/" ^ e.tag in
+    let child_elems =
+      List.filter_map (function Xml_tree.Element c -> Some c | Xml_tree.Text _ -> None) e.children
+    in
+    let has_text =
+      List.exists
+        (function
+          | Xml_tree.Text s -> not (String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s)
+          | Xml_tree.Element _ -> false)
+        e.children
+    in
+    (match Hashtbl.find_opt t.elements e.tag with
+     | None -> report path "element %s is not declared" e.tag
+     | Some Empty ->
+       if e.children <> [] then report path "element %s is declared EMPTY" e.tag
+     | Some Any ->
+       List.iter
+         (fun (c : Xml_tree.element) ->
+           if not (Hashtbl.mem t.elements c.tag) then
+             report path "child %s of ANY element is not declared" c.tag)
+         child_elems
+     | Some Pcdata ->
+       if child_elems <> [] then report path "element %s allows only character data" e.tag
+     | Some (Mixed allowed) ->
+       List.iter
+         (fun (c : Xml_tree.element) ->
+           if not (List.mem c.tag allowed) then
+             report path "child %s not allowed in mixed content of %s" c.tag e.tag)
+         child_elems
+     | Some (Children particle) ->
+       if has_text then report path "element %s does not allow character data" e.tag;
+       let names = List.map (fun (c : Xml_tree.element) -> c.tag) child_elems in
+       if not (Nfa.matches (automaton e.tag particle) names) then
+         report path "children (%s) do not match the content model of %s"
+           (String.concat "," names) e.tag);
+    (* attributes *)
+    let declared = attributes t e.tag in
+    List.iter
+      (fun (name, value) ->
+        match List.find_opt (fun a -> String.equal a.att_name name) declared with
+        | None -> report path "attribute %s of %s is not declared" name e.tag
+        | Some a ->
+          (match a.att_type with
+           | Id ->
+             if Hashtbl.mem seen_ids value then report path "duplicate ID %s" value
+             else Hashtbl.add seen_ids value path
+           | Idref -> pending_refs := (path, value) :: !pending_refs
+           | Idrefs ->
+             List.iter (fun v -> pending_refs := (path, v) :: !pending_refs) (split_tokens value)
+           | Nmtoken | Entity ->
+             if not (is_nmtoken value) then report path "attribute %s: %S is not a token" name value
+           | Nmtokens | Entities ->
+             if not (List.for_all is_nmtoken (split_tokens value)) then
+               report path "attribute %s: %S is not a token list" name value
+           | Enumeration allowed ->
+             if not (List.mem value allowed) then
+               report path "attribute %s: %S not in (%s)" name value (String.concat "|" allowed)
+           | Cdata -> ());
+          (match a.att_default with
+           | Fixed fixed when not (String.equal fixed value) ->
+             report path "attribute %s must be fixed to %S" name fixed
+           | Fixed _ | Required | Implied | Default _ -> ()))
+      e.attrs;
+    List.iter
+      (fun a ->
+        match a.att_default with
+        | Required when not (List.mem_assoc a.att_name e.attrs) ->
+          report path "required attribute %s of %s is missing" a.att_name e.tag
+        | Required | Implied | Fixed _ | Default _ -> ())
+      declared;
+    List.iter (walk path) child_elems
+  in
+  walk "" doc.root;
+  List.iter
+    (fun (path, r) ->
+      if not (Hashtbl.mem seen_ids r) then report path "IDREF %s resolves to no ID" r)
+    !pending_refs;
+  List.rev !violations

@@ -1,0 +1,101 @@
+(** Document type definitions (internal-subset syntax).
+
+    The paper's data model hinges on DTD attribute typing: "two particular
+    attributes, ID and IDREF, allow us to represent the structure of XML
+    data as a graph" (Section 3). This module parses the declarations that
+    carry that typing — [<!ELEMENT ...>] content models and
+    [<!ATTLIST ...>] attribute lists — exposes the ID/IDREF classification
+    the graph encoder needs, and validates documents against the content
+    models (Glushkov automata over child sequences).
+
+    Supported: EMPTY, ANY, (#PCDATA), mixed content [(#PCDATA|a|b)*],
+    deterministic and non-deterministic element content models with
+    [,], [|], [?], [*], [+]; attribute types CDATA, ID, IDREF, IDREFS,
+    NMTOKEN(S), ENTITY, ENTITIES, enumerations; defaults #REQUIRED,
+    #IMPLIED, #FIXED "v", "v". Parameter entities and external subsets are
+    out of scope. *)
+
+type content_particle =
+  | Elem of string
+  | Seq of content_particle list
+  | Choice of content_particle list
+  | Opt of content_particle
+  | Star of content_particle
+  | Plus of content_particle
+
+type content_model =
+  | Empty
+  | Any
+  | Pcdata  (** [(#PCDATA)] *)
+  | Mixed of string list  (** [(#PCDATA|a|b)*] *)
+  | Children of content_particle
+
+type attribute_type =
+  | Cdata
+  | Id
+  | Idref
+  | Idrefs
+  | Nmtoken
+  | Nmtokens
+  | Entity
+  | Entities
+  | Enumeration of string list
+
+type attribute_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attribute = {
+  att_name : string;
+  att_type : attribute_type;
+  att_default : attribute_default;
+}
+
+type t
+
+val parse : string -> (t, string) result
+(** Parse an internal subset: a sequence of [<!ELEMENT>] and [<!ATTLIST>]
+    declarations (comments and PIs skipped). *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+val element_names : t -> string list
+(** Declared elements, in declaration order. *)
+
+val content_model : t -> string -> content_model option
+
+val attributes : t -> string -> attribute list
+(** Declared attributes of an element ([] when none). *)
+
+val id_attributes : t -> string list
+(** All attribute names declared with type ID anywhere, deduplicated — the
+    [~id_attrs] input to {!Repro_graph.Data_graph.of_document}. *)
+
+val idref_attributes : t -> string list
+(** All attribute names declared IDREF or IDREFS anywhere — the
+    [~idref_attrs] input. *)
+
+val to_string : t -> string
+(** Render as internal-subset declarations (parses back to an equal
+    dtd). *)
+
+val apply_defaults : t -> Xml_tree.document -> Xml_tree.document
+(** Materialize declared attribute defaults: every element missing an
+    attribute whose declaration carries a [Default] or [Fixed] value gets
+    that value appended (what a validating parser hands the application). *)
+
+(** {1 Validation} *)
+
+type violation = {
+  path : string;  (** slash-separated element path to the offender *)
+  message : string;
+}
+
+val validate : t -> Xml_tree.document -> violation list
+(** Check the document against the DTD: undeclared elements, child
+    sequences not matching content models, character data where the model
+    forbids it, undeclared/missing/mistyped attributes, duplicate IDs and
+    dangling IDREFs. Empty list = valid. *)

@@ -1,0 +1,171 @@
+exception Parse_error of string
+
+let parse_error lexer fmt =
+  let line, col = Xml_lexer.pos lexer in
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "%d:%d: %s" line col msg))) fmt
+
+(* Whitespace-only text nodes between elements are markup formatting, not
+   data; keep a text node only if it has a non-space character. *)
+let is_ignorable s = String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s
+
+let rec skip_misc lexer =
+  Xml_lexer.skip_whitespace lexer;
+  if Xml_lexer.looking_at lexer "<!--" then begin
+    Xml_lexer.expect_string lexer "<!--";
+    Xml_lexer.skip_until lexer "-->";
+    skip_misc lexer
+  end
+  else if Xml_lexer.looking_at lexer "<?" then begin
+    Xml_lexer.expect_string lexer "<?";
+    Xml_lexer.skip_until lexer "?>";
+    skip_misc lexer
+  end
+
+(* DOCTYPE with an optional internal subset: skip to the matching '>',
+   capturing the '[' ... ']' block. *)
+let skip_doctype lexer =
+  Xml_lexer.expect_string lexer "<!DOCTYPE";
+  let subset = Buffer.create 64 in
+  let rec go () =
+    match Xml_lexer.peek lexer with
+    | None -> parse_error lexer "unterminated DOCTYPE"
+    | Some '[' ->
+      Xml_lexer.advance lexer;
+      let rec capture () =
+        match Xml_lexer.peek lexer with
+        | None -> parse_error lexer "unterminated DOCTYPE internal subset"
+        | Some ']' -> Xml_lexer.advance lexer
+        | Some c ->
+          Buffer.add_char subset c;
+          Xml_lexer.advance lexer;
+          capture ()
+      in
+      capture ();
+      go ()
+    | Some '>' -> Xml_lexer.advance lexer
+    | Some _ ->
+      Xml_lexer.advance lexer;
+      go ()
+  in
+  go ();
+  if Buffer.length subset = 0 then None else Some (Buffer.contents subset)
+
+let parse_attrs lexer =
+  let rec go acc =
+    Xml_lexer.skip_whitespace lexer;
+    match Xml_lexer.peek lexer with
+    | Some ('>' | '/' | '?') | None -> List.rev acc
+    | Some _ ->
+      let name = Xml_lexer.name lexer in
+      Xml_lexer.skip_whitespace lexer;
+      Xml_lexer.expect_char lexer '=';
+      Xml_lexer.skip_whitespace lexer;
+      let value = Xml_lexer.quoted lexer ~decode:Xml_lexer.decode_references in
+      go ((name, value) :: acc)
+  in
+  go []
+
+let rec parse_element lexer =
+  Xml_lexer.expect_char lexer '<';
+  let tag = Xml_lexer.name lexer in
+  let attrs = parse_attrs lexer in
+  match Xml_lexer.peek lexer with
+  | Some '/' ->
+    Xml_lexer.expect_string lexer "/>";
+    { Xml_tree.tag; attrs; children = [] }
+  | Some '>' ->
+    Xml_lexer.advance lexer;
+    let children = parse_content lexer in
+    Xml_lexer.expect_string lexer "</";
+    let close = Xml_lexer.name lexer in
+    if not (String.equal close tag) then
+      parse_error lexer "mismatched closing tag: expected </%s>, found </%s>" tag close;
+    Xml_lexer.skip_whitespace lexer;
+    Xml_lexer.expect_char lexer '>';
+    { Xml_tree.tag; attrs; children }
+  | Some c -> parse_error lexer "malformed start tag <%s: unexpected %C" tag c
+  | None -> parse_error lexer "unterminated start tag <%s" tag
+
+and parse_content lexer =
+  let rec go acc =
+    if Xml_lexer.looking_at lexer "</" then List.rev acc
+    else if Xml_lexer.looking_at lexer "<!--" then begin
+      Xml_lexer.expect_string lexer "<!--";
+      Xml_lexer.skip_until lexer "-->";
+      go acc
+    end
+    else if Xml_lexer.looking_at lexer "<![CDATA[" then begin
+      Xml_lexer.expect_string lexer "<![CDATA[";
+      let buf = Buffer.create 32 in
+      let rec cdata () =
+        if Xml_lexer.looking_at lexer "]]>" then Xml_lexer.expect_string lexer "]]>"
+        else
+          match Xml_lexer.peek lexer with
+          | None -> parse_error lexer "unterminated CDATA section"
+          | Some c ->
+            Buffer.add_char buf c;
+            Xml_lexer.advance lexer;
+            cdata ()
+      in
+      cdata ();
+      go (Xml_tree.Text (Buffer.contents buf) :: acc)
+    end
+    else if Xml_lexer.looking_at lexer "<?" then begin
+      Xml_lexer.expect_string lexer "<?";
+      Xml_lexer.skip_until lexer "?>";
+      go acc
+    end
+    else if Xml_lexer.looking_at lexer "<" then go (Xml_tree.Element (parse_element lexer) :: acc)
+    else
+      match Xml_lexer.peek lexer with
+      | None -> parse_error lexer "unexpected end of input inside element content"
+      | Some _ ->
+        let raw = Xml_lexer.text_run lexer in
+        let text =
+          try Xml_lexer.decode_references raw
+          with Invalid_argument msg -> parse_error lexer "%s" msg
+        in
+        if is_ignorable text then go acc else go (Xml_tree.Text text :: acc)
+  in
+  go []
+
+let parse_decl lexer =
+  if Xml_lexer.looking_at lexer "<?xml" then begin
+    Xml_lexer.expect_string lexer "<?xml";
+    let attrs = parse_attrs lexer in
+    Xml_lexer.skip_whitespace lexer;
+    Xml_lexer.expect_string lexer "?>";
+    attrs
+  end
+  else []
+
+let parse_string_full input =
+  let lexer = Xml_lexer.of_string input in
+  try
+    let decl = parse_decl lexer in
+    skip_misc lexer;
+    let subset =
+      if Xml_lexer.looking_at lexer "<!DOCTYPE" then skip_doctype lexer else None
+    in
+    skip_misc lexer;
+    if not (Xml_lexer.looking_at lexer "<") then parse_error lexer "expected root element";
+    let root = parse_element lexer in
+    skip_misc lexer;
+    if not (Xml_lexer.eof lexer) then parse_error lexer "trailing content after root element";
+    ({ Xml_tree.decl; root }, subset)
+  with Xml_lexer.Error (msg, line, col) ->
+    raise (Parse_error (Printf.sprintf "%d:%d: %s" line col msg))
+
+let parse_string input = fst (parse_string_full input)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents =
+    try really_input_string ic len
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_string contents

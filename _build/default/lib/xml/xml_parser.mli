@@ -1,0 +1,25 @@
+(** Recursive-descent parser for a practical XML 1.0 subset.
+
+    Supported: the XML declaration, elements with attributes, character
+    data, CDATA sections, comments, processing instructions (skipped), a
+    DOCTYPE declaration (skipped, including an internal subset), predefined
+    entity and character references.
+
+    Not supported (not needed by the APEX reproduction): external DTDs,
+    custom entity definitions, namespace semantics (names may contain [:]
+    but are treated opaquely). *)
+
+exception Parse_error of string
+(** Raised with a message of the form ["line:col: description"]. *)
+
+val parse_string : string -> Xml_tree.document
+(** Parse a complete document from a string. @raise Parse_error *)
+
+val parse_string_full : string -> Xml_tree.document * string option
+(** Like {!parse_string}, additionally returning the raw internal DTD
+    subset (the text between [\[] and [\]] of the DOCTYPE declaration)
+    when present — feed it to {!Dtd.parse}. *)
+
+val parse_file : string -> Xml_tree.document
+(** Parse a complete document from a file. @raise Parse_error and
+    [Sys_error] on I/O failure. *)

@@ -1,0 +1,74 @@
+let escape ~quotes s =
+  let needs_escape = function
+    | '&' | '<' | '>' -> true
+    | '"' | '\'' -> quotes
+    | _ -> false
+  in
+  if String.exists needs_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' when quotes -> Buffer.add_string buf "&quot;"
+        | '\'' when quotes -> Buffer.add_string buf "&apos;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let escape_text = escape ~quotes:false
+let escape_attr = escape ~quotes:true
+
+let add_document buf ~decl ?dtd doc =
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  (match dtd with
+   | Some subset ->
+     Buffer.add_string buf
+       (Printf.sprintf "<!DOCTYPE %s [\n%s]>\n" doc.Xml_tree.root.Xml_tree.tag subset)
+   | None -> ());
+  let rec add_element (e : Xml_tree.element) =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr v);
+        Buffer.add_char buf '"')
+      e.attrs;
+    match e.children with
+    | [] -> Buffer.add_string buf "/>"
+    | children ->
+      Buffer.add_char buf '>';
+      List.iter add_node children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>'
+  and add_node = function
+    | Xml_tree.Text s -> Buffer.add_string buf (escape_text s)
+    | Xml_tree.Element e -> add_element e
+  in
+  add_element doc.Xml_tree.root
+
+let to_string ?(decl = true) ?dtd doc =
+  let buf = Buffer.create 4096 in
+  add_document buf ~decl ?dtd doc;
+  Buffer.contents buf
+
+let to_channel ?(decl = true) ?dtd oc doc =
+  let buf = Buffer.create 4096 in
+  add_document buf ~decl ?dtd doc;
+  Buffer.output_buffer oc buf
+
+let to_file ?decl ?dtd path doc =
+  let oc = open_out_bin path in
+  (try to_channel ?decl ?dtd oc doc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

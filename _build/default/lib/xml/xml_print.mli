@@ -1,0 +1,22 @@
+(** XML serialization.
+
+    The output of {!to_string} parses back (via {!Xml_parser}) to a document
+    equal to the input, provided text nodes contain no whitespace-only runs
+    (the parser drops those as formatting). *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for use in character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and both quote characters for use in a
+    quoted attribute value. *)
+
+val to_string : ?decl:bool -> ?dtd:string -> Xml_tree.document -> string
+(** Serialize; [decl] (default true) controls emission of the
+    [<?xml version="1.0"?>] header; [dtd] emits a
+    [<!DOCTYPE root \[ ... \]>] carrying the given internal subset. No
+    indentation is inserted so that character data round-trips exactly. *)
+
+val to_channel : ?decl:bool -> ?dtd:string -> out_channel -> Xml_tree.document -> unit
+
+val to_file : ?decl:bool -> ?dtd:string -> string -> Xml_tree.document -> unit

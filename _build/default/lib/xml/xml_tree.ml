@@ -1,0 +1,60 @@
+type element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+and node =
+  | Element of element
+  | Text of string
+
+type document = {
+  decl : (string * string) list;
+  root : element;
+}
+
+let element ?(attrs = []) ?(children = []) tag = { tag; attrs; children }
+
+let attr e name = List.assoc_opt name e.attrs
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter go e.children
+  in
+  List.iter go e.children;
+  Buffer.contents buf
+
+let count_nodes doc =
+  let rec go acc = function
+    | Text _ -> acc + 1
+    | Element e -> List.fold_left go (acc + 1) e.children
+  in
+  go 0 (Element doc.root)
+
+let rec equal_element a b =
+  String.equal a.tag b.tag
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a.attrs b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+and equal_node a b =
+  match a, b with
+  | Text s1, Text s2 -> String.equal s1 s2
+  | Element e1, Element e2 -> equal_element e1 e2
+  | Text _, Element _ | Element _, Text _ -> false
+
+let rec pp_element ppf e =
+  Format.fprintf ppf "@[<hv 2><%s%a>%a</%s>@]" e.tag pp_attrs e.attrs
+    (Format.pp_print_list pp_node) e.children e.tag
+
+and pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs
+
+and pp_node ppf = function
+  | Text s -> Format.pp_print_string ppf s
+  | Element e -> pp_element ppf e

@@ -1,0 +1,41 @@
+(** In-memory XML document trees.
+
+    This is the parsed representation produced by {!Xml_parser} and consumed
+    by {!Repro_graph.Data_graph.of_document}. Attribute order is preserved as
+    it appears in the source document; children are in document order. *)
+
+type element = {
+  tag : string;  (** element name *)
+  attrs : (string * string) list;  (** attributes in document order *)
+  children : node list;  (** child nodes in document order *)
+}
+
+and node =
+  | Element of element
+  | Text of string  (** character data, entity references already resolved *)
+
+type document = {
+  decl : (string * string) list;
+      (** pseudo-attributes of the [<?xml ...?>] declaration, if any *)
+  root : element;
+}
+
+val element : ?attrs:(string * string) list -> ?children:node list -> string -> element
+(** [element tag] builds an element; convenience constructor for tests and
+    generators. *)
+
+val attr : element -> string -> string option
+(** [attr e name] is the value of attribute [name] on [e], if present. *)
+
+val text_content : element -> string
+(** [text_content e] concatenates all descendant text nodes of [e] in
+    document order. *)
+
+val count_nodes : document -> int
+(** Number of element and text nodes in the document (the root included). *)
+
+val equal_element : element -> element -> bool
+(** Structural equality on elements. *)
+
+val pp_element : Format.formatter -> element -> unit
+(** Debug printer (compact, not a serializer; see {!Xml_print}). *)

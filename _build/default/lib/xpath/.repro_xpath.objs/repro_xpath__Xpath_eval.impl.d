@@ -1,0 +1,1 @@
+lib/xpath/xpath_eval.ml: Array Hashtbl List Option Queue Repro_graph Repro_util String Xpath_ast Xpath_parser

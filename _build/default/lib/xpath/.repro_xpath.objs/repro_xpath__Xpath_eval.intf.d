@@ -1,0 +1,1 @@
+lib/xpath/xpath_eval.mli: Repro_graph Xpath_ast

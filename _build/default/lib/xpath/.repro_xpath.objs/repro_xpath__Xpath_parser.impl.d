@@ -1,0 +1,1 @@
+lib/xpath/xpath_parser.ml: List Printf String Xpath_ast

@@ -1,0 +1,1 @@
+lib/xpath/xpath_plan.ml: List Option Printf Repro_apex Repro_graph Repro_pathexpr Xpath_ast Xpath_eval Xpath_parser

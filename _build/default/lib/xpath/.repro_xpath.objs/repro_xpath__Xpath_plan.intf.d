@@ -1,0 +1,1 @@
+lib/xpath/xpath_plan.mli: Repro_apex Repro_graph Repro_pathexpr Repro_storage Xpath_ast

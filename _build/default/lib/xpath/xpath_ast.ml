@@ -1,0 +1,87 @@
+type axis =
+  | Child
+  | Descendant
+
+type nametest =
+  | Name of string
+  | Any
+
+type predicate =
+  | Text_equals of string
+  | Exists of relpath
+  | Position of int
+
+and step = {
+  axis : axis;
+  test : nametest;
+  predicates : predicate list;
+}
+
+and relpath = step list
+
+type t = {
+  absolute : bool;
+  steps : step list;
+}
+
+let rec equal_step (a : step) (b : step) =
+  a.axis = b.axis && a.test = b.test
+  && List.length a.predicates = List.length b.predicates
+  && List.for_all2 equal_predicate a.predicates b.predicates
+
+and equal_predicate a b =
+  match a, b with
+  | Text_equals x, Text_equals y -> String.equal x y
+  | Position x, Position y -> x = y
+  | Exists x, Exists y -> List.length x = List.length y && List.for_all2 equal_step x y
+  | (Text_equals _ | Position _ | Exists _), _ -> false
+
+let equal a b =
+  a.absolute = b.absolute
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 equal_step a.steps b.steps
+
+let test_to_string = function
+  | Name n -> n
+  | Any -> "*"
+
+let rec step_to_buf buf (s : step) =
+  Buffer.add_string buf (test_to_string s.test);
+  List.iter
+    (fun p ->
+      Buffer.add_char buf '[';
+      (match p with
+       | Text_equals v ->
+         Buffer.add_string buf "text()=\"";
+         Buffer.add_string buf v;
+         Buffer.add_char buf '"'
+       | Position k -> Buffer.add_string buf (string_of_int k)
+       | Exists rel -> relpath_to_buf buf rel);
+      Buffer.add_char buf ']')
+    s.predicates
+
+and relpath_to_buf buf rel =
+  List.iteri
+    (fun i (s : step) ->
+      (match i, s.axis with
+       | 0, Child -> ()
+       | 0, Descendant -> Buffer.add_string buf ".//"
+       | _, Child -> Buffer.add_char buf '/'
+       | _, Descendant -> Buffer.add_string buf "//");
+      step_to_buf buf s)
+    rel
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i (s : step) ->
+      (match i, s.axis, t.absolute with
+       | 0, Child, true -> Buffer.add_char buf '/'
+       | 0, Child, false | 0, Descendant, _ -> Buffer.add_string buf "//"
+       | _, Child, _ -> Buffer.add_char buf '/'
+       | _, Descendant, _ -> Buffer.add_string buf "//");
+      step_to_buf buf s)
+    t.steps;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,51 @@
+(** Abstract syntax for the XPath subset layered over the path indexes.
+
+    Grammar (a practical superset of the paper's QTYPE1/2/3 classes):
+
+    {v
+    path      ::= ('/' | '//') step (('/' | '//') step)*
+    step      ::= nametest predicate*
+    nametest  ::= NAME | '@' NAME | '*'
+    predicate ::= '[' 'text()' '=' value ']'
+                | '[' relpath ']'            (existence of a relative path)
+                | '[' INTEGER ']'            (position among siblings)
+    relpath   ::= step (('/' | '//') step)*
+    v}
+
+    A leading ['/'] anchors at the document root; a leading ['//'] matches
+    anywhere. The dereference surface syntax [@a=>b] parses as the two steps
+    [@a/b], mirroring {!Repro_pathexpr.Query}. *)
+
+type axis =
+  | Child  (** [/step] *)
+  | Descendant  (** [//step] — descendant-or-self then child *)
+
+type nametest =
+  | Name of string  (** element or ['@']-attribute label *)
+  | Any  (** [*]: any non-attribute label *)
+
+type predicate =
+  | Text_equals of string
+  | Exists of relpath  (** a relative path with at least one result *)
+  | Position of int  (** 1-based index among same-parent step matches *)
+
+and step = {
+  axis : axis;
+  test : nametest;
+  predicates : predicate list;
+}
+
+and relpath = step list
+(** Relative paths inside predicates; the first step's axis is relative to
+    the context node. *)
+
+type t = {
+  absolute : bool;  (** leading [/] (true) vs leading [//] (false) *)
+  steps : step list;
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Parseable rendering. *)

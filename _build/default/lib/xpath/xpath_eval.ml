@@ -1,0 +1,89 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+open Xpath_ast
+
+(* matches within one step are (parent, node) pairs in discovery order;
+   positional predicates rank them per parent *)
+type matches = (G.nid * G.nid) list
+
+let test_matches labels test l =
+  match test with
+  | Name n -> String.equal (Label.to_string labels l) n
+  | Any -> not (Label.is_attribute labels l)
+
+(* descendant-or-self closure over non-attribute edges *)
+let closure g nodes =
+  let labels = G.labels g in
+  let n = G.n_nodes g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Array.iter
+    (fun v ->
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v queue
+      end)
+    nodes;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    acc := u :: !acc;
+    G.iter_out g u (fun l v ->
+        if (not (Label.is_attribute labels l)) && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  Repro_util.Int_sorted.of_unsorted (Array.of_list !acc)
+
+let child_matches g test (context : G.nid array) : matches =
+  let labels = G.labels g in
+  let acc = ref [] in
+  Array.iter
+    (fun u -> G.iter_out g u (fun l v -> if test_matches labels test l then acc := (u, v) :: !acc))
+    context;
+  List.rev !acc
+
+let rec apply_predicate g (ms : matches) = function
+  | Text_equals v ->
+    List.filter
+      (fun (_, node) -> match G.value g node with Some v' -> String.equal v v' | None -> false)
+      ms
+  | Exists rel ->
+    List.filter (fun (_, node) -> Array.length (eval_steps_pairs g [ (node, node) ] rel) > 0) ms
+  | Position k ->
+    (* rank per parent in discovery (document) order *)
+    let counts = Hashtbl.create 16 in
+    List.filter
+      (fun (parent, _) ->
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts parent) in
+        Hashtbl.replace counts parent c;
+        c = k)
+      ms
+
+and eval_step g (context : matches) (s : step) : matches =
+  let ctx_nodes = Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd context)) in
+  let base =
+    match s.axis with
+    | Child -> child_matches g s.test ctx_nodes
+    | Descendant -> child_matches g s.test (closure g ctx_nodes)
+  in
+  List.fold_left (apply_predicate g) base s.predicates
+
+and eval_steps_pairs g (context : matches) steps : G.nid array =
+  let final = List.fold_left (eval_step g) context steps in
+  Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd final))
+
+let eval_steps g ~context steps =
+  eval_steps_pairs g (Array.to_list (Array.map (fun v -> (v, v)) context)) steps
+
+let filter_predicates g nodes preds =
+  if List.exists (function Position _ -> true | Text_equals _ | Exists _ -> false) preds then
+    invalid_arg "Xpath_eval.filter_predicates: positional predicate without step context";
+  let pairs = Array.to_list (Array.map (fun v -> (v, v)) nodes) in
+  let final = List.fold_left (apply_predicate g) pairs preds in
+  Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd final))
+
+let eval g (t : Xpath_ast.t) = eval_steps g ~context:[| G.root g |] t.steps
+
+let eval_string g text = eval g (Xpath_parser.parse_exn text)

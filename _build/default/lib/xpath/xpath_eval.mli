@@ -1,0 +1,36 @@
+(** Direct (index-free) evaluation of the XPath subset on a data graph —
+    the reference semantics for the planner and the fallback executor.
+
+    Conventions on the graph encoding of Section 3:
+    - the context of an absolute path is the document element (the graph
+      root): [/a] selects its [a] children;
+    - the descendant axis closes over {e non-attribute} edges only, matching
+      the paper's QTYPE2 rule that the descendant axis does not traverse
+      reference relationships; attribute and reference steps are taken
+      explicitly ([//movie/@actor=>actor]);
+    - [*] matches any non-attribute label;
+    - a positional predicate selects by 1-based rank among the step's
+      surviving matches under the same parent, in document order. *)
+
+val eval : Repro_graph.Data_graph.t -> Xpath_ast.t -> Repro_graph.Data_graph.nid array
+(** Results sorted ascending (document order). *)
+
+val eval_string : Repro_graph.Data_graph.t -> string -> Repro_graph.Data_graph.nid array
+(** Parse then {!eval}. @raise Invalid_argument on a parse error. *)
+
+val eval_steps :
+  Repro_graph.Data_graph.t ->
+  context:Repro_graph.Data_graph.nid array ->
+  Xpath_ast.step list ->
+  Repro_graph.Data_graph.nid array
+(** Evaluate residual steps from an explicit context set (used by the
+    planner to continue from index-produced seeds). *)
+
+val filter_predicates :
+  Repro_graph.Data_graph.t ->
+  Repro_graph.Data_graph.nid array ->
+  Xpath_ast.predicate list ->
+  Repro_graph.Data_graph.nid array
+(** Keep the nodes satisfying every predicate. Positional predicates are
+    not meaningful without step context and are rejected.
+    @raise Invalid_argument on {!Xpath_ast.Position}. *)

@@ -1,0 +1,154 @@
+open Xpath_ast
+
+exception Fail of string
+
+type cursor = {
+  input : string;
+  mutable pos : int;
+}
+
+let fail cur fmt = Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "%d: %s" cur.pos m))) fmt
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.input && String.equal (String.sub cur.input cur.pos n) s
+
+let eat cur s =
+  if looking_at cur s then cur.pos <- cur.pos + String.length s
+  else fail cur "expected %S" s
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let name cur =
+  let start = cur.pos in
+  if looking_at cur "@" then cur.pos <- cur.pos + 1;
+  while (match peek cur with Some c when is_name_char c -> true | _ -> false) do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start || (cur.input.[start] = '@' && cur.pos = start + 1) then
+    fail cur "expected a name"
+  else String.sub cur.input start (cur.pos - start)
+
+let integer cur =
+  let start = cur.pos in
+  while (match peek cur with Some c when is_digit c -> true | _ -> false) do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur "expected an integer"
+  else int_of_string (String.sub cur.input start (cur.pos - start))
+
+let value cur =
+  if looking_at cur "\"" then begin
+    eat cur "\"";
+    let start = cur.pos in
+    while (match peek cur with Some '"' -> false | Some _ -> true | None -> false) do
+      cur.pos <- cur.pos + 1
+    done;
+    let v = String.sub cur.input start (cur.pos - start) in
+    eat cur "\"";
+    v
+  end
+  else begin
+    let start = cur.pos in
+    while (match peek cur with Some ']' -> false | Some _ -> true | None -> false) do
+      cur.pos <- cur.pos + 1
+    done;
+    String.sub cur.input start (cur.pos - start)
+  end
+
+let nametest cur =
+  if looking_at cur "*" then begin
+    eat cur "*";
+    Any
+  end
+  else Name (name cur)
+
+(* separator before the next step inside a path; [=>] is dereference
+   surface syntax and behaves like '/' *)
+let separator cur =
+  if looking_at cur "//" then begin
+    eat cur "//";
+    Some Descendant
+  end
+  else if looking_at cur "=>" then begin
+    eat cur "=>";
+    Some Child
+  end
+  else if looking_at cur "/" then begin
+    eat cur "/";
+    Some Child
+  end
+  else None
+
+let rec predicates cur acc =
+  if looking_at cur "[" then begin
+    eat cur "[";
+    let p =
+      if looking_at cur "text()" then begin
+        eat cur "text()";
+        eat cur "=";
+        Text_equals (value cur)
+      end
+      else
+        match peek cur with
+        | Some c when is_digit c -> Position (integer cur)
+        | _ -> Exists (relpath cur)
+    in
+    eat cur "]";
+    predicates cur (p :: acc)
+  end
+  else List.rev acc
+
+and step cur ~axis =
+  let test = nametest cur in
+  let preds = predicates cur [] in
+  { axis; test; predicates = preds }
+
+and steps cur ~first_axis =
+  let first = step cur ~axis:first_axis in
+  let rec go acc =
+    match separator cur with
+    | Some axis -> go (step cur ~axis :: acc)
+    | None -> List.rev acc
+  in
+  go [ first ]
+
+and relpath cur =
+  let first_axis =
+    if looking_at cur ".//" then begin
+      eat cur ".//";
+      Descendant
+    end
+    else Child
+  in
+  steps cur ~first_axis
+
+let parse input =
+  let cur = { input; pos = 0 } in
+  try
+    let absolute, first_axis =
+      if looking_at cur "//" then begin
+        eat cur "//";
+        (false, Descendant)
+      end
+      else if looking_at cur "/" then begin
+        eat cur "/";
+        (true, Child)
+      end
+      else raise (Fail "0: a path must start with / or //")
+    in
+    let steps = steps cur ~first_axis in
+    if cur.pos <> String.length input then fail cur "trailing characters"
+    else Ok { absolute; steps }
+  with Fail m -> Error m
+
+let parse_exn input =
+  match parse input with
+  | Ok p -> p
+  | Error m -> invalid_arg (Printf.sprintf "Xpath_parser.parse_exn: %s" m)

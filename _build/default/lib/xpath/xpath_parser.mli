@@ -1,0 +1,9 @@
+(** Parser for the XPath subset (see {!Xpath_ast} for the grammar). *)
+
+val parse : string -> (Xpath_ast.t, string) result
+(** Examples: [/PLAYS/PLAY/TITLE], [//actor/name], [//movie[@actor=>actor]],
+    [//SPEECH[SPEAKER]/LINE], [//INDI/BIRT/DATE[text()="1 JAN 1900"]],
+    [//SCENE/SPEECH[2]], [//movie[.//rating]/title]. *)
+
+val parse_exn : string -> Xpath_ast.t
+(** @raise Invalid_argument on a parse error. *)

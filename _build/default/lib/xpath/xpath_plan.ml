@@ -1,0 +1,111 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+module Query = Repro_pathexpr.Query
+open Xpath_ast
+
+type t =
+  | Index_path of Query.compiled
+  | Seeded of {
+      prefix : Repro_pathexpr.Label_path.t;
+      self_predicates : Xpath_ast.predicate list;
+      residual : Xpath_ast.step list;
+    }
+  | Scan
+
+let plain_name (s : step) =
+  match s.test, s.predicates with
+  | Name n, [] -> Some n
+  | (Name _ | Any), _ -> None
+
+let non_positional preds =
+  List.for_all (function Position _ -> false | Text_equals _ | Exists _ -> true) preds
+
+(* the leading //a/b/c... run: first step Descendant, then Child steps, all
+   plain names. A final named step with only non-positional predicates may
+   close the prefix, contributing its predicates as self-predicates. *)
+let index_prefix steps =
+  let close acc preds tl = (List.rev acc, preds, tl) in
+  match steps with
+  | ({ axis = Descendant; test = Name n; predicates } as first) :: rest ->
+    if predicates <> [] then
+      if non_positional predicates then close [ n ] predicates rest
+      else ([], [], first :: rest)
+    else
+      let rec take acc = function
+        | ({ axis = Child; test = Name n; predicates } as s) :: tl ->
+          if predicates = [] then take (n :: acc) tl
+          else if non_positional predicates then close (n :: acc) predicates tl
+          else close acc [] (s :: tl)
+        | tl -> close acc [] tl
+      in
+      take [ n ] rest
+  | _ -> ([], [], steps)
+
+let resolve labels names =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | n :: tl ->
+      (match Label.find labels n with
+       | Some l -> go (l :: acc) tl
+       | None -> None)
+  in
+  go [] names
+
+let plan g (path : Xpath_ast.t) =
+  let labels = G.labels g in
+  if path.absolute then Scan
+  else
+    match path.steps with
+    (* //a//b : QTYPE2 *)
+    | [ ({ axis = Descendant; _ } as s1); ({ axis = Descendant; _ } as s2) ]
+      when plain_name s1 <> None && plain_name s2 <> None ->
+      (match
+         Label.find labels (Option.get (plain_name s1)),
+         Label.find labels (Option.get (plain_name s2))
+       with
+       | Some a, Some b -> Index_path (Query.C2 (a, b))
+       | _ -> Scan)
+    (* //a[text()=v] : QTYPE3 on a single step *)
+    | [ { axis = Descendant; test = Name n; predicates = [ Text_equals v ] } ] ->
+      (match Label.find labels n with
+       | Some l -> Index_path (Query.C3 ([ l ], v))
+       | None -> Scan)
+    | steps ->
+      let names, self_predicates, residual = index_prefix steps in
+      (match names, self_predicates, residual with
+       | [], _, _ -> Scan
+       | names, [], [] ->
+         (match resolve labels names with
+          | Some p -> Index_path (Query.C1 p)
+          | None -> Scan)
+       | names, [ Text_equals v ], [] ->
+         (* //a/b[text()=v] : QTYPE3 *)
+         (match resolve labels names with
+          | Some p -> Index_path (Query.C3 (p, v))
+          | None -> Scan)
+       | names, self_predicates, residual ->
+         (match resolve labels names with
+          | Some p -> Seeded { prefix = p; self_predicates; residual }
+          | None -> Scan))
+
+let describe = function
+  | Index_path (Query.C1 _) -> "index(QTYPE1)"
+  | Index_path (Query.C2 _) -> "index(QTYPE2)"
+  | Index_path (Query.C3 _) -> "index(QTYPE3)"
+  | Seeded { prefix; self_predicates; residual } ->
+    Printf.sprintf "seeded(prefix=%d labels, %d self-predicates, residual=%d steps)"
+      (List.length prefix) (List.length self_predicates) (List.length residual)
+  | Scan -> "scan"
+
+let execute ?cost ?table apex (path : Xpath_ast.t) =
+  let g = Repro_apex.Apex.graph apex in
+  match plan g path with
+  | Index_path compiled -> Repro_apex.Apex_query.eval ?cost ?table apex compiled
+  | Seeded { prefix; self_predicates; residual } ->
+    let seeds = Repro_apex.Apex_query.eval ?cost apex (Query.C1 prefix) in
+    let seeds = Xpath_eval.filter_predicates g seeds self_predicates in
+    Xpath_eval.eval_steps g ~context:seeds residual
+  | Scan -> Xpath_eval.eval g path
+
+let execute_string ?cost ?table apex text =
+  execute ?cost ?table apex (Xpath_parser.parse_exn text)

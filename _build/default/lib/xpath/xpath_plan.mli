@@ -1,0 +1,47 @@
+(** Planner: route an XPath over APEX where its shape allows, fall back to
+    direct traversal otherwise.
+
+    Plan shapes, in decreasing order of index leverage:
+    - [Index_path]: the path is exactly a QTYPE1/2/3 query — fully answered
+      by the index (one hash-tree lookup + joins, or the G_APEX rewriting);
+    - [Seeded]: a [//a/b/...] prefix without predicates is answered by the
+      index, the residual steps and predicates evaluated from the seed set
+      by graph traversal;
+    - [Scan]: no usable prefix (absolute paths, leading wildcard or
+      predicate) — direct evaluation. *)
+
+type t =
+  | Index_path of Repro_pathexpr.Query.compiled
+  | Seeded of {
+      prefix : Repro_pathexpr.Label_path.t;
+      self_predicates : Xpath_ast.predicate list;
+          (** predicates of the last prefix step, applied to the seed set
+              (never positional) *)
+      residual : Xpath_ast.step list;
+    }
+  | Scan
+
+val plan : Repro_graph.Data_graph.t -> Xpath_ast.t -> t
+(** A path naming a label absent from the data plans to [Index_path] of an
+    impossible query only when all labels resolve; otherwise [Scan] (the
+    direct evaluator handles unknown names naturally). *)
+
+val describe : t -> string
+(** One-line rendering for EXPLAIN-style output. *)
+
+val execute :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  Repro_apex.Apex.t ->
+  Xpath_ast.t ->
+  Repro_graph.Data_graph.nid array
+(** Plan against the index's graph, then run. Results sorted ascending and
+    always equal to {!Xpath_eval.eval} on the same path. *)
+
+val execute_string :
+  ?cost:Repro_storage.Cost.t ->
+  ?table:Repro_storage.Data_table.t ->
+  Repro_apex.Apex.t ->
+  string ->
+  Repro_graph.Data_graph.nid array
+(** Parse, plan, run. @raise Invalid_argument on a parse error. *)

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Buffer_pool Cost Int List Map Pager Printf QCheck QCheck_alcotest Random Repro_storage String

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Dataset Flixgen Gedgen List Option Playgen Printf Repro_datagen Repro_graph Repro_xml

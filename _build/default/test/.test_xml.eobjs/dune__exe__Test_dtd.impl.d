@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Dtd Hashtbl List Option Printf QCheck QCheck_alcotest Random Repro_datagen Repro_graph Repro_xml String Xml_parser Xml_print Xml_tree

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Data_graph Edge_set Graph_stats Label List Option QCheck QCheck_alcotest Repro_graph Repro_util Repro_xml String Subtree Test_support

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Env Experiments List Measure Option Printf Repro_apex Repro_datagen Repro_harness Repro_storage String

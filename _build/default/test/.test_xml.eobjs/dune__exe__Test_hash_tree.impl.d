@@ -1,0 +1,1 @@
+test/test_hash_tree.ml: Alcotest Gapex Hash_tree List Repro_apex Repro_graph

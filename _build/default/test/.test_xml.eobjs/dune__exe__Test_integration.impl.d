@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Option Printf Random Repro_apex Repro_baselines Repro_datagen Repro_graph Repro_harness Repro_pathexpr Repro_storage Repro_workload Repro_xml

@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Apriori Array List Path_miner QCheck QCheck_alcotest Repro_mining Repro_pathexpr

@@ -1,0 +1,1 @@
+test/test_pathexpr.ml: Alcotest Array Label_path List Naive_eval Printf Query Random Repro_graph Repro_pathexpr Repro_workload String Test_support

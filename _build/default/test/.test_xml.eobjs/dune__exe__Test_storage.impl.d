@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Bytes Char Cost Data_table Extent_store Io_stats List Pager Printf QCheck QCheck_alcotest Repro_graph Repro_storage Test_support

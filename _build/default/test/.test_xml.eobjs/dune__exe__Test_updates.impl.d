@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Apex Apex_query Apex_spec Array Hashtbl List QCheck QCheck_alcotest Random Repro_apex Repro_graph Repro_pathexpr Repro_workload Repro_xml Result Test_support

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int_sorted List QCheck QCheck_alcotest Repro_util Vec

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Hashtbl List Printf QCheck QCheck_alcotest Repro_xml String Xml_lexer Xml_parser Xml_print Xml_tree

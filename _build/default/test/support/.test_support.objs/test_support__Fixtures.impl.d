@@ -1,0 +1,1 @@
+test/support/fixtures.ml: Array Data_graph Label List Printf QCheck Repro_graph String

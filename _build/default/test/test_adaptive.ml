@@ -1,0 +1,141 @@
+module F = Test_support.Fixtures
+module G = Repro_graph.Data_graph
+module Query = Repro_pathexpr.Query
+module Query_log = Repro_workload.Query_log
+module Self_tuning = Repro_adaptive.Self_tuning
+
+(* --- Query_log --- *)
+
+let test_log_basics () =
+  let log = Query_log.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Query_log.length log);
+  Query_log.record log [ 1 ];
+  Query_log.record log [ 2 ];
+  Alcotest.(check int) "two entries" 2 (Query_log.length log);
+  Alcotest.(check (list (list int))) "window" [ [ 1 ]; [ 2 ] ] (Query_log.to_workload log)
+
+let test_log_window_slides () =
+  let log = Query_log.create ~capacity:3 in
+  List.iter (fun i -> Query_log.record log [ i ]) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "bounded" 3 (Query_log.length log);
+  Alcotest.(check int) "total keeps counting" 5 (Query_log.total_recorded log);
+  Alcotest.(check (list (list int))) "oldest first" [ [ 3 ]; [ 4 ]; [ 5 ] ]
+    (Query_log.to_workload log)
+
+let test_log_record_query () =
+  let g = F.movie_db () in
+  let labels = G.labels g in
+  let log = Query_log.create ~capacity:10 in
+  Query_log.record_query log labels (Query.Qtype1 [ "actor"; "name" ]);
+  Query_log.record_query log labels (Query.Qtype3 ([ "title" ], "Waterworld"));
+  Query_log.record_query log labels (Query.Qtype2 ("movie", "title"));
+  (* skipped *)
+  Query_log.record_query log labels (Query.Qtype1 [ "unknown" ]);
+  (* skipped: unknown label *)
+  Alcotest.(check int) "two recorded" 2 (Query_log.length log)
+
+let test_log_clear () =
+  let log = Query_log.create ~capacity:3 in
+  Query_log.record log [ 1 ];
+  Query_log.clear log;
+  Alcotest.(check int) "cleared" 0 (Query_log.length log);
+  Alcotest.(check (list (list int))) "empty window" [] (Query_log.to_workload log)
+
+let test_log_rejects_bad_capacity () =
+  match Query_log.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- Self_tuning --- *)
+
+let test_adapts_to_hot_path () =
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:10 ~min_support:0.5 g in
+  let n0, _ = Repro_apex.Apex.stats (Self_tuning.apex st) in
+  for _ = 1 to 12 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]))
+  done;
+  Alcotest.(check bool) "refreshed at least once" true (Self_tuning.refreshes st >= 1);
+  let n1, _ = Repro_apex.Apex.stats (Self_tuning.apex st) in
+  Alcotest.(check bool) "hot path got its own node" true (n1 > n0);
+  (* actor.name is now a stored suffix: a direct hash hit *)
+  let cost = Repro_storage.Cost.create () in
+  ignore (Self_tuning.query ~cost st (Query.Qtype1 [ "actor"; "name" ]));
+  Alcotest.(check int) "no joins" 0 cost.Repro_storage.Cost.join_edges
+
+let test_results_never_change () =
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:5 ~min_support:0.3 g in
+  let reference = Repro_apex.Apex.build g in
+  let queries =
+    [ Query.Qtype1 [ "actor"; "name" ];
+      Query.Qtype1 [ "name" ];
+      Query.Qtype2 ("director", "title");
+      Query.Qtype3 ([ "title" ], "Waterworld");
+      Query.Qtype1 [ "movie"; "title" ]
+    ]
+  in
+  for _ = 1 to 8 do
+    List.iter
+      (fun q ->
+        Alcotest.(check (array int))
+          (Query.to_string q)
+          (Repro_apex.Apex_query.eval_query reference q)
+          (Self_tuning.query st q))
+      queries
+  done
+
+let test_workload_shift_ages_out () =
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~log_capacity:20 ~refresh_every:20 ~min_support:0.5 g in
+  (* phase 1: hot on actor.name *)
+  for _ = 1 to 20 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]))
+  done;
+  let locate_exact path =
+    match
+      Repro_apex.Hash_tree.lookup_slot (Repro_apex.Apex.tree (Self_tuning.apex st))
+        ~rev_path:(List.rev (F.path g path))
+    with
+    | Some slot -> Repro_apex.Hash_tree.slot_get slot <> None
+    | None -> false
+  in
+  Alcotest.(check bool) "actor.name indexed" true (locate_exact [ "actor"; "name" ]);
+  (* phase 2: interest moves entirely to movie.title; the window slides *)
+  for _ = 1 to 20 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "movie"; "title" ]))
+  done;
+  Alcotest.(check bool) "movie.title indexed" true (locate_exact [ "movie"; "title" ]);
+  (* actor.name aged out: its lookup now lands on a shorter suffix *)
+  let tree = Repro_apex.Apex.tree (Self_tuning.apex st) in
+  (match
+     Repro_apex.Hash_tree.locate tree ~rev_path:(List.rev (F.path g [ "actor"; "name" ]))
+   with
+   | Some (Repro_apex.Hash_tree.Approx _) -> ()
+   | Some (Repro_apex.Hash_tree.Exact _) -> Alcotest.fail "actor.name should have aged out"
+   | None -> Alcotest.fail "name label vanished")
+
+let test_forced_refresh_counts () =
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:1000 g in
+  ignore (Self_tuning.query st (Query.Qtype1 [ "name" ]));
+  Alcotest.(check int) "no periodic refresh yet" 0 (Self_tuning.refreshes st);
+  Self_tuning.force_refresh st;
+  Alcotest.(check int) "forced" 1 (Self_tuning.refreshes st)
+
+let () =
+  Alcotest.run "adaptive"
+    [ ( "query_log",
+        [ Alcotest.test_case "basics" `Quick test_log_basics;
+          Alcotest.test_case "window slides" `Quick test_log_window_slides;
+          Alcotest.test_case "record_query" `Quick test_log_record_query;
+          Alcotest.test_case "clear" `Quick test_log_clear;
+          Alcotest.test_case "bad capacity" `Quick test_log_rejects_bad_capacity
+        ] );
+      ( "self_tuning",
+        [ Alcotest.test_case "adapts to hot path" `Quick test_adapts_to_hot_path;
+          Alcotest.test_case "results never change" `Quick test_results_never_change;
+          Alcotest.test_case "workload shift ages out" `Quick test_workload_shift_ages_out;
+          Alcotest.test_case "forced refresh" `Quick test_forced_refresh_counts
+        ] )
+    ]

@@ -1,0 +1,345 @@
+open Repro_baselines
+module F = Test_support.Fixtures
+module G = Repro_graph.Data_graph
+module Query = Repro_pathexpr.Query
+module Naive = Repro_pathexpr.Naive_eval
+
+let movie_queries =
+  [ "//actor/name";
+    "//name";
+    "//title";
+    "//movie/title";
+    "//director/movie/title";
+    "//movie/@actor=>actor/name";
+    "//@movie=>movie";
+    "//director//title";
+    "//director//name";
+    "//actor//title";
+    "//movie//title";
+    {|//name[text()="Kevin"]|};
+    {|//movie/title[text()="Waterworld"]|};
+    {|//movie/title[text()="Nope"]|}
+  ]
+
+let check_against_naive index queries =
+  let g = Summary_index.graph index in
+  List.iter
+    (fun qs ->
+      match Query.parse qs with
+      | Error m -> Alcotest.failf "parse %s: %s" qs m
+      | Ok q ->
+        Alcotest.(check (array int)) qs (Naive.eval_query g q) (Summary_index.eval_query index q))
+    queries
+
+(* --- strong DataGuide --- *)
+
+let test_dataguide_tree_structure () =
+  let g = F.small_tree () in
+  let dg = Dataguide.build g in
+  (* distinct root paths: a, a.b, a.c -> 3 states + root *)
+  let nodes, edges = Summary_index.stats dg in
+  Alcotest.(check int) "nodes" 4 nodes;
+  Alcotest.(check int) "edges" 3 edges
+
+let test_dataguide_movie_db_structure () =
+  let g = F.movie_db () in
+  let dg = Dataguide.build g in
+  let nodes, _ = Summary_index.stats dg in
+  (* subset construction on the cyclic movie graph terminates and stays
+     moderate *)
+  Alcotest.(check bool) (Printf.sprintf "nodes=%d reasonable" nodes) true (nodes > 5 && nodes < 60)
+
+let test_dataguide_queries () =
+  let g = F.movie_db () in
+  check_against_naive (Dataguide.build g) movie_queries
+
+let test_dataguide_query_cost_counts_navigation () =
+  let g = F.movie_db () in
+  let dg = Dataguide.build g in
+  let cost = Repro_storage.Cost.create () in
+  ignore (Summary_index.eval_query ~cost dg (Query.Qtype1 [ "actor"; "name" ]));
+  Alcotest.(check bool) "node visits" true (cost.Repro_storage.Cost.index_node_visits > 0);
+  Alcotest.(check bool) "edge lookups" true (cost.Repro_storage.Cost.index_edge_lookups > 0)
+
+let test_dataguide_materialized () =
+  let g = F.movie_db () in
+  let dg = Dataguide.build g in
+  let pager = Repro_storage.Pager.create ~page_size:256 () in
+  let pool = Repro_storage.Buffer_pool.create pager ~capacity:8 in
+  Summary_index.materialize dg pool;
+  check_against_naive dg movie_queries;
+  let cost = Repro_storage.Cost.create () in
+  ignore (Summary_index.eval_query ~cost dg (Query.Qtype1 [ "name" ]));
+  Alcotest.(check bool) "pages charged" true (cost.Repro_storage.Cost.extent_pages > 0)
+
+let test_dataguide_max_nodes_guard () =
+  let g = F.movie_db () in
+  match Dataguide.build ~max_nodes:2 g with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected state-explosion guard to trip"
+
+(* --- 1-index --- *)
+
+let test_one_index_tree_coincides_with_dataguide () =
+  (* Milo & Suciu: the 1-index coincides with the strong DataGuide on tree
+     data *)
+  let g = F.small_tree () in
+  let dg_nodes, dg_edges = Summary_index.stats (Dataguide.build g) in
+  let oi_nodes, oi_edges = Summary_index.stats (One_index.build g) in
+  Alcotest.(check int) "nodes" dg_nodes oi_nodes;
+  Alcotest.(check int) "edges" dg_edges oi_edges
+
+let test_one_index_queries () =
+  let g = F.movie_db () in
+  check_against_naive (One_index.build g) movie_queries
+
+let test_one_index_blocks_bounded_by_nodes () =
+  let g = F.movie_db () in
+  Alcotest.(check bool) "blocks <= nodes" true (One_index.n_blocks g <= G.n_nodes g)
+
+let test_one_index_partition_is_valid () =
+  let g = F.movie_db () in
+  let oi = One_index.build g in
+  (* the blocks' target sets partition the node set *)
+  let seen = Array.make (G.n_nodes g) 0 in
+  let n, _ = Summary_index.stats oi in
+  for id = 0 to n - 1 do
+    Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Summary_index.targets oi id)
+  done;
+  Array.iteri
+    (fun v count ->
+      if count <> 1 then Alcotest.failf "node %d appears in %d blocks" v count)
+    seen
+
+(* --- Index Fabric --- *)
+
+let test_fabric_keys () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  (* value nodes: 2 names, 1 dname, 1 title = 4 *)
+  Alcotest.(check int) "keys" 4 (Index_fabric.n_keys fabric);
+  Alcotest.(check bool) "has trie nodes" true (Index_fabric.n_trie_nodes fabric > 1);
+  Alcotest.(check bool) "has blocks" true (Index_fabric.n_blocks fabric >= 1)
+
+let test_fabric_q3 () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  let l s = Option.get (Repro_graph.Label.find (G.labels g) s) in
+  Alcotest.(check (array int)) "//name[Kevin]" [| 2 |]
+    (Index_fabric.eval_q3 fabric [ l "name" ] "Kevin");
+  Alcotest.(check (array int)) "//movie/title[Waterworld]" [| 7 |]
+    (Index_fabric.eval_q3 fabric [ l "movie"; l "title" ] "Waterworld");
+  Alcotest.(check (array int)) "wrong value" [||]
+    (Index_fabric.eval_q3 fabric [ l "title" ] "Nope");
+  Alcotest.(check (array int)) "suffix longer than any path" [||]
+    (Index_fabric.eval_q3 fabric [ l "name"; l "name"; l "name"; l "name" ] "Kevin")
+
+let test_fabric_q3_matches_naive () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  List.iter
+    (fun qs ->
+      match Query.parse qs with
+      | Ok (Query.Qtype3 _ as q) ->
+        (match Index_fabric.eval_query fabric q with
+         | Some result -> Alcotest.(check (array int)) qs (Naive.eval_query g q) result
+         | None -> Alcotest.failf "fabric refused %s" qs)
+      | Ok _ | Error _ -> Alcotest.failf "expected a QTYPE3 query: %s" qs)
+    [ {|//name[text()="Kevin"]|};
+      {|//name[text()="Jeanne"]|};
+      {|//movie/title[text()="Waterworld"]|};
+      {|//director/name[text()="Reynolds"]|};
+      {|//title[text()="Missing"]|}
+    ]
+
+let test_fabric_rejects_q1_q2 () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  Alcotest.(check bool) "q1 unsupported" true
+    (Index_fabric.eval_query fabric (Query.Qtype1 [ "name" ]) = None);
+  Alcotest.(check bool) "q2 unsupported" true
+    (Index_fabric.eval_query fabric (Query.Qtype2 ("movie", "title")) = None)
+
+let test_fabric_lookup_rooted () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  let l s = Option.get (Repro_graph.Label.find (G.labels g) s) in
+  Alcotest.(check (array int)) "exact root path" [| 7 |]
+    (Index_fabric.lookup_rooted fabric [ l "movie"; l "title" ] "Waterworld");
+  (* note: fabric keys are tree paths; [movie] under the root is the tree
+     parent of [title] here *)
+  Alcotest.(check (array int)) "partial path is not a key" [||]
+    (Index_fabric.lookup_rooted fabric [ l "title" ] "Waterworld")
+
+let test_fabric_cost () =
+  let g = F.movie_db () in
+  let fabric = Index_fabric.build g in
+  let l s = Option.get (Repro_graph.Label.find (G.labels g) s) in
+  let cost = Repro_storage.Cost.create () in
+  ignore (Index_fabric.eval_q3 ~cost fabric [ l "name" ] "Kevin");
+  (* exhaustive scan touches every trie node *)
+  Alcotest.(check int) "all trie nodes visited" (Index_fabric.n_trie_nodes fabric)
+    cost.Repro_storage.Cost.trie_node_visits;
+  Alcotest.(check bool) "blocks charged" true (cost.Repro_storage.Cost.trie_pages >= 1);
+  let cost2 = Repro_storage.Cost.create () in
+  ignore (Index_fabric.lookup_rooted ~cost:cost2 fabric [ l "movie"; l "title" ] "Waterworld");
+  Alcotest.(check bool) "rooted lookup is cheaper" true
+    (cost2.Repro_storage.Cost.trie_node_visits < cost.Repro_storage.Cost.trie_node_visits)
+
+(* --- Patricia --- *)
+
+let test_patricia_basic () =
+  let t = Patricia.create () in
+  List.iteri (fun i k -> Patricia.insert t k i)
+    [ "romane"; "romanus"; "romulus"; "rubens"; "ruber"; "rubicon"; "rubicundus" ];
+  Alcotest.(check int) "keys" 7 (Patricia.n_keys t);
+  Alcotest.(check (list int)) "find romanus" [ 1 ] (Patricia.find t "romanus");
+  Alcotest.(check (list int)) "find missing" [] (Patricia.find t "roman");
+  Alcotest.(check (list int)) "find missing 2" [] (Patricia.find t "rubensx");
+  Patricia.insert t "romanus" 99;
+  Alcotest.(check int) "dup key" 7 (Patricia.n_keys t);
+  Alcotest.(check (list int)) "both payloads" [ 1; 99 ]
+    (List.sort compare (Patricia.find t "romanus"))
+
+let test_patricia_prefix_keys () =
+  let t = Patricia.create () in
+  Patricia.insert t "ab" 1;
+  Patricia.insert t "abcd" 2;
+  Patricia.insert t "a" 3;
+  Alcotest.(check (list int)) "a" [ 3 ] (Patricia.find t "a");
+  Alcotest.(check (list int)) "ab" [ 1 ] (Patricia.find t "ab");
+  Alcotest.(check (list int)) "abcd" [ 2 ] (Patricia.find t "abcd");
+  Alcotest.(check (list int)) "abc absent" [] (Patricia.find t "abc")
+
+let prop_patricia_model =
+  QCheck.Test.make ~count:300 ~name:"patricia = assoc-list model"
+    QCheck.(list (pair (string_of_size (QCheck.Gen.int_range 1 8)) small_nat))
+    (fun kvs ->
+      let t = Patricia.create () in
+      List.iter (fun (k, v) -> Patricia.insert t k v) kvs;
+      let model k =
+        List.filter_map (fun (k', v) -> if String.equal k k' then Some v else None) kvs
+        |> List.sort compare
+      in
+      List.for_all
+        (fun (k, _) -> List.sort compare (Patricia.find t k) = model k)
+        kvs
+      && Patricia.n_keys t
+         = List.length (List.sort_uniq compare (List.map fst kvs)))
+
+(* --- property: summary indexes match naive on random DAGs --- *)
+
+let prop_summary_indexes_match_naive =
+  QCheck.Test.make ~count:100 ~name:"DataGuide & 1-index = naive on DAGs" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let dg = Dataguide.build g in
+      let oi = One_index.build g in
+      let tbl = G.labels g in
+      let all_labels = List.init (Repro_graph.Label.count tbl) (fun i -> i) in
+      let queries =
+        List.concat_map
+          (fun a -> [ Query.C1 [ a ] ] @ List.map (fun b -> Query.C1 [ a; b ]) all_labels)
+          all_labels
+        @ List.concat_map
+            (fun a -> List.map (fun b -> Query.C2 (a, b)) all_labels)
+            all_labels
+      in
+      List.for_all
+        (fun q ->
+          let expected = Naive.eval g q in
+          Summary_index.eval dg q = expected && Summary_index.eval oi q = expected)
+        queries)
+
+let prop_fabric_exact_on_trees =
+  (* fabric keys are tree paths; on tree data Q3 must match naive *)
+  QCheck.Test.make ~count:100 ~name:"Index Fabric Q3 = naive on trees" F.arb_dag
+    (fun (n, edges) ->
+      (* keep only the spanning edges (first edge to each target) => a tree *)
+      let seen = Hashtbl.create 16 in
+      let tree_edges =
+        List.filter
+          (fun (_, _, v) ->
+            if Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.add seen v ();
+              true
+            end)
+          edges
+      in
+      let g = F.dag_of_spec (n, tree_edges) in
+      let fabric = Index_fabric.build g in
+      let tbl = G.labels g in
+      let all_labels = List.init (Repro_graph.Label.count tbl) (fun i -> i) in
+      let values = List.init n (fun i -> Printf.sprintf "v%d" i) in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun v ->
+              Index_fabric.eval_q3 fabric [ l ] v = Naive.eval g (Query.C3 ([ l ], v)))
+            values)
+        all_labels)
+
+let prop_one_index_blocks_are_bisimilar =
+  (* members of a block have identical (label, block-of-parent) incoming
+     signatures — the defining property of backward bisimulation *)
+  QCheck.Test.make ~count:100 ~name:"1-index blocks are backward-bisimilar" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let oi = One_index.build g in
+      let n, _ = Summary_index.stats oi in
+      let block_of = Array.make (G.n_nodes g) (-1) in
+      for id = 0 to n - 1 do
+        Array.iter (fun v -> block_of.(v) <- id) (Summary_index.targets oi id)
+      done;
+      let signature v =
+        let acc = ref [] in
+        G.iter_in g v (fun l u -> acc := (l, block_of.(u)) :: !acc);
+        List.sort_uniq compare !acc
+      in
+      let ok = ref true in
+      for id = 0 to n - 1 do
+        match Array.to_list (Summary_index.targets oi id) with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+          let s = signature first in
+          if not (List.for_all (fun v -> signature v = s) rest) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "dataguide",
+        [ Alcotest.test_case "tree structure" `Quick test_dataguide_tree_structure;
+          Alcotest.test_case "movie_db structure" `Quick test_dataguide_movie_db_structure;
+          Alcotest.test_case "queries vs naive" `Quick test_dataguide_queries;
+          Alcotest.test_case "navigation cost" `Quick test_dataguide_query_cost_counts_navigation;
+          Alcotest.test_case "materialized" `Quick test_dataguide_materialized;
+          Alcotest.test_case "max_nodes guard" `Quick test_dataguide_max_nodes_guard
+        ] );
+      ( "one_index",
+        [ Alcotest.test_case "coincides with DataGuide on trees" `Quick
+            test_one_index_tree_coincides_with_dataguide;
+          Alcotest.test_case "queries vs naive" `Quick test_one_index_queries;
+          Alcotest.test_case "blocks bounded" `Quick test_one_index_blocks_bounded_by_nodes;
+          Alcotest.test_case "partition valid" `Quick test_one_index_partition_is_valid
+        ] );
+      ( "index_fabric",
+        [ Alcotest.test_case "keys" `Quick test_fabric_keys;
+          Alcotest.test_case "q3" `Quick test_fabric_q3;
+          Alcotest.test_case "q3 vs naive" `Quick test_fabric_q3_matches_naive;
+          Alcotest.test_case "rejects q1/q2" `Quick test_fabric_rejects_q1_q2;
+          Alcotest.test_case "rooted lookup" `Quick test_fabric_lookup_rooted;
+          Alcotest.test_case "cost accounting" `Quick test_fabric_cost
+        ] );
+      ( "patricia",
+        [ Alcotest.test_case "basic" `Quick test_patricia_basic;
+          Alcotest.test_case "prefix keys" `Quick test_patricia_prefix_keys;
+          QCheck_alcotest.to_alcotest prop_patricia_model
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_summary_indexes_match_naive;
+          QCheck_alcotest.to_alcotest prop_fabric_exact_on_trees;
+          QCheck_alcotest.to_alcotest prop_one_index_blocks_are_bisimilar
+        ] )
+    ]

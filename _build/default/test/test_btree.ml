@@ -1,0 +1,149 @@
+open Repro_storage
+
+let with_tree ?(page_size = 256) () =
+  let pager = Pager.create ~page_size () in
+  let pool = Buffer_pool.create pager ~capacity:64 in
+  Btree.create pool
+
+let test_empty () =
+  let t = with_tree () in
+  Alcotest.(check (option string)) "find on empty" None (Btree.find t 42);
+  Alcotest.(check int) "cardinal" 0 (Btree.cardinal t);
+  Alcotest.(check int) "height" 1 (Btree.height t);
+  Alcotest.(check (list (pair int string))) "range on empty" [] (Btree.range t ~lo:0 ~hi:100)
+
+let test_insert_find () =
+  let t = with_tree () in
+  List.iter (fun k -> Btree.insert t k (Printf.sprintf "v%d" k)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "cardinal" 5 (Btree.cardinal t);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) (string_of_int k) (Some (Printf.sprintf "v%d" k))
+        (Btree.find t k))
+    [ 1; 3; 5; 7; 9 ];
+  Alcotest.(check (option string)) "missing" None (Btree.find t 4);
+  Alcotest.(check bool) "mem" true (Btree.mem t 7);
+  Alcotest.(check bool) "not mem" false (Btree.mem t 8)
+
+let test_replace () =
+  let t = with_tree () in
+  Btree.insert t 1 "old";
+  Btree.insert t 1 "new";
+  Alcotest.(check int) "no duplicate" 1 (Btree.cardinal t);
+  Alcotest.(check (option string)) "replaced" (Some "new") (Btree.find t 1)
+
+let test_many_keys_split () =
+  let t = with_tree ~page_size:256 () in
+  let n = 2000 in
+  (* insert in shuffled order *)
+  let keys = Array.init n (fun i -> i) in
+  let rand = Random.State.make [| 99 |] in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  Array.iter (fun k -> Btree.insert t k (Printf.sprintf "value-%05d" k)) keys;
+  Alcotest.(check int) "cardinal" n (Btree.cardinal t);
+  Alcotest.(check bool) (Printf.sprintf "height %d > 2" (Btree.height t)) true (Btree.height t > 2);
+  Alcotest.(check bool) "many pages" true (Btree.n_pages t > 50);
+  for k = 0 to n - 1 do
+    match Btree.find t k with
+    | Some v when String.equal v (Printf.sprintf "value-%05d" k) -> ()
+    | Some v -> Alcotest.failf "key %d: wrong value %s" k v
+    | None -> Alcotest.failf "key %d missing" k
+  done
+
+let test_range () =
+  let t = with_tree () in
+  List.iter (fun k -> Btree.insert t k (string_of_int (k * k))) [ 2; 4; 6; 8; 10; 12 ];
+  Alcotest.(check (list (pair int string))) "inner range"
+    [ (4, "16"); (6, "36"); (8, "64") ]
+    (Btree.range t ~lo:3 ~hi:9);
+  Alcotest.(check (list (pair int string))) "full range"
+    [ (2, "4"); (4, "16"); (6, "36"); (8, "64"); (10, "100"); (12, "144") ]
+    (Btree.range t ~lo:0 ~hi:100);
+  Alcotest.(check (list (pair int string))) "empty band" [] (Btree.range t ~lo:13 ~hi:20);
+  Alcotest.(check (list (pair int string))) "inverted" [] (Btree.range t ~lo:9 ~hi:3)
+
+let test_iter_sorted () =
+  let t = with_tree () in
+  List.iter (fun k -> Btree.insert t k "x") [ 9; 2; 7; 1; 8; 3 ];
+  let keys = ref [] in
+  Btree.iter t (fun k _ -> keys := k :: !keys);
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 7; 8; 9 ] (List.rev !keys)
+
+let test_cost_charged () =
+  let t = with_tree ~page_size:256 () in
+  for k = 0 to 999 do
+    Btree.insert t k (Printf.sprintf "value-%05d" k)
+  done;
+  let cost = Cost.create () in
+  ignore (Btree.find ~cost t 500);
+  Alcotest.(check int) "descent = height pages" (Btree.height t) cost.Cost.table_pages;
+  let cost2 = Cost.create () in
+  ignore (Btree.range ~cost:cost2 t ~lo:0 ~hi:999);
+  Alcotest.(check bool) "range touches many leaves" true
+    (cost2.Cost.table_pages > cost.Cost.table_pages)
+
+let test_payload_too_large () =
+  let t = with_tree ~page_size:256 () in
+  match Btree.insert t 1 (String.make 10_000 'x') with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let prop_model =
+  QCheck.Test.make ~count:200 ~name:"btree = Map model"
+    QCheck.(list (pair (int_bound 500) (string_of_size (QCheck.Gen.int_bound 12))))
+    (fun kvs ->
+      let t = with_tree () in
+      let module M = Map.Make (Int) in
+      let model =
+        List.fold_left
+          (fun m (k, v) ->
+            Btree.insert t k v;
+            M.add k v m)
+          M.empty kvs
+      in
+      M.for_all (fun k v -> Btree.find t k = Some v) model
+      && Btree.cardinal t = M.cardinal model
+      && Btree.range t ~lo:0 ~hi:500 = M.bindings model)
+
+let prop_range_model =
+  QCheck.Test.make ~count:200 ~name:"btree range = Map filter"
+    QCheck.(
+      pair
+        (list (pair (int_bound 300) (string_of_size (QCheck.Gen.int_bound 8))))
+        (pair (int_bound 300) (int_bound 300)))
+    (fun (kvs, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let t = with_tree () in
+      let module M = Map.Make (Int) in
+      let model =
+        List.fold_left
+          (fun m (k, v) ->
+            Btree.insert t k v;
+            M.add k v m)
+          M.empty kvs
+      in
+      Btree.range t ~lo ~hi
+      = M.bindings (M.filter (fun k _ -> k >= lo && k <= hi) model))
+
+let () =
+  Alcotest.run "btree"
+    [ ( "basics",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "splits" `Quick test_many_keys_split;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "iter sorted" `Quick test_iter_sorted;
+          Alcotest.test_case "cost charged" `Quick test_cost_charged;
+          Alcotest.test_case "payload too large" `Quick test_payload_too_large
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_model;
+          QCheck_alcotest.to_alcotest prop_range_model
+        ] )
+    ]

@@ -1,0 +1,144 @@
+open Repro_datagen
+module G = Repro_graph.Data_graph
+module Stats = Repro_graph.Graph_stats
+
+let within_pct ~pct target actual =
+  let diff = abs (target - actual) in
+  float_of_int diff <= float_of_int target *. (pct /. 100.)
+
+let check_size name target actual =
+  if not (within_pct ~pct:20. target actual) then
+    Alcotest.failf "%s: node count %d not within 20%% of target %d" name actual target
+
+(* --- determinism --- *)
+
+let test_deterministic () =
+  let d1 = Playgen.generate ~seed:5 ~target_nodes:2000 in
+  let d2 = Playgen.generate ~seed:5 ~target_nodes:2000 in
+  Alcotest.(check bool) "same seed same doc" true
+    (Repro_xml.Xml_tree.equal_element d1.root d2.root);
+  let d3 = Playgen.generate ~seed:6 ~target_nodes:2000 in
+  Alcotest.(check bool) "different seed differs" false
+    (Repro_xml.Xml_tree.equal_element d1.root d3.root)
+
+(* --- family characteristics (scaled-down versions of Table 1) --- *)
+
+let test_play_characteristics () =
+  let g = Playgen.dataset ~seed:42 ~target_nodes:8000 in
+  let s = Stats.compute g in
+  check_size "play nodes" 8000 s.Stats.nodes;
+  (* tree: edges = nodes - 1 *)
+  Alcotest.(check int) "tree shaped" (s.Stats.nodes - 1) s.Stats.edges;
+  Alcotest.(check int) "no idref labels" 0 s.Stats.idref_labels;
+  Alcotest.(check bool) (Printf.sprintf "label count %d in [15, 23]" s.Stats.labels) true
+    (s.Stats.labels >= 15 && s.Stats.labels <= 23)
+
+let test_flix_characteristics () =
+  let g = Flixgen.dataset ~seed:42 ~target_nodes:8000 in
+  let s = Stats.compute g in
+  check_size "flix nodes" 8000 s.Stats.nodes;
+  (* graph-shaped but sparsely cross-referenced: a small excess of edges *)
+  let excess = s.Stats.edges - (s.Stats.nodes - 1) in
+  Alcotest.(check bool) (Printf.sprintf "excess edges %d in [1, nodes/20]" excess) true
+    (excess >= 1 && excess <= s.Stats.nodes / 20);
+  Alcotest.(check int) "3 idref labels" 3 s.Stats.idref_labels;
+  Alcotest.(check bool) (Printf.sprintf "label count %d in [45, 75]" s.Stats.labels) true
+    (s.Stats.labels >= 45 && s.Stats.labels <= 75)
+
+let test_ged_characteristics () =
+  let g = Gedgen.dataset ~seed:42 ~target_nodes:8000 in
+  let s = Stats.compute g in
+  check_size "ged nodes" 8000 s.Stats.nodes;
+  (* highly cross-referenced: edges clearly exceed nodes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "edges %d > nodes %d" s.Stats.edges s.Stats.nodes)
+    true
+    (float_of_int s.Stats.edges > 1.05 *. float_of_int s.Stats.nodes);
+  Alcotest.(check bool) (Printf.sprintf "idref labels %d in [10, 14]" s.Stats.idref_labels) true
+    (s.Stats.idref_labels >= 10 && s.Stats.idref_labels <= 14);
+  Alcotest.(check bool) (Printf.sprintf "label count %d in [50, 90]" s.Stats.labels) true
+    (s.Stats.labels >= 50 && s.Stats.labels <= 90)
+
+let test_label_growth_with_size () =
+  let small = Stats.compute (Gedgen.dataset ~seed:7 ~target_nodes:4000) in
+  let big = Stats.compute (Gedgen.dataset ~seed:7 ~target_nodes:40000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "labels grow: %d -> %d" small.Stats.labels big.Stats.labels)
+    true
+    (big.Stats.labels > small.Stats.labels)
+
+let test_ged_is_cyclic_through_refs () =
+  (* INDI --@fams--> FAM --@husb/@wife/@chil--> INDI cycles must exist *)
+  let g = Gedgen.dataset ~seed:9 ~target_nodes:4000 in
+  let labels = G.labels g in
+  let find s = Repro_graph.Label.find labels s in
+  match find "@fams", find "INDI", find "FAM" with
+  | Some fams, Some indi, Some _fam ->
+    let path = [ fams; Option.get (find "FAM") ] in
+    ignore path;
+    (* a path INDI-tagged reference reachable through @fams proves the
+       cross edges resolve *)
+    let through =
+      G.reachable_by_label_path g [ fams; Option.get (find "FAM") ]
+    in
+    ignore indi;
+    Alcotest.(check bool) "fams references resolve" true
+      (Repro_graph.Edge_set.cardinal through > 0)
+  | _ -> Alcotest.fail "expected @fams, INDI, FAM labels"
+
+(* --- XML round trip: generated documents survive serialize/parse *)
+
+let test_xml_roundtrip () =
+  let doc = Flixgen.generate ~seed:3 ~target_nodes:1500 in
+  let s = Repro_xml.Xml_print.to_string doc in
+  let doc' = Repro_xml.Xml_parser.parse_string s in
+  Alcotest.(check bool) "roundtrip" true (Repro_xml.Xml_tree.equal_element doc.root doc'.root);
+  (* and graphs built from both are identical in shape *)
+  let g = Flixgen.to_graph doc and g' = Flixgen.to_graph doc' in
+  Alcotest.(check int) "same nodes" (G.n_nodes g) (G.n_nodes g');
+  Alcotest.(check int) "same edges" (G.n_edges g) (G.n_edges g')
+
+(* --- registry --- *)
+
+let test_registry () =
+  Alcotest.(check int) "nine datasets" 9 (List.length Dataset.all);
+  (match Dataset.by_name "Ged02" with
+   | Some spec ->
+     Alcotest.(check int) "target from Table 1" 30875 spec.Dataset.target_nodes
+   | None -> Alcotest.fail "Ged02 missing");
+  Alcotest.(check bool) "unknown name" true (Dataset.by_name "nope" = None);
+  Alcotest.(check int) "small has one per family" 3 (List.length Dataset.small)
+
+let test_registry_build_small () =
+  List.iter
+    (fun spec ->
+      let spec = Dataset.scaled spec 0.1 in
+      let g = Dataset.build_graph spec in
+      check_size spec.Dataset.name spec.Dataset.target_nodes (G.n_nodes g))
+    Dataset.small
+
+let test_scaled () =
+  match Dataset.by_name "Flix01" with
+  | Some spec ->
+    let s = Dataset.scaled spec 0.5 in
+    Alcotest.(check int) "halved" 7367 s.Dataset.target_nodes;
+    Alcotest.(check string) "name kept" "Flix01" s.Dataset.name
+  | None -> Alcotest.fail "Flix01 missing"
+
+let () =
+  Alcotest.run "datagen"
+    [ ( "generators",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "play characteristics" `Quick test_play_characteristics;
+          Alcotest.test_case "flix characteristics" `Quick test_flix_characteristics;
+          Alcotest.test_case "ged characteristics" `Quick test_ged_characteristics;
+          Alcotest.test_case "label growth with size" `Slow test_label_growth_with_size;
+          Alcotest.test_case "ged references resolve" `Quick test_ged_is_cyclic_through_refs;
+          Alcotest.test_case "xml roundtrip" `Quick test_xml_roundtrip
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "table 1 specs" `Quick test_registry;
+          Alcotest.test_case "build small" `Slow test_registry_build_small;
+          Alcotest.test_case "scaled" `Quick test_scaled
+        ] )
+    ]

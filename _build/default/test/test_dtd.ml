@@ -1,0 +1,315 @@
+open Repro_xml
+
+let parse_dtd = Dtd.parse_exn
+
+let sample_dtd =
+  {|<!ELEMENT library (book+, journal*)>
+    <!ELEMENT book (title, author+, note?)>
+    <!ATTLIST book id ID #REQUIRED sequel IDREF #IMPLIED kind (fiction|fact) "fiction">
+    <!ELEMENT journal (title, (issue|supplement)*)>
+    <!ELEMENT issue EMPTY>
+    <!ATTLIST issue number NMTOKEN #REQUIRED>
+    <!ELEMENT supplement ANY>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT note (#PCDATA|title)*>|}
+
+(* --- parsing --- *)
+
+let test_parse_declarations () =
+  let dtd = parse_dtd sample_dtd in
+  Alcotest.(check (list string)) "element order"
+    [ "library"; "book"; "journal"; "issue"; "supplement"; "title"; "author"; "note" ]
+    (Dtd.element_names dtd);
+  (match Dtd.content_model dtd "issue" with
+   | Some Dtd.Empty -> ()
+   | _ -> Alcotest.fail "issue should be EMPTY");
+  (match Dtd.content_model dtd "supplement" with
+   | Some Dtd.Any -> ()
+   | _ -> Alcotest.fail "supplement should be ANY");
+  (match Dtd.content_model dtd "title" with
+   | Some Dtd.Pcdata -> ()
+   | _ -> Alcotest.fail "title should be PCDATA");
+  (match Dtd.content_model dtd "note" with
+   | Some (Dtd.Mixed [ "title" ]) -> ()
+   | _ -> Alcotest.fail "note should be mixed")
+
+let test_parse_attributes () =
+  let dtd = parse_dtd sample_dtd in
+  let atts = Dtd.attributes dtd "book" in
+  Alcotest.(check int) "three attributes" 3 (List.length atts);
+  Alcotest.(check (list string)) "id attrs" [ "id" ] (Dtd.id_attributes dtd);
+  Alcotest.(check (list string)) "idref attrs" [ "sequel" ] (Dtd.idref_attributes dtd);
+  (match List.find_opt (fun a -> a.Dtd.att_name = "kind") atts with
+   | Some { Dtd.att_type = Dtd.Enumeration [ "fiction"; "fact" ]; att_default = Dtd.Default "fiction"; _ } -> ()
+   | _ -> Alcotest.fail "kind should be an enumeration with default")
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Dtd.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error on %s" text)
+    [ "<!ELEMENT a>"; "<!ELEMENT a (b>"; "<!ELEMENT a (#PCDATA|b)>"; "<!WRONG a b>";
+      "<!ATTLIST a x UNKNOWN #IMPLIED>"; "<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"
+    ]
+
+let test_to_string_roundtrip () =
+  let dtd = parse_dtd sample_dtd in
+  let dtd' = parse_dtd (Dtd.to_string dtd) in
+  Alcotest.(check (list string)) "same elements" (Dtd.element_names dtd) (Dtd.element_names dtd');
+  Alcotest.(check (list string)) "same idrefs" (Dtd.idref_attributes dtd) (Dtd.idref_attributes dtd');
+  List.iter
+    (fun name ->
+      if Dtd.content_model dtd name <> Dtd.content_model dtd' name then
+        Alcotest.failf "content model of %s changed" name;
+      if Dtd.attributes dtd name <> Dtd.attributes dtd' name then
+        Alcotest.failf "attributes of %s changed" name)
+    (Dtd.element_names dtd)
+
+(* --- validation --- *)
+
+let validate dtd_text doc_text =
+  Dtd.validate (parse_dtd dtd_text) (Xml_parser.parse_string doc_text)
+
+let check_valid name dtd_text doc_text =
+  match validate dtd_text doc_text with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "%s: unexpected violations: %s" name
+      (String.concat "; " (List.map (fun v -> v.Dtd.message) vs))
+
+let check_invalid name ?expect dtd_text doc_text =
+  match validate dtd_text doc_text, expect with
+  | [], _ -> Alcotest.failf "%s: expected violations" name
+  | vs, Some fragment ->
+    if
+      not
+        (List.exists
+           (fun v ->
+             let m = v.Dtd.message in
+             let n = String.length fragment and h = String.length m in
+             let rec go i = i + n <= h && (String.sub m i n = fragment || go (i + 1)) in
+             go 0)
+           vs)
+    then
+      Alcotest.failf "%s: no violation mentions %S (got: %s)" name fragment
+        (String.concat "; " (List.map (fun v -> v.Dtd.message) vs))
+  | _, None -> ()
+
+let ok_doc =
+  {|<library>
+      <book id="b1" sequel="b2"><title>A</title><author>X</author></book>
+      <book id="b2" kind="fact"><title>B</title><author>Y</author><author>Z</author><note>see <title>A</title></note></book>
+      <journal><title>J</title><issue number="i1"/><supplement><title>S</title></supplement></journal>
+    </library>|}
+
+let test_validate_ok () = check_valid "well-formed sample" sample_dtd ok_doc
+
+let test_validate_content_models () =
+  check_invalid "book without author" ~expect:"content model" sample_dtd
+    {|<library><book id="b1"><title>A</title></book></library>|};
+  check_invalid "book children out of order" ~expect:"content model" sample_dtd
+    {|<library><book id="b1"><author>X</author><title>A</title></book></library>|};
+  check_invalid "empty element with children" ~expect:"EMPTY" sample_dtd
+    {|<library><book id="b1"><title>A</title><author>X</author></book>
+      <journal><title>J</title><issue number="n"><title>no</title></issue></journal></library>|};
+  check_invalid "undeclared element" ~expect:"not declared" sample_dtd
+    {|<library><book id="b1"><title>A</title><author>X</author></book><pamphlet/></library>|};
+  check_invalid "text inside element content" ~expect:"character data" sample_dtd
+    {|<library><book id="b1">oops<title>A</title><author>X</author></book></library>|}
+
+let test_validate_attributes () =
+  check_invalid "missing required id" ~expect:"required attribute" sample_dtd
+    {|<library><book><title>A</title><author>X</author></book></library>|};
+  check_invalid "undeclared attribute" ~expect:"not declared" sample_dtd
+    {|<library><book id="b1" extra="x"><title>A</title><author>X</author></book></library>|};
+  check_invalid "bad enumeration value" ~expect:"not in" sample_dtd
+    {|<library><book id="b1" kind="poetry"><title>A</title><author>X</author></book></library>|};
+  check_invalid "duplicate id" ~expect:"duplicate ID" sample_dtd
+    {|<library><book id="b1"><title>A</title><author>X</author></book>
+      <book id="b1"><title>B</title><author>Y</author></book></library>|};
+  check_invalid "dangling idref" ~expect:"resolves to no ID" sample_dtd
+    {|<library><book id="b1" sequel="nope"><title>A</title><author>X</author></book></library>|};
+  check_invalid "bad nmtoken" ~expect:"is not a token" sample_dtd
+    {|<library><book id="b1"><title>A</title><author>X</author></book>
+      <journal><title>J</title><issue number="has space"/></journal></library>|}
+
+let test_validate_fixed () =
+  let dtd = {|<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "always">|} in
+  check_valid "fixed ok" dtd {|<a v="always"/>|};
+  check_invalid "fixed violated" ~expect:"fixed" dtd {|<a v="other"/>|}
+
+let test_apply_defaults () =
+  let dtd =
+    parse_dtd
+      {|<!ELEMENT a (b*)>
+        <!ATTLIST a mode (x|y) "x" fixed CDATA #FIXED "f" opt CDATA #IMPLIED>
+        <!ELEMENT b (#PCDATA)>
+        <!ATTLIST b lang CDATA "en">|}
+  in
+  let doc = Xml_parser.parse_string {|<a mode="y"><b>t</b><b lang="fr">u</b></a>|} in
+  let doc' = Dtd.apply_defaults dtd doc in
+  Alcotest.(check (option string)) "explicit kept" (Some "y") (Xml_tree.attr doc'.root "mode");
+  Alcotest.(check (option string)) "fixed added" (Some "f") (Xml_tree.attr doc'.root "fixed");
+  Alcotest.(check (option string)) "implied not added" None (Xml_tree.attr doc'.root "opt");
+  (match doc'.root.children with
+   | [ Element b1; Element b2 ] ->
+     Alcotest.(check (option string)) "default added" (Some "en") (Xml_tree.attr b1 "lang");
+     Alcotest.(check (option string)) "explicit kept on b" (Some "fr") (Xml_tree.attr b2 "lang")
+   | _ -> Alcotest.fail "unexpected children");
+  (* defaults make the document valid against itself *)
+  Alcotest.(check int) "valid after defaults" 0 (List.length (Dtd.validate dtd doc'))
+
+(* random content particles + random words of their language: validation
+   must accept every sampled word *)
+let rec render_particle = function
+  | Dtd.Elem n -> n
+  | Dtd.Seq ps -> "(" ^ String.concat "," (List.map render_particle ps) ^ ")"
+  | Dtd.Choice ps -> "(" ^ String.concat "|" (List.map render_particle ps) ^ ")"
+  | Dtd.Opt p -> modifiable p ^ "?"
+  | Dtd.Star p -> modifiable p ^ "*"
+  | Dtd.Plus p -> modifiable p ^ "+"
+
+(* a particle an occurrence modifier may attach to directly; stacked
+   modifiers need parentheses *)
+and modifiable p =
+  match p with
+  | Dtd.Opt _ | Dtd.Star _ | Dtd.Plus _ -> "(" ^ render_particle p ^ ")"
+  | Dtd.Elem _ | Dtd.Seq _ | Dtd.Choice _ -> render_particle p
+
+let gen_particle =
+  QCheck.Gen.(
+    sized_size (int_range 1 5)
+      (fix (fun self n ->
+           let leaf = map (fun i -> Dtd.Elem (Printf.sprintf "e%d" i)) (int_bound 3) in
+           if n <= 1 then leaf
+           else
+             frequency
+               [ (2, leaf);
+                 (2, map (fun ps -> Dtd.Seq ps) (list_size (int_range 2 3) (self (n / 2))));
+                 (2, map (fun ps -> Dtd.Choice ps) (list_size (int_range 2 3) (self (n / 2))));
+                 (1, map (fun p -> Dtd.Opt p) (self (n - 1)));
+                 (1, map (fun p -> Dtd.Star p) (self (n - 1)));
+                 (1, map (fun p -> Dtd.Plus p) (self (n - 1)))
+               ])))
+
+let rec sample_word rand (p : Dtd.content_particle) =
+  match p with
+  | Dtd.Elem n -> [ n ]
+  | Dtd.Seq ps -> List.concat_map (sample_word rand) ps
+  | Dtd.Choice ps -> sample_word rand (List.nth ps (Random.State.int rand (List.length ps)))
+  | Dtd.Opt p -> if Random.State.bool rand then sample_word rand p else []
+  | Dtd.Star p -> List.concat (List.init (Random.State.int rand 3) (fun _ -> sample_word rand p))
+  | Dtd.Plus p ->
+    List.concat (List.init (1 + Random.State.int rand 2) (fun _ -> sample_word rand p))
+
+let prop_language_words_validate =
+  QCheck.Test.make ~count:300 ~name:"sampled language words satisfy the content model"
+    (QCheck.make ~print:render_particle gen_particle)
+    (fun particle ->
+      let rand = Random.State.make [| Hashtbl.hash particle |] in
+      let leaves =
+        String.concat "\n" (List.init 4 (fun i -> Printf.sprintf "<!ELEMENT e%d (#PCDATA)>" i))
+      in
+      let dtd_text =
+        Printf.sprintf "<!ELEMENT root (%s)>\n%s" (render_particle particle) leaves
+      in
+      match Dtd.parse dtd_text with
+      | Error m -> QCheck.Test.fail_reportf "dtd did not parse: %s (%s)" m dtd_text
+      | Ok dtd ->
+        List.for_all
+          (fun () ->
+            let word = sample_word rand particle in
+            let doc_text =
+              "<root>" ^ String.concat "" (List.map (fun n -> "<" ^ n ^ "/>") word) ^ "</root>"
+            in
+            Dtd.validate dtd (Xml_parser.parse_string doc_text) = [])
+          (List.init 5 (fun _ -> ())))
+
+(* --- the dataset DTDs describe the generators exactly --- *)
+
+let test_generated_documents_validate () =
+  List.iter
+    (fun spec ->
+      let spec = Repro_datagen.Dataset.scaled spec 0.15 in
+      let dtd = parse_dtd (Repro_datagen.Dataset.dtd_text spec.Repro_datagen.Dataset.family) in
+      let doc = Repro_datagen.Dataset.generate_document spec in
+      match Dtd.validate dtd doc with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%s: %d violations, first: %s at %s" spec.Repro_datagen.Dataset.name
+          (List.length vs) (List.hd vs).Dtd.message (List.hd vs).Dtd.path)
+    Repro_datagen.Dataset.small
+
+let test_dtd_idrefs_match_registry () =
+  List.iter
+    (fun (family, name) ->
+      let dtd = parse_dtd (Repro_datagen.Dataset.dtd_text family) in
+      Alcotest.(check (list string))
+        (name ^ " idref attrs")
+        (List.sort compare (Repro_datagen.Dataset.idref_attrs family))
+        (Dtd.idref_attributes dtd))
+    [ (Repro_datagen.Dataset.Play, "play"); (Repro_datagen.Dataset.Flix, "flix");
+      (Repro_datagen.Dataset.Ged, "ged")
+    ]
+
+let test_dtd_driven_graph_equals_manual () =
+  let spec =
+    Repro_datagen.Dataset.scaled (Option.get (Repro_datagen.Dataset.by_name "Ged01")) 0.15
+  in
+  let doc = Repro_datagen.Dataset.generate_document spec in
+  let dtd = parse_dtd (Repro_datagen.Dataset.dtd_text spec.Repro_datagen.Dataset.family) in
+  let manual =
+    Repro_graph.Data_graph.of_document
+      ~idref_attrs:(Repro_datagen.Dataset.idref_attrs spec.Repro_datagen.Dataset.family)
+      doc
+  in
+  let driven = Repro_graph.Data_graph.of_document_dtd dtd doc in
+  Alcotest.(check int) "nodes" (Repro_graph.Data_graph.n_nodes manual)
+    (Repro_graph.Data_graph.n_nodes driven);
+  Alcotest.(check int) "edges" (Repro_graph.Data_graph.n_edges manual)
+    (Repro_graph.Data_graph.n_edges driven)
+
+let test_doctype_roundtrip_through_files () =
+  (* emit a document with its DTD, read it back, recover the DTD *)
+  let spec =
+    Repro_datagen.Dataset.scaled (Option.get (Repro_datagen.Dataset.by_name "Flix01")) 0.1
+  in
+  let doc = Repro_datagen.Dataset.generate_document spec in
+  let dtd_text = Repro_datagen.Dataset.dtd_text Repro_datagen.Dataset.Flix in
+  let text = Xml_print.to_string ~dtd:dtd_text doc in
+  let doc', subset = Xml_parser.parse_string_full text in
+  Alcotest.(check bool) "document intact" true (Xml_tree.equal_element doc.root doc'.root);
+  match subset with
+  | None -> Alcotest.fail "internal subset lost"
+  | Some s ->
+    let dtd = parse_dtd s in
+    Alcotest.(check (list string)) "idrefs recovered"
+      (List.sort compare Repro_datagen.Flixgen.idref_attrs)
+      (Dtd.idref_attributes dtd);
+    Alcotest.(check int) "document validates" 0 (List.length (Dtd.validate dtd doc'))
+
+let () =
+  Alcotest.run "dtd"
+    [ ( "parser",
+        [ Alcotest.test_case "declarations" `Quick test_parse_declarations;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "valid document" `Quick test_validate_ok;
+          Alcotest.test_case "content models" `Quick test_validate_content_models;
+          Alcotest.test_case "attributes" `Quick test_validate_attributes;
+          Alcotest.test_case "fixed attributes" `Quick test_validate_fixed;
+          Alcotest.test_case "apply defaults" `Quick test_apply_defaults;
+          QCheck_alcotest.to_alcotest prop_language_words_validate
+        ] );
+      ( "datasets",
+        [ Alcotest.test_case "generated documents validate" `Slow test_generated_documents_validate;
+          Alcotest.test_case "DTD idrefs = registry" `Quick test_dtd_idrefs_match_registry;
+          Alcotest.test_case "DTD-driven graph = manual" `Quick test_dtd_driven_graph_equals_manual;
+          Alcotest.test_case "doctype file roundtrip" `Quick test_doctype_roundtrip_through_files
+        ] )
+    ]

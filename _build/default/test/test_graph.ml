@@ -1,0 +1,338 @@
+open Repro_graph
+module F = Test_support.Fixtures
+
+let edge_set = Alcotest.testable Edge_set.pp Edge_set.equal
+
+let contains_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.equal (String.sub haystack i n) needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Edge_set --- *)
+
+let test_pack_unpack () =
+  List.iter
+    (fun (u, v) -> Alcotest.(check (pair int int)) "roundtrip" (u, v) (Edge_set.unpack (Edge_set.pack u v)))
+    [ (0, 0); (1, 2); (123456, 654321); (Edge_set.null, 0); ((1 lsl 31) - 1, (1 lsl 31) - 1) ]
+
+let test_pack_bounds () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Edge_set.pack: component out of range (-1, 0)")
+    (fun () -> ignore (Edge_set.pack (-1) 0));
+  match Edge_set.pack (1 lsl 31) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected out-of-range failure"
+
+let test_edge_set_ops () =
+  let a = Edge_set.of_list [ (1, 2); (3, 4) ] in
+  let b = Edge_set.of_list [ (3, 4); (5, 6) ] in
+  Alcotest.check edge_set "union" (Edge_set.of_list [ (1, 2); (3, 4); (5, 6) ]) (Edge_set.union a b);
+  Alcotest.check edge_set "inter" (Edge_set.of_list [ (3, 4) ]) (Edge_set.inter a b);
+  Alcotest.check edge_set "diff" (Edge_set.of_list [ (1, 2) ]) (Edge_set.diff a b);
+  Alcotest.(check bool) "mem" true (Edge_set.mem a 3 4);
+  Alcotest.(check bool) "not mem" false (Edge_set.mem a 3 5);
+  Alcotest.(check int) "cardinal" 2 (Edge_set.cardinal a)
+
+let test_endpoints_parents () =
+  let s = Edge_set.of_list [ (Edge_set.null, 0); (1, 2); (3, 2); (1, 4) ] in
+  Alcotest.(check (array int)) "endpoints" [| 0; 2; 4 |] (Edge_set.endpoints s);
+  Alcotest.(check (array int)) "parents (null excluded)" [| 1; 3 |] (Edge_set.parents s)
+
+let test_join () =
+  (* a: reaches nodes 2 and 4; b: edges out of 2 and of 9 *)
+  let a = Edge_set.of_list [ (1, 2); (3, 4) ] in
+  let b = Edge_set.of_list [ (2, 7); (9, 8); (4, 6) ] in
+  Alcotest.check edge_set "join keeps connected" (Edge_set.of_list [ (2, 7); (4, 6) ]) (Edge_set.join a b)
+
+(* --- Label --- *)
+
+let test_label_interning () =
+  let t = Label.create_table () in
+  let a = Label.intern t "movie" in
+  let b = Label.intern t "actor" in
+  let a' = Label.intern t "movie" in
+  Alcotest.(check int) "same id" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "to_string" "movie" (Label.to_string t a);
+  Alcotest.(check int) "count" 2 (Label.count t);
+  Alcotest.(check (option int)) "find known" (Some b) (Label.find t "actor");
+  Alcotest.(check (option int)) "find unknown" None (Label.find t "nope")
+
+let test_label_attribute () =
+  let t = Label.create_table () in
+  let at = Label.intern t "@actor" in
+  let plain = Label.intern t "actor" in
+  Alcotest.(check bool) "@ label" true (Label.is_attribute t at);
+  Alcotest.(check bool) "plain label" false (Label.is_attribute t plain)
+
+(* --- Data_graph on the MovieDB fixture --- *)
+
+let test_movie_db_shape () =
+  let g = F.movie_db () in
+  Alcotest.(check int) "nodes" 11 (Data_graph.n_nodes g);
+  Alcotest.(check int) "edges" 14 (Data_graph.n_edges g);
+  Alcotest.(check int) "root" 0 (Data_graph.root g);
+  Alcotest.(check (option string)) "leaf value" (Some "Waterworld") (Data_graph.value g 7);
+  Alcotest.(check (option string)) "non-leaf value" None (Data_graph.value g 6)
+
+let test_movie_db_t_paths () =
+  let g = F.movie_db () in
+  let t names = Data_graph.reachable_by_label_path g (F.path g names) in
+  Alcotest.check edge_set "T(title)" (Edge_set.of_list [ (6, 7) ]) (t [ "title" ]);
+  Alcotest.check edge_set "T(name)"
+    (Edge_set.of_list [ (1, 2); (3, 4); (5, 8) ])
+    (t [ "name" ]);
+  Alcotest.check edge_set "T(actor.name)" (Edge_set.of_list [ (1, 2); (3, 4) ]) (t [ "actor"; "name" ]);
+  Alcotest.check edge_set "T(movie.title)" (Edge_set.of_list [ (6, 7) ]) (t [ "movie"; "title" ]);
+  Alcotest.check edge_set "T(@actor.actor)" (Edge_set.of_list [ (9, 1); (9, 3) ]) (t [ "@actor"; "actor" ]);
+  Alcotest.check edge_set "T(director.name)" (Edge_set.of_list [ (5, 8) ]) (t [ "director"; "name" ]);
+  (* cyclic traversal terminates: @movie.movie.@actor.actor.@movie.movie *)
+  Alcotest.check edge_set "long cyclic path"
+    (Edge_set.of_list [ (10, 6) ])
+    (t [ "@movie"; "movie"; "@actor"; "actor"; "@movie"; "movie" ])
+
+let test_edges_with_label () =
+  let g = F.movie_db () in
+  Alcotest.check edge_set "actor edges"
+    (Edge_set.of_list [ (0, 1); (0, 3); (9, 1); (9, 3) ])
+    (Data_graph.edges_with_label g (F.label g "actor"));
+  Alcotest.check edge_set "movie edges"
+    (Edge_set.of_list [ (0, 6); (5, 6); (10, 6) ])
+    (Data_graph.edges_with_label g (F.label g "movie"));
+  (* length-1 reachability coincides with the label grouping *)
+  Alcotest.check edge_set "consistency"
+    (Data_graph.reachable_by_label_path g [ F.label g "name" ])
+    (Data_graph.edges_with_label g (F.label g "name"))
+
+let test_iter_in () =
+  let g = F.movie_db () in
+  let incoming = ref [] in
+  Data_graph.iter_in g 6 (fun l u -> incoming := (Label.to_string (Data_graph.labels g) l, u) :: !incoming);
+  let sorted = List.sort compare !incoming in
+  Alcotest.(check (list (pair string int)))
+    "movie node incoming"
+    [ ("movie", 0); ("movie", 5); ("movie", 10) ]
+    sorted
+
+let test_in_out_degree_sum () =
+  let g = F.movie_db () in
+  let total_in = ref 0 in
+  for v = 0 to Data_graph.n_nodes g - 1 do
+    Data_graph.iter_in g v (fun _ _ -> incr total_in)
+  done;
+  Alcotest.(check int) "sum of in-degrees = edges" (Data_graph.n_edges g) !total_in
+
+let test_idref_heuristic () =
+  let g = F.movie_db () in
+  let names =
+    List.map (Label.to_string (Data_graph.labels g)) (Data_graph.idref_labels g) |> List.sort compare
+  in
+  Alcotest.(check (list string)) "idref labels" [ "@actor"; "@movie" ] names
+
+let test_root_edge () =
+  let g = F.movie_db () in
+  Alcotest.check edge_set "root pseudo-edge"
+    (Edge_set.of_list [ (Edge_set.null, 0) ])
+    (Data_graph.root_edge g)
+
+let test_unknown_nid_rejected () =
+  let g = F.movie_db () in
+  match Data_graph.value g 999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- of_document: Section 3 encoding --- *)
+
+let movie_xml =
+  {|<MovieDB>
+      <actor id="a1" movie="m1"><name>Kevin</name></actor>
+      <actor id="a2"><name>Jeanne</name></actor>
+      <director id="d1">
+        <name>Reynolds</name>
+        <movie id="m1" actor="a1 a2" year="1995"><title>Waterworld</title></movie>
+      </director>
+    </MovieDB>|}
+
+let graph_of_xml ?id_attrs ?idref_attrs s =
+  Data_graph.of_document ?id_attrs ?idref_attrs (Repro_xml.Xml_parser.parse_string s)
+
+let test_of_document_basic () =
+  let g = graph_of_xml ~idref_attrs:[ "movie"; "actor" ] movie_xml in
+  (* elements: MovieDB, 2 actors, 2 names, director, dname, movie, title = 9
+     plus @year leaf, @movie attr node, @actor attr node = 12 *)
+  Alcotest.(check int) "nodes" 12 (Data_graph.n_nodes g);
+  let labels = Data_graph.labels g in
+  let l s =
+    match Label.find labels s with
+    | Some l -> l
+    | None -> Alcotest.failf "label %s missing" s
+  in
+  (* reference edge carries the *target's* tag *)
+  let via_at_actor = Data_graph.reachable_by_label_path g [ l "@actor"; l "actor"; l "name" ] in
+  Alcotest.(check int) "names reachable through @actor" 2 (Edge_set.cardinal via_at_actor);
+  let via_at_movie = Data_graph.reachable_by_label_path g [ l "@movie"; l "movie"; l "title" ] in
+  Alcotest.(check int) "title reachable through @movie" 1 (Edge_set.cardinal via_at_movie)
+
+let test_of_document_attrs_and_values () =
+  let g = graph_of_xml ~idref_attrs:[ "movie"; "actor" ] movie_xml in
+  let labels = Data_graph.labels g in
+  let l s = Option.get (Label.find labels s) in
+  (* ordinary attribute year becomes a leaf under @year *)
+  let year_edges = Data_graph.edges_with_label g (l "@year") in
+  Alcotest.(check int) "one @year edge" 1 (Edge_set.cardinal year_edges);
+  let _, year_leaf = List.hd (Edge_set.to_list year_edges) in
+  Alcotest.(check (option string)) "@year value" (Some "1995") (Data_graph.value g year_leaf);
+  (* text-only element became a leaf with its text *)
+  let title_edges = Data_graph.edges_with_label g (l "title") in
+  let _, title_leaf = List.hd (Edge_set.to_list title_edges) in
+  Alcotest.(check (option string)) "title value" (Some "Waterworld") (Data_graph.value g title_leaf)
+
+let test_of_document_idref_labels () =
+  let g = graph_of_xml ~idref_attrs:[ "movie"; "actor" ] movie_xml in
+  Alcotest.(check int) "2 idref labels" 2 (List.length (Data_graph.idref_labels g))
+
+let test_of_document_id_not_an_edge () =
+  let g = graph_of_xml ~idref_attrs:[ "movie"; "actor" ] movie_xml in
+  Alcotest.(check (option int)) "@id never interned" None (Label.find (Data_graph.labels g) "@id")
+
+let test_of_document_dangling_ref () =
+  let g = graph_of_xml ~idref_attrs:[ "ref" ] {|<r><a id="x"/><b ref="nope"/></r>|} in
+  (* dangling ref dropped: only r, a, b *)
+  Alcotest.(check int) "nodes" 3 (Data_graph.n_nodes g);
+  Alcotest.(check int) "edges" 2 (Data_graph.n_edges g)
+
+let test_of_document_no_idref_config () =
+  (* without idref_attrs, 'movie'/'actor' attrs become plain value leaves *)
+  let g = graph_of_xml movie_xml in
+  let labels = Data_graph.labels g in
+  Alcotest.(check bool) "@movie exists as value leaf" true (Label.find labels "@movie" <> None);
+  Alcotest.(check int) "no idref labels" 0 (List.length (Data_graph.idref_labels g))
+
+let test_graph_stats () =
+  let g = F.movie_db () in
+  let s = Graph_stats.compute g in
+  Alcotest.(check int) "nodes" 11 s.Graph_stats.nodes;
+  Alcotest.(check int) "edges" 14 s.Graph_stats.edges;
+  (* labels: actor, name, director, movie, title, @actor, @movie *)
+  Alcotest.(check int) "labels" 7 s.Graph_stats.labels;
+  Alcotest.(check int) "idref labels" 2 s.Graph_stats.idref_labels
+
+(* --- Subtree materialization --- *)
+
+let movie_xml_for_subtree =
+  {|<MovieDB><actor id="a1" movie="m1"><name>Kevin</name></actor><director id="d1"><name>Reynolds</name><movie id="m1" actor="a1"><title>Waterworld</title></movie></director></MovieDB>|}
+
+let test_subtree_roundtrip_document () =
+  let doc = Repro_xml.Xml_parser.parse_string movie_xml_for_subtree in
+  let g = Data_graph.of_document ~idref_attrs:[ "movie"; "actor" ] doc in
+  let rebuilt = Subtree.element ~tag:"MovieDB" g (Data_graph.root g) in
+  (* re-encode the rebuilt XML: it must produce an identical graph *)
+  let g' =
+    Data_graph.of_document ~idref_attrs:[ "movie"; "actor" ]
+      { Repro_xml.Xml_tree.decl = []; root = rebuilt }
+  in
+  Alcotest.(check int) "same node count" (Data_graph.n_nodes g) (Data_graph.n_nodes g');
+  Alcotest.(check int) "same edge count" (Data_graph.n_edges g) (Data_graph.n_edges g')
+
+let test_subtree_fragment () =
+  let doc = Repro_xml.Xml_parser.parse_string movie_xml_for_subtree in
+  let g = Data_graph.of_document ~idref_attrs:[ "movie"; "actor" ] doc in
+  (* nid 1 is the first actor *)
+  let xml = Subtree.to_xml_string g 1 in
+  Alcotest.(check bool) "names the tag" true (String.length xml > 0 && String.sub xml 0 6 = "<actor");
+  let frag = Repro_xml.Xml_parser.parse_string xml in
+  Alcotest.(check (option string)) "idref attribute recovered" (Some "m1")
+    (Repro_xml.Xml_tree.attr frag.root "movie");
+  Alcotest.(check (option string)) "id attribute recovered" (Some "a1")
+    (Repro_xml.Xml_tree.attr frag.root "id");
+  Alcotest.(check string) "text value recovered" "Kevin" (Repro_xml.Xml_tree.text_content frag.root)
+
+let test_subtree_default_tag () =
+  let g = F.movie_db () in
+  (* Builder graphs have no ids: references render as #nid placeholders *)
+  let xml = Subtree.to_xml_string g 1 in
+  Alcotest.(check bool) "placeholder reference" true
+    (contains_sub xml "movie=\"#6\"")
+
+let test_id_of () =
+  let doc = Repro_xml.Xml_parser.parse_string movie_xml_for_subtree in
+  let g = Data_graph.of_document ~idref_attrs:[ "movie"; "actor" ] doc in
+  Alcotest.(check (option string)) "actor id" (Some "a1") (Data_graph.id_of g 1);
+  Alcotest.(check (option string)) "root has no id" None (Data_graph.id_of g 0)
+
+(* --- properties on random DAGs --- *)
+
+let prop_t_path_chains =
+  QCheck.Test.make ~count:150 ~name:"T(p.q) endpoints ⊆ step from T(p) endpoints" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let tbl = Data_graph.labels g in
+      match Label.find tbl "l0", Label.find tbl "l1" with
+      | Some l0, Some l1 ->
+        let t01 = Data_graph.reachable_by_label_path g [ l0; l1 ] in
+        let t0 = Data_graph.reachable_by_label_path g [ l0 ] in
+        (* every edge in T(l0.l1) must start at an endpoint of T(l0) *)
+        Edge_set.fold
+          (fun ok u _ -> ok && Repro_util.Int_sorted.mem (Edge_set.endpoints t0) u)
+          true t01
+      | _ -> QCheck.assume_fail ())
+
+let prop_length1_equals_grouping =
+  QCheck.Test.make ~count:150 ~name:"T(l) = edges_with_label l" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let tbl = Data_graph.labels g in
+      let ok = ref true in
+      for l = 0 to Label.count tbl - 1 do
+        if
+          not
+            (Edge_set.equal
+               (Data_graph.reachable_by_label_path g [ l ])
+               (Data_graph.edges_with_label g l))
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graph"
+    [ ( "edge_set",
+        [ Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+          Alcotest.test_case "pack bounds" `Quick test_pack_bounds;
+          Alcotest.test_case "set ops" `Quick test_edge_set_ops;
+          Alcotest.test_case "endpoints/parents" `Quick test_endpoints_parents;
+          Alcotest.test_case "join" `Quick test_join
+        ] );
+      ( "label",
+        [ Alcotest.test_case "interning" `Quick test_label_interning;
+          Alcotest.test_case "attribute detection" `Quick test_label_attribute
+        ] );
+      ( "data_graph",
+        [ Alcotest.test_case "movie_db shape" `Quick test_movie_db_shape;
+          Alcotest.test_case "movie_db T(p)" `Quick test_movie_db_t_paths;
+          Alcotest.test_case "edges_with_label" `Quick test_edges_with_label;
+          Alcotest.test_case "iter_in" `Quick test_iter_in;
+          Alcotest.test_case "in/out degree sum" `Quick test_in_out_degree_sum;
+          Alcotest.test_case "idref heuristic" `Quick test_idref_heuristic;
+          Alcotest.test_case "root_edge" `Quick test_root_edge;
+          Alcotest.test_case "unknown nid rejected" `Quick test_unknown_nid_rejected
+        ] );
+      ( "of_document",
+        [ Alcotest.test_case "basic encoding" `Quick test_of_document_basic;
+          Alcotest.test_case "attrs and values" `Quick test_of_document_attrs_and_values;
+          Alcotest.test_case "idref labels" `Quick test_of_document_idref_labels;
+          Alcotest.test_case "id makes no edge" `Quick test_of_document_id_not_an_edge;
+          Alcotest.test_case "dangling ref dropped" `Quick test_of_document_dangling_ref;
+          Alcotest.test_case "no idref config" `Quick test_of_document_no_idref_config;
+          Alcotest.test_case "graph stats" `Quick test_graph_stats
+        ] );
+      ( "subtree",
+        [ Alcotest.test_case "document roundtrip" `Quick test_subtree_roundtrip_document;
+          Alcotest.test_case "fragment" `Quick test_subtree_fragment;
+          Alcotest.test_case "placeholder references" `Quick test_subtree_default_tag;
+          Alcotest.test_case "id_of" `Quick test_id_of
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_t_path_chains;
+          QCheck_alcotest.to_alcotest prop_length1_equals_grouping
+        ] )
+    ]

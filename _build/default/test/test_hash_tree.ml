@@ -1,0 +1,188 @@
+(* White-box tests of H_APEX (Figures 7, 8, 9): counting, pruning and
+   lookup behaviour on hand-driven trees, independent of the update
+   engine. Labels: A=0, B=1, C=2, D=3. *)
+
+open Repro_apex
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+
+(* a detached G_APEX to mint marker nodes from *)
+let fresh_gapex () = Gapex.create ~root_extent:Repro_graph.Edge_set.empty
+
+let mark gapex slot =
+  let n = Gapex.new_node gapex in
+  Hash_tree.slot_set slot (Some n);
+  n
+
+let slot_exn tree rev_path =
+  match Hash_tree.lookup_slot tree ~rev_path with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a slot"
+
+(* --- counting (Figure 7-(b)) --- *)
+
+let test_counting_creates_entries () =
+  let tree = Hash_tree.create () in
+  (* prior state: required paths {A, B, C, D, B.D} *)
+  Hash_tree.count_workload tree [ [ a ]; [ b ]; [ c ]; [ d ]; [ b; d ] ];
+  Hash_tree.reset_marks tree;
+  (* workload {A.D, C, A.D} *)
+  Hash_tree.count_workload tree [ [ a; d ]; [ c ]; [ a; d ] ];
+  (* head entry counts: A=2, C=1, D=2; B untouched = 0; subentry A.D=2, B.D=0 *)
+  Alcotest.(check int) "entries exist" 6 (Hash_tree.n_entries tree)
+
+let test_lookup_head_miss_without_create () =
+  let tree = Hash_tree.create () in
+  Alcotest.(check bool) "miss" true (Hash_tree.lookup_slot tree ~rev_path:[ a ] = None);
+  Alcotest.(check bool) "create_head makes it" true
+    (Hash_tree.lookup_slot ~create_head:true tree ~rev_path:[ a ] <> None);
+  Alcotest.(check bool) "now present" true (Hash_tree.lookup_slot tree ~rev_path:[ a ] <> None)
+
+(* --- Figure 9 lookup semantics --- *)
+
+(* build: required {A, B, C, D, A.D}; mark nodes for A, B, C, remainder.D
+   and A.D *)
+let build_fig9 () =
+  let tree = Hash_tree.create () in
+  let gapex = fresh_gapex () in
+  Hash_tree.count_workload tree [ [ a ]; [ b ]; [ c ]; [ d ]; [ a; d ] ];
+  let n_a = mark gapex (slot_exn tree [ a ]) in
+  let _n_b = mark gapex (slot_exn tree [ b ]) in
+  let n_ad = mark gapex (slot_exn tree [ d; a ]) in
+  (* the remainder of D: looked up via a path ending with D but not A.D *)
+  let n_rd = mark gapex (slot_exn tree [ d; b ]) in
+  (tree, n_a, n_ad, n_rd)
+
+let test_lookup_maximal_suffix () =
+  let tree, n_a, n_ad, n_rd = build_fig9 () in
+  (* path B.A: longest required suffix is A (entry, next=NULL) *)
+  (match Hash_tree.slot_get (slot_exn tree [ a; b ]) with
+   | Some n -> Alcotest.(check int) "suffix A" n_a.Gapex.id n.Gapex.id
+   | None -> Alcotest.fail "no node");
+  (* path C.A.D: matches the stored A.D *)
+  (match Hash_tree.slot_get (slot_exn tree [ d; a; c ]) with
+   | Some n -> Alcotest.(check int) "suffix A.D" n_ad.Gapex.id n.Gapex.id
+   | None -> Alcotest.fail "no node");
+  (* path C.B.D: D stored with subtree, B not a subentry -> remainder.D *)
+  (match Hash_tree.slot_get (slot_exn tree [ d; b; c ]) with
+   | Some n -> Alcotest.(check int) "remainder.D" n_rd.Gapex.id n.Gapex.id
+   | None -> Alcotest.fail "no node")
+
+let test_lookup_path_exhaustion_is_remainder () =
+  let tree, _, _, n_rd = build_fig9 () in
+  (* the path "D" itself: D's entry has a subtree; nothing precedes D, so it
+     belongs to the remainder *)
+  match Hash_tree.slot_get (slot_exn tree [ d ]) with
+  | Some n -> Alcotest.(check int) "root D -> remainder" n_rd.Gapex.id n.Gapex.id
+  | None -> Alcotest.fail "no node"
+
+let test_locate_exact_subtree_union () =
+  let tree, _, n_ad, n_rd = build_fig9 () in
+  (* query //D: exact, and the answer is the whole subtree under D *)
+  match Hash_tree.locate tree ~rev_path:[ d ] with
+  | Some (Hash_tree.Exact nodes) ->
+    let ids = List.sort compare (List.map (fun (n : Gapex.node) -> n.Gapex.id) nodes) in
+    Alcotest.(check (list int)) "A.D + remainder"
+      (List.sort compare [ n_ad.Gapex.id; n_rd.Gapex.id ])
+      ids
+  | _ -> Alcotest.fail "expected Exact"
+
+let test_locate_approx () =
+  let tree, _, _, n_rd = build_fig9 () in
+  (* query //C/B/D: B not under D -> approximate via remainder.D *)
+  match Hash_tree.locate tree ~rev_path:[ d; b; c ] with
+  | Some (Hash_tree.Approx [ n ]) -> Alcotest.(check int) "remainder" n_rd.Gapex.id n.Gapex.id
+  | _ -> Alcotest.fail "expected Approx [remainder]"
+
+let test_locate_unknown_label () =
+  let tree, _, _, _ = build_fig9 () in
+  Alcotest.(check bool) "unknown head label" true (Hash_tree.locate tree ~rev_path:[ 9 ] = None)
+
+(* --- Figure 8 pruning --- *)
+
+let test_prune_drops_infrequent_subentry () =
+  let tree = Hash_tree.create () in
+  let gapex = fresh_gapex () in
+  Hash_tree.count_workload tree [ [ a ]; [ b ]; [ c ]; [ d ]; [ b; d ] ];
+  ignore (mark gapex (slot_exn tree [ d; b ]));
+  ignore (mark gapex (slot_exn tree [ d; a ]));
+  (* remainder of D *)
+  Hash_tree.reset_marks tree;
+  Hash_tree.count_workload tree [ [ a; d ]; [ c ]; [ a; d ] ];
+  (* minSup 0.6 over 3 queries: threshold 1.8 (the paper's example) *)
+  Hash_tree.prune tree ~threshold:1.8;
+  Alcotest.(check bool) "invariant" true (Hash_tree.check_invariant tree);
+  (* B.D pruned: the slot for path X.B.D is now D's remainder, which was
+     invalidated (it pointed to stale content) *)
+  (match Hash_tree.lookup_slot tree ~rev_path:[ d; b ] with
+   | Some slot -> Alcotest.(check bool) "remainder invalidated" true (Hash_tree.slot_get slot = None)
+   | None -> Alcotest.fail "expected remainder slot");
+  (* A.D newly frequent: present with an empty slot awaiting update *)
+  match Hash_tree.lookup_slot tree ~rev_path:[ d; a ] with
+  | Some slot -> Alcotest.(check bool) "new entry empty" true (Hash_tree.slot_get slot = None)
+  | None -> Alcotest.fail "expected A.D entry"
+
+let test_prune_keeps_head_entries () =
+  let tree = Hash_tree.create () in
+  Hash_tree.count_workload tree [ [ a ]; [ b ] ];
+  Hash_tree.reset_marks tree;
+  (* nothing in the new workload mentions B, but head entries survive *)
+  Hash_tree.count_workload tree [ [ a ] ];
+  Hash_tree.prune tree ~threshold:0.9;
+  Alcotest.(check bool) "B kept as length-1 required" true
+    (Hash_tree.lookup_slot tree ~rev_path:[ b ] <> None)
+
+let test_prune_invalidates_entry_gaining_subtree () =
+  let tree = Hash_tree.create () in
+  let gapex = fresh_gapex () in
+  Hash_tree.count_workload tree [ [ d ] ];
+  let slot_d = slot_exn tree [ d ] in
+  ignore (mark gapex slot_d);
+  Hash_tree.reset_marks tree;
+  (* A.D becomes frequent: D's old node covered all of T(D) and is stale *)
+  Hash_tree.count_workload tree [ [ a; d ]; [ a; d ] ];
+  Hash_tree.prune tree ~threshold:1.5;
+  Alcotest.(check bool) "invariant" true (Hash_tree.check_invariant tree);
+  match Hash_tree.lookup_slot tree ~rev_path:[ d ] with
+  | Some slot -> Alcotest.(check bool) "old D slot invalidated" true (Hash_tree.slot_get slot = None)
+  | None -> Alcotest.fail "expected a slot for D"
+
+let test_prune_collapses_empty_hnode () =
+  let tree = Hash_tree.create () in
+  Hash_tree.count_workload tree [ [ a; d ]; [ a; d ] ];
+  Hash_tree.prune tree ~threshold:1.5;
+  Alcotest.(check int) "A, D, A.D" 3 (Hash_tree.n_entries tree);
+  (* new workload never touches A.D: the subtree collapses *)
+  Hash_tree.reset_marks tree;
+  Hash_tree.count_workload tree [ [ b ]; [ b ] ];
+  Hash_tree.prune tree ~threshold:1.5;
+  Alcotest.(check int) "A, D, B" 3 (Hash_tree.n_entries tree);
+  (* D's entry is a plain maximal suffix again *)
+  match Hash_tree.locate tree ~rev_path:[ d; a ] with
+  | Some (Hash_tree.Approx _) -> ()
+  | _ -> Alcotest.fail "A.D should no longer be stored exactly"
+
+let () =
+  Alcotest.run "hash_tree"
+    [ ( "counting",
+        [ Alcotest.test_case "creates entries" `Quick test_counting_creates_entries;
+          Alcotest.test_case "head miss/create" `Quick test_lookup_head_miss_without_create
+        ] );
+      ( "lookup",
+        [ Alcotest.test_case "maximal suffix" `Quick test_lookup_maximal_suffix;
+          Alcotest.test_case "path exhaustion -> remainder" `Quick test_lookup_path_exhaustion_is_remainder;
+          Alcotest.test_case "locate exact subtree union" `Quick test_locate_exact_subtree_union;
+          Alcotest.test_case "locate approx" `Quick test_locate_approx;
+          Alcotest.test_case "locate unknown label" `Quick test_locate_unknown_label
+        ] );
+      ( "pruning",
+        [ Alcotest.test_case "drops infrequent subentry" `Quick test_prune_drops_infrequent_subentry;
+          Alcotest.test_case "keeps head entries" `Quick test_prune_keeps_head_entries;
+          Alcotest.test_case "invalidates entry gaining subtree" `Quick
+            test_prune_invalidates_entry_gaining_subtree;
+          Alcotest.test_case "collapses empty hnode" `Quick test_prune_collapses_empty_hnode
+        ] )
+    ]

@@ -1,0 +1,100 @@
+(* End-to-end integration: generate XML text -> parse -> encode graph ->
+   build every index -> run every query class -> all engines agree with the
+   index-free evaluator. One pass per dataset family at reduced scale. *)
+
+module G = Repro_graph.Data_graph
+module Query = Repro_pathexpr.Query
+module Naive = Repro_pathexpr.Naive_eval
+module Env = Repro_harness.Env
+
+let families = [ "four_tragedy"; "Flix01"; "Ged01" ]
+
+let pipeline_graph spec =
+  (* go the long way through the XML substrate: document -> text -> parse *)
+  let doc = Repro_datagen.Dataset.generate_document spec in
+  let text = Repro_xml.Xml_print.to_string doc in
+  let reparsed = Repro_xml.Xml_parser.parse_string text in
+  G.of_document
+    ~idref_attrs:(Repro_datagen.Dataset.idref_attrs spec.Repro_datagen.Dataset.family)
+    reparsed
+
+let test_family name () =
+  let spec =
+    Repro_datagen.Dataset.scaled (Option.get (Repro_datagen.Dataset.by_name name)) 0.06
+  in
+  let g = pipeline_graph spec in
+  (* compare with the direct build: the XML round trip must not change the
+     graph *)
+  let direct = Repro_datagen.Dataset.build_graph spec in
+  Alcotest.(check int) "roundtrip nodes" (G.n_nodes direct) (G.n_nodes g);
+  Alcotest.(check int) "roundtrip edges" (G.n_edges direct) (G.n_edges g);
+  (* storage + queries *)
+  let pager = Repro_storage.Pager.create () in
+  let pool = Repro_storage.Buffer_pool.create pager ~capacity:256 in
+  let table = Repro_storage.Data_table.build pool g in
+  let rand = Random.State.make [| 2026 |] in
+  let q1 = Repro_workload.Generate.qtype1 ~n:60 rand g in
+  let q2 = Repro_workload.Generate.qtype2 ~n:15 rand g in
+  let q3 = Repro_workload.Generate.qtype3 ~n:20 rand g in
+  let workload = Env.compile_workload g (Repro_workload.Generate.sample rand ~fraction:0.2 q1) in
+  let apex = Repro_apex.Apex.build_adapted g ~workload ~min_support:0.01 in
+  Repro_apex.Apex.materialize apex pool;
+  let sdg = Repro_baselines.Dataguide.build g in
+  Repro_baselines.Summary_index.materialize sdg pool;
+  let one_index = Repro_baselines.One_index.build g in
+  let fabric = Repro_baselines.Index_fabric.build g in
+  let check_queries queries =
+    Array.iter
+      (fun q ->
+        let expected = Naive.eval_query g q in
+        let tag engine = Printf.sprintf "%s %s [%s]" name (Query.to_string q) engine in
+        Alcotest.(check (array int)) (tag "apex") expected
+          (Repro_apex.Apex_query.eval_query ~table apex q);
+        Alcotest.(check (array int)) (tag "sdg") expected
+          (Repro_baselines.Summary_index.eval_query ~table sdg q);
+        Alcotest.(check (array int)) (tag "1idx") expected
+          (Repro_baselines.Summary_index.eval_query ~table one_index q);
+        match Repro_baselines.Index_fabric.eval_query fabric q with
+        | Some got -> Alcotest.(check (array int)) (tag "fabric") expected got
+        | None -> ())
+      queries
+  in
+  check_queries q1;
+  check_queries q2;
+  check_queries q3;
+  (* every QTYPE3 query must be answerable (generation guarantees) *)
+  Array.iter
+    (fun q ->
+      if Array.length (Naive.eval_query g q) = 0 then
+        Alcotest.failf "QTYPE3 %s has an empty result" (Query.to_string q))
+    q3
+
+let test_minsup_sweep_consistency () =
+  (* query answers are invariant across APEX configurations *)
+  let spec =
+    Repro_datagen.Dataset.scaled (Option.get (Repro_datagen.Dataset.by_name "Ged01")) 0.1
+  in
+  let g = Repro_datagen.Dataset.build_graph spec in
+  let rand = Random.State.make [| 7 |] in
+  let q1 = Repro_workload.Generate.qtype1 ~n:40 rand g in
+  let workload = Env.compile_workload g q1 in
+  let reference = Repro_apex.Apex.build g in
+  List.iter
+    (fun ms ->
+      let apex = Repro_apex.Apex.build_adapted g ~workload ~min_support:ms in
+      Array.iter
+        (fun q ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "minSup %g: %s" ms (Query.to_string q))
+            (Repro_apex.Apex_query.eval_query reference q)
+            (Repro_apex.Apex_query.eval_query apex q))
+        q1)
+    [ 0.001; 0.01; 0.2; 0.9 ]
+
+let () =
+  Alcotest.run "integration"
+    [ ( "pipeline",
+        List.map (fun name -> Alcotest.test_case name `Slow (test_family name)) families );
+      ( "consistency",
+        [ Alcotest.test_case "minSup sweep" `Slow test_minsup_sweep_consistency ] )
+    ]

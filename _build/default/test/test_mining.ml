@@ -1,0 +1,120 @@
+open Repro_mining
+module Label_path = Repro_pathexpr.Label_path
+
+let path_list = Alcotest.(list (list int))
+
+(* --- count_subpaths --- *)
+
+let test_counts_basic () =
+  (* workload from Figure 7: {A.D, C, A.D} over labels A=0 B=1 C=2 D=3 *)
+  let queries = [ [ 0; 3 ]; [ 2 ]; [ 0; 3 ] ] in
+  let counts = Path_miner.count_subpaths queries in
+  let get p = List.assoc_opt p counts in
+  Alcotest.(check (option int)) "A" (Some 2) (get [ 0 ]);
+  Alcotest.(check (option int)) "D" (Some 2) (get [ 3 ]);
+  Alcotest.(check (option int)) "A.D" (Some 2) (get [ 0; 3 ]);
+  Alcotest.(check (option int)) "C" (Some 1) (get [ 2 ]);
+  Alcotest.(check (option int)) "absent" None (get [ 1 ])
+
+let test_counts_once_per_query () =
+  (* 'a' occurs twice in the query but the query counts once *)
+  let counts = Path_miner.count_subpaths [ [ 0; 1; 0 ] ] in
+  Alcotest.(check (option int)) "a counted once" (Some 1) (List.assoc_opt [ 0 ] counts);
+  Alcotest.(check (option int)) "a.b" (Some 1) (List.assoc_opt [ 0; 1 ] counts);
+  Alcotest.(check (option int)) "b.a" (Some 1) (List.assoc_opt [ 1; 0 ] counts)
+
+let test_max_length () =
+  let counts = Path_miner.count_subpaths ~max_length:1 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check int) "only singles" 3 (List.length counts)
+
+(* --- frequent, Figure 7 semantics --- *)
+
+let test_figure7_pruning () =
+  (* minSup = 0.6 over 3 queries: threshold 1.8, so count 2 survives *)
+  let queries = [ [ 0; 3 ]; [ 2 ]; [ 0; 3 ] ] in
+  let freq = Path_miner.frequent ~min_support:0.6 queries in
+  Alcotest.check path_list "A, D, A.D survive" [ [ 0 ]; [ 0; 3 ]; [ 3 ] ] freq
+
+let test_threshold_equality_keeps () =
+  (* support exactly equal to minSup is frequent *)
+  let queries = [ [ 0 ]; [ 1 ] ] in
+  let freq = Path_miner.frequent ~min_support:0.5 queries in
+  Alcotest.check path_list "both kept" [ [ 0 ]; [ 1 ] ] freq
+
+let test_broken_antimonotonicity_example () =
+  (* A.B.C frequent does NOT make the non-contiguous A.C frequent — it is
+     never even a candidate (Section 5.2) *)
+  let queries = [ [ 0; 1; 2 ]; [ 0; 1; 2 ] ] in
+  let freq = Path_miner.frequent ~min_support:1.0 queries in
+  Alcotest.(check bool) "A.C not present" false (List.mem [ 0; 2 ] freq);
+  Alcotest.(check bool) "A.B.C present" true (List.mem [ 0; 1; 2 ] freq)
+
+let test_required_includes_singles () =
+  let queries = [ [ 0; 3 ]; [ 0; 3 ] ] in
+  let required = Path_miner.required ~min_support:1.0 ~all_labels:[ 0; 1; 2; 3 ] queries in
+  (* all four labels plus the frequent A.D *)
+  Alcotest.check path_list "singles + frequent"
+    [ [ 0 ]; [ 0; 3 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    required
+
+(* --- apriori agrees with the naive miner --- *)
+
+let gen_workload =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (list_size (int_range 1 6) (int_bound 4)))
+
+let arb_workload =
+  QCheck.make ~print:QCheck.Print.(list (list int)) gen_workload
+
+let prop_apriori_equals_naive =
+  QCheck.Test.make ~count:200 ~name:"apriori = naive one-scan" arb_workload
+    (fun queries ->
+      List.for_all
+        (fun min_support ->
+          let a = Apriori.frequent ~min_support queries in
+          let b = Path_miner.frequent ~min_support queries in
+          a = b)
+        [ 0.1; 0.3; 0.5; 0.9 ])
+
+let prop_antimonotone_contiguous =
+  QCheck.Test.make ~count:200 ~name:"contiguous subpaths of frequent are frequent" arb_workload
+    (fun queries ->
+      let freq = Path_miner.frequent ~min_support:0.4 queries in
+      List.for_all
+        (fun p -> List.for_all (fun sub -> List.mem sub freq) (Label_path.subpaths p))
+        freq)
+
+let prop_monotone_in_minsup =
+  QCheck.Test.make ~count:100 ~name:"higher minSup yields fewer paths" arb_workload
+    (fun queries ->
+      let low = Path_miner.frequent ~min_support:0.2 queries in
+      let high = Path_miner.frequent ~min_support:0.8 queries in
+      List.for_all (fun p -> List.mem p low) high)
+
+let test_apriori_levels () =
+  let queries = [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1 ] ] in
+  let levels = Apriori.levels ~min_support:0.6 queries in
+  Alcotest.(check int) "3 levels" 3 (Array.length levels);
+  Alcotest.check path_list "L1" [ [ 0 ]; [ 1 ]; [ 2 ] ] levels.(0);
+  Alcotest.check path_list "L2" [ [ 0; 1 ]; [ 1; 2 ] ] levels.(1);
+  Alcotest.check path_list "L3" [ [ 0; 1; 2 ] ] levels.(2)
+
+let () =
+  Alcotest.run "mining"
+    [ ( "path_miner",
+        [ Alcotest.test_case "basic counting" `Quick test_counts_basic;
+          Alcotest.test_case "once per query" `Quick test_counts_once_per_query;
+          Alcotest.test_case "max_length" `Quick test_max_length;
+          Alcotest.test_case "figure 7 pruning" `Quick test_figure7_pruning;
+          Alcotest.test_case "threshold equality" `Quick test_threshold_equality_keeps;
+          Alcotest.test_case "broken anti-monotonicity" `Quick test_broken_antimonotonicity_example;
+          Alcotest.test_case "required includes singles" `Quick test_required_includes_singles
+        ] );
+      ( "apriori",
+        [ Alcotest.test_case "levels" `Quick test_apriori_levels;
+          QCheck_alcotest.to_alcotest prop_apriori_equals_naive;
+          QCheck_alcotest.to_alcotest prop_antimonotone_contiguous;
+          QCheck_alcotest.to_alcotest prop_monotone_in_minsup
+        ] )
+    ]

@@ -1,0 +1,114 @@
+(* Save/load round-trips for whole APEX instances. *)
+
+module F = Test_support.Fixtures
+module G = Repro_graph.Data_graph
+module Edge_set = Repro_graph.Edge_set
+module Query = Repro_pathexpr.Query
+open Repro_apex
+
+let with_store () =
+  let pager = Repro_storage.Pager.create ~page_size:512 () in
+  let pool = Repro_storage.Buffer_pool.create pager ~capacity:32 in
+  (pool, Repro_storage.Extent_store.create pool)
+
+let extents_equal a b =
+  let ea = Apex_spec.apex_extents a and eb = Apex_spec.apex_extents b in
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (p1, s1) (p2, s2) ->
+         Repro_pathexpr.Label_path.equal p1 p2 && Edge_set.equal s1 s2)
+       ea eb
+
+let movie_workload g =
+  [ F.path g [ "actor"; "name" ]; F.path g [ "actor"; "name" ]; F.path g [ "movie"; "title" ] ]
+
+let test_roundtrip_apex0 () =
+  let g = F.movie_db () in
+  let apex = Apex.build g in
+  let _, store = with_store () in
+  let handle = Apex_persist.save apex store in
+  let loaded = Apex_persist.load g store handle in
+  Alcotest.(check bool) "extents identical" true (extents_equal apex loaded);
+  Alcotest.(check bool) "stats identical" true (Apex.stats apex = Apex.stats loaded)
+
+let test_roundtrip_adapted () =
+  let g = F.movie_db () in
+  let apex = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  let _, store = with_store () in
+  let handle = Apex_persist.save apex store in
+  let loaded = Apex_persist.load g store handle in
+  Alcotest.(check bool) "extents identical" true (extents_equal apex loaded);
+  Alcotest.(check bool) "invariant holds" true (Hash_tree.check_invariant (Apex.tree loaded))
+
+let test_loaded_queries_match () =
+  let g = F.movie_db () in
+  let apex = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  let _, store = with_store () in
+  let loaded = Apex_persist.load g store (Apex_persist.save apex store) in
+  List.iter
+    (fun text ->
+      let q = Result.get_ok (Query.parse text) in
+      Alcotest.(check (array int)) text (Apex_query.eval_query apex q)
+        (Apex_query.eval_query loaded q))
+    [ "//actor/name"; "//name"; "//movie//title"; "//director//name";
+      {|//name[text()="Kevin"]|}; "//@movie=>movie" ]
+
+let test_loaded_index_refreshable () =
+  (* the loaded copy keeps adapting: counts/flags survive the round trip *)
+  let g = F.movie_db () in
+  let apex = Apex.build g in
+  let _, store = with_store () in
+  let loaded = Apex_persist.load g store (Apex_persist.save apex store) in
+  Apex.refresh loaded ~workload:(movie_workload g) ~min_support:0.5;
+  let fresh = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  Alcotest.(check bool) "refresh after load = fresh adapt" true (extents_equal loaded fresh)
+
+let test_multiple_images_one_store () =
+  let g = F.movie_db () in
+  let apex0 = Apex.build g in
+  let adapted = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  let _, store = with_store () in
+  let h0 = Apex_persist.save apex0 store in
+  let h1 = Apex_persist.save adapted store in
+  Alcotest.(check bool) "first image intact" true
+    (extents_equal apex0 (Apex_persist.load g store h0));
+  Alcotest.(check bool) "second image intact" true
+    (extents_equal adapted (Apex_persist.load g store h1))
+
+let test_corrupt_image_rejected () =
+  let g = F.movie_db () in
+  let _, store = with_store () in
+  let bogus = Repro_storage.Extent_store.append_ints store [| 1; 2; 3 |] in
+  match Apex_persist.load g store bogus with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on a bad image"
+
+let prop_roundtrip_on_dags =
+  QCheck.Test.make ~count:100 ~name:"persist round-trip on random DAGs" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let rand = Random.State.make [| Hashtbl.hash spec + 5 |] in
+      let workload =
+        if G.out_degree g (G.root g) = 0 then []
+        else
+          List.init 4 (fun _ ->
+              List.map fst (Repro_workload.Simple_paths.random_walk rand ~max_length:4 g))
+      in
+      QCheck.assume (workload <> []);
+      let apex = Apex.build_adapted g ~workload ~min_support:0.4 in
+      let _, store = with_store () in
+      let loaded = Apex_persist.load g store (Apex_persist.save apex store) in
+      extents_equal apex loaded)
+
+let () =
+  Alcotest.run "persist"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "apex0" `Quick test_roundtrip_apex0;
+          Alcotest.test_case "adapted" `Quick test_roundtrip_adapted;
+          Alcotest.test_case "queries match" `Quick test_loaded_queries_match;
+          Alcotest.test_case "refreshable after load" `Quick test_loaded_index_refreshable;
+          Alcotest.test_case "multiple images" `Quick test_multiple_images_one_store;
+          Alcotest.test_case "corrupt image rejected" `Quick test_corrupt_image_rejected
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_on_dags ] )
+    ]

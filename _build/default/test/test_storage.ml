@@ -1,0 +1,292 @@
+open Repro_storage
+module Edge_set = Repro_graph.Edge_set
+module F = Test_support.Fixtures
+
+let edge_set = Alcotest.testable Edge_set.pp Edge_set.equal
+
+(* --- Pager --- *)
+
+let test_pager_alloc_rw () =
+  let p = Pager.create ~page_size:128 () in
+  let a = Pager.alloc p and b = Pager.alloc p in
+  Alcotest.(check int) "pids dense" 1 (b - a);
+  let buf = Bytes.make 128 'x' in
+  Pager.write p a buf;
+  Alcotest.(check bytes) "read back" buf (Pager.read p a);
+  Alcotest.(check bytes) "other page untouched" (Bytes.make 128 '\000') (Pager.read p b);
+  Alcotest.(check int) "reads counted" 2 (Pager.stats p).Io_stats.disk_reads;
+  Alcotest.(check int) "writes counted" 1 (Pager.stats p).Io_stats.disk_writes
+
+let test_pager_rejects () =
+  let p = Pager.create ~page_size:128 () in
+  let a = Pager.alloc p in
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Pager.write: buffer is 4 bytes, page size is 128")
+    (fun () -> Pager.write p a (Bytes.make 4 ' '));
+  (match Pager.read p 99 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument on unknown pid")
+
+(* --- Buffer pool --- *)
+
+let test_pool_hit_miss () =
+  let p = Pager.create ~page_size:128 () in
+  let pids = Array.init 4 (fun _ -> Pager.alloc p) in
+  Array.iteri (fun i pid -> Pager.write p pid (Bytes.make 128 (Char.chr (65 + i)))) pids;
+  Io_stats.reset (Pager.stats p);
+  let pool = Buffer_pool.create p ~capacity:2 in
+  ignore (Buffer_pool.get pool pids.(0));
+  ignore (Buffer_pool.get pool pids.(0));
+  let s = Pager.stats p in
+  Alcotest.(check int) "1 miss" 1 s.Io_stats.cache_misses;
+  Alcotest.(check int) "1 hit" 1 s.Io_stats.cache_hits;
+  Alcotest.(check int) "1 disk read" 1 s.Io_stats.disk_reads
+
+let test_pool_lru_eviction () =
+  let p = Pager.create ~page_size:128 () in
+  let pids = Array.init 3 (fun _ -> Pager.alloc p) in
+  Io_stats.reset (Pager.stats p);
+  let pool = Buffer_pool.create p ~capacity:2 in
+  ignore (Buffer_pool.get pool pids.(0));
+  ignore (Buffer_pool.get pool pids.(1));
+  ignore (Buffer_pool.get pool pids.(0));
+  (* LRU is page 1; loading page 2 evicts it *)
+  ignore (Buffer_pool.get pool pids.(2));
+  ignore (Buffer_pool.get pool pids.(0));
+  (* page 0 still cached *)
+  Alcotest.(check int) "page 0 stayed hot" 2 (Pager.stats p).Io_stats.cache_hits;
+  ignore (Buffer_pool.get pool pids.(1));
+  (* page 1 was evicted: another miss *)
+  Alcotest.(check int) "page 1 evicted" 4 (Pager.stats p).Io_stats.cache_misses
+
+let test_pool_write_through () =
+  let p = Pager.create ~page_size:128 () in
+  let pid = Pager.alloc p in
+  let pool = Buffer_pool.create p ~capacity:2 in
+  ignore (Buffer_pool.get pool pid);
+  let buf = Bytes.make 128 'z' in
+  Buffer_pool.write pool pid buf;
+  Alcotest.(check bytes) "cache updated" buf (Buffer_pool.get pool pid);
+  Alcotest.(check bytes) "disk updated" buf (Pager.read p pid)
+
+let test_pool_flush () =
+  let p = Pager.create ~page_size:128 () in
+  let pid = Pager.alloc p in
+  let pool = Buffer_pool.create p ~capacity:2 in
+  ignore (Buffer_pool.get pool pid);
+  Alcotest.(check int) "cached" 1 (Buffer_pool.cached_pages pool);
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "emptied" 0 (Buffer_pool.cached_pages pool);
+  ignore (Buffer_pool.get pool pid);
+  Alcotest.(check int) "cold again" 2 (Pager.stats p).Io_stats.cache_misses
+
+(* --- Extent store --- *)
+
+let with_store ?(page_size = 128) ?(capacity = 8) () =
+  let p = Pager.create ~page_size () in
+  let pool = Buffer_pool.create p ~capacity in
+  (p, pool, Extent_store.create pool)
+
+let test_extent_roundtrip () =
+  let _, _, store = with_store () in
+  let sets =
+    [ Edge_set.of_list [ (1, 2); (3, 4) ];
+      Edge_set.empty;
+      Edge_set.of_list (List.init 100 (fun i -> (i, i + 1)));
+      Edge_set.of_list [ (Edge_set.null, 0) ]
+    ]
+  in
+  let handles = List.map (Extent_store.append store) sets in
+  List.iter2
+    (fun set h -> Alcotest.check edge_set "roundtrip" set (Extent_store.load store h))
+    sets handles
+
+let test_extent_cost_charged () =
+  let _, _, store = with_store ~page_size:128 () in
+  (* 128-byte pages hold 16 ints; 100 edges span ≥ 7 pages *)
+  let set = Edge_set.of_list (List.init 100 (fun i -> (i, i + 1))) in
+  let h = Extent_store.append store set in
+  let cost = Cost.create () in
+  ignore (Extent_store.load ~cost store h);
+  Alcotest.(check int) "edges charged" 100 cost.Cost.extent_edges;
+  Alcotest.(check bool) "pages charged" true (cost.Cost.extent_pages >= 7);
+  Alcotest.(check int) "pages match prediction" (Extent_store.pages_spanned store h)
+    cost.Cost.extent_pages
+
+let test_extent_interleaved_alloc () =
+  (* another component allocating pages between appends must not corrupt
+     extents (they require consecutive pids) *)
+  let p, _, store = with_store () in
+  let s1 = Edge_set.of_list [ (1, 1) ] in
+  let h1 = Extent_store.append store s1 in
+  ignore (Pager.alloc p);
+  (* foreign page at the tail *)
+  let s2 = Edge_set.of_list (List.init 40 (fun i -> (i, i))) in
+  let h2 = Extent_store.append store s2 in
+  Alcotest.check edge_set "first intact" s1 (Extent_store.load store h1);
+  Alcotest.check edge_set "second spans fresh pages" s2 (Extent_store.load store h2)
+
+let test_extent_varint_roundtrip () =
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let store = Extent_store.create ~codec:`Delta_varint pool in
+  let sets =
+    [ Edge_set.of_list [ (1, 2); (3, 4) ];
+      Edge_set.empty;
+      Edge_set.of_list (List.init 200 (fun i -> (i * 3, i + 1)));
+      (* extremes of the packed-edge range *)
+      Edge_set.of_list [ (Edge_set.null, (1 lsl 31) - 1); (0, 0) ]
+    ]
+  in
+  let handles = List.map (Extent_store.append store) sets in
+  List.iter2
+    (fun set h -> Alcotest.check edge_set "varint roundtrip" set (Extent_store.load store h))
+    sets handles
+
+let test_extent_varint_compresses () =
+  let p = Pager.create ~page_size:8192 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let raw = Extent_store.create ~codec:`Raw pool in
+  let var = Extent_store.create ~codec:`Delta_varint pool in
+  (* a dense, sorted extent: consecutive edges under one parent *)
+  let set = Edge_set.of_list (List.init 512 (fun i -> (7, i))) in
+  let hr = Extent_store.append raw set in
+  let hv = Extent_store.append var set in
+  Alcotest.(check int) "raw is 8 bytes/int" (512 * 8) (Extent_store.stored_bytes hr);
+  Alcotest.(check bool)
+    (Printf.sprintf "varint %d bytes << raw" (Extent_store.stored_bytes hv))
+    true
+    (Extent_store.stored_bytes hv * 3 < Extent_store.stored_bytes hr);
+  Alcotest.check edge_set "still equal" (Extent_store.load raw hr) (Extent_store.load var hv)
+
+let prop_extent_varint_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"delta-varint extent roundtrip"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 80) (pair (int_bound 2_000_000) (int_bound 2_000_000)))
+    (fun pairs ->
+      let p = Pager.create ~page_size:256 () in
+      let pool = Buffer_pool.create p ~capacity:8 in
+      let store = Extent_store.create ~codec:`Delta_varint pool in
+      let set = Edge_set.of_list pairs in
+      let h = Extent_store.append store set in
+      Edge_set.equal set (Extent_store.load store h))
+
+let prop_extent_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"extent store roundtrip"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 60) (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      let _, _, store = with_store () in
+      let set = Edge_set.of_list pairs in
+      let h = Extent_store.append store set in
+      Edge_set.equal set (Extent_store.load store h))
+
+(* --- Data table --- *)
+
+let test_data_table_basic () =
+  let g = F.movie_db () in
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:4 in
+  let table = Data_table.build pool g in
+  Alcotest.(check int) "entries = leaves with values" 4 (Data_table.n_entries table);
+  Alcotest.(check (option string)) "title" (Some "Waterworld") (Data_table.lookup table 7);
+  Alcotest.(check (option string)) "name" (Some "Kevin") (Data_table.lookup table 2);
+  Alcotest.(check (option string)) "non-leaf" None (Data_table.lookup table 6);
+  Alcotest.(check bool) "matches yes" true (Data_table.matches table 7 "Waterworld");
+  Alcotest.(check bool) "matches no" false (Data_table.matches table 7 "Not")
+
+let test_data_table_cost () =
+  let g = F.movie_db () in
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:4 in
+  let table = Data_table.build pool g in
+  let cost = Cost.create () in
+  ignore (Data_table.lookup ~cost table 7);
+  ignore (Data_table.lookup ~cost table 2);
+  Alcotest.(check int) "pages charged" 2 cost.Cost.table_pages;
+  ignore (Data_table.lookup ~cost table 6);
+  (* probing a nid below the table range costs no page *)
+  Alcotest.(check bool) "miss may still read one page" true (cost.Cost.table_pages <= 3)
+
+let test_data_table_iter () =
+  let g = F.movie_db () in
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:4 in
+  let table = Data_table.build pool g in
+  let seen = ref [] in
+  Data_table.iter table (fun nid v -> seen := (nid, v) :: !seen);
+  Alcotest.(check (list (pair int string)))
+    "all records in nid order"
+    [ (2, "Kevin"); (4, "Jeanne"); (7, "Waterworld"); (8, "Reynolds") ]
+    (List.rev !seen)
+
+let test_data_table_many_pages () =
+  let b = Repro_graph.Data_graph.Builder.create () in
+  let root = Repro_graph.Data_graph.Builder.add_node b in
+  for i = 0 to 199 do
+    let leaf = Repro_graph.Data_graph.Builder.add_node ~value:(Printf.sprintf "value-%04d" i) b in
+    Repro_graph.Data_graph.Builder.add_edge b root "item" leaf
+  done;
+  let g = Repro_graph.Data_graph.Builder.build ~root b in
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:4 in
+  let table = Data_table.build pool g in
+  Alcotest.(check bool) "spans many pages" true (Data_table.n_pages table > 10);
+  (* every record still retrievable *)
+  for i = 0 to 199 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "nid %d" (i + 1))
+      (Some (Printf.sprintf "value-%04d" i))
+      (Data_table.lookup table (i + 1))
+  done
+
+(* --- Cost --- *)
+
+let test_cost_add () =
+  let a = Cost.create () and b = Cost.create () in
+  a.Cost.hash_probes <- 3;
+  b.Cost.hash_probes <- 4;
+  b.Cost.extent_pages <- 2;
+  Cost.add a b;
+  Alcotest.(check int) "probes" 7 a.Cost.hash_probes;
+  Alcotest.(check int) "pages" 2 a.Cost.extent_pages
+
+let test_cost_weighted () =
+  let c = Cost.create () in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Cost.weighted_total c);
+  c.Cost.extent_pages <- 10;
+  let base = Cost.weighted_total c in
+  c.Cost.hash_probes <- 50;
+  Alcotest.(check bool) "probes add less than a page" true
+    (Cost.weighted_total c -. base < 1.01 && Cost.weighted_total c > base)
+
+let () =
+  Alcotest.run "storage"
+    [ ( "pager",
+        [ Alcotest.test_case "alloc/read/write" `Quick test_pager_alloc_rw;
+          Alcotest.test_case "rejects bad input" `Quick test_pager_rejects
+        ] );
+      ( "buffer_pool",
+        [ Alcotest.test_case "hit/miss accounting" `Quick test_pool_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
+          Alcotest.test_case "write-through" `Quick test_pool_write_through;
+          Alcotest.test_case "flush" `Quick test_pool_flush
+        ] );
+      ( "extent_store",
+        [ Alcotest.test_case "roundtrip" `Quick test_extent_roundtrip;
+          Alcotest.test_case "cost charged" `Quick test_extent_cost_charged;
+          Alcotest.test_case "interleaved alloc" `Quick test_extent_interleaved_alloc;
+          Alcotest.test_case "varint roundtrip" `Quick test_extent_varint_roundtrip;
+          Alcotest.test_case "varint compresses" `Quick test_extent_varint_compresses;
+          QCheck_alcotest.to_alcotest prop_extent_roundtrip;
+          QCheck_alcotest.to_alcotest prop_extent_varint_roundtrip
+        ] );
+      ( "data_table",
+        [ Alcotest.test_case "basic lookup" `Quick test_data_table_basic;
+          Alcotest.test_case "cost accounting" `Quick test_data_table_cost;
+          Alcotest.test_case "iter" `Quick test_data_table_iter;
+          Alcotest.test_case "many pages" `Quick test_data_table_many_pages
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "add" `Quick test_cost_add;
+          Alcotest.test_case "weighted total" `Quick test_cost_weighted
+        ] )
+    ]

@@ -1,0 +1,107 @@
+open Repro_util
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" (99 * 99) (Vec.get v 99)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec: index 1 out of bounds (length 1)")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "negative index" (Invalid_argument "Vec: index -1 out of bounds (length 1)")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_set () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Vec.set v 1 42;
+  Alcotest.(check (array int)) "after set" [| 1; 42; 3 |] (Vec.to_array v)
+
+let test_vec_clear () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Vec.clear v;
+  Alcotest.(check int) "empty after clear" 0 (Vec.length v);
+  Vec.push v 7;
+  Alcotest.(check (array int)) "reusable" [| 7 |] (Vec.to_array v)
+
+let test_vec_iteri_fold () =
+  let v = Vec.of_array [| 10; 20; 30 |] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (2, 30); (1, 20); (0, 10) ] !acc;
+  Alcotest.(check int) "fold" 60 (Vec.fold_left ( + ) 0 v)
+
+(* --- Int_sorted --- *)
+
+let test_of_unsorted () =
+  Alcotest.(check (array int)) "dedup+sort" [| 1; 2; 5; 9 |]
+    (Int_sorted.of_unsorted [| 5; 1; 9; 2; 5; 1 |]);
+  Alcotest.(check (array int)) "empty" [||] (Int_sorted.of_unsorted [||])
+
+let test_mem () =
+  let a = [| 1; 3; 5; 7; 11 |] in
+  List.iter (fun x -> Alcotest.(check bool) (string_of_int x) true (Int_sorted.mem a x)) [ 1; 5; 11 ];
+  List.iter (fun x -> Alcotest.(check bool) (string_of_int x) false (Int_sorted.mem a x)) [ 0; 2; 12 ]
+
+let test_set_ops () =
+  let a = [| 1; 2; 3; 5 |] and b = [| 2; 4; 5; 6 |] in
+  Alcotest.(check (array int)) "union" [| 1; 2; 3; 4; 5; 6 |] (Int_sorted.union a b);
+  Alcotest.(check (array int)) "inter" [| 2; 5 |] (Int_sorted.inter a b);
+  Alcotest.(check (array int)) "diff" [| 1; 3 |] (Int_sorted.diff a b);
+  Alcotest.(check bool) "subset yes" true (Int_sorted.subset [| 2; 5 |] b);
+  Alcotest.(check bool) "subset no" false (Int_sorted.subset a b)
+
+let test_union_many () =
+  Alcotest.(check (array int)) "3-way" [| 1; 2; 3; 4 |]
+    (Int_sorted.union_many [ [| 1; 3 |]; [| 2 |]; [| 3; 4 |] ]);
+  Alcotest.(check (array int)) "none" [||] (Int_sorted.union_many []);
+  Alcotest.(check (array int)) "single" [| 7 |] (Int_sorted.union_many [ [| 7 |] ])
+
+let gen_set = QCheck.Gen.(map Repro_util.Int_sorted.of_unsorted (array_size (int_bound 40) (int_bound 60)))
+let arb_set = QCheck.make ~print:(fun a -> QCheck.Print.(array int) a) gen_set
+
+let prop_ops_agree_with_lists =
+  QCheck.Test.make ~count:300 ~name:"set ops agree with list model" (QCheck.pair arb_set arb_set)
+    (fun (a, b) ->
+      let la = Array.to_list a and lb = Array.to_list b in
+      let model_union = List.sort_uniq compare (la @ lb) in
+      let model_inter = List.filter (fun x -> List.mem x lb) la in
+      let model_diff = List.filter (fun x -> not (List.mem x lb)) la in
+      Array.to_list (Int_sorted.union a b) = model_union
+      && Array.to_list (Int_sorted.inter a b) = model_inter
+      && Array.to_list (Int_sorted.diff a b) = model_diff)
+
+let prop_results_sorted =
+  QCheck.Test.make ~count:300 ~name:"set ops preserve invariant" (QCheck.pair arb_set arb_set)
+    (fun (a, b) ->
+      Int_sorted.is_sorted_set (Int_sorted.union a b)
+      && Int_sorted.is_sorted_set (Int_sorted.inter a b)
+      && Int_sorted.is_sorted_set (Int_sorted.diff a b))
+
+let () =
+  Alcotest.run "util"
+    [ ( "vec",
+        [ Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds checks" `Quick test_vec_bounds;
+          Alcotest.test_case "set" `Quick test_vec_set;
+          Alcotest.test_case "clear" `Quick test_vec_clear;
+          Alcotest.test_case "iteri/fold" `Quick test_vec_iteri_fold
+        ] );
+      ( "int_sorted",
+        [ Alcotest.test_case "of_unsorted" `Quick test_of_unsorted;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "union/inter/diff/subset" `Quick test_set_ops;
+          Alcotest.test_case "union_many" `Quick test_union_many
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_ops_agree_with_lists;
+          QCheck_alcotest.to_alcotest prop_results_sorted
+        ] )
+    ]

@@ -1,0 +1,250 @@
+open Repro_xml
+
+let parse = Xml_parser.parse_string
+
+let check_tag msg expected doc = Alcotest.(check string) msg expected doc.Xml_tree.root.tag
+
+(* --- basic parsing --- *)
+
+let test_empty_element () =
+  let doc = parse "<a/>" in
+  check_tag "tag" "a" doc;
+  Alcotest.(check int) "no children" 0 (List.length doc.root.children)
+
+let test_nested_elements () =
+  let doc = parse "<a><b><c/></b><d/></a>" in
+  match doc.root.children with
+  | [ Element b; Element d ] ->
+    Alcotest.(check string) "first child" "b" b.tag;
+    Alcotest.(check string) "second child" "d" d.tag;
+    (match b.children with
+     | [ Element c ] -> Alcotest.(check string) "grandchild" "c" c.tag
+     | _ -> Alcotest.fail "expected one element child under <b>")
+  | _ -> Alcotest.fail "expected two element children"
+
+let test_text_content () =
+  let doc = parse "<a>hello <b>brave</b> world</a>" in
+  Alcotest.(check string) "text" "hello brave world" (Xml_tree.text_content doc.root)
+
+let test_attributes () =
+  let doc = parse {|<a x="1" y='two' z="a&amp;b"/>|} in
+  Alcotest.(check (option string)) "x" (Some "1") (Xml_tree.attr doc.root "x");
+  Alcotest.(check (option string)) "y" (Some "two") (Xml_tree.attr doc.root "y");
+  Alcotest.(check (option string)) "z (entity)" (Some "a&b") (Xml_tree.attr doc.root "z");
+  Alcotest.(check (option string)) "missing" None (Xml_tree.attr doc.root "w")
+
+let test_xml_decl () =
+  let doc = parse {|<?xml version="1.0" encoding="UTF-8"?><a/>|} in
+  Alcotest.(check (option string))
+    "version" (Some "1.0")
+    (List.assoc_opt "version" doc.decl);
+  check_tag "root" "a" doc
+
+let test_doctype_skipped () =
+  let doc = parse {|<!DOCTYPE play SYSTEM "play.dtd"><play/>|} in
+  check_tag "root" "play" doc
+
+let test_doctype_internal_subset () =
+  let doc = parse {|<!DOCTYPE a [ <!ELEMENT a (b)> <!ENTITY x "y"> ]><a><b/></a>|} in
+  check_tag "root" "a" doc
+
+let test_comments_skipped () =
+  let doc = parse "<!-- head --><a><!-- inside -->text<!-- more --></a><!-- tail -->" in
+  Alcotest.(check string) "text survives" "text" (Xml_tree.text_content doc.root)
+
+let test_processing_instruction_skipped () =
+  let doc = parse "<a><?target some data?><b/></a>" in
+  Alcotest.(check int) "only element child" 1 (List.length doc.root.children)
+
+let test_cdata () =
+  let doc = parse "<a><![CDATA[<not> &parsed;]]></a>" in
+  Alcotest.(check string) "raw cdata" "<not> &parsed;" (Xml_tree.text_content doc.root)
+
+let test_entities_in_text () =
+  let doc = parse "<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>" in
+  Alcotest.(check string) "decoded" {|<tag> & "q" 'a'|} (Xml_tree.text_content doc.root)
+
+let test_char_references () =
+  let doc = parse "<a>&#65;&#x42;&#67;</a>" in
+  Alcotest.(check string) "decoded" "ABC" (Xml_tree.text_content doc.root)
+
+let test_char_reference_utf8 () =
+  let doc = parse "<a>&#233;</a>" in
+  Alcotest.(check string) "e-acute utf8" "\xC3\xA9" (Xml_tree.text_content doc.root)
+
+let test_whitespace_only_text_dropped () =
+  let doc = parse "<a>\n  <b/>\n  <c/>\n</a>" in
+  Alcotest.(check int) "two children" 2 (List.length doc.root.children)
+
+let test_deep_nesting () =
+  let depth = 2000 in
+  let buf = Buffer.create (depth * 7) in
+  for i = 0 to depth - 1 do
+    Buffer.add_string buf (Printf.sprintf "<n%d>" (i mod 7))
+  done;
+  Buffer.add_string buf "x";
+  for i = depth - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "</n%d>" (i mod 7))
+  done;
+  let doc = parse (Buffer.contents buf) in
+  Alcotest.(check string) "deep text" "x" (Xml_tree.text_content doc.root)
+
+let test_doctype_capture () =
+  let _, subset = Xml_parser.parse_string_full {|<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a/>|} in
+  (match subset with
+   | Some s -> Alcotest.(check bool) "captures declarations" true (String.length s > 10)
+   | None -> Alcotest.fail "expected a captured subset");
+  let _, none = Xml_parser.parse_string_full {|<!DOCTYPE a SYSTEM "a.dtd"><a/>|} in
+  Alcotest.(check bool) "no internal subset" true (none = None);
+  let _, none2 = Xml_parser.parse_string_full "<a/>" in
+  Alcotest.(check bool) "no doctype at all" true (none2 = None)
+
+(* --- error cases --- *)
+
+let expect_parse_error input =
+  match parse input with
+  | exception Xml_parser.Parse_error _ -> ()
+  | _doc -> Alcotest.fail (Printf.sprintf "expected Parse_error on %S" input)
+
+let test_errors () =
+  List.iter expect_parse_error
+    [ "";
+      "<a>";
+      "<a></b>";
+      "<a";
+      "< a/>";
+      "<a/><b/>";
+      "<a x=1/>";
+      "<a x=\"1/>";
+      "<a>&unknown;</a>";
+      "<a>&#xZZ;</a>";
+      "<a><![CDATA[unterminated</a>";
+      "<!-- unterminated <a/>";
+      "text outside root"
+    ]
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.equal (String.sub haystack i n) needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_mismatched_tag_message () =
+  match parse "<outer><inner></wrong></outer>" with
+  | exception Xml_parser.Parse_error msg ->
+    Alcotest.(check bool) "mentions tags" true
+      (contains_substring msg "inner" && contains_substring msg "wrong")
+  | _ -> Alcotest.fail "expected Parse_error"
+
+(* --- serialization round-trips --- *)
+
+let test_roundtrip_simple () =
+  let doc = parse {|<a x="1"><b>text &amp; more</b><c/></a>|} in
+  let doc' = parse (Xml_print.to_string doc) in
+  Alcotest.(check bool) "roundtrip equal" true (Xml_tree.equal_element doc.root doc'.root)
+
+let test_escape_attr_roundtrip () =
+  let e = Xml_tree.element ~attrs:[ ("v", "a<b>&\"'c") ] "t" in
+  let doc = { Xml_tree.decl = []; root = e } in
+  let doc' = parse (Xml_print.to_string doc) in
+  Alcotest.(check (option string)) "attr survives" (Some "a<b>&\"'c") (Xml_tree.attr doc'.root "v")
+
+let test_count_nodes () =
+  let doc = parse "<a><b>t</b><c><d/></c></a>" in
+  (* a, b, text, c, d *)
+  Alcotest.(check int) "node count" 5 (Xml_tree.count_nodes doc)
+
+(* --- qcheck: random tree round-trip --- *)
+
+let gen_tag =
+  QCheck.Gen.oneofl [ "alpha"; "beta"; "gamma"; "delta"; "ns:elem"; "x-1"; "_u" ]
+
+let gen_text =
+  QCheck.Gen.oneofl
+    [ "plain"; "with & amp"; "less < more"; "quotes \"'"; "tabs\tand\nlines"; "caf\xC3\xA9" ]
+
+let gen_attrs =
+  QCheck.Gen.(
+    list_size (int_bound 3)
+      (pair (oneofl [ "id"; "name"; "ref"; "idref" ]) gen_text)
+    |> map (fun kvs ->
+           (* attribute names must be unique within an element *)
+           let seen = Hashtbl.create 4 in
+           List.filter
+             (fun (k, _) ->
+               if Hashtbl.mem seen k then false
+               else begin
+                 Hashtbl.add seen k ();
+                 true
+               end)
+             kvs))
+
+let rec gen_element depth =
+  QCheck.Gen.(
+    gen_tag >>= fun tag ->
+    gen_attrs >>= fun attrs ->
+    (if depth = 0 then pure []
+     else
+       list_size (int_bound 3)
+         (frequency
+            [ (2, map (fun e -> Xml_tree.Element e) (gen_element (depth - 1)));
+              (1, map (fun t -> Xml_tree.Text t) gen_text)
+            ]))
+    >>= fun children ->
+    (* the parser merges nothing but drops whitespace-only text and cannot
+       distinguish adjacent text nodes; avoid generating adjacent texts *)
+    let rec dedup = function
+      | Xml_tree.Text _ :: Xml_tree.Text _ :: rest -> dedup (Xml_tree.Text "t" :: rest)
+      | x :: rest -> x :: dedup rest
+      | [] -> []
+    in
+    pure { Xml_tree.tag; attrs; children = dedup children })
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"serialize/parse round-trip"
+    (QCheck.make (gen_element 4))
+    (fun root ->
+      let doc = { Xml_tree.decl = []; root } in
+      let doc' = parse (Xml_print.to_string doc) in
+      Xml_tree.equal_element root doc'.root)
+
+let prop_escape_text_parses =
+  QCheck.Test.make ~count:200 ~name:"escaped text decodes to original"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 30))
+    (fun s ->
+      QCheck.assume (String.for_all (fun c -> c <> '\r') s);
+      String.equal (Xml_lexer.decode_references (Xml_print.escape_text s)) s)
+
+let () =
+  Alcotest.run "xml"
+    [ ( "parser",
+        [ Alcotest.test_case "empty element" `Quick test_empty_element;
+          Alcotest.test_case "nested elements" `Quick test_nested_elements;
+          Alcotest.test_case "text content" `Quick test_text_content;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "xml declaration" `Quick test_xml_decl;
+          Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+          Alcotest.test_case "doctype internal subset" `Quick test_doctype_internal_subset;
+          Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+          Alcotest.test_case "processing instruction" `Quick test_processing_instruction_skipped;
+          Alcotest.test_case "cdata" `Quick test_cdata;
+          Alcotest.test_case "entities in text" `Quick test_entities_in_text;
+          Alcotest.test_case "char references" `Quick test_char_references;
+          Alcotest.test_case "char reference utf8" `Quick test_char_reference_utf8;
+          Alcotest.test_case "whitespace-only text dropped" `Quick test_whitespace_only_text_dropped;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "doctype capture" `Quick test_doctype_capture
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
+          Alcotest.test_case "mismatched tag message" `Quick test_mismatched_tag_message
+        ] );
+      ( "print",
+        [ Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+          Alcotest.test_case "attr escaping roundtrip" `Quick test_escape_attr_roundtrip;
+          Alcotest.test_case "count_nodes" `Quick test_count_nodes
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_escape_text_parses
+        ] )
+    ]

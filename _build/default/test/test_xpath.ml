@@ -1,0 +1,281 @@
+open Repro_xpath
+module F = Test_support.Fixtures
+module G = Repro_graph.Data_graph
+open Xpath_ast
+
+let parse = Xpath_parser.parse_exn
+
+(* --- parsing --- *)
+
+let step ?(axis = Child) ?(preds = []) test = { axis; test; predicates = preds }
+
+let check_parse text expected =
+  match Xpath_parser.parse text with
+  | Ok got ->
+    if not (Xpath_ast.equal got expected) then
+      Alcotest.failf "parse %s: got %s" text (Xpath_ast.to_string got)
+  | Error m -> Alcotest.failf "parse %s failed: %s" text m
+
+let test_parse_basic () =
+  check_parse "//actor/name"
+    { absolute = false; steps = [ step ~axis:Descendant (Name "actor"); step (Name "name") ] };
+  check_parse "/MovieDB/actor"
+    { absolute = true; steps = [ step (Name "MovieDB"); step (Name "actor") ] };
+  check_parse "//a//b"
+    { absolute = false; steps = [ step ~axis:Descendant (Name "a"); step ~axis:Descendant (Name "b") ] };
+  check_parse "//movie/*"
+    { absolute = false; steps = [ step ~axis:Descendant (Name "movie"); step Any ] }
+
+let test_parse_deref () =
+  check_parse "//movie/@actor=>actor"
+    { absolute = false;
+      steps = [ step ~axis:Descendant (Name "movie"); step (Name "@actor"); step (Name "actor") ]
+    }
+
+let test_parse_predicates () =
+  check_parse {|//name[text()="Kevin"]|}
+    { absolute = false;
+      steps = [ step ~axis:Descendant ~preds:[ Text_equals "Kevin" ] (Name "name") ]
+    };
+  check_parse "//SCENE/SPEECH[2]"
+    { absolute = false;
+      steps = [ step ~axis:Descendant (Name "SCENE"); step ~preds:[ Position 2 ] (Name "SPEECH") ]
+    };
+  check_parse "//movie[title]/year"
+    { absolute = false;
+      steps =
+        [ step ~axis:Descendant ~preds:[ Exists [ step (Name "title") ] ] (Name "movie");
+          step (Name "year")
+        ]
+    };
+  check_parse "//director[.//title]"
+    { absolute = false;
+      steps =
+        [ step ~axis:Descendant
+            ~preds:[ Exists [ step ~axis:Descendant (Name "title") ] ]
+            (Name "director")
+        ]
+    }
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Xpath_parser.parse text with
+      | Error _ -> ()
+      | Ok p -> Alcotest.failf "expected error on %s, got %s" text (Xpath_ast.to_string p))
+    [ "actor/name"; "//"; "//a["; "//a[]"; "//a]"; "//a/"; "//a[text()=v" ]
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun text ->
+      let p = parse text in
+      let p' = parse (Xpath_ast.to_string p) in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %s" text) true (Xpath_ast.equal p p'))
+    [ "//actor/name";
+      "/MovieDB/actor";
+      "//a//b/c";
+      {|//name[text()="Kevin Reynolds"]|};
+      "//SCENE/SPEECH[2]/LINE";
+      "//movie[title][year]/*";
+      "//director[.//title]/name"
+    ]
+
+(* --- direct evaluation on the MovieDB fixture --- *)
+
+let ev g text = Xpath_eval.eval_string g text
+
+let test_eval_child_paths () =
+  let g = F.movie_db () in
+  Alcotest.(check (array int)) "/actor" [| 1; 3 |] (ev g "/actor");
+  Alcotest.(check (array int)) "/actor/name" [| 2; 4 |] (ev g "/actor/name");
+  Alcotest.(check (array int)) "//name" [| 2; 4; 8 |] (ev g "//name");
+  Alcotest.(check (array int)) "//director/movie/title" [| 7 |] (ev g "//director/movie/title")
+
+let test_eval_wildcard () =
+  let g = F.movie_db () in
+  (* every non-attribute child of directors: movie + name *)
+  Alcotest.(check (array int)) "//director/*" [| 6; 8 |] (ev g "//director/*");
+  (* root's children *)
+  Alcotest.(check (array int)) "/*" [| 1; 3; 5; 6 |] (ev g "/*")
+
+let test_eval_descendant () =
+  let g = F.movie_db () in
+  Alcotest.(check (array int)) "//director//title" [| 7 |] (ev g "//director//title");
+  (* descendant axis does not cross references: actors reach no title *)
+  Alcotest.(check (array int)) "//actor//title" [||] (ev g "//actor//title");
+  (* but explicit attribute steps do *)
+  Alcotest.(check (array int)) "//actor/@movie=>movie/title" [| 7 |]
+    (ev g "//actor/@movie=>movie/title")
+
+let test_eval_text_predicate () =
+  let g = F.movie_db () in
+  Alcotest.(check (array int)) "name=Kevin" [| 2 |] (ev g {|//name[text()="Kevin"]|});
+  Alcotest.(check (array int)) "no match" [||] (ev g {|//name[text()="Zelda"]|})
+
+let test_eval_exists_predicate () =
+  let g = F.movie_db () in
+  (* only the director has a movie child *)
+  Alcotest.(check (array int)) "//*[movie]" [| 5 |] (ev g "//*[movie]");
+  Alcotest.(check (array int)) "directors with titles somewhere below" [| 5 |]
+    (ev g "//director[.//title]");
+  Alcotest.(check (array int)) "actors with a movie attr ref" [| 1 |] (ev g "//actor[@movie]")
+
+let test_eval_position () =
+  let g = F.movie_db () in
+  Alcotest.(check (array int)) "first actor" [| 1 |] (ev g "/actor[1]");
+  Alcotest.(check (array int)) "second actor" [| 3 |] (ev g "/actor[2]");
+  Alcotest.(check (array int)) "third actor" [||] (ev g "/actor[3]");
+  (* position after a filtering predicate re-ranks *)
+  Alcotest.(check (array int)) "first named actor" [| 1 |] (ev g "//actor[name][1]")
+
+let test_eval_unknown_label () =
+  let g = F.movie_db () in
+  Alcotest.(check (array int)) "unknown" [||] (ev g "//nonexistent/name")
+
+(* --- planner --- *)
+
+let plan_of g text = Xpath_plan.plan g (parse text)
+
+let test_plan_shapes () =
+  let g = F.movie_db () in
+  let check text expected =
+    Alcotest.(check string) text expected (Xpath_plan.describe (plan_of g text))
+  in
+  check "//actor/name" "index(QTYPE1)";
+  check "//movie//title" "index(QTYPE2)";
+  check {|//name[text()="Kevin"]|} "index(QTYPE3)";
+  check {|//movie/title[text()="Waterworld"]|} "index(QTYPE3)";
+  check "/actor/name" "scan";
+  check "//*[movie]" "scan";
+  (* a non-positional predicate closes the prefix and rides along *)
+  check "//actor[name]/name" "seeded(prefix=1 labels, 1 self-predicates, residual=1 steps)";
+  (* prefix seeding: //director/movie + residual *)
+  check "//director/movie/*" "seeded(prefix=2 labels, 0 self-predicates, residual=1 steps)";
+  check "//actor/name[1]" "seeded(prefix=1 labels, 0 self-predicates, residual=1 steps)"
+
+let test_execute_matches_direct () =
+  let g = F.movie_db () in
+  let apex =
+    Repro_apex.Apex.build_adapted g
+      ~workload:[ F.path g [ "actor"; "name" ] ]
+      ~min_support:0.5
+  in
+  List.iter
+    (fun text ->
+      Alcotest.(check (array int)) text (ev g text) (Xpath_plan.execute_string apex text))
+    [ "//actor/name";
+      "//name";
+      "//movie//title";
+      "//director//name";
+      {|//name[text()="Kevin"]|};
+      {|//movie/title[text()="Waterworld"]|};
+      "/actor/name";
+      "//director/movie/*";
+      "//actor[name]/name";
+      "//actor/@movie=>movie/title";
+      "//movie/@actor=>actor/name";
+      "//actor/name[1]";
+      "//*[movie]";
+      "/actor[2]/name"
+    ]
+
+(* --- property: planner = direct evaluator on random DAGs --- *)
+
+let gen_xpath_text =
+  (* random small paths over the DAG test alphabet l0..l3 *)
+  QCheck.Gen.(
+    let name = map (Printf.sprintf "l%d") (int_bound 3) in
+    let sep = oneofl [ "/"; "//" ] in
+    list_size (int_range 1 3) (pair sep name) >>= fun steps ->
+    oneofl [ "//"; "/" ] >>= fun lead ->
+    (* occasionally add a text or exists predicate on the last step *)
+    oneofl [ ""; "[text()=\"v1\"]"; "[l0]"; "[1]" ] >>= fun suffix ->
+    let body =
+      String.concat "" (List.mapi (fun i (s, n) -> (if i = 0 then "" else s) ^ n) steps)
+    in
+    (* rebuild with separators: first step uses lead *)
+    let rendered =
+      lead
+      ^ String.concat ""
+          (List.mapi (fun i (s, n) -> if i = 0 then n else s ^ n) steps)
+      ^ suffix
+    in
+    ignore body;
+    pure rendered)
+
+let prop_planner_equals_direct =
+  QCheck.Test.make ~count:200 ~name:"planned execution = direct evaluation"
+    (QCheck.pair F.arb_dag (QCheck.make gen_xpath_text))
+    (fun (spec, text) ->
+      let g = F.dag_of_spec spec in
+      let rand = Random.State.make [| Hashtbl.hash spec |] in
+      let workload =
+        if G.out_degree g (G.root g) = 0 then []
+        else
+          List.init 4 (fun _ ->
+              List.map fst (Repro_workload.Simple_paths.random_walk rand ~max_length:4 g))
+      in
+      QCheck.assume (workload <> []);
+      let apex = Repro_apex.Apex.build_adapted g ~workload ~min_support:0.4 in
+      match Xpath_parser.parse text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok path ->
+        let direct = Xpath_eval.eval g path in
+        let planned = Xpath_plan.execute apex path in
+        if direct = planned then true
+        else
+          QCheck.Test.fail_reportf "path %s (%s): direct %d results, planned %d" text
+            (Xpath_plan.describe (Xpath_plan.plan g path))
+            (Array.length direct) (Array.length planned))
+
+let prop_xpath_agrees_with_query_semantics =
+  (* two independently written semantics: the XPath evaluator on //a/b and
+     //a//b must agree with the QTYPE1/QTYPE2 reference evaluator *)
+  QCheck.Test.make ~count:150 ~name:"xpath //a/b = QTYPE1, //a//b = QTYPE2" F.arb_dag
+    (fun spec ->
+      let g = F.dag_of_spec spec in
+      let tbl = G.labels g in
+      let all = List.init (Repro_graph.Label.count tbl) (fun i -> i) in
+      let name l = Repro_graph.Label.to_string tbl l in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let q1 =
+                Repro_pathexpr.Naive_eval.eval g (Repro_pathexpr.Query.C1 [ a; b ])
+              in
+              let x1 = Xpath_eval.eval_string g (Printf.sprintf "//%s/%s" (name a) (name b)) in
+              let q2 =
+                Repro_pathexpr.Naive_eval.eval g (Repro_pathexpr.Query.C2 (a, b))
+              in
+              let x2 = Xpath_eval.eval_string g (Printf.sprintf "//%s//%s" (name a) (name b)) in
+              q1 = x1 && q2 = x2)
+            all)
+        all)
+
+let () =
+  Alcotest.run "xpath"
+    [ ( "parser",
+        [ Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "dereference" `Quick test_parse_deref;
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip
+        ] );
+      ( "eval",
+        [ Alcotest.test_case "child paths" `Quick test_eval_child_paths;
+          Alcotest.test_case "wildcard" `Quick test_eval_wildcard;
+          Alcotest.test_case "descendant" `Quick test_eval_descendant;
+          Alcotest.test_case "text predicate" `Quick test_eval_text_predicate;
+          Alcotest.test_case "exists predicate" `Quick test_eval_exists_predicate;
+          Alcotest.test_case "position" `Quick test_eval_position;
+          Alcotest.test_case "unknown label" `Quick test_eval_unknown_label
+        ] );
+      ( "planner",
+        [ Alcotest.test_case "plan shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "execute = direct" `Quick test_execute_matches_direct;
+          QCheck_alcotest.to_alcotest prop_planner_equals_direct
+        ] );
+      ( "cross-validation",
+        [ QCheck_alcotest.to_alcotest prop_xpath_agrees_with_query_semantics ] )
+    ]
