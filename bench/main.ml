@@ -42,7 +42,10 @@ let resolve_config ~quick ~full ~scale ~datasets ~no_verify =
   in
   if no_verify then { base with Experiments.verify = false } else base
 
-let run_experiment name config =
+let run_experiment ?json name config =
+  match json with
+  | Some out -> Experiments.json_bench config ~out
+  | None ->
   match name with
   | "all" -> Experiments.run_all config
   | "table1" -> ignore (Experiments.table1 (Experiments.create_context config))
@@ -80,13 +83,22 @@ let datasets =
 let no_verify =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip result verification against the naive evaluator.")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Instead of the table experiments, write a machine-readable benchmark snapshot \
+           (build time, Q1/Q2/Q3 latency, result checksums, cache hit rates) to $(docv).")
+
 let cmd =
-  let run experiment quick full scale datasets no_verify =
+  let run experiment quick full scale datasets no_verify json =
     let config = resolve_config ~quick ~full ~scale ~datasets ~no_verify in
-    run_experiment experiment config
+    run_experiment ?json experiment config
   in
   Cmd.v
     (Cmd.info "apex-bench" ~doc:"APEX reproduction benchmarks")
-    Term.(const run $ experiment $ quick $ full $ scale $ datasets $ no_verify)
+    Term.(const run $ experiment $ quick $ full $ scale $ datasets $ no_verify $ json)
 
 let () = exit (Cmd.eval cmd)

@@ -133,6 +133,35 @@ let tests (env_flix : Repro_harness.Env.t) (env_ged : Repro_harness.Env.t) =
           fun () ->
             i := (!i + 7919) land 0xFFFF;
             ignore (Repro_storage.Data_table.lookup env_flix.Env.table !i)));
+    (* join engine kernels: gallop vs linear intersection on skewed sizes,
+       k-way heap union vs pairwise, range semijoin vs endpoint-sort join *)
+    Test.make ~name:"join/inter_gallop_skewed"
+      (Staged.stage
+         (let small = Array.init 32 (fun i -> i * 3_001) in
+          let large = Array.init 100_000 (fun i -> i * 3) in
+          fun () -> ignore (Repro_util.Int_sorted.inter small large)));
+    Test.make ~name:"join/inter_linear_skewed"
+      (Staged.stage
+         (let small = Array.init 32 (fun i -> i * 3_001) in
+          let large = Array.init 100_000 (fun i -> i * 3) in
+          fun () -> ignore (Repro_util.Int_sorted.inter_linear small large)));
+    Test.make ~name:"join/union_many_kway"
+      (Staged.stage
+         (let sets = List.init 12 (fun k -> Array.init 4_000 (fun i -> (i * 13) + k)) in
+          fun () -> ignore (Repro_util.Int_sorted.union_many sets)));
+    Test.make ~name:"join/union_many_pairwise"
+      (Staged.stage
+         (let sets = List.init 12 (fun k -> Array.init 4_000 (fun i -> (i * 13) + k)) in
+          fun () -> ignore (Repro_util.Int_sorted.union_many_pairwise sets)));
+    Test.make ~name:"join/semijoin_endpoints"
+      (Staged.stage
+         (let module Edge_set = Repro_graph.Edge_set in
+          let edges =
+            Edge_set.of_packed_array
+              (Array.init 50_000 (fun i -> Edge_set.pack (i / 5) (i mod 5 * 7919 mod 100_000)))
+          in
+          let frontier = Array.init 500 (fun i -> i * 17) in
+          fun () -> ignore (Edge_set.semijoin_endpoints edges frontier)));
     (* ablation: mining *)
     Test.make ~name:"ablation/mining_naive"
       (Staged.stage (fun () ->

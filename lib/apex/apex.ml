@@ -8,7 +8,13 @@ type t = {
   gapex : Gapex.t;
   tree : Hash_tree.t;
   mutable store : Repro_storage.Extent_store.t option;
+  endpoint_cache : (int, int array) Hashtbl.t;
+      (* Gapex.node id -> endpoints of its extent; memoizes the sort that
+         [Edge_set.endpoints] performs. Invalidated whenever extents can
+         change (update traversal) or the store is replaced. *)
 }
+
+let endpoint_cache_cap = 16_384
 
 let graph t = t.graph
 let tree t = t.tree
@@ -39,6 +45,7 @@ let successor_groups g source =
    the extent delta that caused the (re)visit, and the reversed label path
    by which the traversal reached the node. *)
 let run_update t =
+  Hashtbl.reset t.endpoint_cache;
   Gapex.reset_visited t.gapex;
   let stack = Stack.create () in
   Stack.push (Gapex.xroot t.gapex, Edge_set.empty, []) stack;
@@ -77,7 +84,8 @@ let build g =
     { graph = g;
       gapex = Gapex.create ~root_extent:(G.root_edge g);
       tree = Hash_tree.create ();
-      store = None
+      store = None;
+      endpoint_cache = Hashtbl.create 256
     }
   in
   run_update t;
@@ -111,7 +119,8 @@ let build_adapted g ~workload ~min_support =
   refresh t ~workload ~min_support;
   t
 
-let assemble ~graph ~gapex ~tree = { graph; gapex; tree; store = None }
+let assemble ~graph ~gapex ~tree =
+  { graph; gapex; tree; store = None; endpoint_cache = Hashtbl.create 256 }
 
 let materialize ?codec t pool =
   let store = Repro_storage.Extent_store.create ?codec pool in
@@ -119,6 +128,9 @@ let materialize ?codec t pool =
     (fun (n : Gapex.node) ->
       n.Gapex.handle <- Some (Repro_storage.Extent_store.append store n.Gapex.extent))
     (Gapex.reachable t.gapex);
+  (* endpoints are still valid, but clearing keeps the invariant simple:
+     the first query against a fresh store pays its I/O *)
+  Hashtbl.reset t.endpoint_cache;
   t.store <- Some store
 
 let load_extent ?cost t (n : Gapex.node) =
@@ -129,3 +141,13 @@ let load_extent ?cost t (n : Gapex.node) =
      | Some c -> c.Cost.extent_edges <- c.Cost.extent_edges + Edge_set.cardinal n.Gapex.extent
      | None -> ());
     n.Gapex.extent
+
+let load_endpoints ?cost t (n : Gapex.node) =
+  match Hashtbl.find_opt t.endpoint_cache n.Gapex.id with
+  | Some eps -> eps
+  | None ->
+    let eps = Edge_set.endpoints (load_extent ?cost t n) in
+    if Hashtbl.length t.endpoint_cache >= endpoint_cache_cap then
+      Hashtbl.reset t.endpoint_cache;
+    Hashtbl.add t.endpoint_cache n.Gapex.id eps;
+    eps

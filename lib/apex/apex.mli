@@ -71,3 +71,12 @@ val load_extent :
 (** The node's extent, through the buffer pool when materialized (charging
     [extent_pages]/[extent_edges]); the in-memory extent otherwise (charging
     only [extent_edges]). *)
+
+val load_endpoints :
+  ?cost:Repro_storage.Cost.t -> t -> Gapex.node -> int array
+(** [Edge_set.endpoints] of the node's extent, memoized per node on the
+    index: an exact hash-tree hit answers a query by k-way-unioning these
+    arrays without re-sorting anything. The memo is invalidated by
+    {!refresh}/{!extend_data} (extents change) and {!materialize} (store
+    replaced); a warm hit charges no cost — the first computation charges
+    the underlying {!load_extent}. *)

@@ -1,71 +1,113 @@
 module G = Repro_graph.Data_graph
 module Edge_set = Repro_graph.Edge_set
 module Label = Repro_graph.Label
+module Int_sorted = Repro_util.Int_sorted
 module Cost = Repro_storage.Cost
 module Query = Repro_pathexpr.Query
 
-let charge_join cost a b =
+let charge_join cost frontier extent =
   match cost with
-  | Some c -> c.Cost.join_edges <- c.Cost.join_edges + Edge_set.cardinal a + Edge_set.cardinal b
+  | Some c ->
+    c.Cost.join_edges <- c.Cost.join_edges + Array.length frontier + Edge_set.cardinal extent
   | None -> ()
 
 let union_extents ?cost t nodes =
   Edge_set.union_many (List.map (fun n -> Apex.load_extent ?cost t n) nodes)
 
-(* locate a (sub)path and union the located nodes' extents; each lookup
-   touches one hash-tree page (H_APEX is shallow: a handful of hnodes per
-   suffix chain fit one page) *)
-let locate_union ?cost t ~rev_path =
+let union_endpoints ?cost t nodes =
+  Int_sorted.union_many (List.map (fun n -> Apex.load_endpoints ?cost t n) nodes)
+
+(* locate a (sub)path; each lookup touches one hash-tree page (H_APEX is
+   shallow: a handful of hnodes per suffix chain fit one page) *)
+let locate ?cost t ~rev_path =
   (match cost with
    | Some c -> c.Cost.struct_pages <- c.Cost.struct_pages + 1
    | None -> ());
-  match Hash_tree.locate ?cost (Apex.tree t) ~rev_path with
-  | None -> None
-  | Some (Hash_tree.Exact nodes) -> Some (union_extents ?cost t nodes, true)
-  | Some (Hash_tree.Approx nodes) -> Some (union_extents ?cost t nodes, false)
+  Hash_tree.locate ?cost (Apex.tree t) ~rev_path
 
 let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+(* Multi-way extent join for a prefix sweep: [anchor_nodes] exactly cover
+   the prefix; [chain] holds the (approximate) extent unions of each longer
+   prefix, in path order. One forward semijoin pass fully reduces the last
+   set of a chain query, and only the reachable-node frontier needs to be
+   carried between steps — no intermediate edge set is materialized.
+
+   Selectivity ordering: before the forward pass, backward semijoin
+   reductions run wherever a set dwarfs its successor (cardinalities are
+   already in hand), so the most selective extents prune their bigger
+   neighbors first. Each backward reduction only discards edges with no
+   successor in the next set, which cannot change the final frontier. *)
+let backward_reduce_ratio = 8
+
+let chain_join ?cost t anchor_nodes chain =
+  let chain = Array.of_list chain in
+  let k = Array.length chain in
+  if Array.exists Edge_set.is_empty chain then [||]
+  else begin
+    let shrunk = ref false in
+    for i = k - 2 downto 0 do
+      if
+        Edge_set.cardinal chain.(i)
+        > backward_reduce_ratio * Edge_set.cardinal chain.(i + 1)
+      then begin
+        let next_parents = Edge_set.parents chain.(i + 1) in
+        charge_join cost next_parents chain.(i);
+        chain.(i) <- Edge_set.semijoin_children chain.(i) next_parents;
+        shrunk := true
+      end
+    done;
+    if !shrunk && Array.exists Edge_set.is_empty chain then [||]
+    else begin
+      let frontier = ref (union_endpoints ?cost t anchor_nodes) in
+      let i = ref 0 in
+      while !i < k && Array.length !frontier > 0 do
+        charge_join cost !frontier chain.(!i);
+        frontier := Edge_set.semijoin_endpoints chain.(!i) !frontier;
+        incr i
+      done;
+      !frontier
+    end
+  end
 
 let eval_q1 ?cost t path =
   let n = List.length path in
   let rev = List.rev path in
-  match locate_union ?cost t ~rev_path:rev with
+  match locate ?cost t ~rev_path:rev with
   | None -> [||]
-  | Some (ext, true) -> Edge_set.endpoints ext
-  | Some (e_full, false) ->
+  | Some (Hash_tree.Exact nodes) ->
+    (* the whole path is a stored suffix: the answer is a k-way union of
+       memoized endpoint arrays — no joins, no sorting *)
+    union_endpoints ?cost t nodes
+  | Some (Hash_tree.Approx nodes_full) ->
     (* sweep prefixes l_i..l_j for j = n-1 downto 1, keeping each looked-up
        edge set; the sweep must reach an exactly-covered prefix by j = 1
        since every length-1 path is required *)
+    let e_full = union_extents ?cost t nodes_full in
     let rec sweep j acc =
       if j = 0 then [||] (* unreachable: length-1 lookups are exact *)
       else
         let rev_prefix = drop (n - j) rev in
-        match locate_union ?cost t ~rev_path:rev_prefix with
+        match locate ?cost t ~rev_path:rev_prefix with
         | None -> [||]
-        | Some (ext, true) ->
-          (* multi-way join back up to l_n *)
-          let cur =
-            List.fold_left
-              (fun cur e ->
-                if Edge_set.is_empty cur then cur
-                else begin
-                  charge_join cost cur e;
-                  Edge_set.join cur e
-                end)
-              ext acc
-          in
-          Edge_set.endpoints cur
-        | Some (ext, false) -> sweep (j - 1) (ext :: acc)
+        | Some (Hash_tree.Exact anchor_nodes) -> chain_join ?cost t anchor_nodes acc
+        | Some (Hash_tree.Approx nodes) -> sweep (j - 1) (union_extents ?cost t nodes :: acc)
     in
     sweep (n - 1) [ e_full ]
 
 (* QTYPE2 is the paper's two-phase plan: (1) query pruning and rewriting by
    navigating G_APEX from the nodes whose incoming label is [la], collecting
    every label sequence la.m_1...m_k.lb reachable over non-attribute edges
-   (Section 6.1's no-dereference rule); (2) each rewritten sequence is then
-   evaluated like QTYPE1, so sequences that are stored frequent suffixes
-   come straight out of H_APEX — the adaptivity win. *)
-let eval_q2 ?cost ?(max_rewrite_depth = 16) t la lb =
+   (Section 6.1's no-dereference rule); (2) each rewritten sequence is
+   answered. The rewrite search already joins extents along every branch as
+   its pruning oracle, so phase 2 reuses those partial joins directly: the
+   union of the running joins over all branches spelling a sequence IS that
+   sequence's QTYPE1 answer (each branch's join is a subset of T(seq) by
+   construction, and every data path has a witnessing branch). Re-evaluation
+   through [eval_q1] remains only as the fallback for sequences without a
+   captured join ([reuse_partial_joins:false] forces it everywhere — the old
+   two-phase plan, kept as the reference for equivalence tests). *)
+let eval_q2 ?cost ?(max_rewrite_depth = 16) ?(reuse_partial_joins = true) t la lb =
   let labels = G.labels (Apex.graph t) in
   match Hash_tree.locate ?cost (Apex.tree t) ~rev_path:[ la ] with
   | None | Some (Hash_tree.Approx _) -> [||]
@@ -96,8 +138,20 @@ let eval_q2 ?cost ?(max_rewrite_depth = 16) t la lb =
         Hashtbl.add extent_cache node.Gapex.id e;
         e
     in
-    let rewritings : (Label.t list, unit) Hashtbl.t = Hashtbl.create 32 in
-    let rec rewrite (node : Gapex.node) cur rev_seq depth =
+    (* rewriting -> union of the running joins of the branches spelling it
+       (None when partial-join reuse is off) *)
+    let rewritings : (Label.t list, int array option) Hashtbl.t = Hashtbl.create 32 in
+    let record seq frontier =
+      if reuse_partial_joins then
+        let acc =
+          match Hashtbl.find_opt rewritings seq with
+          | Some (Some prev) -> Int_sorted.union prev frontier
+          | Some None | None -> frontier
+        in
+        Hashtbl.replace rewritings seq (Some acc)
+      else Hashtbl.replace rewritings seq None
+    in
+    let rec rewrite (node : Gapex.node) frontier rev_seq depth =
       visit node;
       List.iter
         (fun (l, (y : Gapex.node)) ->
@@ -106,21 +160,30 @@ let eval_q2 ?cost ?(max_rewrite_depth = 16) t la lb =
              | Some c -> c.Cost.index_edge_lookups <- c.Cost.index_edge_lookups + 1
              | None -> ());
             let ey = extent_of y in
-            charge_join cost cur ey;
-            let nxt = Edge_set.join cur ey in
-            if not (Edge_set.is_empty nxt) then begin
+            charge_join cost frontier ey;
+            let nxt = Edge_set.semijoin_endpoints ey frontier in
+            if Array.length nxt > 0 then begin
               let rev_seq = l :: rev_seq in
-              if l = lb then Hashtbl.replace rewritings (List.rev rev_seq) ();
+              if l = lb then record (List.rev rev_seq) nxt;
               if depth < max_rewrite_depth then rewrite y nxt rev_seq (depth + 1)
             end
           end)
         (Gapex.out_edges node)
     in
-    List.iter (fun (start : Gapex.node) -> rewrite start (extent_of start) [ la ] 1) starts;
+    List.iter
+      (fun (start : Gapex.node) ->
+        rewrite start (Apex.load_endpoints ?cost t start) [ la ] 1)
+      starts;
     let results =
-      Hashtbl.fold (fun seq () acc -> eval_q1 ?cost t seq :: acc) rewritings []
+      Hashtbl.fold
+        (fun seq partial acc ->
+          (match partial with
+           | Some frontier -> frontier
+           | None -> eval_q1 ?cost t seq)
+          :: acc)
+        rewritings []
     in
-    Repro_util.Int_sorted.union_many results
+    Int_sorted.union_many results
 
 let eval_q3 ?cost ?table t path value =
   let candidates = eval_q1 ?cost t path in
@@ -134,10 +197,10 @@ let eval_q3 ?cost ?table t path value =
     in
     Array.of_seq (Seq.filter keep (Array.to_seq candidates))
 
-let eval ?cost ?table ?max_rewrite_depth t compiled =
+let eval ?cost ?table ?max_rewrite_depth ?reuse_partial_joins t compiled =
   match compiled with
   | Query.C1 path -> eval_q1 ?cost t path
-  | Query.C2 (la, lb) -> eval_q2 ?cost ?max_rewrite_depth t la lb
+  | Query.C2 (la, lb) -> eval_q2 ?cost ?max_rewrite_depth ?reuse_partial_joins t la lb
   | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
 
 let eval_query ?cost ?table t q =

@@ -2,16 +2,23 @@
     Implementation").
 
     - QTYPE1 [//l_i/.../l_n]: look the full path up in [H_APEX] (in reverse);
-      if the longest stored suffix covers the whole path, the answer is read
-      straight off the located extents. Otherwise the processor looks up
-      each prefix [l_i..l_j] (j decreasing) until one is covered exactly,
-      keeping the union of extents per lookup, and multi-way-joins the edge
-      sets back up to [l_n].
+      if the longest stored suffix covers the whole path, the answer is a
+      k-way union of memoized endpoint arrays ({!Apex.load_endpoints}) — no
+      joins. Otherwise the processor looks up each prefix [l_i..l_j]
+      (j decreasing) until one is covered exactly, keeping the union of
+      extents per lookup, and reduces the chain with semijoins: backward
+      reductions wherever a set dwarfs its successor (selectivity ordering —
+      the cardinalities are already in hand), then one forward pass carrying
+      only the reachable-node frontier (an int array) between steps, never
+      materializing an intermediate edge set.
     - QTYPE2 [//l_i//l_j]: query pruning and rewriting on [G_APEX] — a
       depth-first search from the nodes whose incoming label is [l_i],
       following non-attribute edges, joining extents along the way and
       emitting results whenever an [l_j]-edge is crossed. Branches with an
-      empty running edge set are pruned.
+      empty running edge set are pruned. The running joins double as the
+      answers: the union of the frontiers over all branches spelling a
+      rewriting equals that rewriting's QTYPE1 result, so re-evaluation is
+      only a fallback.
     - QTYPE3 [//path\[text()=v\]]: QTYPE1 followed by data-table probes.
 
     Results are nid arrays sorted ascending (document order). *)
@@ -20,6 +27,7 @@ val eval :
   ?cost:Repro_storage.Cost.t ->
   ?table:Repro_storage.Data_table.t ->
   ?max_rewrite_depth:int ->
+  ?reuse_partial_joins:bool ->
   Apex.t ->
   Repro_pathexpr.Query.compiled ->
   Repro_graph.Data_graph.nid array
@@ -29,7 +37,12 @@ val eval :
     summary nodes may repeat along a rewriting (recursive structures
     summarize to cycles); branches whose running edge set joins to empty
     are pruned, which on data whose non-attribute region is acyclic makes
-    the bound vacuous for paths that could produce results. *)
+    the bound vacuous for paths that could produce results.
+    [reuse_partial_joins] (default [true]) answers QTYPE2 rewritings from
+    the running joins carried by the rewrite search; [false] re-evaluates
+    every rewriting through QTYPE1 — the paper's original two-phase plan,
+    kept as the reference for equivalence tests. Both produce identical
+    results. *)
 
 val eval_query :
   ?cost:Repro_storage.Cost.t ->

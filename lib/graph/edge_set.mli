@@ -24,6 +24,12 @@ val of_list : (int * int) list -> t
 val of_packed_array : int array -> t
 (** Takes ownership conceptually; sorts/dedups if needed. *)
 
+val unsafe_of_sorted : int array -> t
+(** Wrap an array the caller {e guarantees} is a strictly increasing packed
+    edge array, skipping the O(n) validation of {!of_packed_array} — for
+    storage-layer caches returning arrays that were validated when first
+    decoded. The caller must never mutate the array afterwards. *)
+
 val to_list : t -> (int * int) list
 val cardinal : t -> int
 val is_empty : t -> bool
@@ -42,7 +48,8 @@ val endpoints : t -> int array
     denotes as query results. *)
 
 val parents : t -> int array
-(** Strictly increasing array of the parent components ({!null} excluded). *)
+(** Strictly increasing array of the parent components ({!null} excluded).
+    Linear — the packed order already sorts parents. *)
 
 val join : t -> t -> t
 (** [join a b] keeps the edges of [b] whose parent is an endpoint of [a] —
@@ -50,6 +57,21 @@ val join : t -> t -> t
 
 val semijoin_parents : t -> int array -> t
 (** Keep the edges of the set whose parent occurs in the given sorted
-    array. *)
+    array. Exploits that packed edges sorted by [(parent lsl 31) lor child]
+    are range-contiguous per parent: binary-searches (with galloping) the
+    range of each wanted parent instead of scanning, or merge-walks runs
+    when the parent array is dense — never materializes or re-sorts
+    endpoint arrays. *)
+
+val semijoin_endpoints : t -> int array -> int array
+(** [semijoin_endpoints t frontier] is
+    [endpoints (semijoin_parents t frontier)] without materializing the
+    intermediate edge set — one step of a multi-way extent join when only
+    the reachable-node frontier is needed downstream. *)
+
+val semijoin_children : t -> int array -> t
+(** Keep the edges of the set whose {e child} occurs in the given sorted
+    array (per-edge binary search; children are not range-contiguous).
+    Used for backward selectivity reductions in multi-way joins. *)
 
 val pp : Format.formatter -> t -> unit

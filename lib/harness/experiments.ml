@@ -494,6 +494,71 @@ let ablation ctx =
     ~header:[ "Data Set"; "raw cost"; "raw pages"; "varint cost"; "varint pages"; "compression" ]
     codec_rows
 
+(* --- machine-readable benchmark snapshot (--json) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_measure (m : Measure.result) =
+  Printf.sprintf
+    "{\"queries\": %d, \"answered\": %d, \"result_nodes\": %d, \"checksum\": \"%x\", \
+     \"wall_seconds\": %.6f, \"weighted_cost\": %.1f, \"extent_pages\": %d, \
+     \"extent_edges\": %d, \"join_edges\": %d, \"extent_cache_hits\": %d, \
+     \"extent_cache_misses\": %d, \"extent_cache_hit_rate\": %.4f}"
+    m.Measure.queries m.Measure.answered m.Measure.result_nodes m.Measure.checksum
+    m.Measure.wall_seconds (Measure.weighted m) m.Measure.cost.Cost.extent_pages
+    m.Measure.cost.Cost.extent_edges m.Measure.cost.Cost.join_edges
+    m.Measure.cost.Cost.extent_cache_hits m.Measure.cost.Cost.extent_cache_misses
+    (Cost.extent_cache_hit_rate m.Measure.cost)
+
+let json_bench config ~out =
+  let ms = config.chosen_min_sup in
+  let dataset_rows =
+    List.map
+      (fun spec ->
+        let ctx = create_context { config with datasets = [ spec ] } in
+        let e = env ctx spec in
+        let t0 = Unix.gettimeofday () in
+        let a = Apex.build_adapted e.Env.graph ~workload:e.Env.workload ~min_support:ms in
+        Apex.materialize a e.Env.pool;
+        let build_seconds = Unix.gettimeofday () -. t0 in
+        let nodes, edges = Apex.stats a in
+        let eval = apex_eval e a in
+        let batch name queries =
+          verify ctx e name queries eval;
+          Repro_storage.Buffer_pool.flush e.Env.pool;
+          Measure.run queries eval
+        in
+        let q1 = batch "q1" e.Env.q1 in
+        let q2 = batch "q2" e.Env.q2 in
+        let q3 = batch "q3" e.Env.q3 in
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"build_seconds\": %.4f, \"apex_nodes\": %d, \
+           \"apex_edges\": %d,\n     \"q1\": %s,\n     \"q2\": %s,\n     \"q3\": %s}"
+          (json_escape spec.Dataset.name) build_seconds nodes edges (json_of_measure q1)
+          (json_of_measure q2) (json_of_measure q3))
+      config.datasets
+  in
+  let doc =
+    Printf.sprintf
+      "{\n  \"config\": {\"scale\": %g, \"n_q1\": %d, \"n_q2\": %d, \"n_q3\": %d, \
+       \"min_support\": %g, \"verified\": %b},\n  \"datasets\": [\n%s\n  ]\n}\n"
+      config.scale config.n_q1 config.n_q2 config.n_q3 ms config.verify
+      (String.concat ",\n" dataset_rows)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
 let run_all config =
   Report.section (Printf.sprintf "APEX reproduction experiments (scale %gx)" config.scale);
   (* group work per dataset so memory for one dataset's indexes can be

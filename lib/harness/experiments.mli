@@ -72,3 +72,12 @@ val ablation : context -> unit
 
 val run_all : config -> unit
 (** All of the above, printing every table. *)
+
+val json_bench : config -> out:string -> unit
+(** End-to-end benchmark snapshot written as JSON: per dataset, APEX build
+    time and size, then Q1/Q2/Q3 batch latency, weighted cost, result-set
+    checksums, and extent-cache hit rates for APEX([chosen_min_sup]).
+    Result sets are verified against the naive evaluator first (unless
+    [verify] is off), so the timings always describe a correct engine.
+    Successive snapshots with identical config must report identical
+    checksums — the perf-trajectory guard. *)

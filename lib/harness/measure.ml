@@ -2,23 +2,39 @@ type result = {
   queries : int;
   answered : int;
   result_nodes : int;
+  checksum : int;
   cost : Repro_storage.Cost.t;
   wall_seconds : float;
 }
+
+(* FNV-1a over the concatenated result arrays (with a separator between
+   queries), truncated to OCaml's int range: engine changes that alter any
+   result set alter the checksum *)
+let checksum_fold h r =
+  let fnv h x = (h lxor x) * 0x100000001b3 land max_int in
+  Array.fold_left fnv (fnv h (-1)) r
 
 let run queries eval =
   let cost = Repro_storage.Cost.create () in
   let answered = ref 0 in
   let result_nodes = ref 0 in
+  let checksum = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
   let t0 = Unix.gettimeofday () in
   Array.iter
     (fun q ->
       let r = eval ~cost q in
       if Array.length r > 0 then incr answered;
-      result_nodes := !result_nodes + Array.length r)
+      result_nodes := !result_nodes + Array.length r;
+      checksum := checksum_fold !checksum r)
     queries;
   let wall_seconds = Unix.gettimeofday () -. t0 in
-  { queries = Array.length queries; answered = !answered; result_nodes = !result_nodes; cost; wall_seconds }
+  { queries = Array.length queries;
+    answered = !answered;
+    result_nodes = !result_nodes;
+    checksum = !checksum;
+    cost;
+    wall_seconds
+  }
 
 let weighted r = Repro_storage.Cost.weighted_total r.cost
 

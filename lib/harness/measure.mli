@@ -5,6 +5,9 @@ type result = {
   queries : int;
   answered : int;  (** queries with a non-empty result *)
   result_nodes : int;  (** total result cardinality *)
+  checksum : int;
+      (** FNV-1a over every result array in batch order — two engines
+          returning identical result sets produce identical checksums *)
   cost : Repro_storage.Cost.t;
   wall_seconds : float;
 }

@@ -7,6 +7,8 @@ type t = {
   mutable trie_pages : int;
   mutable extent_pages : int;
   mutable extent_edges : int;
+  mutable extent_cache_hits : int;
+  mutable extent_cache_misses : int;
   mutable join_edges : int;
   mutable table_pages : int;
 }
@@ -20,6 +22,8 @@ let create () =
     trie_pages = 0;
     extent_pages = 0;
     extent_edges = 0;
+    extent_cache_hits = 0;
+    extent_cache_misses = 0;
     join_edges = 0;
     table_pages = 0
   }
@@ -33,6 +37,8 @@ let reset t =
   t.trie_pages <- 0;
   t.extent_pages <- 0;
   t.extent_edges <- 0;
+  t.extent_cache_hits <- 0;
+  t.extent_cache_misses <- 0;
   t.join_edges <- 0;
   t.table_pages <- 0
 
@@ -45,6 +51,8 @@ let copy t =
     trie_pages = t.trie_pages;
     extent_pages = t.extent_pages;
     extent_edges = t.extent_edges;
+    extent_cache_hits = t.extent_cache_hits;
+    extent_cache_misses = t.extent_cache_misses;
     join_edges = t.join_edges;
     table_pages = t.table_pages
   }
@@ -58,6 +66,8 @@ let add acc x =
   acc.trie_pages <- acc.trie_pages + x.trie_pages;
   acc.extent_pages <- acc.extent_pages + x.extent_pages;
   acc.extent_edges <- acc.extent_edges + x.extent_edges;
+  acc.extent_cache_hits <- acc.extent_cache_hits + x.extent_cache_hits;
+  acc.extent_cache_misses <- acc.extent_cache_misses + x.extent_cache_misses;
   acc.join_edges <- acc.join_edges + x.join_edges;
   acc.table_pages <- acc.table_pages + x.table_pages
 
@@ -69,8 +79,13 @@ let weighted_total t =
   let streaming = float_of_int (t.extent_edges + t.join_edges) in
   pages +. (steps /. 50.) +. (streaming /. 500.)
 
+let extent_cache_hit_rate t =
+  let total = t.extent_cache_hits + t.extent_cache_misses in
+  if total = 0 then 0. else float_of_int t.extent_cache_hits /. float_of_int total
+
 let pp ppf t =
   Format.fprintf ppf
-    "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d join=%d table=%d"
+    "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d ext_cache=%d/%d join=%d table=%d"
     t.index_node_visits t.struct_pages t.index_edge_lookups t.hash_probes t.trie_node_visits
-    t.trie_pages t.extent_pages t.extent_edges t.join_edges t.table_pages
+    t.trie_pages t.extent_pages t.extent_edges t.extent_cache_hits
+    (t.extent_cache_hits + t.extent_cache_misses) t.join_edges t.table_pages

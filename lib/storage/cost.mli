@@ -11,6 +11,9 @@
     - [trie_node_visits] — Patricia-trie traversal (Index Fabric);
     - [extent_pages] / [extent_edges] — extent retrieval through the buffer
       pool;
+    - [extent_cache_hits] / [extent_cache_misses] — probes of the
+      decoded-extent LRU layered over the extent store (a hit skips page
+      reads and varint decoding entirely);
     - [join_edges] — edges processed by multi-way extent joins;
     - [table_pages] — data-table pages probed for value predicates. *)
 
@@ -25,6 +28,8 @@ type t = {
   mutable trie_pages : int;
   mutable extent_pages : int;
   mutable extent_edges : int;
+  mutable extent_cache_hits : int;
+  mutable extent_cache_misses : int;
   mutable join_edges : int;
   mutable table_pages : int;
 }
@@ -34,6 +39,9 @@ val reset : t -> unit
 val copy : t -> t
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
+
+val extent_cache_hit_rate : t -> float
+(** [extent_cache_hits / (hits + misses)], or [0.] before any probe. *)
 
 val weighted_total : t -> float
 (** Single scalar used for plot-style comparisons: page accesses dominate

@@ -10,20 +10,106 @@ type handle = {
   n_ints : int;
 }
 
+(* decoded-extent LRU: an intrusive doubly-linked list threaded through a
+   hash table, keyed by the handle's start position (unique per extent).
+   A hit returns the decoded array without touching the buffer pool or the
+   varint decoder. *)
+type cache_node = {
+  key : int;
+  ints : int array;
+  mutable set : Repro_graph.Edge_set.t option;  (* validated view, built lazily *)
+  mutable prev : cache_node;
+  mutable next : cache_node;
+}
+
+type cache = {
+  tbl : (int, cache_node) Hashtbl.t;
+  mutable head : cache_node option;  (* most recent; the list is circular *)
+  mutable cached_ints : int;
+  max_entries : int;
+  max_ints : int;
+}
+
 type t = {
   pool : Buffer_pool.t;
   enc : codec;
+  cache : cache option;
   mutable cur_page : Pager.pid;
   mutable cur_off : int;
   mutable cur_buf : bytes;
 }
 
-let create ?(codec = `Raw) pool =
+let create ?(codec = `Raw) ?(cache_entries = 1024) ?(cache_ints = 4_000_000) pool =
   let pager = Buffer_pool.pager pool in
   let pid = Pager.alloc pager in
-  { pool; enc = codec; cur_page = pid; cur_off = 0; cur_buf = Bytes.make (Pager.page_size pager) '\000' }
+  let cache =
+    if cache_entries <= 0 then None
+    else
+      Some
+        { tbl = Hashtbl.create (2 * cache_entries);
+          head = None;
+          cached_ints = 0;
+          max_entries = cache_entries;
+          max_ints = cache_ints
+        }
+  in
+  { pool;
+    enc = codec;
+    cache;
+    cur_page = pid;
+    cur_off = 0;
+    cur_buf = Bytes.make (Pager.page_size pager) '\000'
+  }
 
 let codec t = t.enc
+
+(* --- LRU primitives --- *)
+
+let lru_unlink c node =
+  if node.next == node then c.head <- None
+  else begin
+    node.prev.next <- node.next;
+    node.next.prev <- node.prev;
+    (match c.head with Some h when h == node -> c.head <- Some node.next | _ -> ())
+  end
+
+let lru_push_front c node =
+  (match c.head with
+   | None ->
+     node.prev <- node;
+     node.next <- node
+   | Some h ->
+     node.prev <- h.prev;
+     node.next <- h;
+     h.prev.next <- node;
+     h.prev <- node);
+  c.head <- Some node
+
+let lru_touch c node =
+  match c.head with
+  | Some h when h == node -> ()
+  | _ ->
+    lru_unlink c node;
+    lru_push_front c node
+
+let lru_evict_tail c =
+  match c.head with
+  | None -> ()
+  | Some h ->
+    let tail = h.prev in
+    lru_unlink c tail;
+    Hashtbl.remove c.tbl tail.key;
+    c.cached_ints <- c.cached_ints - Array.length tail.ints
+
+let lru_insert c key ints =
+  let rec node = { key; ints; set = None; prev = node; next = node } in
+  Hashtbl.replace c.tbl key node;
+  c.cached_ints <- c.cached_ints + Array.length ints;
+  lru_push_front c node;
+  while Hashtbl.length c.tbl > c.max_entries || c.cached_ints > c.max_ints do
+    lru_evict_tail c
+  done;
+  node
 
 (* --- encoding --- *)
 
@@ -148,9 +234,57 @@ let append_ints t ints = append_blob t (encode t.enc ints) ~n_ints:(Array.length
 
 let append t (set : Repro_graph.Edge_set.t) = append_ints t (set :> int array)
 
-let load_ints ?cost t h = decode t.enc (load_blob ?cost t h) h.n_ints
+let cache_key t h =
+  (h.first_page * Pager.page_size (Buffer_pool.pager t.pool)) + h.first_off
 
-let load ?cost t h = Repro_graph.Edge_set.of_packed_array (load_ints ?cost t h)
+let charge_hit cost h =
+  match cost with
+  | Some c ->
+    c.Cost.extent_cache_hits <- c.Cost.extent_cache_hits + 1;
+    (* the edges still stream through the caller; only page I/O is saved *)
+    c.Cost.extent_edges <- c.Cost.extent_edges + h.n_ints
+  | None -> ()
+
+let charge_miss cost =
+  match cost with
+  | Some c -> c.Cost.extent_cache_misses <- c.Cost.extent_cache_misses + 1
+  | None -> ()
+
+let load_node ?cost t h =
+  match t.cache with
+  | None -> None
+  (* an empty blob does not advance the tail, so it would share its start
+     position — the cache key — with the next extent; decoding it is free
+     anyway, so bypass *)
+  | Some _ when h.n_bytes = 0 -> None
+  | Some c ->
+    let key = cache_key t h in
+    (match Hashtbl.find_opt c.tbl key with
+     | Some node ->
+       charge_hit cost h;
+       lru_touch c node;
+       Some node
+     | None ->
+       charge_miss cost;
+       let ints = decode t.enc (load_blob ?cost t h) h.n_ints in
+       Some (lru_insert c key ints))
+
+let load_ints ?cost t h =
+  match load_node ?cost t h with
+  | Some node -> node.ints
+  | None -> decode t.enc (load_blob ?cost t h) h.n_ints
+
+let load ?cost t h =
+  match load_node ?cost t h with
+  | None -> Repro_graph.Edge_set.of_packed_array (decode t.enc (load_blob ?cost t h) h.n_ints)
+  | Some node ->
+    (match node.set with
+     | Some s -> s
+     | None ->
+       (* validate once; hits after this are allocation- and scan-free *)
+       let s = Repro_graph.Edge_set.of_packed_array node.ints in
+       node.set <- Some s;
+       s)
 
 let cardinal h = h.n_ints
 let stored_bytes h = h.n_bytes

@@ -11,7 +11,14 @@
     - [`Delta_varint]: zigzag-encoded deltas in LEB128 varints — sorted
       streams (every extent is strictly increasing) compress severalfold,
       shrinking the page counts queries pay for. The ablation benchmark
-      compares the two. *)
+      compares the two.
+
+    A decoded-extent LRU (on by default, see {!create}) sits above the
+    buffer pool: repeated loads of the same extent — within one multi-way
+    join and across queries — return the already-decoded array, skipping
+    page reads and varint decoding. Hits charge [extent_cache_hits] (plus
+    [extent_edges] for the streaming the caller still performs); misses
+    charge [extent_cache_misses] on top of the usual page costs. *)
 
 type t
 
@@ -23,8 +30,11 @@ type codec =
 type handle
 (** Location of one stored extent. *)
 
-val create : ?codec:codec -> Buffer_pool.t -> t
-(** Default codec [`Raw]. *)
+val create : ?codec:codec -> ?cache_entries:int -> ?cache_ints:int -> Buffer_pool.t -> t
+(** Default codec [`Raw]. [cache_entries] (default 1024) bounds the
+    decoded-extent LRU's entry count; [cache_ints] (default 4M, ~32 MB)
+    bounds its total retained integers. [cache_entries <= 0] disables the
+    cache entirely. *)
 
 val codec : t -> codec
 

@@ -22,14 +22,38 @@ let is_sorted_set a =
   done;
   !ok
 
+let lower_bound a lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let gallop_lower_bound a lo hi x =
+  if lo >= hi || a.(lo) >= x then lo
+  else begin
+    (* double the probe span until it brackets x, then binary search the
+       final span: O(log d) for a target d positions ahead *)
+    let span = ref 1 in
+    while lo + !span < hi && a.(lo + !span) < x do
+      span := !span * 2
+    done;
+    lower_bound a (lo + (!span / 2) + 1) (min (lo + !span) hi) x
+  end
+
 let mem a x =
-  let rec go lo hi =
-    if lo >= hi then false
-    else
-      let mid = (lo + hi) / 2 in
-      if a.(mid) = x then true else if a.(mid) < x then go (mid + 1) hi else go lo mid
-  in
-  go 0 (Array.length a)
+  let i = lower_bound a 0 (Array.length a) x in
+  i < Array.length a && a.(i) = x
+
+let mem_batch a queries =
+  let n = Array.length a in
+  let pos = ref 0 in
+  Array.map
+    (fun x ->
+      pos := gallop_lower_bound a !pos n x;
+      !pos < n && a.(!pos) = x)
+    queries
 
 let merge_with ~keep_left_only ~keep_right_only ~keep_both a b =
   let na = Array.length a and nb = Array.length b in
@@ -68,14 +92,40 @@ let union a b =
   else if Array.length b = 0 then Array.copy a
   else merge_with ~keep_left_only:true ~keep_right_only:true ~keep_both:true a b
 
-let inter a b = merge_with ~keep_left_only:false ~keep_right_only:false ~keep_both:true a b
+let inter_linear a b = merge_with ~keep_left_only:false ~keep_right_only:false ~keep_both:true a b
+
+(* walk the smaller set, galloping through the larger: O(ns log (nl/ns)) *)
+let inter_gallop small large =
+  let ns = Array.length small and nl = Array.length large in
+  let out = Vec.create ~capacity:ns () in
+  let pos = ref 0 in
+  (try
+     for i = 0 to ns - 1 do
+       let x = small.(i) in
+       pos := gallop_lower_bound large !pos nl x;
+       if !pos >= nl then raise Exit;
+       if large.(!pos) = x then Vec.push out x
+     done
+   with Exit -> ());
+  Vec.to_array out
+
+(* breakeven: galloping wins once one side is ~an order of magnitude
+   smaller; below that the branch-predictable linear merge is faster *)
+let gallop_ratio = 16
+
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  if na * gallop_ratio < nb then inter_gallop a b
+  else if nb * gallop_ratio < na then inter_gallop b a
+  else inter_linear a b
+
 let diff a b = merge_with ~keep_left_only:true ~keep_right_only:false ~keep_both:false a b
 
 let subset a b = Array.length (diff a b) = 0
 
 let equal a b = a = b
 
-let union_many sets =
+let union_many_pairwise sets =
   let rec round = function
     | [] -> [||]
     | [ s ] -> s
@@ -88,3 +138,57 @@ let union_many sets =
       round (pair sets)
   in
   round sets
+
+(* k-way union on a binary min-heap of (head value, source): O(n log k)
+   and no intermediate arrays, vs O(n log k) time but O(n) extra allocation
+   per round for repeated pairing *)
+let union_many sets =
+  let sets = Array.of_list (List.filter (fun s -> Array.length s > 0) sets) in
+  let k = Array.length sets in
+  if k = 0 then [||]
+  else if k = 1 then sets.(0)
+  else begin
+    let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 sets in
+    let cursor = Array.make k 0 in
+    (* heap of source indices ordered by their current head value *)
+    let heap = Array.init k (fun i -> i) in
+    let size = ref k in
+    let head s = sets.(s).(cursor.(s)) in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = if l < !size && head heap.(l) < head heap.(i) then l else i in
+      let m = if r < !size && head heap.(r) < head heap.(m) then r else m in
+      if m <> i then begin
+        swap i m;
+        sift_down m
+      end
+    in
+    for i = (k / 2) - 1 downto 0 do
+      sift_down i
+    done;
+    let out = Vec.create ~capacity:total () in
+    let last = ref min_int in
+    let first = ref true in
+    while !size > 0 do
+      let s = heap.(0) in
+      let v = head s in
+      if !first || v <> !last then begin
+        Vec.push out v;
+        last := v;
+        first := false
+      end;
+      cursor.(s) <- cursor.(s) + 1;
+      if cursor.(s) >= Array.length sets.(s) then begin
+        decr size;
+        heap.(0) <- heap.(!size);
+        if !size > 0 then sift_down 0
+      end
+      else sift_down 0
+    done;
+    Vec.to_array out
+  end

@@ -1,9 +1,11 @@
 (** Sets of integers represented as strictly increasing arrays.
 
     Used for node-id result sets and packed edge sets: compact, cache
-    friendly, and set operations are linear merges. All functions expect
-    (and produce) strictly increasing arrays; {!of_unsorted} establishes the
-    invariant. *)
+    friendly, and set operations are linear merges or — when operand sizes
+    are skewed — galloping (doubling binary-search) intersections in the
+    style of adaptive set-intersection algorithms from inverted-index
+    engines. All functions expect (and produce) strictly increasing arrays;
+    {!of_unsorted} establishes the invariant. *)
 
 val of_unsorted : int array -> int array
 (** Sort and remove duplicates (fresh array). *)
@@ -11,14 +13,41 @@ val of_unsorted : int array -> int array
 val is_sorted_set : int array -> bool
 (** True when the array is strictly increasing. *)
 
+val lower_bound : int array -> int -> int -> int -> int
+(** [lower_bound a lo hi x] is the first index in [\[lo, hi)] whose element
+    is [>= x] ([hi] when none is). Plain binary search. *)
+
+val gallop_lower_bound : int array -> int -> int -> int -> int
+(** Same result as {!lower_bound}, but probes at doubling distances from
+    [lo] first — O(log d) when the answer is [d] positions past [lo], which
+    makes ascending repeated searches adaptive. *)
+
 val mem : int array -> int -> bool
 (** Binary search. *)
 
+val mem_batch : int array -> int array -> bool array
+(** [mem_batch a queries] answers membership in [a] for every element of
+    the sorted array [queries], galloping forward from the previous hit
+    position — O(|queries| log (|a|/|queries|)) on sorted batches. *)
+
 val union : int array -> int array -> int array
+
 val inter : int array -> int array -> int array
+(** Adaptive: linear merge for comparable sizes, galloping the smaller set
+    through the larger when sizes differ by more than ~16x. *)
+
+val inter_linear : int array -> int array -> int array
+(** The plain two-pointer linear merge (reference implementation; property
+    tests check {!inter} against it). *)
+
 val diff : int array -> int array -> int array
 val subset : int array -> int array -> bool
 val equal : int array -> int array -> bool
 
 val union_many : int array list -> int array
-(** Union of any number of sets (k-way merge via repeated pairing). *)
+(** Union of any number of sets via a k-way heap merge: O(n log k) with no
+    per-round intermediate allocations. *)
+
+val union_many_pairwise : int array list -> int array
+(** Union by repeated pairwise merging (reference implementation for
+    {!union_many}). *)

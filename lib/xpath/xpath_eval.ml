@@ -11,16 +11,31 @@ let test_matches labels test l =
   | Name n -> String.equal (Label.to_string labels l) n
   | Any -> not (Label.is_attribute labels l)
 
+(* Generation-stamped visited marks shared across the descendant steps of
+   one evaluation: allocating an n_nodes array per closure dominated queries
+   with several [//] steps. stamp.(v) = gen marks v as seen in the current
+   closure; bumping gen clears all marks in O(1). *)
+type scratch = { mutable stamp : int array; mutable gen : int }
+
+let make_scratch () = { stamp = [||]; gen = 0 }
+
+let scratch_begin sc n =
+  if Array.length sc.stamp < n then begin
+    sc.stamp <- Array.make n 0;
+    sc.gen <- 0
+  end;
+  sc.gen <- sc.gen + 1
+
 (* descendant-or-self closure over non-attribute edges *)
-let closure g nodes =
+let closure g sc nodes =
   let labels = G.labels g in
-  let n = G.n_nodes g in
-  let seen = Array.make n false in
+  scratch_begin sc (G.n_nodes g);
+  let seen = sc.stamp and gen = sc.gen in
   let queue = Queue.create () in
   Array.iter
     (fun v ->
-      if not seen.(v) then begin
-        seen.(v) <- true;
+      if seen.(v) <> gen then begin
+        seen.(v) <- gen;
         Queue.add v queue
       end)
     nodes;
@@ -29,8 +44,8 @@ let closure g nodes =
     let u = Queue.pop queue in
     acc := u :: !acc;
     G.iter_out g u (fun l v ->
-        if (not (Label.is_attribute labels l)) && not seen.(v) then begin
-          seen.(v) <- true;
+        if (not (Label.is_attribute labels l)) && seen.(v) <> gen then begin
+          seen.(v) <- gen;
           Queue.add v queue
         end)
   done;
@@ -44,13 +59,15 @@ let child_matches g test (context : G.nid array) : matches =
     context;
   List.rev !acc
 
-let rec apply_predicate g (ms : matches) = function
+let rec apply_predicate g sc (ms : matches) = function
   | Text_equals v ->
     List.filter
       (fun (_, node) -> match G.value g node with Some v' -> String.equal v v' | None -> false)
       ms
   | Exists rel ->
-    List.filter (fun (_, node) -> Array.length (eval_steps_pairs g [ (node, node) ] rel) > 0) ms
+    List.filter
+      (fun (_, node) -> Array.length (eval_steps_pairs g sc [ (node, node) ] rel) > 0)
+      ms
   | Position k ->
     (* rank per parent in discovery (document) order *)
     let counts = Hashtbl.create 16 in
@@ -61,27 +78,29 @@ let rec apply_predicate g (ms : matches) = function
         c = k)
       ms
 
-and eval_step g (context : matches) (s : step) : matches =
+and eval_step g sc (context : matches) (s : step) : matches =
   let ctx_nodes = Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd context)) in
   let base =
     match s.axis with
     | Child -> child_matches g s.test ctx_nodes
-    | Descendant -> child_matches g s.test (closure g ctx_nodes)
+    | Descendant -> child_matches g s.test (closure g sc ctx_nodes)
   in
-  List.fold_left (apply_predicate g) base s.predicates
+  List.fold_left (apply_predicate g sc) base s.predicates
 
-and eval_steps_pairs g (context : matches) steps : G.nid array =
-  let final = List.fold_left (eval_step g) context steps in
+and eval_steps_pairs g sc (context : matches) steps : G.nid array =
+  let final = List.fold_left (eval_step g sc) context steps in
   Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd final))
 
 let eval_steps g ~context steps =
-  eval_steps_pairs g (Array.to_list (Array.map (fun v -> (v, v)) context)) steps
+  eval_steps_pairs g (make_scratch ())
+    (Array.to_list (Array.map (fun v -> (v, v)) context))
+    steps
 
 let filter_predicates g nodes preds =
   if List.exists (function Position _ -> true | Text_equals _ | Exists _ -> false) preds then
     invalid_arg "Xpath_eval.filter_predicates: positional predicate without step context";
   let pairs = Array.to_list (Array.map (fun v -> (v, v)) nodes) in
-  let final = List.fold_left (apply_predicate g) pairs preds in
+  let final = List.fold_left (apply_predicate g (make_scratch ())) pairs preds in
   Repro_util.Int_sorted.of_unsorted (Array.of_list (List.map snd final))
 
 let eval g (t : Xpath_ast.t) = eval_steps g ~context:[| G.root g |] t.steps

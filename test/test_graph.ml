@@ -277,6 +277,59 @@ let prop_t_path_chains =
           true t01
       | _ -> QCheck.assume_fail ())
 
+(* --- semijoin properties against filter references --- *)
+
+(* narrow nid range so parents repeat — the range-contiguity fast path in
+   semijoin_parents only matters when a parent owns a run of edges *)
+let gen_edge_set =
+  QCheck.Gen.(
+    map
+      (fun pairs -> Edge_set.of_list pairs)
+      (list_size (int_bound 400) (pair (int_bound 50) (int_bound 50))))
+
+let arb_edge_set =
+  QCheck.make ~print:(Format.asprintf "%a" Edge_set.pp) gen_edge_set
+
+let gen_nid_set =
+  QCheck.Gen.(map Repro_util.Int_sorted.of_unsorted (array_size (int_bound 30) (int_bound 60)))
+
+let arb_semijoin_case =
+  QCheck.make
+    ~print:(fun (t, sp) ->
+      Format.asprintf "%a / %s" Edge_set.pp t (QCheck.Print.(array int) sp))
+    QCheck.Gen.(pair gen_edge_set gen_nid_set)
+
+let filter_edges pred t =
+  Edge_set.of_list (List.filter pred (Edge_set.to_list t))
+
+let prop_semijoin_parents =
+  QCheck.Test.make ~count:200 ~name:"semijoin_parents = filter by parent" arb_semijoin_case
+    (fun (t, sp) ->
+      Edge_set.equal
+        (Edge_set.semijoin_parents t sp)
+        (filter_edges (fun (u, _) -> Repro_util.Int_sorted.mem sp u) t))
+
+let prop_semijoin_endpoints =
+  QCheck.Test.make ~count:200 ~name:"semijoin_endpoints = endpoints of filter" arb_semijoin_case
+    (fun (t, sp) ->
+      Edge_set.semijoin_endpoints t sp
+      = Edge_set.endpoints (filter_edges (fun (u, _) -> Repro_util.Int_sorted.mem sp u) t))
+
+let prop_semijoin_children =
+  QCheck.Test.make ~count:200 ~name:"semijoin_children = filter by child" arb_semijoin_case
+    (fun (t, sc) ->
+      Edge_set.equal
+        (Edge_set.semijoin_children t sc)
+        (filter_edges (fun (_, v) -> Repro_util.Int_sorted.mem sc v) t))
+
+let prop_join_reference =
+  QCheck.Test.make ~count:200 ~name:"join = filter by endpoints of lhs"
+    (QCheck.pair arb_edge_set arb_edge_set)
+    (fun (a, b) ->
+      let eps = Edge_set.endpoints a in
+      Edge_set.equal (Edge_set.join a b)
+        (filter_edges (fun (u, _) -> Repro_util.Int_sorted.mem eps u) b))
+
 let prop_length1_equals_grouping =
   QCheck.Test.make ~count:150 ~name:"T(l) = edges_with_label l" F.arb_dag
     (fun spec ->
@@ -333,6 +386,10 @@ let () =
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_t_path_chains;
-          QCheck_alcotest.to_alcotest prop_length1_equals_grouping
+          QCheck_alcotest.to_alcotest prop_length1_equals_grouping;
+          QCheck_alcotest.to_alcotest prop_semijoin_parents;
+          QCheck_alcotest.to_alcotest prop_semijoin_endpoints;
+          QCheck_alcotest.to_alcotest prop_semijoin_children;
+          QCheck_alcotest.to_alcotest prop_join_reference
         ] )
     ]

@@ -67,6 +67,19 @@ let test_union_many () =
 let gen_set = QCheck.Gen.(map Repro_util.Int_sorted.of_unsorted (array_size (int_bound 40) (int_bound 60)))
 let arb_set = QCheck.make ~print:(fun a -> QCheck.Print.(array int) a) gen_set
 
+(* adversarial size skew: a handful of probes against thousands of elements,
+   the regime where [inter] switches to galloping *)
+let gen_skewed_pair =
+  QCheck.Gen.(
+    pair
+      (map Int_sorted.of_unsorted (array_size (int_bound 12) (int_bound 100_000)))
+      (map Int_sorted.of_unsorted (array_size (return 4_000) (int_bound 100_000))))
+
+let arb_skewed_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> QCheck.Print.(pair (array int) (array int)) (a, b))
+    gen_skewed_pair
+
 let prop_ops_agree_with_lists =
   QCheck.Test.make ~count:300 ~name:"set ops agree with list model" (QCheck.pair arb_set arb_set)
     (fun (a, b) ->
@@ -85,6 +98,43 @@ let prop_results_sorted =
       && Int_sorted.is_sorted_set (Int_sorted.inter a b)
       && Int_sorted.is_sorted_set (Int_sorted.diff a b))
 
+let prop_gallop_inter_agrees =
+  QCheck.Test.make ~count:100 ~name:"gallop inter = linear inter on skewed sizes"
+    arb_skewed_pair
+    (fun (small, large) ->
+      Int_sorted.equal (Int_sorted.inter small large) (Int_sorted.inter_linear small large)
+      && Int_sorted.equal (Int_sorted.inter large small) (Int_sorted.inter_linear large small)
+      (* force some overlap too: intersecting with a superset must be identity *)
+      && Int_sorted.equal (Int_sorted.inter small (Int_sorted.union small large)) small)
+
+let prop_lower_bound_agrees =
+  QCheck.Test.make ~count:300 ~name:"gallop_lower_bound = lower_bound"
+    (QCheck.pair arb_set QCheck.(int_bound 70))
+    (fun (a, x) ->
+      let n = Array.length a in
+      Int_sorted.gallop_lower_bound a 0 n x = Int_sorted.lower_bound a 0 n x
+      && (n = 0
+          || Int_sorted.gallop_lower_bound a (n / 2) n x = Int_sorted.lower_bound a (n / 2) n x))
+
+let prop_mem_batch_agrees =
+  QCheck.Test.make ~count:100 ~name:"mem_batch = pointwise mem" arb_skewed_pair
+    (fun (queries, a) ->
+      let batch = Int_sorted.mem_batch a queries in
+      Array.length batch = Array.length queries
+      && Array.for_all2 (fun r q -> r = Int_sorted.mem a q) batch queries)
+
+let gen_many =
+  QCheck.Gen.(list_size (int_bound 9) (map Int_sorted.of_unsorted (array_size (int_bound 300) (int_bound 2_000))))
+
+let prop_union_many_agrees =
+  QCheck.Test.make ~count:100 ~name:"k-way union_many = pairwise reference"
+    (QCheck.make ~print:QCheck.Print.(list (array int)) gen_many)
+    (fun sets ->
+      let kway = Int_sorted.union_many sets in
+      Int_sorted.is_sorted_set kway
+      && Int_sorted.equal kway (Int_sorted.union_many_pairwise sets)
+      && Int_sorted.equal kway (List.fold_left Int_sorted.union [||] sets))
+
 let () =
   Alcotest.run "util"
     [ ( "vec",
@@ -102,6 +152,10 @@ let () =
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_ops_agree_with_lists;
-          QCheck_alcotest.to_alcotest prop_results_sorted
+          QCheck_alcotest.to_alcotest prop_results_sorted;
+          QCheck_alcotest.to_alcotest prop_gallop_inter_agrees;
+          QCheck_alcotest.to_alcotest prop_lower_bound_agrees;
+          QCheck_alcotest.to_alcotest prop_mem_batch_agrees;
+          QCheck_alcotest.to_alcotest prop_union_many_agrees
         ] )
     ]
