@@ -39,7 +39,7 @@ let successor_groups g source =
           Vec.push vec (Edge_set.pack v w)))
     (Edge_set.endpoints source);
   Hashtbl.fold (fun l vec acc -> (l, Edge_set.of_packed_array (Vec.to_array vec)) :: acc) by_label []
-  |> List.sort (fun (l1, _) (l2, _) -> compare l1 l2)
+  |> List.sort (fun (l1, _) (l2, _) -> Int.compare l1 l2)
 
 (* The unified Figure 6 / Figure 11 traversal. Tasks carry the G_APEX node,
    the extent delta that caused the (re)visit, and the reversed label path

@@ -27,7 +27,7 @@ let make_edge x l y = Hashtbl.replace x.out l y
 
 let out_edges x =
   Hashtbl.fold (fun l y acc -> (l, y) :: acc) x.out []
-  |> List.sort (fun (l1, _) (l2, _) -> compare l1 l2)
+  |> List.sort (fun (l1, _) (l2, _) -> Int.compare l1 l2)
 
 let iter_reachable t f =
   let seen = Hashtbl.create 64 in

@@ -149,7 +149,7 @@ let prune t ~threshold =
           (* infrequent: drop its subtree; outside HashHead drop the entry
              itself, which folds its paths back into this hnode's remainder
              — so that remainder's node is stale now *)
-          if e.next <> None then begin
+          if Option.is_some e.next then begin
             e.next <- None;
             (* the entry now stands for everything that its subtree
                partitioned; any node it held is stale *)
@@ -174,10 +174,10 @@ let prune t ~threshold =
            | None -> ());
           (* a path that was maximal but now has longer frequent suffixes:
              its node must be rebuilt as a remainder (lines 12-13) *)
-          if e.next <> None && e.e_slot.xnode <> None then e.e_slot.xnode <- None;
+          if Option.is_some e.next && Option.is_some e.e_slot.xnode then e.e_slot.xnode <- None;
           (* a new frequent sibling changes what "remainder" means
              (lines 14-15) *)
-          if e.is_new && hnode.r_slot.xnode <> None then hnode.r_slot.xnode <- None
+          if e.is_new && Option.is_some hnode.r_slot.xnode then hnode.r_slot.xnode <- None
         end)
       snapshot;
     Hashtbl.length hnode.entries = 0
@@ -188,7 +188,7 @@ let prune t ~threshold =
 
 let iter_slots t f =
   let rec walk hnode suffix =
-    if suffix <> [] then f suffix hnode.r_slot true;
+    if not (List.is_empty suffix) then f suffix hnode.r_slot true;
     Hashtbl.iter
       (fun _ e ->
         let s = e.label :: suffix in
@@ -215,7 +215,7 @@ let encode t ~node_index =
     push (Hashtbl.length h.entries);
     let entries =
       Hashtbl.fold (fun _ e acc -> e :: acc) h.entries []
-      |> List.sort (fun a b -> compare a.label b.label)
+      |> List.sort (fun a b -> Int.compare a.label b.label)
     in
     List.iter
       (fun e ->
@@ -265,5 +265,5 @@ let decode ~node_of arr ~pos =
 
 let check_invariant t =
   let ok = ref true in
-  iter_entries t.head (fun e -> if e.next <> None && e.e_slot.xnode <> None then ok := false);
+  iter_entries t.head (fun e -> if Option.is_some e.next && Option.is_some e.e_slot.xnode then ok := false);
   !ok

@@ -81,7 +81,8 @@ let charge_block cost seen block =
    its bytes still prefix the query value. *)
 let eval_q3 ?cost t path value =
   let suffix =
-    String.init (List.length path) (fun i -> designator (List.nth path i))
+    (* one pass over the path; String.init + List.nth is O(n^2) *)
+    path |> List.map designator |> List.to_seq |> String.of_seq
   in
   let seen_blocks = Hashtbl.create 64 in
   let results = Repro_util.Vec.create () in

@@ -167,7 +167,7 @@ module Builder = struct
         iter_edges g (fun _ l v ->
             if Label.is_attribute g.labels l && Array.length out.(v) > 0 then
               Hashtbl.replace candidates l ());
-        List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) candidates [])
+        List.sort Int.compare (Hashtbl.fold (fun l () acc -> l :: acc) candidates [])
     in
     { g with idref_label_ids = idrefs }
 
@@ -188,7 +188,7 @@ let of_document ?(id_attrs = [ "id" ]) ?(idref_attrs = []) (doc : Repro_xml.Xml_
   in
   let rec walk (e : Repro_xml.Xml_tree.element) =
     let only_text =
-      e.children <> [] && List.for_all (function Repro_xml.Xml_tree.Text _ -> true | _ -> false) e.children
+      not (List.is_empty e.children) && List.for_all (function Repro_xml.Xml_tree.Text _ -> true | _ -> false) e.children
     in
     let value =
       if only_text then
@@ -245,7 +245,7 @@ let of_document ?(id_attrs = [ "id" ]) ?(idref_attrs = []) (doc : Repro_xml.Xml_
         | Some id -> id :: acc
         | None -> acc)
       idref_label_names []
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   let g = Builder.freeze ~idref_label_ids ~root b in
   Hashtbl.iter (fun id target -> Hashtbl.replace g.ids id target) ids;
@@ -292,7 +292,7 @@ let append_subtree ?(id_attrs = [ "id" ]) ?(idref_attrs = [ ]) g ~parent
   in
   let rec walk (e : Repro_xml.Xml_tree.element) =
     let only_text =
-      e.children <> []
+      not (List.is_empty e.children)
       && List.for_all (function Repro_xml.Xml_tree.Text _ -> true | _ -> false) e.children
     in
     let value =
@@ -356,7 +356,7 @@ let append_subtree ?(id_attrs = [ "id" ]) ?(idref_attrs = [ ]) g ~parent
       (fun name () acc ->
         match Label.find g.labels name with Some id -> id :: acc | None -> acc)
       idref_label_names g.idref_label_ids
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
   in
   { labels = g.labels;
     root = g.root;

@@ -102,19 +102,19 @@ let semijoin_runs ~emit t sorted_parents =
   end
 
 let semijoin_parents t sorted_parents =
-  let out = Vec.create ~capacity:(min (Array.length t) 64) () in
+  let out = Vec.create ~capacity:(Int.min (Array.length t) 64) () in
   semijoin_runs ~emit:(fun e -> Vec.push out e) t sorted_parents;
   (* runs are emitted in ascending parent order and each run is sorted *)
   Vec.to_array out
 
 let semijoin_endpoints t sorted_parents =
-  let out = Vec.create ~capacity:(min (Array.length t) 64) () in
+  let out = Vec.create ~capacity:(Int.min (Array.length t) 64) () in
   semijoin_runs ~emit:(fun e -> Vec.push out (e land mask)) t sorted_parents;
   (* children interleave across parent runs: sort the (output-sized) result *)
   Int_sorted.of_unsorted (Vec.to_array out)
 
 let semijoin_children t sorted_children =
-  let out = Vec.create ~capacity:(min (Array.length t) 64) () in
+  let out = Vec.create ~capacity:(Int.min (Array.length t) 64) () in
   Array.iter (fun e -> if Int_sorted.mem sorted_children (e land mask) then Vec.push out e) t;
   Vec.to_array out
 

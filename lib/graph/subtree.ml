@@ -4,7 +4,7 @@ module T = Repro_xml.Xml_tree
    edges are added after the tree walk, so they always come later *)
 let tree_in_edge g v =
   let result = ref None in
-  Data_graph.iter_in g v (fun l u -> if !result = None then result := Some (l, u));
+  Data_graph.iter_in g v (fun l u -> if Option.is_none !result then result := Some (l, u));
   !result
 
 let is_tree_child g ~parent ~label v =

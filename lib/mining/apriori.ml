@@ -20,6 +20,12 @@ let drop_first p = match p with [] -> [] | _ :: tl -> tl
 let rec drop_last p =
   match p with [] | [ _ ] -> [] | x :: tl -> x :: drop_last tl
 
+let rec last_label p =
+  match p with
+  | [] -> invalid_arg "Apriori.last_label: empty path"
+  | [ x ] -> x
+  | _ :: tl -> last_label tl
+
 let levels ~min_support queries =
   let threshold =
     Path_miner.support_threshold ~min_support ~n_queries:(List.length queries)
@@ -48,7 +54,7 @@ let levels ~min_support queries =
             List.filter_map
               (fun q ->
                 if Label_path.equal p_tail (drop_last q) then
-                  Some (p @ [ List.nth q (List.length q - 1) ])
+                  Some (p @ [ last_label q ])
                 else None)
               prev)
           prev

@@ -134,7 +134,7 @@ let rec insert_at t pid key v =
         let right_pid = Pager.alloc (Buffer_pool.pager t.pool) in
         Buffer_pool.write t.pool right_pid (encode_leaf t ~next right);
         Buffer_pool.write t.pool pid (encode_leaf t ~next:right_pid left);
-        if left = [] then invalid_arg "Btree.insert: payload too large for a page";
+        if List.is_empty left then invalid_arg "Btree.insert: payload too large for a page";
         Some (sep, right_pid)
     end
   end
@@ -203,7 +203,7 @@ let find ?cost t key =
   let entries, _ = decode_leaf (Buffer_pool.get t.pool leaf) in
   List.assoc_opt key entries
 
-let mem ?cost t key = find ?cost t key <> None
+let mem ?cost t key = Option.is_some (find ?cost t key)
 
 let range ?cost t ~lo ~hi =
   if hi < lo then []

@@ -36,7 +36,7 @@ type t = {
   cache : cache option;
   mutable cur_page : Pager.pid;
   mutable cur_off : int;
-  mutable cur_buf : bytes;
+  cur_buf : bytes;
 }
 
 let create ?(codec = `Raw) ?(cache_entries = 1024) ?(cache_ints = 4_000_000) pool =
@@ -193,7 +193,7 @@ let append_blob t data ~n_ints =
   let src = ref 0 in
   while !remaining > 0 do
     if t.cur_off >= page_size then next_page t;
-    let chunk = min !remaining (page_size - t.cur_off) in
+    let chunk = Int.min !remaining (page_size - t.cur_off) in
     Bytes.blit_string data !src t.cur_buf t.cur_off chunk;
     t.cur_off <- t.cur_off + chunk;
     src := !src + chunk;
@@ -217,7 +217,7 @@ let load_blob ?cost t h =
   for i = 0 to pages - 1 do
     let buf = Buffer_pool.get t.pool (h.first_page + i) in
     let start = if i = 0 then h.first_off else 0 in
-    let chunk = min (h.n_bytes - !copied) (page_size - start) in
+    let chunk = Int.min (h.n_bytes - !copied) (page_size - start) in
     Bytes.blit buf start out !copied chunk;
     copied := !copied + chunk
   done;

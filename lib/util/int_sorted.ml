@@ -1,6 +1,10 @@
-let of_unsorted a =
+(* Parameters are annotated [int array] throughout: without the
+   annotations the module generalizes to ['a array] and every comparison
+   in these kernels compiles to the generic C comparator. *)
+
+let of_unsorted (a : int array) =
   let a = Array.copy a in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   let n = Array.length a in
   if n = 0 then a
   else begin
@@ -15,14 +19,14 @@ let of_unsorted a =
     Array.sub out 0 !k
   end
 
-let is_sorted_set a =
+let is_sorted_set (a : int array) =
   let ok = ref true in
   for i = 1 to Array.length a - 1 do
     if a.(i - 1) >= a.(i) then ok := false
   done;
   !ok
 
-let lower_bound a lo hi x =
+let lower_bound (a : int array) lo hi x =
   let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = !lo + ((!hi - !lo) / 2) in
@@ -30,7 +34,7 @@ let lower_bound a lo hi x =
   done;
   !lo
 
-let gallop_lower_bound a lo hi x =
+let gallop_lower_bound (a : int array) lo hi x =
   if lo >= hi || a.(lo) >= x then lo
   else begin
     (* double the probe span until it brackets x, then binary search the
@@ -39,7 +43,7 @@ let gallop_lower_bound a lo hi x =
     while lo + !span < hi && a.(lo + !span) < x do
       span := !span * 2
     done;
-    lower_bound a (lo + (!span / 2) + 1) (min (lo + !span) hi) x
+    lower_bound a (lo + (!span / 2) + 1) (Int.min (lo + !span) hi) x
   end
 
 let mem a x =
@@ -55,7 +59,7 @@ let mem_batch a queries =
       !pos < n && a.(!pos) = x)
     queries
 
-let merge_with ~keep_left_only ~keep_right_only ~keep_both a b =
+let merge_with ~keep_left_only ~keep_right_only ~keep_both (a : int array) (b : int array) =
   let na = Array.length a and nb = Array.length b in
   let out = Vec.create ~capacity:(na + nb) () in
   let i = ref 0 and j = ref 0 in
@@ -123,7 +127,15 @@ let diff a b = merge_with ~keep_left_only:true ~keep_right_only:false ~keep_both
 
 let subset a b = Array.length (diff a b) = 0
 
-let equal a b = a = b
+let equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let i = ref 0 in
+  while !i < n && a.(!i) = b.(!i) do
+    incr i
+  done;
+  !i = n
 
 let union_many_pairwise sets =
   let rec round = function

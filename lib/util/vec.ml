@@ -10,7 +10,7 @@ let create ?(capacity = 8) () = { data = [||]; len = -capacity }
 let length v = if v.len < 0 then 0 else v.len
 
 let grow v x =
-  let cap = if v.len < 0 then max 8 (-v.len) else max 8 (2 * Array.length v.data) in
+  let cap = if v.len < 0 then Int.max 8 (-v.len) else Int.max 8 (2 * Array.length v.data) in
   let data = Array.make cap x in
   Array.blit v.data 0 data 0 (length v);
   v.data <- data;

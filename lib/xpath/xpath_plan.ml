@@ -58,13 +58,14 @@ let plan g (path : Xpath_ast.t) =
     match path.steps with
     (* //a//b : QTYPE2 *)
     | [ ({ axis = Descendant; _ } as s1); ({ axis = Descendant; _ } as s2) ]
-      when plain_name s1 <> None && plain_name s2 <> None ->
-      (match
-         Label.find labels (Option.get (plain_name s1)),
-         Label.find labels (Option.get (plain_name s2))
-       with
-       | Some a, Some b -> Index_path (Query.C2 (a, b))
-       | _ -> Scan)
+      when Option.is_some (plain_name s1) && Option.is_some (plain_name s2) ->
+      (match plain_name s1, plain_name s2 with
+       | Some n1, Some n2 ->
+         (match Label.find labels n1, Label.find labels n2 with
+          | Some a, Some b -> Index_path (Query.C2 (a, b))
+          | _ -> Scan (* a name absent from the data matches nothing the index knows *))
+       | None, _ -> invalid_arg "Xpath_plan.plan: step 1 of //a//b lost its plain name"
+       | _, None -> invalid_arg "Xpath_plan.plan: step 2 of //a//b lost its plain name")
     (* //a[text()=v] : QTYPE3 on a single step *)
     | [ { axis = Descendant; test = Name n; predicates = [ Text_equals v ] } ] ->
       (match Label.find labels n with

@@ -1,0 +1,3 @@
+(* fixture: polymorphic comparison in hot-path scope *)
+let sort_ids (a : int array) = Array.sort compare a
+let hash_node n = Hashtbl.hash n

@@ -1,0 +1,3 @@
+(* fixture: monomorphic comparator and key hashing *)
+let sort_ids (a : int array) = Array.sort Int.compare a
+let hash_node (n : int) = n land max_int

@@ -1,0 +1,4 @@
+(* fixture: equality that only the typedtree pass can judge — generic on
+   lists (flagged), specialized on ints (allowed) *)
+let eq_lists (a : int list) (b : int list) = a = b
+let eq_ints (a : int) (b : int) = a = b

@@ -1,0 +1,2 @@
+(* fixture: unsafe access outside the kernel allowlist *)
+let get (a : int array) i = Array.unsafe_get a i

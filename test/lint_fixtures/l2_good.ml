@@ -1,0 +1,2 @@
+(* fixture: checked access *)
+let get (a : int array) i = Array.get a i

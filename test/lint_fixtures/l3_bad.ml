@@ -1,0 +1,4 @@
+(* fixture: partial stdlib functions in library code *)
+let first l = List.hd l
+let pick l i = List.nth l i
+let force (o : int option) = Option.get o

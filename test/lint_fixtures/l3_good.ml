@@ -1,0 +1,3 @@
+(* fixture: total replacements *)
+let first = function [] -> None | x :: _ -> Some x
+let force name o = match o with Some v -> v | None -> invalid_arg name

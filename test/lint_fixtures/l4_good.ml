@@ -1,0 +1,3 @@
+(* fixture: handles only the exception it expects; a constructor
+   argument wildcard is not a catch-all *)
+let guard f = try Some (f ()) with Not_found | Failure _ -> None

@@ -1,0 +1,2 @@
+(* fixture: Obj.magic is banned everywhere *)
+let cast (x : int) : bool = Obj.magic x

@@ -1,0 +1,2 @@
+(* fixture: honest conversion instead of Obj.magic *)
+let cast (x : int) : bool = x <> 0

@@ -1,0 +1,5 @@
+(* fixture: the documented suppression syntax disables the rule on the
+   next line *)
+let get (a : int array) i =
+  (* apex_lint: allow L2 -- fixture: caller established the bounds *)
+  Array.unsafe_get a i

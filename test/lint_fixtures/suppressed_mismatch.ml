@@ -1,0 +1,4 @@
+(* fixture: a suppression only disables the rule it names *)
+let get (a : int array) i =
+  (* apex_lint: allow L3 -- names the wrong rule; L2 must still fire *)
+  Array.unsafe_get a i

@@ -1,0 +1,110 @@
+(* apex_lint fixture corpus: each known-bad file must fire exactly the
+   expected rule ids, each known-good file none, and the suppression
+   comment must disable precisely the rule it names.
+
+   The parse-mode tests drive the same engine entry point the CLI uses.
+   The typed-mode tests typecheck the fixture in-process against the
+   stdlib and run the Tast checker, which is what `dune build @lint`
+   exercises via .cmt files — including the cases only the typedtree can
+   judge (generic `=` on lists vs specialized `=` on ints). *)
+
+open Apex_lint_core
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* hot-path library scope, no unsafe allowlist: every rule armed *)
+let armed = { Lint_rules.hot_path = true; l2_allowed = false; lib_code = true }
+
+let rule_ids diags =
+  diags |> List.map (fun d -> Lint_rules.rule_id d.Lint_diag.rule) |> List.sort String.compare
+
+let check_parse name expected () =
+  let file = fixture name in
+  let _mode, diags =
+    Lint_engine.lint_file ~scope:armed ~build_dir:"."
+      ~cmt_index:(Hashtbl.create 1) file
+  in
+  Alcotest.(check (list string)) name expected (rule_ids diags)
+
+let typecheck file =
+  let str = Pparse.parse_implementation ~tool_name:"test_lint" file in
+  let tstr, _, _, _, _ = Typemod.type_structure (Compmisc.initial_env ()) str in
+  tstr
+
+let check_typed name expected () =
+  let file = fixture name in
+  let tstr = typecheck file in
+  let diags = Lint_typed_check.check ~expand_env:Fun.id ~scope:armed ~file tstr in
+  let sups = Lint_diag.suppressions_of_file file in
+  let diags = List.filter (fun d -> not (Lint_diag.is_suppressed sups d)) diags in
+  Alcotest.(check (list string)) name expected (rule_ids diags)
+
+let corpus =
+  [
+    ("l1_bad.ml", [ "L1"; "L1" ]);
+    ("l1_good.ml", []);
+    (* parse mode cannot judge `=` at all; typed mode flags the list
+       equality and exempts the specialized int equality *)
+    ("l2_bad.ml", [ "L2" ]);
+    ("l2_good.ml", []);
+    ("l3_bad.ml", [ "L3"; "L3"; "L3" ]);
+    ("l3_good.ml", []);
+    ("l4_bad.ml", [ "L4" ]);
+    ("l4_good.ml", []);
+    ("l5_bad.ml", [ "L5" ]);
+    ("l5_good.ml", []);
+    ("suppressed.ml", []);
+    ("suppressed_mismatch.ml", [ "L2" ]);
+  ]
+
+let parse_cases =
+  List.map
+    (fun (name, expected) ->
+      Alcotest.test_case ("parse " ^ name) `Quick (check_parse name expected))
+    (("l1_poly_eq.ml", []) :: corpus)
+
+let typed_cases =
+  List.map
+    (fun (name, expected) ->
+      Alcotest.test_case ("typed " ^ name) `Quick (check_typed name expected))
+    (("l1_poly_eq.ml", [ "L1" ]) :: corpus)
+
+(* the scope gates: the same bad files are clean when their rule does not
+   apply to the file's location *)
+let scope_gates () =
+  let off = { Lint_rules.hot_path = false; l2_allowed = true; lib_code = false } in
+  List.iter
+    (fun name ->
+      let _mode, diags =
+        Lint_engine.lint_file ~scope:off ~build_dir:"."
+          ~cmt_index:(Hashtbl.create 1) (fixture name)
+      in
+      Alcotest.(check (list string)) (name ^ " out of scope") [] (rule_ids diags))
+    [ "l1_bad.ml"; "l2_bad.ml"; "l3_bad.ml" ]
+
+let scope_of_path () =
+  let s = Lint_rules.scope_of_path "lib/util/int_sorted.ml" in
+  Alcotest.(check bool) "util is hot" true s.Lint_rules.hot_path;
+  Alcotest.(check bool) "int_sorted may use unsafe" true s.Lint_rules.l2_allowed;
+  let s = Lint_rules.scope_of_path "lib/xml/dtd.ml" in
+  Alcotest.(check bool) "xml not hot" false s.Lint_rules.hot_path;
+  Alcotest.(check bool) "xml is lib code" true s.Lint_rules.lib_code;
+  let s = Lint_rules.scope_of_path "bench/micro.ml" in
+  Alcotest.(check bool) "bench not lib code" false s.Lint_rules.lib_code;
+  (* a directory sharing the prefix string is not a hot-path match *)
+  let s = Lint_rules.scope_of_path "lib/utilities/foo.ml" in
+  Alcotest.(check bool) "prefix needs a separator" false s.Lint_rules.hot_path
+
+let () =
+  (* one-time compiler setup for the typed cases: stdlib on the load path *)
+  Compmisc.init_path ();
+  Alcotest.run "lint"
+    [
+      ("parse_mode", parse_cases);
+      ("typed_mode", typed_cases);
+      ( "scoping",
+        [
+          Alcotest.test_case "scope gates" `Quick scope_gates;
+          Alcotest.test_case "scope of path" `Quick scope_of_path;
+        ] );
+    ]

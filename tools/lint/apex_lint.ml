@@ -1,0 +1,25 @@
+(* apex_lint — project-specific static analysis for the APEX reproduction.
+
+   Usage: apex_lint [--build-dir DIR] [--verbose] ROOT...
+
+   Checks every .ml under the given roots against the project rules
+   L1–L5 (see tools/lint/lint_rules.ml and DESIGN.md "Static
+   guarantees"). Exit status is 1 when any diagnostic fires. *)
+
+let () =
+  let build_dir = ref "_build/default" in
+  let verbose = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--build-dir",
+        Arg.Set_string build_dir,
+        "DIR dune context root holding .cmt files (default _build/default)" );
+      ("--verbose", Arg.Set verbose, " always print the summary line");
+    ]
+  in
+  Arg.parse spec
+    (fun r -> roots := r :: !roots)
+    "apex_lint [--build-dir DIR] [--verbose] ROOT...";
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs in
+  exit (Apex_lint_core.Lint_engine.run ~build_dir:!build_dir ~verbose:!verbose roots)

@@ -1,0 +1,149 @@
+(* Diagnostics and inline suppression comments.
+
+   A diagnostic prints as
+
+     lib/util/int_sorted.ml:3:13: [L1] polymorphic comparison in a hot-path library: `compare'
+       hint: use Int.compare / String.compare or a comparator from the element's module
+
+   Suppression: a comment of the form
+
+     (* apex_lint: allow L2 -- bounds established by the loop header *)
+
+   disables the named rule(s) on every line the comment spans and on the
+   line immediately after it, so it works both trailing an offending
+   expression and on its own line above one. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Lint_rules.rule;
+  ident : string;  (* the offending identifier or construct, for the message *)
+  hint : string;
+}
+
+let of_location ~file ~rule ~ident ~hint (loc : Location.t) =
+  let p = loc.loc_start in
+  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; ident; hint }
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else String.compare (Lint_rules.rule_id a.rule) (Lint_rules.rule_id b.rule)
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s: `%s'@.  hint: %s@." d.file d.line d.col
+    (Lint_rules.rule_id d.rule)
+    (Lint_rules.rule_title d.rule)
+    d.ident d.hint
+
+(* --- suppression comments --- *)
+
+type suppression = { from_line : int; to_line : int; rules : Lint_rules.rule list }
+
+(* Scan [text] for OCaml comments (tracking nesting and string literals
+   well enough for our own sources) and extract apex_lint directives. *)
+let scan_suppressions text =
+  let n = String.length text in
+  let line = ref 1 in
+  let sups = ref [] in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let parse_directive body from_line to_line =
+    (* body is the comment payload; look for "apex_lint:" then "allow"
+       then one or more rule ids. *)
+    let find_sub s sub =
+      let ls = String.length s and lb = String.length sub in
+      let rec go i = if i + lb > ls then None else if String.sub s i lb = sub then Some i else go (i + 1) in
+      go 0
+    in
+    match find_sub body "apex_lint:" with
+    | None -> ()
+    | Some at ->
+      let rest = String.sub body (at + 10) (String.length body - at - 10) in
+      (match find_sub rest "allow" with
+       | None -> ()
+       | Some at' ->
+         let rest = String.sub rest (at' + 5) (String.length rest - at' - 5) in
+         (* only the run of rule-id tokens right after "allow" counts;
+            the free-text reason may mention rule ids without enabling them *)
+         let tokens =
+           String.split_on_char ' ' rest
+           |> List.concat_map (String.split_on_char ',')
+           |> List.filter (fun t -> t <> "")
+         in
+         let rec take acc = function
+           | t :: tl ->
+             (match Lint_rules.rule_of_id t with
+              | Some r -> take (r :: acc) tl
+              | None -> acc)
+           | [] -> acc
+         in
+         let rules = take [] tokens in
+         if rules <> [] then
+           sups := { from_line; to_line = to_line + 1; rules } :: !sups)
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      let from_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        let c = text.[!i] in
+        bump c;
+        if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+          incr depth;
+          incr i
+        end
+        else if c = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
+          decr depth;
+          incr i
+        end
+        else Buffer.add_char buf c;
+        incr i
+      done;
+      parse_directive (Buffer.contents buf) from_line !line
+    end
+    else if c = '"' then begin
+      (* skip string literal so comment openers inside strings are ignored *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        let c = text.[!i] in
+        bump c;
+        if c = '\\' && !i + 1 < n then i := !i + 2
+        else begin
+          if c = '"' then fin := true;
+          incr i
+        end
+      done
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  !sups
+
+let suppressions_of_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> scan_suppressions text
+  | exception Sys_error _ -> []
+
+let is_suppressed sups d =
+  List.exists
+    (fun s -> d.line >= s.from_line && d.line <= s.to_line && List.mem d.rule s.rules)
+    sups

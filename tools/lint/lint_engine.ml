@@ -1,0 +1,133 @@
+(* Driver: file discovery, .cmt lookup, per-file dispatch.
+
+   Each .ml file is checked from its typedtree when the build tree holds
+   a .cmt whose recorded source digest matches the file on disk (so a
+   stale artifact can never produce stale line numbers); otherwise the
+   file is parsed directly and checked syntactically. `dune build @lint`
+   depends on `@check`, so in practice every file gets the typed pass. *)
+
+type mode = Typed | Parse
+
+(* --- .cmt index: source path -> cmt path + source digest --- *)
+
+type cmt_entry = { cmt_path : string; source_digest : Digest.t option }
+type cmt_index = (string, cmt_entry) Hashtbl.t
+
+let rec walk_files dir ~keep_hidden acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then
+          if name = "_build" || name = "_opam" || name = ".git"
+             || ((not keep_hidden) && String.length name > 0 && name.[0] = '.')
+          then acc
+          else walk_files path ~keep_hidden acc
+        else path :: acc)
+      acc entries
+
+let build_cmt_index build_dir : cmt_index =
+  let index = Hashtbl.create 128 in
+  if Sys.file_exists build_dir && Sys.is_directory build_dir then
+    (* .cmt files live under dot-directories like .repro_util.objs, so
+       hidden directories must be traversed here *)
+    walk_files build_dir ~keep_hidden:true []
+    |> List.iter (fun path ->
+           if Filename.check_suffix path ".cmt" then
+             match Cmt_format.read_cmt path with
+             | exception _ -> ()
+             | infos ->
+               (match infos.Cmt_format.cmt_sourcefile with
+                | Some src ->
+                  Hashtbl.replace index
+                    (Lint_rules.normalize_path src)
+                    { cmt_path = path; source_digest = infos.Cmt_format.cmt_source_digest }
+                | None -> ()));
+  index
+
+let typedtree_for (index : cmt_index) file =
+  match Hashtbl.find_opt index (Lint_rules.normalize_path file) with
+  | None -> None
+  | Some { cmt_path; source_digest } ->
+    let fresh =
+      match source_digest with
+      | Some d -> ( match Digest.file file with exception _ -> false | d' -> d = d')
+      | None -> false
+    in
+    if not fresh then None
+    else
+      (match Cmt_format.read_cmt cmt_path with
+       | exception _ -> None
+       | { Cmt_format.cmt_annots = Implementation str; cmt_loadpath; _ } ->
+         Some (str, cmt_loadpath)
+       | _ -> None)
+
+(* --- per-file dispatch --- *)
+
+let lint_file ?scope ?(build_dir = "_build/default") ~(cmt_index : cmt_index) file =
+  let scope =
+    match scope with Some s -> s | None -> Lint_rules.scope_of_path file
+  in
+  let sups = Lint_diag.suppressions_of_file file in
+  let mode, diags =
+    match typedtree_for cmt_index file with
+    | Some (str, loadpath) ->
+      (* Point the compiler's load path at the .cmi files this unit was
+         compiled against, so type abbreviations (Label.t = int, ...)
+         expand exactly as they did during compilation. The recorded
+         entries are relative to the dune context root. *)
+      let entries =
+        List.map
+          (fun d -> if Filename.is_relative d then Filename.concat build_dir d else d)
+          loadpath
+      in
+      Load_path.init ~auto_include:Load_path.no_auto_include entries;
+      Envaux.reset_cache ();
+      let expand_env env = Envaux.env_of_only_summary env in
+      (Typed, Lint_typed_check.check ~expand_env ~scope ~file str)
+    | None ->
+      ( Parse,
+        Lint_parse_check.check ~scope ~file
+          (Pparse.parse_implementation ~tool_name:"apex_lint" file) )
+  in
+  (mode, List.filter (fun d -> not (Lint_diag.is_suppressed sups d)) diags)
+
+(* --- tree runner --- *)
+
+let discover_ml roots =
+  roots
+  |> List.concat_map (fun root ->
+         if Sys.is_directory root then walk_files root ~keep_hidden:false []
+         else [ root ])
+  |> List.filter (fun p -> Filename.check_suffix p ".ml")
+  |> List.map Lint_rules.normalize_path
+  |> List.sort_uniq String.compare
+
+let run ~build_dir ~verbose roots =
+  let cmt_index = build_cmt_index build_dir in
+  let files = discover_ml roots in
+  let typed = ref 0 and parsed = ref 0 and errors = ref 0 in
+  let all = ref [] in
+  List.iter
+    (fun file ->
+      match lint_file ~build_dir ~cmt_index file with
+      | Typed, diags ->
+        incr typed;
+        all := diags @ !all
+      | Parse, diags ->
+        incr parsed;
+        all := diags @ !all
+      | exception exn ->
+        incr errors;
+        Format.eprintf "apex_lint: cannot analyse %s: %s@." file
+          (Printexc.to_string exn))
+    files;
+  let diags = List.sort Lint_diag.compare_diag !all in
+  List.iter (fun d -> Format.printf "%a" Lint_diag.pp d) diags;
+  if verbose || diags <> [] || !errors > 0 then
+    Format.printf "apex_lint: %d file(s) checked (%d typedtree, %d parsetree), %d issue(s)%s@."
+      (!typed + !parsed) !typed !parsed (List.length diags)
+      (if !errors > 0 then Format.sprintf ", %d analysis error(s)" !errors else "");
+  if diags = [] && !errors = 0 then 0 else 1

@@ -1,0 +1,71 @@
+(* Parsetree-mode checks: a syntactic approximation used when no
+   up-to-date .cmt is available for a file. Identifier matching is by
+   written name (`compare`, `List.nth`, ...), so aliased or shadowed
+   names can escape it — the typedtree checker (lint_typed_check.ml) is
+   the authoritative pass. *)
+
+open Parsetree
+
+let flatten_lident (l : Longident.t) =
+  match Longident.flatten l with exception _ -> [] | parts -> parts
+
+(* Strip a leading Stdlib so `Stdlib.compare` and `compare` match alike. *)
+let normalize = function "Stdlib" :: rest -> rest | parts -> parts
+
+let l1_idents = [ [ "compare" ]; [ "min" ]; [ "max" ]; [ "Hashtbl"; "hash" ] ]
+
+let l2_idents =
+  [
+    [ "Array"; "unsafe_get" ];
+    [ "Array"; "unsafe_set" ];
+    [ "Bytes"; "unsafe_get" ];
+    [ "Bytes"; "unsafe_set" ];
+    [ "String"; "unsafe_get" ];
+  ]
+
+let l3_idents = [ [ "List"; "nth" ]; [ "List"; "hd" ]; [ "Option"; "get" ] ]
+
+let l5_idents = [ [ "Obj"; "magic" ] ]
+
+(* Does the top level of a try-handler pattern catch everything? We must
+   not fire on wildcards nested under a constructor (e.g. Failure _). *)
+let rec catches_all (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_or (a, b) -> catches_all a || catches_all b
+  | Ppat_alias (p, _) -> catches_all p
+  | Ppat_constraint (p, _) -> catches_all p
+  | _ -> false
+
+let check ~(scope : Lint_rules.scope) ~file (str : structure) : Lint_diag.t list =
+  let diags = ref [] in
+  let emit rule ident hint loc =
+    diags := Lint_diag.of_location ~file ~rule ~ident ~hint loc :: !diags
+  in
+  let check_ident loc lid =
+    let parts = normalize (flatten_lident lid) in
+    let name = String.concat "." parts in
+    if scope.hot_path && List.mem parts l1_idents then
+      emit L1 name (Lint_rules.l1_hint name) loc;
+    if (not scope.l2_allowed) && List.mem parts l2_idents then
+      emit L2 name Lint_rules.l2_hint loc;
+    if scope.lib_code && List.mem parts l3_idents then
+      emit L3 name (Lint_rules.l3_hint name) loc;
+    if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+     | Pexp_ident { txt; loc } -> check_ident loc txt
+     | Pexp_try (_, cases) ->
+       List.iter
+         (fun c ->
+           if catches_all c.pc_lhs then
+             emit L4 "try ... with _ ->" Lint_rules.l4_hint c.pc_lhs.ppat_loc)
+         cases
+     | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it str;
+  !diags

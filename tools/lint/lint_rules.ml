@@ -1,0 +1,89 @@
+(* Rule catalogue and scoping for apex_lint.
+
+   The rules encode the performance discipline the extent-join engine
+   relies on (see DESIGN.md "Static guarantees"): no polymorphic
+   structural comparison on hot paths, bounds-unchecked array access
+   only in audited kernels, no accidentally-quadratic list accessors in
+   library code, no swallowed exceptions, no [Obj.magic] at all. *)
+
+type rule = L1 | L2 | L3 | L4 | L5
+
+let rule_id = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+
+let rule_title = function
+  | L1 -> "polymorphic comparison in a hot-path library"
+  | L2 -> "unsafe array access outside the kernel allowlist"
+  | L3 -> "partial stdlib function in library code"
+  | L4 -> "exception-swallowing wildcard handler"
+  | L5 -> "Obj.magic"
+
+let rule_of_id = function
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "L4" -> Some L4
+  | "L5" -> Some L5
+  | _ -> None
+
+(* What a given source file is subject to. Derived from its path by
+   [scope_of_path]; tests construct scopes directly. *)
+type scope = {
+  hot_path : bool;  (* L1 applies: lib/util, lib/graph, lib/storage, lib/apex *)
+  l2_allowed : bool;  (* file is an audited kernel: Array.unsafe_* permitted *)
+  lib_code : bool;  (* L3 applies: anything under lib/ *)
+}
+
+let hot_path_dirs = [ "lib/util"; "lib/graph"; "lib/storage"; "lib/apex" ]
+
+(* Kernel modules audited for manual bounds reasoning; everything else
+   must use checked accessors or carry an explicit suppression. *)
+let unsafe_kernel_files = [ "int_sorted.ml"; "edge_set.ml"; "vec.ml" ]
+
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  let p = if String.length p > 2 && String.sub p 0 2 = "./" then String.sub p 2 (String.length p - 2) else p in
+  p
+
+let path_has_prefix ~prefix p =
+  let lp = String.length prefix and l = String.length p in
+  l >= lp && String.sub p 0 lp = prefix
+  && (l = lp || p.[lp] = '/')
+
+let scope_of_path path =
+  let p = normalize_path path in
+  let base = Filename.basename p in
+  {
+    hot_path = List.exists (fun d -> path_has_prefix ~prefix:d p) hot_path_dirs;
+    l2_allowed = List.mem base unsafe_kernel_files;
+    lib_code = path_has_prefix ~prefix:"lib" p;
+  }
+
+(* Hints keyed by the offending identifier, shared by both checkers. *)
+let l3_hint = function
+  | "List.nth" -> "index-addressed access is O(n); iterate the list once, or use an array/Vec"
+  | "List.hd" -> "match on the list and handle [] explicitly"
+  | "List.tl" -> "match on the list and handle [] explicitly"
+  | "Option.get" -> "match on the option and report what was missing in the None branch"
+  | _ -> "replace the partial function with an explicit match"
+
+let l1_hint = function
+  | "compare" -> "use Int.compare / String.compare or a comparator from the element's module"
+  | "min" | "max" -> "Stdlib.min/max call polymorphic compare; use Int.min/Int.max or an if-then-else"
+  | "Hashtbl.hash" -> "polymorphic hashing walks the whole value; hash a monomorphic key instead"
+  | _ -> "use a monomorphic comparison for the element type"
+
+let l2_hint =
+  "Array.unsafe_* is reserved for the audited kernels ("
+  ^ String.concat ", " unsafe_kernel_files
+  ^ "); use checked access, or suppress with (* apex_lint: allow L2 -- <reason> *)"
+
+let l4_hint =
+  "a bare `with _ ->` swallows Stack_overflow, Out_of_memory and bugs alike; \
+   match the exceptions you expect (e.g. Not_found) explicitly"
+
+let l5_hint = "Obj.magic defeats the type system; redesign the interface instead"

@@ -1,0 +1,152 @@
+(* Typedtree-mode checks: run on the .cmt produced by the normal build,
+   so identifier matching is by resolved [Path.t] — aliasing, shadowing
+   and `open` cannot fool it — and expression types are available.
+
+   The extra precision over the parsetree pass is in L1:
+
+   - `compare`, `min`, `max` and `Hashtbl.hash` are flagged in hot-path
+     code wherever they occur: `min`/`max`/`Hashtbl.hash` are ordinary
+     functions that always call the generic C comparator/hasher, and a
+     `compare` that today sits where the compiler would specialize it
+     degrades silently the moment it is wrapped or the type generalizes
+     — hot code must name `Int.compare` (or the element module's
+     comparator) instead.
+
+   - The infix operators (`=`, `<>`, `<`, ...) are flagged only when
+     they actually compile to the generic comparator: a direct
+     application at a type the compiler specializes (int, char, string,
+     float, ...) is allowed. Type abbreviations (`Label.t = int`,
+     `nid = int`) are expanded through the environment stored in the
+     .cmt, exactly as the compiler itself expands them in Translprim. *)
+
+open Typedtree
+
+let rec flatten_path (p : Path.t) =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> flatten_path p @ [ s ]
+  | Path.Papply _ | Path.Pextra_ty _ -> []
+
+(* `List.nth` resolves to Stdlib.List.nth; written as Stdlib__List.nth it
+   resolves to the prefixed compilation unit. Normalize both to List.nth. *)
+let normalize_component c =
+  let pre = "Stdlib__" in
+  let lp = String.length pre in
+  if String.length c > lp && String.sub c 0 lp = pre then
+    String.capitalize_ascii (String.sub c lp (String.length c - lp))
+  else c
+
+let normalize_path p =
+  match List.map normalize_component (flatten_path p) with
+  | "Stdlib" :: rest -> rest
+  | parts -> parts
+
+(* always flagged in hot-path code *)
+let banned_fns = [ [ "compare" ]; [ "min" ]; [ "max" ]; [ "Hashtbl"; "hash" ] ]
+
+(* flagged unless directly applied at a compiler-specialized type *)
+let infix_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+let l2_idents = Lint_parse_check.l2_idents
+let l3_idents = Lint_parse_check.l3_idents
+let l5_idents = Lint_parse_check.l5_idents
+
+(* Types at which the compiler specializes %compare/%equal and friends
+   (Translprim's base types). *)
+let specialized_paths =
+  Predef.
+    [
+      path_int;
+      path_char;
+      path_bool;
+      path_unit;
+      path_string;
+      path_bytes;
+      path_float;
+      path_int32;
+      path_int64;
+      path_nativeint;
+    ]
+
+let is_specialized_type ~env (ty : Types.type_expr) =
+  let ty = try Ctype.expand_head env ty with _ -> ty in
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> List.exists (Path.same p) specialized_paths
+  | _ -> false
+
+let rec catches_all (p : value general_pattern) =
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_or (a, b, _) -> catches_all a || catches_all b
+  | Tpat_alias (p, _, _) -> catches_all p
+  | _ -> false
+
+let loc_key (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+(* [expand_env] lifts the per-expression environment into one usable for
+   abbreviation expansion. The engine passes [Envaux.env_of_only_summary]
+   (cmt environments are stored as summaries); in-process callers that
+   hold real environments pass [Fun.id]. The fallback never expands. *)
+let check ?(expand_env = fun (_ : Env.t) -> Env.empty) ~(scope : Lint_rules.scope)
+    ~file (str : structure) : Lint_diag.t list =
+  let diags = ref [] in
+  let emit rule ident hint loc =
+    if not loc.Location.loc_ghost then
+      diags := Lint_diag.of_location ~file ~rule ~ident ~hint loc :: !diags
+  in
+  (* infix-operator idents already judged at their application site *)
+  let handled : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let check_ident loc path =
+    let parts = normalize_path path in
+    let name = String.concat "." parts in
+    if scope.hot_path then begin
+      if List.mem parts banned_fns then emit L1 name (Lint_rules.l1_hint name) loc;
+      (match parts with
+       | [ op ] when List.mem op infix_ops ->
+         if not (Hashtbl.mem handled (loc_key loc)) then
+           (* the operator escapes as a first-class value: every later
+              call goes through the generic C comparator *)
+           emit L1 name (Lint_rules.l1_hint name) loc
+       | _ -> ())
+    end;
+    if (not scope.l2_allowed) && List.mem parts l2_idents then
+      emit L2 name Lint_rules.l2_hint loc;
+    if scope.lib_code && List.mem parts l3_idents then
+      emit L3 name (Lint_rules.l3_hint name) loc;
+    if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+     | Texp_apply ({ exp_desc = Texp_ident (path, { loc; _ }, _); _ }, args)
+       when scope.hot_path ->
+       (match normalize_path path with
+        | [ op ] when List.mem op infix_ops ->
+          Hashtbl.replace handled (loc_key loc) ();
+          let plain_args =
+            List.filter_map
+              (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+              args
+          in
+          (match plain_args with
+           | a :: _ :: _ when List.length args = 2 ->
+             let env = try expand_env a.exp_env with _ -> Env.empty in
+             if not (is_specialized_type ~env a.exp_type) then
+               emit L1 op (Lint_rules.l1_hint op) loc
+           | _ ->
+             (* partial application: a polymorphic closure escapes *)
+             emit L1 op (Lint_rules.l1_hint op) loc)
+        | _ -> ())
+     | Texp_ident (path, { loc; _ }, _) -> check_ident loc path
+     | Texp_try (_, cases) ->
+       List.iter
+         (fun c ->
+           if catches_all c.c_lhs then
+             emit L4 "try ... with _ ->" Lint_rules.l4_hint c.c_lhs.pat_loc)
+         cases
+     | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it str;
+  !diags
