@@ -54,6 +54,7 @@ let run_experiment ?json name config =
   | "fig14" -> ignore (Experiments.fig14 (Experiments.create_context config))
   | "fig15" -> ignore (Experiments.fig15 (Experiments.create_context config))
   | "ablation" -> Experiments.ablation (Experiments.create_context config)
+  | "faults" -> Experiments.fault_smoke config
   | "micro" -> Micro.run ()
   | other -> failwith (Printf.sprintf "unknown experiment %s" other)
 
@@ -61,7 +62,7 @@ open Cmdliner
 
 let experiment =
   let doc =
-    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, or micro."
+    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, faults, or micro."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 

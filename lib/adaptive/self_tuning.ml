@@ -1,11 +1,13 @@
 type t = {
-  apex : Repro_apex.Apex.t;
+  mutable apex : Repro_apex.Apex.t;
   log : Repro_workload.Query_log.t;
   min_support : float;
   refresh_every : int;
   pool : Repro_storage.Buffer_pool.t option;
+  snapshot : Repro_apex.Apex_persist.Snapshot.t option;
   mutable last_refresh_at : int;  (* total_recorded at the last refresh *)
   mutable refreshes : int;
+  mutable aborted : int;
 }
 
 let materialize t =
@@ -13,27 +15,73 @@ let materialize t =
   | Some pool -> Repro_apex.Apex.materialize t.apex pool
   | None -> ()
 
-let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool graph =
+let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool
+    ?snapshot graph =
   let t =
     { apex = Repro_apex.Apex.build graph;
       log = Repro_workload.Query_log.create ~capacity:log_capacity;
       min_support;
       refresh_every;
       pool;
+      snapshot;
       last_refresh_at = 0;
-      refreshes = 0
+      refreshes = 0;
+      aborted = 0
     }
   in
   materialize t;
+  (* the recovery baseline: APEX0 is committed before any query runs, so a
+     fault during the very first refresh still has an epoch to roll back to *)
+  (match snapshot with
+   | Some snap -> ignore (Repro_apex.Apex_persist.Snapshot.commit snap t.apex : int)
+   | None -> ());
   t
 
-let force_refresh t =
+let mark_window t =
+  t.last_refresh_at <- Repro_workload.Query_log.total_recorded t.log
+
+let refresh_and_commit t =
   Repro_apex.Apex.refresh t.apex
     ~workload:(Repro_workload.Query_log.to_workload t.log)
     ~min_support:t.min_support;
   materialize t;
-  t.last_refresh_at <- Repro_workload.Query_log.total_recorded t.log;
-  t.refreshes <- t.refreshes + 1
+  match t.snapshot with
+  | Some snap -> ignore (Repro_apex.Apex_persist.Snapshot.commit snap t.apex : int)
+  | None -> ()
+
+(* A fault mid-refresh (or mid-commit) can leave the in-memory index and
+   its materialized pages in a mixed state. Roll back to the last committed
+   snapshot epoch and keep serving queries from it — degraded (the refresh
+   didn't land) but never wrong. Without a snapshot there is nothing to
+   roll back to, so the exception propagates. *)
+let force_refresh t =
+  match t.snapshot with
+  | None ->
+    refresh_and_commit t;
+    mark_window t;
+    t.refreshes <- t.refreshes + 1
+  | Some snap -> (
+    match refresh_and_commit t with
+    | () ->
+      mark_window t;
+      t.refreshes <- t.refreshes + 1
+    | exception (Repro_storage.Fault.Injected _ | Invalid_argument _) ->
+      let stats =
+        Repro_storage.Pager.stats
+          (Repro_storage.Buffer_pool.pager
+             (Repro_storage.Extent_store.pool
+                (Repro_apex.Apex_persist.Snapshot.store snap)))
+      in
+      stats.Repro_storage.Io_stats.refresh_aborts <-
+        stats.Repro_storage.Io_stats.refresh_aborts + 1;
+      t.aborted <- t.aborted + 1;
+      t.apex <-
+        Repro_apex.Apex_persist.Snapshot.load_latest snap
+          (Repro_apex.Apex.graph t.apex);
+      materialize t;
+      (* consume the window anyway: an immediate retry would hit the same
+         fault pattern — wait for the next full window instead *)
+      mark_window t)
 
 let maybe_refresh t =
   if Repro_workload.Query_log.total_recorded t.log - t.last_refresh_at >= t.refresh_every then
@@ -50,3 +98,4 @@ let query ?cost ?table t q =
 let apex t = t.apex
 let log t = t.log
 let refreshes t = t.refreshes
+let aborted_refreshes t = t.aborted

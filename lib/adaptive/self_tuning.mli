@@ -15,12 +15,21 @@ val create :
   ?min_support:float ->
   ?refresh_every:int ->
   ?pool:Repro_storage.Buffer_pool.t ->
+  ?snapshot:Repro_apex.Apex_persist.Snapshot.t ->
   Repro_graph.Data_graph.t ->
   t
 (** Builds APEX0 over the graph. Defaults: a 1000-entry log, minSup 0.005,
     refresh every 500 recorded queries. When [pool] is given the index is
     (re)materialized there after every refresh, so costed evaluation pays
-    page I/O throughout. *)
+    page I/O throughout.
+
+    When [snapshot] is given, APEX0 is committed as the first epoch and
+    every successful refresh commits a new one; a refresh that hits a
+    storage fault ({!Repro_storage.Fault.Injected} or a detected-corruption
+    [Invalid_argument]) is rolled back — the index reloads from the newest
+    committed epoch and keeps answering queries, the abort is counted in
+    [Io_stats.refresh_aborts] and {!aborted_refreshes}, and the refresh
+    window is consumed so the next attempt waits a full window. *)
 
 val query :
   ?cost:Repro_storage.Cost.t ->
@@ -39,4 +48,9 @@ val apex : t -> Repro_apex.Apex.t
 val log : t -> Repro_workload.Query_log.t
 
 val refreshes : t -> int
-(** Number of refreshes performed so far (periodic and forced). *)
+(** Number of refreshes completed successfully so far (periodic and
+    forced). Aborted refreshes are not counted here. *)
+
+val aborted_refreshes : t -> int
+(** Number of refreshes rolled back to the previous snapshot epoch after a
+    storage fault. Always 0 when no snapshot was supplied to {!create}. *)

@@ -9,7 +9,7 @@ module Vec = Repro_util.Vec
 
 let magic = 0x41504558 (* "APEX" *)
 
-let save apex store =
+let to_image apex =
   let gapex = Apex.summary apex in
   let nodes = Gapex.reachable gapex in
   let index_of = Hashtbl.create (List.length nodes) in
@@ -37,13 +37,18 @@ let save apex store =
         edges)
     nodes;
   List.iter (Vec.push out) (Hash_tree.encode (Apex.tree apex) ~node_index);
-  Repro_storage.Extent_store.append_ints store (Vec.to_array out)
+  Vec.to_array out
 
-let load graph store handle =
-  let arr = Repro_storage.Extent_store.load_ints store handle in
+let save apex store = Repro_storage.Extent_store.append_ints store (to_image apex)
+
+(* Every length/count read from the image is bounded against the bytes that
+   remain BEFORE allocating — a bit flip in a length field must raise
+   [Invalid_argument], not attempt a multi-gigabyte allocation. *)
+let of_image graph arr =
+  let len_arr = Array.length arr in
   let pos = ref 0 in
   let next () =
-    if !pos >= Array.length arr then invalid_arg "Apex_persist.load: truncated image"
+    if !pos >= len_arr then invalid_arg "Apex_persist.load: truncated image"
     else begin
       let v = arr.(!pos) in
       incr pos;
@@ -52,6 +57,7 @@ let load graph store handle =
   in
   if next () <> magic then invalid_arg "Apex_persist.load: bad magic";
   let n_nodes = next () in
+  if n_nodes <= 0 || n_nodes > len_arr then invalid_arg "Apex_persist.load: bad node count";
   let root_index = next () in
   if root_index < 0 || root_index >= n_nodes then invalid_arg "Apex_persist.load: bad root";
   (* first pass: read extents and edge lists *)
@@ -59,13 +65,24 @@ let load graph store handle =
   let edges = Array.make n_nodes [] in
   for i = 0 to n_nodes - 1 do
     let len = next () in
-    let packed = Array.init len (fun _ -> next ()) in
+    if len < 0 || len > len_arr - !pos then
+      invalid_arg "Apex_persist.load: bad extent length";
+    let packed = Array.sub arr !pos len in
+    pos := !pos + len;
+    Array.iter
+      (fun v -> if v < 0 then invalid_arg "Apex_persist.load: bad extent entry")
+      packed;
     extents.(i) <- Edge_set.of_packed_array packed;
     let deg = next () in
-    edges.(i) <- List.init deg (fun _ ->
-        let l = next () in
-        let target = next () in
-        (l, target))
+    if deg < 0 || deg > (len_arr - !pos) / 2 then
+      invalid_arg "Apex_persist.load: bad out-degree";
+    let adj = ref [] in
+    for _ = 1 to deg do
+      let l = next () in
+      let target = next () in
+      adj := (l, target) :: !adj
+    done;
+    edges.(i) <- List.rev !adj
   done;
   (* materialize the node objects: the root first (Gapex.create), the rest
      via new_node, then rewire *)
@@ -91,5 +108,132 @@ let load graph store handle =
       if i < 0 || i >= n_nodes then invalid_arg "Apex_persist.load: bad slot index"
       else nodes.(i)) arr ~pos
   in
-  if !pos <> Array.length arr then invalid_arg "Apex_persist.load: trailing data";
+  if !pos <> len_arr then invalid_arg "Apex_persist.load: trailing data";
   Apex.assemble ~graph ~gapex ~tree
+
+let load graph store handle =
+  of_image graph (Repro_storage.Extent_store.load_ints store handle)
+
+module Snapshot = struct
+  module ES = Repro_storage.Extent_store
+  module BP = Repro_storage.Buffer_pool
+  module P = Repro_storage.Pager
+  module C = Repro_storage.Codec
+
+  let super_magic = 0x41505853 (* "APXS" *)
+  let slot_bytes = 64
+
+  type t = {
+    store : ES.t;
+    superblock : P.pid;
+    mutable epoch : int;
+  }
+
+  (* One commit slot, 64 bytes on the superblock page:
+       [magic] [epoch] [first_page] [first_off] [n_bytes] [n_ints]
+       [image_crc] [slot_crc]
+     [slot_crc] covers the first 56 bytes, so a torn or flipped slot is
+     recognizably invalid. Slots ping-pong by epoch parity: epoch e lives at
+     offset [(e land 1) * 64], so a commit never overwrites the slot it
+     would fall back to. *)
+  type slot = { s_epoch : int; s_handle : ES.handle; s_crc : int }
+
+  let pager_of t = BP.pager (ES.pool t.store)
+
+  (* The superblock must stay readable even when its page checksum is
+     broken (a write fault landed on it): slot CRCs arbitrate validity, so
+     fall back to the raw buffer rather than propagate [Invalid_argument]. *)
+  let read_super t =
+    let pager = pager_of t in
+    match P.read pager t.superblock with
+    | page -> page
+    | exception Invalid_argument _ -> Bytes.copy (P.unsafe_borrow pager t.superblock)
+
+  let write_slot page off ~epoch ~handle ~image_crc =
+    let first_page, first_off, n_bytes, n_ints = ES.handle_fields handle in
+    C.set_i64 page off super_magic;
+    C.set_i64 page (off + 8) epoch;
+    C.set_i64 page (off + 16) first_page;
+    C.set_i64 page (off + 24) first_off;
+    C.set_i64 page (off + 32) n_bytes;
+    C.set_i64 page (off + 40) n_ints;
+    C.set_i64 page (off + 48) image_crc;
+    C.set_i64 page (off + 56) (C.crc32 ~pos:off ~len:56 page)
+
+  let read_slot page off =
+    if C.get_i64 page (off + 56) <> C.crc32 ~pos:off ~len:56 page then None
+    else if C.get_i64 page off <> super_magic then None
+    else begin
+      let epoch = C.get_i64 page (off + 8) in
+      let first_page = C.get_i64 page (off + 16) in
+      let first_off = C.get_i64 page (off + 24) in
+      let n_bytes = C.get_i64 page (off + 32) in
+      let n_ints = C.get_i64 page (off + 40) in
+      let image_crc = C.get_i64 page (off + 48) in
+      if epoch <= 0 then None
+      else
+        match ES.handle_of_fields ~first_page ~first_off ~n_bytes ~n_ints with
+        | handle -> Some { s_epoch = epoch; s_handle = handle; s_crc = image_crc }
+        | exception Invalid_argument _ -> None
+    end
+
+  let valid_slots t =
+    let page = read_super t in
+    let slots = List.filter_map (fun i -> read_slot page (i * slot_bytes)) [ 0; 1 ] in
+    List.sort (fun a b -> Int.compare b.s_epoch a.s_epoch) slots
+
+  let create store =
+    let pager = BP.pager (ES.pool store) in
+    if P.page_size pager < 2 * slot_bytes then
+      invalid_arg "Apex_persist.Snapshot.create: page size below 128 bytes";
+    let superblock = P.alloc pager in
+    { store; superblock; epoch = 0 }
+
+  let attach store ~superblock =
+    let t = { store; superblock; epoch = 0 } in
+    (* resume epoch numbering past any surviving commit, so the next commit
+       targets the older (or invalid) slot *)
+    (match valid_slots t with s :: _ -> t.epoch <- s.s_epoch | [] -> ());
+    t
+
+  let superblock t = t.superblock
+  let epoch t = t.epoch
+  let store t = t.store
+
+  let commit t apex =
+    let image = to_image apex in
+    let image_crc = C.crc32_ints image in
+    let pager = pager_of t in
+    (* separator: force the store onto a page no committed image shares, so
+       appending this image can never rewrite a previous image's tail page *)
+    ignore (P.alloc pager : P.pid);
+    let handle = ES.append_ints t.store image in
+    let e = t.epoch + 1 in
+    let page = read_super t in
+    write_slot page ((e land 1) * slot_bytes) ~epoch:e ~handle ~image_crc;
+    (* the commit point: the image is fully on disk before the slot that
+       names it is written. A crash anywhere earlier leaves the previous
+       epoch's slot as the newest valid one. *)
+    BP.write (ES.pool t.store) t.superblock page;
+    t.epoch <- e;
+    e
+
+  let load_latest t graph =
+    let rec try_slots = function
+      | [] -> invalid_arg "Apex_persist.Snapshot.load_latest: no valid snapshot"
+      | s :: rest -> (
+        match
+          let image = ES.load_ints t.store s.s_handle in
+          if C.crc32_ints image <> s.s_crc then
+            invalid_arg "Apex_persist.Snapshot.load_latest: image checksum mismatch";
+          of_image graph image
+        with
+        | apex ->
+          (* adopt the recovered epoch: the NEXT commit then overwrites the
+             other slot — the one that was corrupt or incomplete *)
+          t.epoch <- s.s_epoch;
+          apex
+        | exception Invalid_argument _ -> try_slots rest)
+    in
+    try_slots (valid_slots t)
+end

@@ -576,3 +576,49 @@ let run_all config =
       ablation ctx;
       release ctx spec.Dataset.name)
     config.datasets
+
+(* --- fault-injection smoke --- *)
+
+let fault_smoke config =
+  match config.datasets with
+  | [] -> failwith "fault_smoke: no datasets configured"
+  | spec :: _ ->
+    let ctx = create_context { config with datasets = [ spec ] } in
+    let e = env ctx spec in
+    let a = apex ctx spec config.chosen_min_sup in
+    let clean = measure ctx e "APEX" e.Env.q1 (apex_eval e a) in
+    (* replay the batch against a pager whose reads randomly flip bits and
+       truncate: per-page CRCs detect the damage, retries heal it, and the
+       result checksum must not move *)
+    let fault = Repro_storage.Fault.create ~seed:7 () in
+    Repro_storage.Fault.arm_random fault ~prob:0.05
+      ~kinds:[ Repro_storage.Fault.Read_flip; Repro_storage.Fault.Short_read ];
+    let pager = Repro_storage.Pager.create ~page_size:8192 () in
+    Repro_storage.Pager.set_fault pager (Some fault);
+    let pool = Repro_storage.Buffer_pool.create pager ~capacity:64 in
+    Apex.materialize a pool;
+    Repro_storage.Buffer_pool.flush pool;
+    let faulty = Measure.run e.Env.q1 (apex_eval e a) in
+    let stats = Repro_storage.Pager.stats pager in
+    Report.table
+      ~title:
+        (Printf.sprintf "Fault smoke: %s QTYPE1 under transient read faults"
+           spec.Dataset.name)
+      ~header:[ "run"; "checksum"; "weighted cost"; "disk reads"; "retries"; "injections" ]
+      [ [ "clean";
+          Printf.sprintf "%x" clean.Measure.checksum;
+          Report.float0 (Measure.weighted clean);
+          "-"; "-"; "-"
+        ];
+        [ "faulted";
+          Printf.sprintf "%x" faulty.Measure.checksum;
+          Report.float0 (Measure.weighted faulty);
+          string_of_int stats.Repro_storage.Io_stats.disk_reads;
+          string_of_int stats.Repro_storage.Io_stats.read_retries;
+          string_of_int (Repro_storage.Fault.injections fault)
+        ]
+      ];
+    if clean.Measure.checksum <> faulty.Measure.checksum then
+      failwith "fault_smoke: result checksum drifted under transient read faults";
+    if Repro_storage.Fault.injections fault = 0 then
+      print_endline "note: no faults fired on this batch; rerun with a larger workload"

@@ -81,3 +81,10 @@ val json_bench : config -> out:string -> unit
     [verify] is off), so the timings always describe a correct engine.
     Successive snapshots with identical config must report identical
     checksums — the perf-trajectory guard. *)
+
+val fault_smoke : config -> unit
+(** Run the first dataset's QTYPE1 batch twice — once clean, once against a
+    pager whose reads randomly flip bits and truncate ({!Repro_storage.Fault}
+    transient kinds) — and fail unless the two result checksums agree. The
+    printed table shows disk reads, CRC-triggered retries, and injected
+    faults for the degraded run. *)

@@ -6,3 +6,38 @@ let set_u16 buf off v =
   Bytes.set_uint16_le buf off v
 
 let get_u16 buf off = Bytes.get_uint16_le buf off
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc_step table crc byte = table.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let crc32 ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := crc_step table !crc (Char.code (Bytes.get buf i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let crc32_ints a =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  Array.iter
+    (fun v ->
+      for k = 0 to 7 do
+        crc := crc_step table !crc ((v asr (8 * k)) land 0xFF)
+      done)
+    a;
+  !crc lxor 0xFFFFFFFF

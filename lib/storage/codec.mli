@@ -9,3 +9,12 @@ val set_u16 : bytes -> int -> int -> unit
 (** @raise Invalid_argument when the value does not fit 16 bits. *)
 
 val get_u16 : bytes -> int -> int
+
+val crc32 : ?pos:int -> ?len:int -> bytes -> int
+(** CRC-32 (IEEE) of [len] bytes from [pos] (defaults: the whole buffer).
+    Used for per-page checksums under fault injection and for snapshot
+    commit records. @raise Invalid_argument on an out-of-bounds range. *)
+
+val crc32_ints : int array -> int
+(** CRC-32 of an integer stream, each value fed as 8 little-endian bytes —
+    checksums a persistence image independently of the on-page codec. *)

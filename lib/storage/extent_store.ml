@@ -62,6 +62,14 @@ let create ?(codec = `Raw) ?(cache_entries = 1024) ?(cache_ints = 4_000_000) poo
   }
 
 let codec t = t.enc
+let pool t = t.pool
+
+let handle_fields h = (h.first_page, h.first_off, h.n_bytes, h.n_ints)
+
+let handle_of_fields ~first_page ~first_off ~n_bytes ~n_ints =
+  if first_page < 0 || first_off < 0 || n_bytes < 0 || n_ints < 0 then
+    invalid_arg "Extent_store.handle_of_fields: negative field";
+  { first_page; first_off; n_bytes; n_ints }
 
 (* --- LRU primitives --- *)
 
@@ -178,14 +186,25 @@ let next_page t =
   t.cur_off <- 0;
   Bytes.fill t.cur_buf 0 (Bytes.length t.cur_buf) '\000'
 
+(* Like [next_page], but without re-writing the tail page: every append
+   ends with [flush_current], so between appends the disk already holds
+   [cur_buf]. Skipping the redundant write matters under fault injection —
+   a committed blob's tail page is never touched again, so a fault on a
+   later append cannot corrupt earlier data. *)
+let start_fresh_page t =
+  let pager = Buffer_pool.pager t.pool in
+  t.cur_page <- Pager.alloc pager;
+  t.cur_off <- 0;
+  Bytes.fill t.cur_buf 0 (Bytes.length t.cur_buf) '\000'
+
 let append_blob t data ~n_ints =
   let pager = Buffer_pool.pager t.pool in
   let page_size = Pager.page_size pager in
   (* A blob occupies consecutive pids ([load] walks [pid; pid+1; ...]).
      Within one append, allocations are consecutive; but if another store
      allocated pages since our last write, restart on a fresh tail page. *)
-  if t.cur_page <> Pager.n_pages pager - 1 then next_page t;
-  if t.cur_off >= page_size then next_page t;
+  if t.cur_page <> Pager.n_pages pager - 1 then start_fresh_page t;
+  if t.cur_off >= page_size then start_fresh_page t;
   let handle =
     { first_page = t.cur_page; first_off = t.cur_off; n_bytes = String.length data; n_ints }
   in

@@ -38,6 +38,19 @@ val create : ?codec:codec -> ?cache_entries:int -> ?cache_ints:int -> Buffer_poo
 
 val codec : t -> codec
 
+val pool : t -> Buffer_pool.t
+(** The buffer pool this store reads and writes through. *)
+
+val handle_fields : handle -> int * int * int * int
+(** [(first_page, first_off, n_bytes, n_ints)] — the stable representation
+    persisted in snapshot commit records. *)
+
+val handle_of_fields :
+  first_page:int -> first_off:int -> n_bytes:int -> n_ints:int -> handle
+(** Inverse of {!handle_fields}. Fields are range-checked lazily: a handle
+    naming pages the pager does not have fails at {!load} time.
+    @raise Invalid_argument on negative fields. *)
+
 val append : t -> Repro_graph.Edge_set.t -> handle
 (** Serialize an extent at the current tail. Build-time writes are counted
     in the pager's {!Io_stats}. *)

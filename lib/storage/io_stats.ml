@@ -3,25 +3,38 @@ type t = {
   mutable disk_writes : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable read_retries : int;
+  mutable refresh_aborts : int;
 }
 
-let create () = { disk_reads = 0; disk_writes = 0; cache_hits = 0; cache_misses = 0 }
+let create () =
+  { disk_reads = 0;
+    disk_writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    read_retries = 0;
+    refresh_aborts = 0
+  }
 
 let reset t =
   t.disk_reads <- 0;
   t.disk_writes <- 0;
   t.cache_hits <- 0;
-  t.cache_misses <- 0
+  t.cache_misses <- 0;
+  t.read_retries <- 0;
+  t.refresh_aborts <- 0
 
 let copy t =
   { disk_reads = t.disk_reads;
     disk_writes = t.disk_writes;
     cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses
+    cache_misses = t.cache_misses;
+    read_retries = t.read_retries;
+    refresh_aborts = t.refresh_aborts
   }
 
 let total_page_requests t = t.cache_hits + t.cache_misses
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d hits=%d misses=%d" t.disk_reads t.disk_writes t.cache_hits
-    t.cache_misses
+  Format.fprintf ppf "reads=%d writes=%d hits=%d misses=%d retries=%d aborts=%d" t.disk_reads
+    t.disk_writes t.cache_hits t.cache_misses t.read_retries t.refresh_aborts

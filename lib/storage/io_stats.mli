@@ -5,6 +5,12 @@ type t = {
   mutable disk_writes : int;  (** pages written to the simulated disk *)
   mutable cache_hits : int;  (** page requests served by the buffer pool *)
   mutable cache_misses : int;
+  mutable read_retries : int;
+      (** re-reads after a failed page-checksum verification — transient
+          corruption healed by the pager under an attached fault policy *)
+  mutable refresh_aborts : int;
+      (** adaptive-index refreshes rolled back to the previous snapshot
+          after a storage fault (see [Self_tuning]) *)
 }
 
 val create : unit -> t

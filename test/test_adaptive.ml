@@ -46,6 +46,28 @@ let test_log_rejects_bad_capacity () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let test_log_wraparound_boundaries () =
+  (* exactly at capacity: nothing lost yet *)
+  let log = Query_log.create ~capacity:5 in
+  List.iter (fun i -> Query_log.record log [ i ]) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "full, not wrapped" 5 (Query_log.length log);
+  Alcotest.(check (list (list int))) "all present" [ [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ]; [ 5 ] ]
+    (Query_log.to_workload log);
+  (* capacity + 1: the single oldest entry falls off *)
+  Query_log.record log [ 6 ];
+  Alcotest.(check int) "still bounded" 5 (Query_log.length log);
+  Alcotest.(check (list (list int))) "oldest dropped" [ [ 2 ]; [ 3 ]; [ 4 ]; [ 5 ]; [ 6 ] ]
+    (Query_log.to_workload log);
+  (* several full wraps: the window is exactly the last [capacity] entries,
+     oldest first, and total_recorded counts everything ever seen *)
+  for i = 7 to 17 do
+    Query_log.record log [ i ]
+  done;
+  Alcotest.(check int) "total counts overwritten entries" 17 (Query_log.total_recorded log);
+  Alcotest.(check (list (list int))) "window after wraps"
+    [ [ 13 ]; [ 14 ]; [ 15 ]; [ 16 ]; [ 17 ] ]
+    (Query_log.to_workload log)
+
 (* --- Self_tuning --- *)
 
 let test_adapts_to_hot_path () =
@@ -123,6 +145,73 @@ let test_forced_refresh_counts () =
   Self_tuning.force_refresh st;
   Alcotest.(check int) "forced" 1 (Self_tuning.refreshes st)
 
+let test_refresh_pacing () =
+  (* refreshes land exactly when the policy says: every [refresh_every]
+     recorded queries, so 35 queries at a 10-query window = 3 refreshes *)
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:10 ~min_support:0.5 g in
+  for i = 1 to 35 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]));
+    let expected = i / 10 in
+    Alcotest.(check int) (Printf.sprintf "refreshes after %d queries" i) expected
+      (Self_tuning.refreshes st)
+  done;
+  Alcotest.(check int) "no aborts without faults" 0 (Self_tuning.aborted_refreshes st)
+
+let test_forced_refresh_consumes_window () =
+  (* a forced refresh mid-window resets the pacing clock: the periodic
+     policy must not double-count the queries the forced refresh consumed *)
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:10 ~min_support:0.5 g in
+  for _ = 1 to 7 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]))
+  done;
+  Self_tuning.force_refresh st;
+  Alcotest.(check int) "forced counts once" 1 (Self_tuning.refreshes st);
+  (* 9 more queries: window is 7 + 9 = 16 since the last periodic mark, but
+     only 9 since the forced one — no periodic refresh yet *)
+  for _ = 1 to 9 do
+    ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]))
+  done;
+  Alcotest.(check int) "window restarted at the forced refresh" 1 (Self_tuning.refreshes st);
+  (* the 10th query since the forced refresh triggers the periodic one *)
+  ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]));
+  Alcotest.(check int) "periodic fires a full window later" 2 (Self_tuning.refreshes st)
+
+let test_snapshot_rollback_on_faulted_refresh () =
+  (* a refresh whose commit crashes rolls back to the previous epoch and
+     keeps answering; the abort is visible in both counters *)
+  let g = F.movie_db () in
+  let pager = Repro_storage.Pager.create ~page_size:512 () in
+  let fault = Repro_storage.Fault.create ~seed:11 () in
+  Repro_storage.Pager.set_fault pager (Some fault);
+  let pool = Repro_storage.Buffer_pool.create pager ~capacity:8 in
+  let store = Repro_storage.Extent_store.create ~cache_entries:0 pool in
+  let snap = Repro_apex.Apex_persist.Snapshot.create store in
+  let st =
+    Self_tuning.create ~refresh_every:10 ~min_support:0.5 ~pool ~snapshot:snap g
+  in
+  let reference = Repro_apex.Apex.build g in
+  let q = Query.Qtype1 [ "actor"; "name" ] in
+  let expected = Repro_apex.Apex_query.eval_query reference q in
+  (* crash the next write — it will be part of the refresh's re-materialize
+     or commit *)
+  Repro_storage.Fault.arm_at fault Repro_storage.Fault.Torn_write ~site:0;
+  for _ = 1 to 12 do
+    Alcotest.(check (array int)) "answers stay correct across the abort" expected
+      (Self_tuning.query st q)
+  done;
+  Alcotest.(check int) "abort counted" 1 (Self_tuning.aborted_refreshes st);
+  Alcotest.(check int) "abort visible in io stats" 1
+    (Repro_storage.Pager.stats pager).Repro_storage.Io_stats.refresh_aborts;
+  Alcotest.(check int) "aborted refresh not counted as done" 0 (Self_tuning.refreshes st);
+  (* the next full window retries and succeeds (the one-shot fault is gone) *)
+  for _ = 1 to 10 do
+    Alcotest.(check (array int)) "still correct" expected (Self_tuning.query st q)
+  done;
+  Alcotest.(check int) "later refresh lands" 1 (Self_tuning.refreshes st);
+  Alcotest.(check int) "no further aborts" 1 (Self_tuning.aborted_refreshes st)
+
 let () =
   Alcotest.run "adaptive"
     [ ( "query_log",
@@ -130,12 +219,18 @@ let () =
           Alcotest.test_case "window slides" `Quick test_log_window_slides;
           Alcotest.test_case "record_query" `Quick test_log_record_query;
           Alcotest.test_case "clear" `Quick test_log_clear;
-          Alcotest.test_case "bad capacity" `Quick test_log_rejects_bad_capacity
+          Alcotest.test_case "bad capacity" `Quick test_log_rejects_bad_capacity;
+          Alcotest.test_case "wraparound boundaries" `Quick test_log_wraparound_boundaries
         ] );
       ( "self_tuning",
         [ Alcotest.test_case "adapts to hot path" `Quick test_adapts_to_hot_path;
           Alcotest.test_case "results never change" `Quick test_results_never_change;
           Alcotest.test_case "workload shift ages out" `Quick test_workload_shift_ages_out;
-          Alcotest.test_case "forced refresh" `Quick test_forced_refresh_counts
+          Alcotest.test_case "forced refresh" `Quick test_forced_refresh_counts;
+          Alcotest.test_case "refresh pacing" `Quick test_refresh_pacing;
+          Alcotest.test_case "forced refresh consumes window" `Quick
+            test_forced_refresh_consumes_window;
+          Alcotest.test_case "rollback on faulted refresh" `Quick
+            test_snapshot_rollback_on_faulted_refresh
         ] )
     ]

@@ -1,0 +1,78 @@
+(* The crash matrix: every injectable fault site along the
+   save -> crash -> recover -> query schedules of [Crash_matrix], for every
+   fault kind, for every seed in CRASH_SEEDS (comma-separated, default
+   "1,2,3" — CI runs one seed per job and publishes it on failure).
+
+   A failing site is reported as "seed=N kind=K site=I: <violation>", which
+   is everything needed to replay it locally:
+     CRASH_SEEDS=N dune exec test/test_crash_matrix.exe *)
+
+module Fault = Repro_storage.Fault
+module Generate = Repro_workload.Generate
+module Crash_matrix = Test_support.Crash_matrix
+module Fixtures = Test_support.Fixtures
+
+let seeds =
+  match Sys.getenv_opt "CRASH_SEEDS" with
+  | None | Some "" -> [ 1; 2; 3 ]
+  | Some s ->
+    List.map
+      (fun tok ->
+        match int_of_string_opt (String.trim tok) with
+        | Some n -> n
+        | None -> failwith (Printf.sprintf "CRASH_SEEDS: bad token %S" tok))
+      (String.split_on_char ',' s)
+
+let graph = Fixtures.movie_db ()
+
+(* one workload per seed so seeds differ in schedule shape, not just in the
+   fault policy's PRNG *)
+let snapshot_queries seed =
+  let rand = Random.State.make [| seed; 0xC4A5 |] in
+  Array.concat
+    [ Generate.qtype1 ~n:5 rand graph;
+      Generate.qtype2 ~n:2 rand graph;
+      Generate.qtype3 ~n:2 rand graph ]
+
+(* QTYPE1 only: [Query_log] records these, so a short refresh window is
+   guaranteed to trigger refreshes mid-stream *)
+let selftuning_queries seed =
+  let rand = Random.State.make [| seed; 0x57 |] in
+  Generate.qtype1 ~n:18 rand graph
+
+let check_report r =
+  print_endline (Crash_matrix.report_to_string r);
+  Alcotest.(check (list string)) "every site honors its guarantee" [] r.Crash_matrix.failures;
+  Alcotest.(check bool) "matrix enumerated at least one site" true (r.Crash_matrix.sites > 0)
+
+let snapshot_case seed kind () =
+  check_report (Crash_matrix.run_matrix ~seed graph (snapshot_queries seed) kind)
+
+let selftuning_case seed kind () =
+  check_report (Crash_matrix.run_selftuning_matrix ~seed graph (selftuning_queries seed) kind)
+
+let () =
+  let snapshot_cases =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun kind ->
+            Alcotest.test_case
+              (Printf.sprintf "seed=%d %s" seed (Fault.kind_name kind))
+              `Slow (snapshot_case seed kind))
+          Crash_matrix.all_kinds)
+      seeds
+  in
+  let selftuning_cases =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun kind ->
+            Alcotest.test_case
+              (Printf.sprintf "seed=%d %s" seed (Fault.kind_name kind))
+              `Slow (selftuning_case seed kind))
+          Crash_matrix.selftuning_kinds)
+      seeds
+  in
+  Alcotest.run "crash-matrix"
+    [ ("snapshot", snapshot_cases); ("self-tuning", selftuning_cases) ]

@@ -83,6 +83,129 @@ let test_corrupt_image_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument on a bad image"
 
+(* --- image fuzzing: of_image must return or reject, never die --- *)
+
+(* Contract under arbitrary corruption: [of_image] either returns an index
+   or raises [Invalid_argument]. Anything else — another exception, a
+   huge-allocation attempt from a smashed length field, a hang — is a bug.
+   (Wrong-but-parseable images are the snapshot layer's problem: its CRCs
+   reject them before [of_image] ever runs.) *)
+let test_fuzz_of_image () =
+  let g = F.movie_db () in
+  let apex = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  let image = Apex_persist.to_image apex in
+  let n = Array.length image in
+  let rand = Random.State.make [| 0xF022 |] in
+  let attempt tag arr =
+    match Apex_persist.of_image g arr with
+    | (_ : Apex.t) -> ()
+    | exception Invalid_argument _ -> ()
+    | exception e -> Alcotest.failf "%s: of_image escaped with %s" tag (Printexc.to_string e)
+  in
+  (* truncations: all short prefixes, then sampled longer ones *)
+  for len = 0 to Int.min n 40 do
+    attempt "truncate" (Array.sub image 0 len)
+  done;
+  for _ = 1 to 200 do
+    attempt "truncate" (Array.sub image 0 (Random.State.int rand (n + 1)))
+  done;
+  (* single bit flips — length fields become huge or negative *)
+  for _ = 1 to 500 do
+    let m = Array.copy image in
+    let i = Random.State.int rand n in
+    m.(i) <- m.(i) lxor (1 lsl Random.State.int rand 62);
+    attempt "bitflip" m
+  done;
+  (* whole-value smashes, including negatives *)
+  for _ = 1 to 300 do
+    let m = Array.copy image in
+    m.(Random.State.int rand n) <- Random.State.int rand 0x3FFFFFFF - 0x1FFFFFFF;
+    attempt "smash" m
+  done;
+  (* pairwise permutations *)
+  for _ = 1 to 300 do
+    let m = Array.copy image in
+    let i = Random.State.int rand n and j = Random.State.int rand n in
+    let tmp = m.(i) in
+    m.(i) <- m.(j);
+    m.(j) <- tmp;
+    attempt "swap" m
+  done;
+  (* splices: two random slices glued together *)
+  for _ = 1 to 200 do
+    let slice () =
+      let a = Random.State.int rand n and b = Random.State.int rand n in
+      Array.sub image (Int.min a b) (abs (a - b))
+    in
+    attempt "splice" (Array.append (slice ()) (slice ()))
+  done;
+  (* sanity: the unmutated image still round-trips *)
+  Alcotest.(check bool) "pristine image loads" true
+    (extents_equal apex (Apex_persist.of_image g image))
+
+(* --- crash-consistent snapshot epochs --- *)
+
+module Snapshot = Apex_persist.Snapshot
+
+let test_snapshot_epochs () =
+  let g = F.movie_db () in
+  let _pool, store = with_store () in
+  let snap = Snapshot.create store in
+  (match Snapshot.load_latest snap g with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "load_latest before any commit must raise");
+  let apex0 = Apex.build g in
+  let adapted = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  Alcotest.(check int) "first epoch" 1 (Snapshot.commit snap apex0);
+  Alcotest.(check bool) "epoch 1 loads" true (extents_equal apex0 (Snapshot.load_latest snap g));
+  Alcotest.(check int) "second epoch" 2 (Snapshot.commit snap adapted);
+  Alcotest.(check bool) "epoch 2 loads" true
+    (extents_equal adapted (Snapshot.load_latest snap g));
+  Alcotest.(check int) "epoch counter" 2 (Snapshot.epoch snap)
+
+let test_snapshot_attach_after_restart () =
+  let g = F.movie_db () in
+  let pool, store = with_store () in
+  let pager = Repro_storage.Buffer_pool.pager pool in
+  let snap = Snapshot.create store in
+  let adapted = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  ignore (Snapshot.commit snap (Apex.build g) : int);
+  ignore (Snapshot.commit snap adapted : int);
+  (* "restart": a fresh pool and store over the surviving pager, knowing
+     only the superblock pid *)
+  let pool2 = Repro_storage.Buffer_pool.create pager ~capacity:32 in
+  let store2 = Repro_storage.Extent_store.create pool2 in
+  let snap2 = Snapshot.attach store2 ~superblock:(Snapshot.superblock snap) in
+  Alcotest.(check int) "epoch numbering resumes" 2 (Snapshot.epoch snap2);
+  Alcotest.(check bool) "survives restart" true
+    (extents_equal adapted (Snapshot.load_latest snap2 g))
+
+let test_snapshot_falls_back_on_corruption () =
+  let g = F.movie_db () in
+  let pool, store = with_store () in
+  let pager = Repro_storage.Buffer_pool.pager pool in
+  let snap = Snapshot.create store in
+  let apex0 = Apex.build g in
+  let adapted = Apex.build_adapted g ~workload:(movie_workload g) ~min_support:0.5 in
+  ignore (Snapshot.commit snap apex0 : int);
+  let pages_before = Repro_storage.Pager.n_pages pager in
+  ignore (Snapshot.commit snap adapted : int);
+  (* smash every page epoch 2 wrote (separator + image pages; the
+     superblock predates both commits, so it is not in the range) *)
+  for pid = pages_before to Repro_storage.Pager.n_pages pager - 1 do
+    let buf = Repro_storage.Pager.unsafe_borrow pager pid in
+    Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0x55))
+  done;
+  (* drop cached copies so the corruption is actually read back *)
+  Repro_storage.Buffer_pool.flush pool;
+  let recovered = Snapshot.load_latest snap g in
+  Alcotest.(check bool) "fell back to epoch 1" true (extents_equal apex0 recovered);
+  Alcotest.(check int) "epoch rewound" 1 (Snapshot.epoch snap);
+  (* the next commit replaces the corrupt epoch's slot and moves on *)
+  Alcotest.(check int) "recommit" 2 (Snapshot.commit snap adapted);
+  Alcotest.(check bool) "recommitted epoch loads" true
+    (extents_equal adapted (Snapshot.load_latest snap g))
+
 let prop_roundtrip_on_dags =
   QCheck.Test.make ~count:100 ~name:"persist round-trip on random DAGs" F.arb_dag
     (fun spec ->
@@ -109,6 +232,14 @@ let () =
           Alcotest.test_case "refreshable after load" `Quick test_loaded_index_refreshable;
           Alcotest.test_case "multiple images" `Quick test_multiple_images_one_store;
           Alcotest.test_case "corrupt image rejected" `Quick test_corrupt_image_rejected
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "of_image on mutated images" `Quick test_fuzz_of_image ] );
+      ( "snapshot",
+        [ Alcotest.test_case "epochs commit and load" `Quick test_snapshot_epochs;
+          Alcotest.test_case "attach after restart" `Quick test_snapshot_attach_after_restart;
+          Alcotest.test_case "falls back on corruption" `Quick
+            test_snapshot_falls_back_on_corruption
         ] );
       ( "properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_on_dags ] )
     ]

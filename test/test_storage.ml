@@ -80,6 +80,132 @@ let test_pool_flush () =
   ignore (Buffer_pool.get pool pid);
   Alcotest.(check int) "cold again" 2 (Pager.stats p).Io_stats.cache_misses
 
+let prop_pool_invariants =
+  (* random Get/Write/Flush traces against a shadow model: cached_pages
+     never exceeds capacity, hit+miss reconciles with the pager's counters,
+     and write-through means the disk alone reconstructs every page *)
+  QCheck.Test.make ~count:200 ~name:"buffer pool invariants on random traces"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 120) (pair (int_bound 9) (int_bound 11)))
+    (fun trace ->
+      let page_size = 64 in
+      let n_pids = 12 and capacity = 4 in
+      let p = Pager.create ~page_size () in
+      let pids = Array.init n_pids (fun _ -> Pager.alloc p) in
+      let pool = Buffer_pool.create p ~capacity in
+      Io_stats.reset (Pager.stats p);
+      let model = Array.init n_pids (fun _ -> Bytes.make page_size '\000') in
+      let gets = ref 0 and writes = ref 0 and stamp = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, i) ->
+          (match op with
+           | 0 | 1 | 2 | 3 | 4 | 5 ->
+             incr gets;
+             if not (Bytes.equal (Buffer_pool.get pool pids.(i)) model.(i)) then ok := false
+           | 6 | 7 | 8 ->
+             incr writes;
+             incr stamp;
+             let buf = Bytes.make page_size (Char.chr (33 + (!stamp mod 90))) in
+             Buffer_pool.write pool pids.(i) buf;
+             model.(i) <- buf
+           | _ -> Buffer_pool.flush pool);
+          if Buffer_pool.cached_pages pool > capacity then ok := false)
+        trace;
+      (* write-through visibility: drop the cache, the disk must serve the
+         model exactly *)
+      Buffer_pool.flush pool;
+      Array.iteri
+        (fun i pid -> if not (Bytes.equal (Pager.read p pid) model.(i)) then ok := false)
+        pids;
+      let s = Pager.stats p in
+      !ok
+      && s.Io_stats.cache_hits + s.Io_stats.cache_misses = !gets
+      && s.Io_stats.disk_reads = s.Io_stats.cache_misses + n_pids
+      && s.Io_stats.disk_writes = !writes)
+
+(* --- fault injection & page checksums --- *)
+
+let test_crc32_known () =
+  (* "123456789" -> 0xCBF43926, the standard CRC-32/IEEE check value *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Codec.crc32 (Bytes.of_string "123456789"));
+  Alcotest.(check int) "windowed" 0xCBF43926
+    (Codec.crc32 ~pos:2 ~len:9 (Bytes.of_string "xx123456789yy"))
+
+let with_faulty_pager ?(seed = 42) () =
+  let p = Pager.create ~page_size:128 () in
+  let f = Fault.create ~seed () in
+  Pager.set_fault p (Some f);
+  (p, f)
+
+let test_fault_read_flip_healed () =
+  let p, f = with_faulty_pager () in
+  let pid = Pager.alloc p in
+  let buf = Bytes.make 128 'a' in
+  Pager.write p pid buf;
+  Fault.arm_at f Fault.Read_flip ~site:0;
+  Alcotest.(check bytes) "healed by verified re-read" buf (Pager.read p pid);
+  Alcotest.(check bool) "retry counted" true ((Pager.stats p).Io_stats.read_retries > 0);
+  Alcotest.(check bool) "fired" true (Fault.fired f);
+  (* transient: the stored page was never damaged *)
+  Alcotest.(check bytes) "clean after heal" buf (Pager.read p pid)
+
+let test_fault_short_read_healed () =
+  let p, f = with_faulty_pager () in
+  let pid = Pager.alloc p in
+  let buf = Bytes.init 128 (fun i -> Char.chr (32 + (i mod 64))) in
+  Pager.write p pid buf;
+  Fault.arm_at f Fault.Short_read ~site:0;
+  Alcotest.(check bytes) "healed by verified re-read" buf (Pager.read p pid)
+
+let test_fault_write_flip_detected () =
+  let p, f = with_faulty_pager () in
+  let pid = Pager.alloc p in
+  let buf = Bytes.make 128 'a' in
+  Fault.arm_at f Fault.Write_flip ~site:0;
+  Pager.write p pid buf;
+  (* silent at write time *)
+  Alcotest.(check bool) "landed corrupted" false
+    (Bytes.equal buf (Pager.unsafe_borrow p pid));
+  (* loud at read time: persistent corruption survives every retry *)
+  (match Pager.read p pid with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected checksum failure");
+  Alcotest.(check int) "bounded retries" 3 (Pager.stats p).Io_stats.read_retries
+
+let test_fault_torn_write_crashes () =
+  let p, f = with_faulty_pager () in
+  let pid = Pager.alloc p in
+  Pager.write p pid (Bytes.make 128 'a');
+  Fault.arm_at f Fault.Torn_write ~site:0;
+  (match Pager.write p pid (Bytes.make 128 'b') with
+   | exception Fault.Injected { kind = Fault.Torn_write; _ } -> ()
+   | () -> Alcotest.fail "expected the simulated crash");
+  (* a prefix of the new generation over the tail of the old one *)
+  let torn = Pager.unsafe_borrow p pid in
+  Alcotest.(check char) "head is new" 'b' (Bytes.get torn 0);
+  Alcotest.(check char) "tail is old" 'a' (Bytes.get torn 127);
+  (* sector checksums travel with the data: page-level verification cannot
+     see the tear — only a higher-level checksum can *)
+  Alcotest.(check bytes) "torn page reads back consistently" torn (Pager.read p pid)
+
+let test_fault_enospc_crashes () =
+  let p, f = with_faulty_pager () in
+  Fault.arm_at f Fault.Enospc ~site:0;
+  (match Pager.alloc p with
+   | exception Fault.Injected { kind = Fault.Enospc; _ } -> ()
+   | _ -> Alcotest.fail "expected allocation failure");
+  (* one-shot: the policy disarmed itself *)
+  Alcotest.(check int) "next alloc succeeds" 0 (Pager.alloc p)
+
+let test_no_policy_no_verification () =
+  (* without a policy the hot path never checksums: hand-corrupted pages
+     read back silently, exactly like the pre-fault pager *)
+  let p = Pager.create ~page_size:128 () in
+  let pid = Pager.alloc p in
+  Pager.write p pid (Bytes.make 128 'a');
+  Bytes.set (Pager.unsafe_borrow p pid) 7 'X';
+  Alcotest.(check char) "corruption invisible" 'X' (Bytes.get (Pager.read p pid) 7)
+
 (* --- Extent store --- *)
 
 let with_store ?(page_size = 128) ?(capacity = 8) () =
@@ -268,7 +394,17 @@ let () =
         [ Alcotest.test_case "hit/miss accounting" `Quick test_pool_hit_miss;
           Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
           Alcotest.test_case "write-through" `Quick test_pool_write_through;
-          Alcotest.test_case "flush" `Quick test_pool_flush
+          Alcotest.test_case "flush" `Quick test_pool_flush;
+          QCheck_alcotest.to_alcotest prop_pool_invariants
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "crc32 check value" `Quick test_crc32_known;
+          Alcotest.test_case "read flip healed" `Quick test_fault_read_flip_healed;
+          Alcotest.test_case "short read healed" `Quick test_fault_short_read_healed;
+          Alcotest.test_case "write flip detected" `Quick test_fault_write_flip_detected;
+          Alcotest.test_case "torn write crashes" `Quick test_fault_torn_write_crashes;
+          Alcotest.test_case "enospc crashes" `Quick test_fault_enospc_crashes;
+          Alcotest.test_case "no policy, no verification" `Quick test_no_policy_no_verification
         ] );
       ( "extent_store",
         [ Alcotest.test_case "roundtrip" `Quick test_extent_roundtrip;
