@@ -43,9 +43,12 @@ let resolve_config ~quick ~full ~scale ~datasets ~no_verify =
   if no_verify then { base with Experiments.verify = false } else base
 
 let run_experiment ?json name config =
-  match json with
-  | Some out -> Experiments.json_bench config ~out
-  | None ->
+  match (name, json) with
+  | "updates", _ ->
+    (* --json overrides the default snapshot path *)
+    Experiments.updates config ~out:(Option.value json ~default:"BENCH_PR4.json")
+  | _, Some out -> Experiments.json_bench config ~out
+  | _, None ->
   match name with
   | "all" -> Experiments.run_all config
   | "table1" -> ignore (Experiments.table1 (Experiments.create_context config))
@@ -62,7 +65,8 @@ open Cmdliner
 
 let experiment =
   let doc =
-    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, faults, or micro."
+    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, updates, faults, \
+     or micro."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 

@@ -8,6 +8,8 @@ type t = {
   mutable last_refresh_at : int;  (* total_recorded at the last refresh *)
   mutable refreshes : int;
   mutable aborted : int;
+  mutable updates : int;
+  mutable aborted_updates : int;
 }
 
 let materialize t =
@@ -26,7 +28,9 @@ let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) 
       snapshot;
       last_refresh_at = 0;
       refreshes = 0;
-      aborted = 0
+      aborted = 0;
+      updates = 0;
+      aborted_updates = 0
     }
   in
   materialize t;
@@ -88,14 +92,49 @@ let maybe_refresh t =
     force_refresh t
 
 let query ?cost ?table t q =
-  let result = Repro_apex.Apex_query.eval_query ?cost ?table t.apex q in
-  Repro_workload.Query_log.record_query t.log
+  (* Q2 rewritings matched by the search are the concrete label paths the
+     query used; feed them to the log so partial-match-heavy workloads
+     accumulate support for the paths they actually touch. *)
+  let q2_paths = ref [] in
+  let on_sequence seq = q2_paths := seq :: !q2_paths in
+  let result = Repro_apex.Apex_query.eval_query ?cost ?table ~on_sequence t.apex q in
+  Repro_workload.Query_log.record_query ~q2_paths:!q2_paths t.log
     (Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex))
     q;
   maybe_refresh t;
   result
 
+(* Data updates interleave with queries and refreshes: the index is
+   maintained incrementally (never rebuilt) on the happy path, and the next
+   refresh starts from the maintained index. A storage fault while flushing
+   extent deltas leaves the data change applied but the store behind; the
+   in-memory index is rebuilt over the mutated graph and re-materialized —
+   degraded (the incremental path was abandoned) but never wrong. Operand
+   errors ([Invalid_argument], e.g. deleting the root) propagate: the ops
+   before the bad one are applied and maintained, the rest are not. *)
+let update t ops =
+  (match Repro_update.Update.apply t.apex ops with
+   | (_ : Repro_update.Update.stats) -> ()
+   | exception Repro_storage.Fault.Injected _ ->
+     t.aborted_updates <- t.aborted_updates + 1;
+     t.apex <- Repro_apex.Apex.build (Repro_apex.Apex.graph t.apex);
+     materialize t);
+  t.updates <- t.updates + List.length ops;
+  (* commit the post-update state as a snapshot epoch: recovery must not
+     resurrect an index describing the pre-update document *)
+  match t.snapshot with
+  | None -> ()
+  | Some snap -> (
+    match Repro_apex.Apex_persist.Snapshot.commit snap t.apex with
+    | (_ : int) -> ()
+    | exception (Repro_storage.Fault.Injected _ | Invalid_argument _) ->
+      (* the epoch lags; queries serve from memory and the next successful
+         commit (refresh or update) catches the store up *)
+      t.aborted_updates <- t.aborted_updates + 1)
+
 let apex t = t.apex
 let log t = t.log
 let refreshes t = t.refreshes
 let aborted_refreshes t = t.aborted
+let updates t = t.updates
+let aborted_updates t = t.aborted_updates

@@ -44,6 +44,18 @@ val query :
 val force_refresh : t -> unit
 (** Run extraction + update on the current log window immediately. *)
 
+val update : t -> Repro_update.Update.op list -> unit
+(** Apply data updates through the incremental maintenance engine
+    ({!Repro_update.Update.apply}) — the index is patched, never rebuilt,
+    and only the touched extents are re-persisted. Updates interleave
+    freely with {!query}/{!force_refresh}; a refresh after updates starts
+    from the maintained index. When a snapshot was supplied, the
+    post-update state is committed as a new epoch. A storage fault while
+    flushing falls back to rebuilding the in-memory index over the mutated
+    graph (the data change is never lost) and counts in
+    {!aborted_updates}; operand errors ([Invalid_argument]) propagate with
+    every operation before the offending one applied. *)
+
 val apex : t -> Repro_apex.Apex.t
 val log : t -> Repro_workload.Query_log.t
 
@@ -54,3 +66,10 @@ val refreshes : t -> int
 val aborted_refreshes : t -> int
 (** Number of refreshes rolled back to the previous snapshot epoch after a
     storage fault. Always 0 when no snapshot was supplied to {!create}. *)
+
+val updates : t -> int
+(** Number of update operations applied so far. *)
+
+val aborted_updates : t -> int
+(** Number of update batches whose incremental flush or epoch commit hit a
+    storage fault (each recovered without losing the data change). *)

@@ -142,6 +142,38 @@ let load_extent ?cost t (n : Gapex.node) =
      | None -> ());
     n.Gapex.extent
 
+(* --- incremental-maintenance hooks (lib/update) --- *)
+
+let store t = t.store
+let set_graph t g = t.graph <- g
+let invalidate_endpoints t = Hashtbl.reset t.endpoint_cache
+
+let max_delta_chain = 4
+
+let flush_dirty t dirty =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    List.iter
+      (fun ((n : Gapex.node), removed, added) ->
+        if not (Edge_set.is_empty removed && Edge_set.is_empty added) then begin
+          let handle =
+            match n.Gapex.handle with
+            | Some base
+              when Repro_storage.Extent_store.chain_length base < max_delta_chain
+                   && Edge_set.cardinal removed + Edge_set.cardinal added
+                      < Edge_set.cardinal n.Gapex.extent ->
+              Repro_storage.Extent_store.append_delta store ~base ~removed ~added
+            | Some _ | None ->
+              (* new node, long chain, or a delta no smaller than the
+                 extent: write (or compact to) the full extent *)
+              Repro_storage.Extent_store.append store n.Gapex.extent
+          in
+          n.Gapex.handle <- Some handle
+        end)
+      dirty;
+    Hashtbl.reset t.endpoint_cache
+
 let load_endpoints ?cost t (n : Gapex.node) =
   match Hashtbl.find_opt t.endpoint_cache n.Gapex.id with
   | Some eps -> eps

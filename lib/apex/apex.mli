@@ -72,6 +72,32 @@ val load_extent :
     [extent_pages]/[extent_edges]); the in-memory extent otherwise (charging
     only [extent_edges]). *)
 
+(** {1 Incremental-maintenance hooks}
+
+    Used by the data-update subsystem ([Repro_update.Update]), which owns
+    the consistency argument: it patches extents/slots to match a mutated
+    graph, then re-points the index and flushes only what changed. *)
+
+val store : t -> Repro_storage.Extent_store.t option
+(** The extent store of the last {!materialize}, if any. *)
+
+val set_graph : t -> Repro_graph.Data_graph.t -> unit
+(** Re-point the index at a mutated graph {e without} updating anything —
+    the caller must have already patched extents and summary to match. *)
+
+val invalidate_endpoints : t -> unit
+(** Drop the per-node endpoint memo (call after mutating any extent). *)
+
+val flush_dirty :
+  t -> (Gapex.node * Repro_graph.Edge_set.t * Repro_graph.Edge_set.t) list -> unit
+(** [flush_dirty t [(node, removed, added); ...]] re-persists exactly the
+    changed extents: each node with an existing handle and a small change
+    gets a delta blob ({!Repro_storage.Extent_store.append_delta}) chained
+    on its previous handle; new nodes, long chains (> 4 links), and deltas
+    no smaller than the extent get a full re-append. Page I/O is therefore
+    proportional to the change, not the index. No-op when the index was
+    never materialized. Entries whose both sets are empty are skipped. *)
+
 val load_endpoints :
   ?cost:Repro_storage.Cost.t -> t -> Gapex.node -> int array
 (** [Edge_set.endpoints] of the node's extent, memoized per node on the

@@ -107,7 +107,8 @@ let eval_q1 ?cost t path =
    through [eval_q1] remains only as the fallback for sequences without a
    captured join ([reuse_partial_joins:false] forces it everywhere — the old
    two-phase plan, kept as the reference for equivalence tests). *)
-let eval_q2 ?cost ?(max_rewrite_depth = 16) ?(reuse_partial_joins = true) t la lb =
+let eval_q2 ?cost ?on_sequence ?(max_rewrite_depth = 16) ?(reuse_partial_joins = true) t la
+    lb =
   let labels = G.labels (Apex.graph t) in
   match Hash_tree.locate ?cost (Apex.tree t) ~rev_path:[ la ] with
   | None | Some (Hash_tree.Approx _) -> [||]
@@ -177,6 +178,7 @@ let eval_q2 ?cost ?(max_rewrite_depth = 16) ?(reuse_partial_joins = true) t la l
     let results =
       Hashtbl.fold
         (fun seq partial acc ->
+          (match on_sequence with Some f -> f seq | None -> ());
           (match partial with
            | Some frontier -> frontier
            | None -> eval_q1 ?cost t seq)
@@ -197,13 +199,14 @@ let eval_q3 ?cost ?table t path value =
     in
     Array.of_seq (Seq.filter keep (Array.to_seq candidates))
 
-let eval ?cost ?table ?max_rewrite_depth ?reuse_partial_joins t compiled =
+let eval ?cost ?table ?on_sequence ?max_rewrite_depth ?reuse_partial_joins t compiled =
   match compiled with
   | Query.C1 path -> eval_q1 ?cost t path
-  | Query.C2 (la, lb) -> eval_q2 ?cost ?max_rewrite_depth ?reuse_partial_joins t la lb
+  | Query.C2 (la, lb) ->
+    eval_q2 ?cost ?on_sequence ?max_rewrite_depth ?reuse_partial_joins t la lb
   | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
 
-let eval_query ?cost ?table t q =
+let eval_query ?cost ?table ?on_sequence t q =
   match Query.compile (G.labels (Apex.graph t)) q with
-  | Some compiled -> eval ?cost ?table t compiled
+  | Some compiled -> eval ?cost ?table ?on_sequence t compiled
   | None -> [||]

@@ -26,6 +26,7 @@
 val eval :
   ?cost:Repro_storage.Cost.t ->
   ?table:Repro_storage.Data_table.t ->
+  ?on_sequence:(Repro_pathexpr.Label_path.t -> unit) ->
   ?max_rewrite_depth:int ->
   ?reuse_partial_joins:bool ->
   Apex.t ->
@@ -33,6 +34,10 @@ val eval :
   Repro_graph.Data_graph.nid array
 (** [table] is used for QTYPE3 value checks when provided (charging
     [table_pages]); otherwise values are read from the in-memory graph.
+    [on_sequence] is called once per QTYPE2 rewriting the search matched
+    (the label sequences la.m_1...m_k.lb with data witnesses) — the
+    workload-logging hook: these are the concrete paths a partial-match
+    query used.
     [max_rewrite_depth] (default 16) bounds QTYPE2 rewriting length —
     summary nodes may repeat along a rewriting (recursive structures
     summarize to cycles); branches whose running edge set joins to empty
@@ -47,6 +52,7 @@ val eval :
 val eval_query :
   ?cost:Repro_storage.Cost.t ->
   ?table:Repro_storage.Data_table.t ->
+  ?on_sequence:(Repro_pathexpr.Label_path.t -> unit) ->
   Apex.t ->
   Repro_pathexpr.Query.t ->
   Repro_graph.Data_graph.nid array

@@ -47,6 +47,15 @@ let reachable t =
 
 let reset_visited t = iter_reachable t (fun n -> n.visited <- false)
 
+let prune_edges t ~live =
+  (* snapshot the node list first: removing edges during [iter_reachable]
+     would mutate the tables being traversed *)
+  List.iter
+    (fun n ->
+      let dead = Hashtbl.fold (fun l y acc -> if live y then acc else l :: acc) n.out [] in
+      List.iter (Hashtbl.remove n.out) dead)
+    (reachable t)
+
 let stats t =
   let nodes = ref 0 and edges = ref 0 in
   iter_reachable t (fun n ->

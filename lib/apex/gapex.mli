@@ -37,6 +37,12 @@ val reachable : t -> node list
 val reset_visited : t -> unit
 (** Clear traversal marks on all reachable nodes. *)
 
+val prune_edges : t -> live:(node -> bool) -> unit
+(** Remove every summary edge whose target fails [live] (incremental
+    maintenance hygiene: edges into nodes whose hash-tree slot was cleared
+    would otherwise keep dead extents reachable — inflating {!stats} and
+    materialization — forever). *)
+
 val stats : t -> int * int
 (** Reachable [(nodes, edges)] — the numbers reported in Table 2 ([xroot]
     included, matching the paper's APEX0 node counts of label-count+1). *)

@@ -1,7 +1,10 @@
 module Label_path = Repro_pathexpr.Label_path
 module Cost = Repro_storage.Cost
 
-type slot = { mutable xnode : Gapex.node option }
+type slot = {
+  suid : int;  (* process-unique; identifies slots across maintenance passes *)
+  mutable xnode : Gapex.node option;
+}
 
 type entry = {
   label : Repro_graph.Label.t;
@@ -12,20 +15,31 @@ type entry = {
 }
 
 and hnode = {
+  hid : int;  (* process-unique; memoization key for the reverse walk *)
   entries : (Repro_graph.Label.t, entry) Hashtbl.t;
   r_slot : slot;  (* the remainder entry's xnode field *)
 }
 
 type t = { head : hnode }
 
-let mk_hnode () = { entries = Hashtbl.create 8; r_slot = { xnode = None } }
+let suid_counter = ref 0
+let hid_counter = ref 0
+
+let mk_slot () =
+  incr suid_counter;
+  { suid = !suid_counter; xnode = None }
+
+let mk_hnode () =
+  incr hid_counter;
+  { hid = !hid_counter; entries = Hashtbl.create 8; r_slot = mk_slot () }
 
 let create () = { head = mk_hnode () }
 
 let slot_get s = s.xnode
 let slot_set s v = s.xnode <- v
+let slot_uid s = s.suid
 
-let mk_entry label = { label; count = 0; is_new = true; e_slot = { xnode = None }; next = None }
+let mk_entry label = { label; count = 0; is_new = true; e_slot = mk_slot (); next = None }
 
 let charge cost =
   match cost with
@@ -243,7 +257,11 @@ let decode ~node_of arr ~pos =
       v
     end
   in
-  let slot_of code = { xnode = (if code = 0 then None else Some (node_of (code - 1))) } in
+  let slot_of code =
+    let s = mk_slot () in
+    s.xnode <- (if code = 0 then None else Some (node_of (code - 1)));
+    s
+  in
   let rec dec_hnode () =
     let n = next () in
     let h = mk_hnode () in
@@ -267,3 +285,140 @@ let check_invariant t =
   let ok = ref true in
   iter_entries t.head (fun e -> if Option.is_some e.next && Option.is_some e.e_slot.xnode then ok := false);
   !ok
+
+let depth t =
+  let rec go hnode =
+    1
+    + Hashtbl.fold
+        (fun _ e acc -> match e.next with Some sub -> Int.max acc (go sub) | None -> acc)
+        hnode.entries 0
+  in
+  go t.head
+
+(* --- reverse slot resolution (incremental maintenance) ---
+
+   [find_slots] enumerates every slot a data edge (u, l, v) is assigned to:
+   one per distinct resolution of [lookup_slot] over [l ::] each reverse
+   root-anchored label path reaching [u]. The walk descends one hnode level
+   per consumed label, so recursion is bounded by the tree depth and the
+   (hnode, data-node) states memoize across edges of one maintenance pass.
+
+   Because the required set is closed under subpaths (a subpath's workload
+   count is at least its superpath's, so pruning with one threshold keeps
+   closure), all paths reaching a given slot extend to the same resolutions
+   — which is what makes patching extents per-edge equivalent to the
+   traversal's path-at-a-time assignment. *)
+
+type finder = {
+  f_tree : t;
+  f_in_edges : int -> (Repro_graph.Label.t * int) list;
+  f_is_root : int -> bool;
+  f_memo : (int * int, slot list) Hashtbl.t;  (* (hid, data node) -> resolutions *)
+}
+
+let finder t ~in_edges ~is_root =
+  { f_tree = t; f_in_edges = in_edges; f_is_root = is_root; f_memo = Hashtbl.create 256 }
+
+let find_slots f ~label ~source =
+  (* [step hnode l x]: resolutions of looking [l] up in [hnode] where [x]
+     (the source of the l-edge) supplies any further labels; [consume sub x]:
+     resolutions of feeding x's reverse in-paths into [sub]. Mirrors
+     [lookup_slot] case by case, including HashHead entry creation. *)
+  let rec step hnode l x =
+    match Hashtbl.find_opt hnode.entries l with
+    | None ->
+      if hnode != f.f_tree.head then [ hnode.r_slot ]
+      else begin
+        (* length-1 paths are always required: create, as the update
+           traversal's [create_head] does *)
+        let e = mk_entry l in
+        e.is_new <- false;
+        Hashtbl.add hnode.entries l e;
+        [ e.e_slot ]
+      end
+    | Some e ->
+      (match e.next with
+       | None -> [ e.e_slot ]
+       | Some sub -> consume sub x)
+  and consume sub x =
+    match Hashtbl.find_opt f.f_memo (sub.hid, x) with
+    | Some slots -> slots
+    | None ->
+      let acc = ref [] in
+      (* a path starting at [x]: the reverse path is exhausted here and
+         [lookup_slot] resolves to the deeper hnode's remainder *)
+      if f.f_is_root x then acc := [ sub.r_slot ];
+      List.iter (fun (l', w) -> acc := step sub l' w @ !acc) (f.f_in_edges x);
+      let slots =
+        List.sort_uniq (fun a b -> Int.compare a.suid b.suid) !acc
+      in
+      Hashtbl.add f.f_memo (sub.hid, x) slots;
+      slots
+  in
+  List.sort_uniq (fun a b -> Int.compare a.suid b.suid) (step f.f_tree.head label source)
+
+(* [find_assignments] refines [find_slots] into (parent, child) pairs: for
+   each reverse root-anchored path [p] of [source], the resolution of [p]
+   (the summary node the traversal stands on when it reaches [source]) and
+   of [label :: p] (the child it assigns the edge to). G_APEX holds one
+   child per (node, label), so re-linking after an extent patch must attach
+   each added assignment to exactly its matching parents — under subpath
+   closure the child is a function of the parent, but distinct parents of
+   one edge can map to distinct children, and a cross product would
+   overwrite correct edges. Both walks consume the same label stream, so
+   they run in lockstep as a product automaton. *)
+
+type walk = W_done of slot | W_at of hnode
+
+let walk_key = function W_done s -> 2 * s.suid | W_at h -> (2 * h.hid) + 1
+
+(* one [lookup_slot] case on an in-progress walk; mirrors [step] above *)
+let advance f w l =
+  match w with
+  | W_done _ -> w
+  | W_at h ->
+    (match Hashtbl.find_opt h.entries l with
+     | None ->
+       if h != f.f_tree.head then W_done h.r_slot
+       else begin
+         let e = mk_entry l in
+         e.is_new <- false;
+         Hashtbl.add h.entries l e;
+         W_done e.e_slot
+       end
+     | Some e -> (match e.next with None -> W_done e.e_slot | Some sub -> W_at sub))
+
+let find_assignments f ~label ~source =
+  let memo : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let emitted : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let emit parent child =
+    let pk = match parent with None -> 0 | Some s -> s.suid + 1 in
+    if not (Hashtbl.mem emitted (pk, child.suid)) then begin
+      Hashtbl.add emitted (pk, child.suid) ();
+      out := (parent, child) :: !out
+    end
+  in
+  let resolve_child = function W_done s -> s | W_at h -> h.r_slot in
+  let resolve_parent = function
+    | W_done s -> Some s
+    | W_at h ->
+      (* still at HashHead: no label consumed, so the path is empty and the
+         parent is the summary root *)
+      if h == f.f_tree.head then None else Some h.r_slot
+  in
+  let rec go x c p =
+    match (c, p) with
+    | W_done sc, W_done sp ->
+      (* both fixed; [x] being root-reachable guarantees an anchor exists *)
+      emit (Some sp) sc
+    | _ ->
+      if f.f_is_root x then emit (resolve_parent p) (resolve_child c);
+      let key = (walk_key c, walk_key p, x) in
+      if not (Hashtbl.mem memo key) then begin
+        Hashtbl.add memo key ();
+        List.iter (fun (l', w) -> go w (advance f c l') (advance f p l')) (f.f_in_edges x)
+      end
+  in
+  go source (advance f (W_at f.f_tree.head) label) (W_at f.f_tree.head);
+  !out

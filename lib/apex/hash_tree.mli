@@ -20,6 +20,11 @@ val create : unit -> t
 val slot_get : slot -> Gapex.node option
 val slot_set : slot -> Gapex.node option -> unit
 
+val slot_uid : slot -> int
+(** Process-unique id, stable for the slot's lifetime — lets maintenance
+    passes collect per-slot deltas in hash tables and compare the slot
+    sets an edge resolves to before and after a data change. *)
+
 (** {1 Lookup (Figure 9)} *)
 
 val lookup_slot :
@@ -73,6 +78,47 @@ val iter_slots : t -> (Repro_graph.Label.t list -> slot -> bool -> unit) -> unit
 
 val n_entries : t -> int
 (** Total entries across all hnodes (HashHead included). *)
+
+val depth : t -> int
+(** Maximum number of labels one lookup can consume (HashHead counts 1,
+    each nested hnode level one more). Bounds how far downstream of a data
+    change slot assignments can shift: the slot of an edge depends on at
+    most [depth] trailing labels of its incoming paths. *)
+
+(** {1 Reverse slot resolution (incremental maintenance)} *)
+
+type finder
+(** Memoized reverse walk answering "which slots is this data edge assigned
+    to?" against one side (pre- or post-change) of a data graph. *)
+
+val finder :
+  t ->
+  in_edges:(int -> (Repro_graph.Label.t * int) list) ->
+  is_root:(int -> bool) ->
+  finder
+(** [in_edges x] must return the incoming [(label, source)] edges of data
+    node [x] whose sources are root-reachable in the graph side being
+    resolved — a {!lookup_slot} resolution is only witnessed by paths that
+    complete to the root. The memo assumes both callbacks are stable for
+    the finder's lifetime (use one finder per graph version). *)
+
+val find_slots : finder -> label:Repro_graph.Label.t -> source:int -> slot list
+(** All distinct slots the edge [(source, label, _)] is assigned to: one
+    per distinct {!lookup_slot} resolution of [label ::] a reverse
+    root-anchored path of [source], sorted by {!slot_uid}. The caller must
+    ensure [source] is root-reachable. A missing HashHead entry for [label]
+    is created (length-1 paths are always required), as the update
+    traversal does. *)
+
+val find_assignments :
+  finder -> label:Repro_graph.Label.t -> source:int -> (slot option * slot) list
+(** The {!find_slots} results paired with the slots of the paths they are
+    witnessed through: [(parent, child)] where, for some root-anchored path
+    [p] reaching [source], [parent] resolves [p] and [child] resolves
+    [label :: p]. A [None] parent is the empty path — the summary root
+    ([source] is the data root). Deduplicated; needed by re-linking because
+    [G_APEX] stores one child per (node, label): each added assignment must
+    attach to exactly the parents that witness it. *)
 
 val check_invariant : t -> bool
 (** No entry has both a subtree and an xnode. *)

@@ -370,6 +370,166 @@ let append_subtree ?(id_attrs = [ "id" ]) ?(idref_attrs = [ ]) g ~parent
     by_label = None
   }
 
+(* A node's tree (document) edge is its first incoming edge — reference
+   edges always come from attribute nodes created after the referencing
+   element, so they sort later in the reverse adjacency (see Subtree). *)
+let tree_in_edge_packed g v =
+  let a = ensure_in_adj g in
+  if Array.length a.(v) = 0 then None else Some a.(v).(0)
+
+let delete_subtree g ~node =
+  check_nid g node "delete_subtree";
+  if node = g.root then invalid_arg "Data_graph.delete_subtree: cannot delete the root";
+  ignore (ensure_in_adj g : int array array);
+  let n = n_nodes g in
+  let deleted = Array.make n false in
+  deleted.(node) <- true;
+  (* tree descendants: nodes whose document-parent chain passes through
+     [node]; attribute leaves and IDREF attribute nodes hang off their
+     owners by tree edges too, so they come along *)
+  let stack = ref [ node ] in
+  while not (List.is_empty !stack) do
+    match !stack with
+    | [] -> ()
+    | u :: tl ->
+      stack := tl;
+      iter_out g u (fun _ v ->
+          if (not deleted.(v)) && v <> g.root then
+            match tree_in_edge_packed g v with
+            | Some e when adj_node e = u ->
+              deleted.(v) <- true;
+              stack := v :: !stack
+            | Some _ | None -> ())
+  done;
+  let removed = ref [] in
+  let n_removed = ref 0 in
+  iter_edges g (fun u l v ->
+      if deleted.(u) || deleted.(v) then begin
+        removed := (u, l, v) :: !removed;
+        incr n_removed
+      end);
+  let out =
+    Array.mapi
+      (fun u adj ->
+        if deleted.(u) then [||]
+        else if Array.exists (fun e -> deleted.(adj_node e)) adj then
+          Array.of_seq (Seq.filter (fun e -> not deleted.(adj_node e)) (Array.to_seq adj))
+        else adj)
+      g.out
+  in
+  let values = Array.mapi (fun v value -> if deleted.(v) then None else value) g.values in
+  let ids = Hashtbl.create (Hashtbl.length g.ids) in
+  Hashtbl.iter (fun id (v, tag) -> if not deleted.(v) then Hashtbl.add ids id (v, tag)) g.ids;
+  let g' =
+    { labels = g.labels;
+      root = g.root;
+      out;
+      values;
+      n_edges = g.n_edges - !n_removed;
+      idref_label_ids = g.idref_label_ids;
+      ids;
+      id_inv = None;
+      in_adj = None;
+      by_label = None
+    }
+  in
+  (g', List.rev !removed)
+
+let add_ref_edge g ~owner ~attr ~target =
+  check_nid g owner "add_ref_edge";
+  check_nid g target "add_ref_edge";
+  let target_tag =
+    match tree_in_edge_packed g target with
+    | Some e -> adj_label e
+    | None ->
+      invalid_arg "Data_graph.add_ref_edge: target has no document edge to label the reference"
+  in
+  let l_attr = Label.intern g.labels ("@" ^ attr) in
+  (* a fresh attribute node keeps every reference edge's source younger
+     than any tree parent, preserving the first-in-edge-is-tree-edge
+     convention for all targets *)
+  let attr_node = n_nodes g in
+  let out =
+    Array.init (attr_node + 1) (fun u ->
+        if u = owner then Array.append g.out.(u) [| pack_adj l_attr attr_node |]
+        else if u = attr_node then [| pack_adj target_tag target |]
+        else g.out.(u))
+  in
+  let values = Array.init (attr_node + 1) (fun v -> if v = attr_node then None else g.values.(v)) in
+  let g' =
+    { labels = g.labels;
+      root = g.root;
+      out;
+      values;
+      n_edges = g.n_edges + 2;
+      idref_label_ids = List.sort_uniq Int.compare (l_attr :: g.idref_label_ids);
+      ids = g.ids;
+      id_inv = None;
+      in_adj = None;
+      by_label = None
+    }
+  in
+  (g', [ (owner, l_attr, attr_node); (attr_node, target_tag, target) ])
+
+let remove_ref_edge g ~owner ~attr ~target =
+  check_nid g owner "remove_ref_edge";
+  check_nid g target "remove_ref_edge";
+  let l_attr =
+    match Label.find g.labels ("@" ^ attr) with
+    | Some l -> l
+    | None -> invalid_arg "Data_graph.remove_ref_edge: unknown attribute"
+  in
+  (* find an attribute node reached from [owner] by [@attr] that holds a
+     reference edge to [target] *)
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      if Option.is_none !found && adj_label e = l_attr then begin
+        let a = adj_node e in
+        Array.iter
+          (fun e' -> if Option.is_none !found && adj_node e' = target then found := Some (a, adj_label e'))
+          g.out.(a)
+      end)
+    g.out.(owner);
+  match !found with
+  | None -> invalid_arg "Data_graph.remove_ref_edge: no such reference"
+  | Some (attr_node, target_tag) ->
+    let remove_first arr e =
+      let idx = ref (-1) in
+      Array.iteri (fun i x -> if !idx < 0 && Int.equal x e then idx := i) arr;
+      if !idx < 0 then arr
+      else Array.init (Array.length arr - 1) (fun i -> if i < !idx then arr.(i) else arr.(i + 1))
+    in
+    let attr_out = remove_first g.out.(attr_node) (pack_adj target_tag target) in
+    let orphaned = Array.length attr_out = 0 in
+    let removed = ref [ (attr_node, target_tag, target) ] in
+    let out =
+      Array.mapi
+        (fun u adj ->
+          if u = attr_node then attr_out
+          else if u = owner && orphaned then begin
+            removed := (owner, l_attr, attr_node) :: !removed;
+            remove_first adj (pack_adj l_attr attr_node)
+          end
+          else adj)
+        g.out
+    in
+    let n_removed = if orphaned then 2 else 1 in
+    let g' =
+      { labels = g.labels;
+        root = g.root;
+        out;
+        values = g.values;
+        n_edges = g.n_edges - n_removed;
+        idref_label_ids = g.idref_label_ids;
+        ids = g.ids;
+        id_inv = None;
+        in_adj = None;
+        by_label = None
+      }
+    in
+    (g', List.rev !removed)
+
 let reachable_by_label_path g path =
   match path with
   | [] -> invalid_arg "Data_graph.reachable_by_label_path: empty path"

@@ -117,6 +117,30 @@ val append_subtree :
     own; dangling references are dropped. The label table is shared (it
     only ever grows). @raise Invalid_argument on an unknown parent. *)
 
+val delete_subtree : t -> node:nid -> t * (nid * Label.t * nid) list
+(** Functional subtree deletion: a new graph without [node], its tree
+    descendants (nodes whose document-parent chain passes through [node],
+    including attribute leaves and IDREF attribute nodes), and {e every}
+    edge incident to a deleted node — tree edges, attribute edges, and
+    reference edges in either direction. Returns the removed edges as
+    [(source, label, target)] triples, in document order. Deleted nids stay
+    allocated but fully disconnected (dense nids keep every other node's
+    id stable); their ids are dropped from the reference-resolution table.
+    @raise Invalid_argument on the root or an unknown nid. *)
+
+val add_ref_edge : t -> owner:nid -> attr:string -> target:nid -> t * (nid * Label.t * nid) list
+(** Functional IDREF edge insertion, encoded as {!of_document} encodes
+    references: a fresh attribute node reached from [owner] by [@attr],
+    with one reference edge to [target] labeled by the target's document
+    tag. Returns the two added edges. @raise Invalid_argument when [target]
+    has no document edge (nothing to label the reference with). *)
+
+val remove_ref_edge : t -> owner:nid -> attr:string -> target:nid -> t * (nid * Label.t * nid) list
+(** Remove one reference edge [owner --@attr--> a --tag--> target]. When
+    this empties the attribute node [a], the [@attr] edge to it is removed
+    too (and [a] is left disconnected). Returns the removed edges.
+    @raise Invalid_argument when no such reference exists. *)
+
 (** {1 Queries used by tests and the naive evaluator} *)
 
 val reachable_by_label_path : t -> Label.t list -> Edge_set.t

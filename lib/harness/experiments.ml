@@ -577,6 +577,126 @@ let run_all config =
       release ctx spec.Dataset.name)
     config.datasets
 
+(* --- bench updates: maintained index vs rebuild, page I/O per delta --- *)
+
+let updates config ~out =
+  let module Generate = Repro_workload.Generate in
+  let module Update = Repro_update.Update in
+  let module Update_workload = Repro_workload.Update_workload in
+  let module Io_stats = Repro_storage.Io_stats in
+  let ms = config.chosen_min_sup in
+  let batch_sizes = [ 1; 4; 16; 64 ] in
+  let table_rows = ref [] in
+  let dataset_rows =
+    List.map
+      (fun spec0 ->
+        let spec = Dataset.scaled spec0 config.scale in
+        let batch_cells =
+          List.map
+            (fun n ->
+              (* maintained leg: fresh adapted index in a fresh store, then
+                 one op batch; every page written after the baseline flush
+                 is maintenance I/O *)
+              let g0 = Dataset.build_graph spec in
+              let rand = Random.State.make [| spec0.Dataset.seed; n; 0xBE7C |] in
+              let workload = Env.compile_workload g0 (Generate.qtype1 ~n:24 rand g0) in
+              let pager = Repro_storage.Pager.create ~page_size:4096 () in
+              let pool = Repro_storage.Buffer_pool.create pager ~capacity:256 in
+              let apex = Apex.build_adapted g0 ~workload ~min_support:ms in
+              Apex.materialize apex pool;
+              Repro_storage.Buffer_pool.flush pool;
+              let writes0 = (Repro_storage.Pager.stats pager).Io_stats.disk_writes in
+              let ops, _ = Update_workload.gen_ops ~seed:(spec0.Dataset.seed + n) ~n g0 in
+              let ustats, t_maint = time (fun () -> Update.apply apex ops) in
+              Repro_storage.Buffer_pool.flush pool;
+              let maintained_writes =
+                (Repro_storage.Pager.stats pager).Io_stats.disk_writes - writes0
+              in
+              (* rebuild leg: what answering the same updates costs if the
+                 index is instead re-extracted and re-materialized whole *)
+              let g1 = Apex.graph apex in
+              let pager_r = Repro_storage.Pager.create ~page_size:4096 () in
+              let pool_r = Repro_storage.Buffer_pool.create pager_r ~capacity:256 in
+              let rebuilt, t_reb =
+                time (fun () ->
+                    let r = Apex.build_adapted g1 ~workload ~min_support:ms in
+                    Apex.materialize r pool_r;
+                    Repro_storage.Buffer_pool.flush pool_r;
+                    r)
+              in
+              let rebuild_writes = (Repro_storage.Pager.stats pager_r).Io_stats.disk_writes in
+              (* one query battery through both engines over the mutated
+                 graph: the result checksums must be bit-identical *)
+              let queries =
+                Array.concat
+                  [ Generate.qtype1 ~n:10 rand g1;
+                    Generate.qtype2 ~n:3 rand g1;
+                    Generate.qtype3 ~n:5 rand g1
+                  ]
+              in
+              let maintained_eval ~cost q = Apex_query.eval_query ~cost apex q in
+              let m_maint = Measure.run queries maintained_eval in
+              let m_reb =
+                Measure.run queries (fun ~cost q -> Apex_query.eval_query ~cost rebuilt q)
+              in
+              if m_maint.Measure.checksum <> m_reb.Measure.checksum then
+                failwith
+                  (Printf.sprintf
+                     "bench updates: %s batch %d: maintained index diverged from rebuild"
+                     spec.Dataset.name n);
+              if config.verify then begin
+                match Measure.verify_sample g1 queries maintained_eval with
+                | Ok () -> ()
+                | Error m ->
+                  failwith
+                    (Printf.sprintf "bench updates: %s batch %d: %s" spec.Dataset.name n m)
+              end;
+              let delta = ustats.Update.edges_added + ustats.Update.edges_removed in
+              table_rows :=
+                [ spec.Dataset.name;
+                  string_of_int n;
+                  string_of_int delta;
+                  string_of_int ustats.Update.slots_patched;
+                  string_of_int ustats.Update.extents_flushed;
+                  string_of_int maintained_writes;
+                  string_of_int rebuild_writes;
+                  Printf.sprintf "%.4f" t_maint;
+                  Printf.sprintf "%.4f" t_reb;
+                  Printf.sprintf "%x" m_maint.Measure.checksum
+                ]
+                :: !table_rows;
+              Printf.sprintf
+                "      {\"batch_ops\": %d, \"delta_edges\": %d, \"slots_patched\": %d, \
+                 \"extents_flushed\": %d, \"maintained_page_writes\": %d, \
+                 \"rebuild_page_writes\": %d, \"maintained_seconds\": %.6f, \
+                 \"rebuild_seconds\": %.6f, \"checksum\": \"%x\"}"
+                n delta ustats.Update.slots_patched ustats.Update.extents_flushed
+                maintained_writes rebuild_writes t_maint t_reb m_maint.Measure.checksum)
+            batch_sizes
+        in
+        Printf.sprintf "    {\"name\": \"%s\", \"batches\": [\n%s\n    ]}"
+          (json_escape spec.Dataset.name)
+          (String.concat ",\n" batch_cells))
+      config.datasets
+  in
+  Report.table ~title:"bench updates: maintained APEX vs from-scratch rebuild"
+    ~header:
+      [ "Data Set"; "ops"; "delta edges"; "slots"; "flushed"; "maint pages"; "rebuild pages";
+        "maint (s)"; "rebuild (s)"; "checksum"
+      ]
+    (List.rev !table_rows);
+  let doc =
+    Printf.sprintf
+      "{\n  \"config\": {\"scale\": %g, \"min_support\": %g, \"verified\": %b},\n  \
+       \"datasets\": [\n%s\n  ]\n}\n"
+      config.scale ms config.verify
+      (String.concat ",\n" dataset_rows)
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
 (* --- fault-injection smoke --- *)
 
 let fault_smoke config =

@@ -82,6 +82,20 @@ val json_bench : config -> out:string -> unit
     Successive snapshots with identical config must report identical
     checksums — the perf-trajectory guard. *)
 
+val updates : config -> out:string -> unit
+(** The update-maintenance experiment ([bench updates]): per dataset and
+    per op-batch size (1, 4, 16, 64), build APEX([chosen_min_sup]) in a
+    fresh store, apply one generated batch
+    ({!Repro_workload.Update_workload}) through the incremental maintainer
+    ({!Repro_update.Update.apply}), and count the pages written after the
+    baseline flush — against the page writes of re-extracting and
+    re-materializing the whole index over the mutated graph. Maintained
+    I/O must scale with the delta, rebuild I/O with the index. A mixed
+    query battery runs through both engines; their result checksums must
+    be bit-identical (and, unless [verify] is off, match the naive
+    evaluator). Prints the table and writes the JSON snapshot to [out]
+    (recorded as [BENCH_PR4.json]). *)
+
 val fault_smoke : config -> unit
 (** Run the first dataset's QTYPE1 batch twice — once clean, once against a
     pager whose reads randomly flip bits and truncate ({!Repro_storage.Fault}

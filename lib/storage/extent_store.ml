@@ -8,6 +8,10 @@ type handle = {
   first_off : int;
   n_bytes : int;
   n_ints : int;
+  base : handle option;
+      (* [Some h]: this blob is a delta — [n_removed], then the removed
+         edges, then the added ones — over the extent named by [h];
+         [None]: a plain full extent *)
 }
 
 (* decoded-extent LRU: an intrusive doubly-linked list threaded through a
@@ -64,12 +68,17 @@ let create ?(codec = `Raw) ?(cache_entries = 1024) ?(cache_ints = 4_000_000) poo
 let codec t = t.enc
 let pool t = t.pool
 
-let handle_fields h = (h.first_page, h.first_off, h.n_bytes, h.n_ints)
+let handle_fields h =
+  if Option.is_some h.base then
+    invalid_arg "Extent_store.handle_fields: delta handles are not persistable";
+  (h.first_page, h.first_off, h.n_bytes, h.n_ints)
 
 let handle_of_fields ~first_page ~first_off ~n_bytes ~n_ints =
   if first_page < 0 || first_off < 0 || n_bytes < 0 || n_ints < 0 then
     invalid_arg "Extent_store.handle_of_fields: negative field";
-  { first_page; first_off; n_bytes; n_ints }
+  { first_page; first_off; n_bytes; n_ints; base = None }
+
+let rec chain_length h = match h.base with None -> 0 | Some b -> 1 + chain_length b
 
 (* --- LRU primitives --- *)
 
@@ -206,7 +215,12 @@ let append_blob t data ~n_ints =
   if t.cur_page <> Pager.n_pages pager - 1 then start_fresh_page t;
   if t.cur_off >= page_size then start_fresh_page t;
   let handle =
-    { first_page = t.cur_page; first_off = t.cur_off; n_bytes = String.length data; n_ints }
+    { first_page = t.cur_page;
+      first_off = t.cur_off;
+      n_bytes = String.length data;
+      n_ints;
+      base = None
+    }
   in
   let remaining = ref (String.length data) in
   let src = ref 0 in
@@ -253,6 +267,12 @@ let append_ints t ints = append_blob t (encode t.enc ints) ~n_ints:(Array.length
 
 let append t (set : Repro_graph.Edge_set.t) = append_ints t (set :> int array)
 
+let append_delta t ~base ~(removed : Repro_graph.Edge_set.t) ~(added : Repro_graph.Edge_set.t) =
+  let r = (removed :> int array) and a = (added :> int array) in
+  let ints = Array.concat [ [| Array.length r |]; r; a ] in
+  let h = append_blob t (encode t.enc ints) ~n_ints:(Array.length ints) in
+  { h with base = Some base }
+
 let cache_key t h =
   (h.first_page * Pager.page_size (Buffer_pool.pager t.pool)) + h.first_off
 
@@ -293,15 +313,36 @@ let load_ints ?cost t h =
   | Some node -> node.ints
   | None -> decode t.enc (load_blob ?cost t h) h.n_ints
 
-let load ?cost t h =
+let rec load ?cost t h =
+  (* a delta blob resolves against its base chain; the decoded-extent LRU
+     caches the RESOLVED set per blob, so a warm chain costs no extra I/O *)
+  let resolve ints =
+    match h.base with
+    | None -> Repro_graph.Edge_set.of_packed_array ints
+    | Some b ->
+      let base = load ?cost t b in
+      if Array.length ints = 0 then base
+      else begin
+        let nr = ints.(0) in
+        if nr < 0 || nr > Array.length ints - 1 then
+          invalid_arg "Extent_store.load: malformed delta blob";
+        let removed = Repro_graph.Edge_set.of_packed_array (Array.sub ints 1 nr) in
+        let added =
+          Repro_graph.Edge_set.of_packed_array
+            (Array.sub ints (1 + nr) (Array.length ints - 1 - nr))
+        in
+        Repro_graph.Edge_set.union (Repro_graph.Edge_set.diff base removed) added
+      end
+  in
   match load_node ?cost t h with
-  | None -> Repro_graph.Edge_set.of_packed_array (decode t.enc (load_blob ?cost t h) h.n_ints)
+  | None -> resolve (decode t.enc (load_blob ?cost t h) h.n_ints)
   | Some node ->
     (match node.set with
      | Some s -> s
      | None ->
-       (* validate once; hits after this are allocation- and scan-free *)
-       let s = Repro_graph.Edge_set.of_packed_array node.ints in
+       (* validate/resolve once; hits after this are allocation- and
+          scan-free *)
+       let s = resolve node.ints in
        node.set <- Some s;
        s)
 

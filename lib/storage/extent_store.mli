@@ -55,8 +55,23 @@ val append : t -> Repro_graph.Edge_set.t -> handle
 (** Serialize an extent at the current tail. Build-time writes are counted
     in the pager's {!Io_stats}. *)
 
+val append_delta :
+  t -> base:handle -> removed:Repro_graph.Edge_set.t -> added:Repro_graph.Edge_set.t -> handle
+(** Serialize only a {e change} to the extent named by [base]: the blob
+    holds the removed and added edges, so write I/O is proportional to the
+    delta, not the extent. {!load} on the returned handle resolves the
+    chain ([union (diff base removed) added]); the decoded-extent LRU
+    caches the resolved set, so a warm chain re-reads nothing. Delta
+    handles are in-memory only — {!handle_fields} rejects them (snapshot
+    commits re-encode full images). Keep chains short via {!chain_length}:
+    a cold load pays one blob read per link. *)
+
+val chain_length : handle -> int
+(** Number of delta links under this handle (0 for a full extent). *)
+
 val load : ?cost:Cost.t -> t -> handle -> Repro_graph.Edge_set.t
-(** Read the extent back through the buffer pool. *)
+(** Read the extent back through the buffer pool, resolving any delta
+    chain. *)
 
 val cardinal : handle -> int
 (** Number of integers, without I/O. *)

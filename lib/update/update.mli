@@ -1,0 +1,82 @@
+(** Data updates with incremental APEX maintenance.
+
+    The paper's Section 5 treats the index as living against a changing
+    document: this subsystem applies subtree inserts, subtree deletes, and
+    IDREF edge changes to the data graph and patches [G_APEX] extents and
+    [H_APEX] slots {e in place} — no rebuild.
+
+    The algorithm, per operation:
+
+    + apply the change functionally to the {!Repro_graph.Data_graph},
+      collecting the added and removed data edges;
+    + compute the {e dirty} edge set: the changed edges themselves, every
+      out-edge of a node within [Hash_tree.depth - 2] forward hops of a
+      touched target (the only region whose trailing label windows — and
+      hence hash-tree resolutions — can shift), and every out-edge of a
+      node whose root-reachability flipped;
+    + resolve each dirty edge's slot assignments by reverse label-path
+      lookup ({!Repro_apex.Hash_tree.find_slots}) against the pre- and
+      post-change graph; the symmetric difference of the two slot sets
+      gives per-slot extent deltas;
+    + patch extents with sorted delta merges ([Edge_set.diff]/[union] over
+      the [Int_sorted] kernels), dropping emptied slots' nodes and creating
+      nodes for newly populated slots, and re-link summary edges for every
+      added assignment;
+    + flush only the touched extents to the extent store as batched delta
+      blobs ({!Repro_apex.Apex.flush_dirty}) — page I/O proportional to
+      the change.
+
+    Correctness leans on the required set's closure under subpaths (a
+    subpath is at least as frequent as its superpaths, so uniform-threshold
+    pruning preserves closure): all paths assigned to one slot extend to
+    the same resolutions, so per-edge patching agrees with the build
+    traversal's path-at-a-time assignment. The differential suite checks
+    the result against a from-scratch rebuild after every seeded
+    interleaving of updates and queries. *)
+
+type op =
+  | Insert_subtree of { parent : Repro_graph.Data_graph.nid; fragment : Repro_xml.Xml_tree.element }
+      (** Graft [fragment] below [parent] ({!Repro_graph.Data_graph.append_subtree}). *)
+  | Delete_subtree of { node : Repro_graph.Data_graph.nid }
+      (** Remove [node], its tree descendants, and every incident edge. *)
+  | Insert_ref of {
+      owner : Repro_graph.Data_graph.nid;
+      attr : string;
+      target : Repro_graph.Data_graph.nid;
+    }  (** Add an IDREF edge [owner --@attr--> · --tag--> target]. *)
+  | Delete_ref of {
+      owner : Repro_graph.Data_graph.nid;
+      attr : string;
+      target : Repro_graph.Data_graph.nid;
+    }  (** Remove one such reference edge. *)
+
+type applied = {
+  graph : Repro_graph.Data_graph.t;  (** the post-operation graph *)
+  added : (Repro_graph.Data_graph.nid * Repro_graph.Label.t * Repro_graph.Data_graph.nid) list;
+  removed : (Repro_graph.Data_graph.nid * Repro_graph.Label.t * Repro_graph.Data_graph.nid) list;
+}
+
+val apply_graph : Repro_graph.Data_graph.t -> op -> applied
+(** Apply one operation to the graph alone (no index involved) and report
+    the edge-level delta. @raise Invalid_argument on invalid operands
+    (unknown nids, deleting the root, removing a reference that does not
+    exist, referencing a node with no document edge). *)
+
+type stats = {
+  ops : int;
+  edges_added : int;
+  edges_removed : int;
+  slots_patched : int;  (** extent patch applications (a slot may repeat across ops) *)
+  nodes_created : int;  (** fresh [G_APEX] nodes for newly populated slots *)
+  extents_flushed : int;  (** extents re-persisted by the batched flush *)
+}
+
+val apply : Repro_apex.Apex.t -> op list -> stats
+(** Apply the operations in order to the index's graph, maintaining the
+    index incrementally after each, then flush every touched extent once
+    (batched deltas) if the index is materialized. The index's graph is
+    re-pointed after each operation, so a storage fault during the final
+    flush leaves the data changes applied and the in-memory index
+    consistent — only the store lags (re-materialize or rebuild to
+    recover; {!Repro_adaptive.Self_tuning} does this automatically).
+    @raise Invalid_argument as {!apply_graph}. *)

@@ -12,7 +12,7 @@ let record t path =
   t.ring.(t.total mod t.capacity) <- path;
   t.total <- t.total + 1
 
-let record_query t labels q =
+let record_query ?(q2_paths = []) t labels q =
   let resolve steps =
     let rec go acc = function
       | [] -> Some (List.rev acc)
@@ -26,7 +26,18 @@ let record_query t labels q =
   match q with
   | Repro_pathexpr.Query.Qtype1 steps | Repro_pathexpr.Query.Qtype3 (steps, _) ->
     (match resolve steps with Some p when p <> [] -> record t p | Some _ | None -> ())
-  | Repro_pathexpr.Query.Qtype2 _ -> ()
+  | Repro_pathexpr.Query.Qtype2 (a, b) ->
+    (* Partial-match queries carry workload signal too: the paths the
+       rewrite search actually matched (when the evaluator reports them)
+       are the frequently-used paths refresh should extend the index
+       with.  Without evaluator feedback, fall back to the minimal
+       [a.b] suffix so Q2-heavy workloads still accumulate support. *)
+    (match q2_paths with
+     | _ :: _ -> List.iter (fun p -> if p <> [] then record t p) q2_paths
+     | [] ->
+       (match resolve [ a; b ] with
+        | Some p -> record t p
+        | None -> ()))
 
 let length t = min t.total t.capacity
 let total_recorded t = t.total
@@ -36,4 +47,8 @@ let to_workload t =
   let start = if t.total <= t.capacity then 0 else t.total mod t.capacity in
   List.init n (fun i -> t.ring.((start + i) mod t.capacity))
 
-let clear t = t.total <- 0
+let clear t =
+  (* Blank the slots too: a cleared log must not pin the old paths
+     (the ring otherwise retains up to [capacity] label paths). *)
+  Array.fill t.ring 0 t.capacity [];
+  t.total <- 0

@@ -16,11 +16,14 @@ val record : t -> Repro_pathexpr.Label_path.t -> unit
 (** Log one executed query's label path. *)
 
 val record_query :
+  ?q2_paths:Repro_pathexpr.Label_path.t list ->
   t -> Repro_graph.Label.table -> Repro_pathexpr.Query.t -> unit
 (** Log a query: QTYPE1 paths are recorded as-is, QTYPE3 paths without
-    their value predicate; QTYPE2 and unknown-label queries are skipped
-    (they contribute no label path, matching the paper's workload of
-    QTYPE1-style paths). *)
+    their value predicate.  QTYPE2 queries record the label paths the
+    rewrite search matched when the evaluator supplies them as
+    [q2_paths]; otherwise the minimal [a.b] suffix path is recorded.
+    Unknown-label queries are skipped (they contribute no label
+    path). *)
 
 val length : t -> int
 (** Entries currently held (≤ capacity). *)

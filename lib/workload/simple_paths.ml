@@ -11,7 +11,22 @@ module Node_set = struct
   type t = int array (* strictly increasing *)
 
   let equal = Repro_util.Int_sorted.equal
-  let hash (t : t) = Hashtbl.hash t
+
+  (* Not [Hashtbl.hash]: the polymorphic hash only inspects a bounded
+     prefix of the array, so large DataGuide states differing only in
+     their tails collapse into the same bucket chains (the apex_lint L1
+     rationale).  FNV-1a folded over every element instead. *)
+  let hash (t : t) =
+    let h = ref 0x811c9dc5 in
+    Array.iter
+      (fun x ->
+        let x = ref x in
+        for _ = 0 to 7 do
+          h := (!h lxor (!x land 0xff)) * 0x01000193 land 0x3fffffff;
+          x := !x lsr 8
+        done)
+      t;
+    !h
 end
 
 module State_tbl = Hashtbl.Make (Node_set)

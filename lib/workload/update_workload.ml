@@ -1,0 +1,135 @@
+module G = Repro_graph.Data_graph
+module Label = Repro_graph.Label
+module U = Repro_update.Update
+module X = Repro_xml.Xml_tree
+
+(* the document (tree) in-edge of a node is its first incoming edge *)
+let tree_in_edge g v =
+  let res = ref None in
+  G.iter_in g v (fun l w -> if Option.is_none !res then res := Some (l, w));
+  !res
+
+(* element nodes of the document tree, in document order (root first) *)
+let element_nodes g =
+  let labels = G.labels g in
+  let n = G.n_nodes g in
+  let seen = Array.make (Int.max 1 n) false in
+  let out = ref [] in
+  let rec visit u =
+    out := u :: !out;
+    G.iter_out g u (fun l v ->
+        if (not seen.(v)) && not (Label.is_attribute labels l) then
+          match tree_in_edge g v with
+          | Some (l', w) when Int.equal l' l && Int.equal w u ->
+            seen.(v) <- true;
+            visit v
+          | Some _ | None -> ())
+  in
+  seen.(G.root g) <- true;
+  visit (G.root g);
+  List.rev !out
+
+(* every (owner, attr-name, target) reference triple currently encoded *)
+let ref_triples g =
+  let labels = G.labels g in
+  let idref : (Label.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace idref l ()) (G.idref_labels g);
+  let out = ref [] in
+  if Hashtbl.length idref > 0 then
+    G.iter_edges g (fun u l a ->
+        if Hashtbl.mem idref l then
+          let name = Label.to_string labels l in
+          let name = String.sub name 1 (String.length name - 1) in
+          G.iter_out g a (fun _ target -> out := (u, name, target) :: !out));
+  List.rev !out
+
+let pick rng = function
+  | [] -> invalid_arg "Update_workload.pick: empty"
+  | l ->
+    let a = Array.of_list l in
+    a.(Random.State.int rng (Array.length a))
+
+let fresh_tags = [ "upd0"; "upd1"; "upd2"; "upd3" ]
+
+let tag_pool g =
+  let labels = G.labels g in
+  let acc = ref fresh_tags in
+  for l = Label.count labels - 1 downto 0 do
+    let name = Label.to_string labels l in
+    if String.length name > 0 && name.[0] <> '@' && name.[0] <> '<' then acc := name :: !acc
+  done;
+  !acc
+
+let rec gen_fragment rng tags ~depth =
+  let tag = pick rng tags in
+  if depth <= 0 || Random.State.float rng 1.0 < 0.35 then
+    X.element ~children:[ X.Text (Printf.sprintf "v%d" (Random.State.int rng 64)) ] tag
+  else
+    let n = 1 + Random.State.int rng 3 in
+    X.element
+      ~children:(List.init n (fun _ -> X.Element (gen_fragment rng tags ~depth:(depth - 1))))
+      tag
+
+let gen_op ~p_insert ~p_delete ~p_ins_ref ~max_depth rng g =
+  let elements = element_nodes g in
+  let root = G.root g in
+  let parents = List.filter (fun v -> Option.is_none (G.value g v)) elements in
+  let deletable = List.filter (fun v -> not (Int.equal v root)) elements in
+  let try_insert () =
+    match parents with
+    | [] -> None
+    | _ ->
+      let parent = pick rng parents in
+      let depth = 1 + Random.State.int rng (Int.max 1 max_depth) in
+      Some (U.Insert_subtree { parent; fragment = gen_fragment rng (tag_pool g) ~depth })
+  in
+  let try_delete () =
+    (* keep small documents alive: deleting down to a bare root starves
+       every other generator *)
+    if List.length elements <= 4 then None
+    else Some (U.Delete_subtree { node = pick rng deletable })
+  in
+  let try_ins_ref () =
+    match (parents, deletable) with
+    | [], _ | _, [] -> None
+    | _ ->
+      let owner = pick rng parents and target = pick rng deletable in
+      let attr =
+        let names =
+          List.sort_uniq String.compare (List.map (fun (_, name, _) -> name) (ref_triples g))
+        in
+        if names <> [] && Random.State.bool rng then pick rng names else "ref"
+      in
+      Some (U.Insert_ref { owner; attr; target })
+  in
+  let try_del_ref () =
+    match ref_triples g with
+    | [] -> None
+    | refs ->
+      let owner, attr, target = pick rng refs in
+      Some (U.Delete_ref { owner; attr; target })
+  in
+  let roll = Random.State.float rng 1.0 in
+  let order =
+    if roll < p_insert then [ try_insert; try_delete; try_ins_ref; try_del_ref ]
+    else if roll < p_insert +. p_delete then [ try_delete; try_insert; try_ins_ref; try_del_ref ]
+    else if roll < p_insert +. p_delete +. p_ins_ref then
+      [ try_ins_ref; try_del_ref; try_insert; try_delete ]
+    else [ try_del_ref; try_ins_ref; try_insert; try_delete ]
+  in
+  List.fold_left (fun acc f -> match acc with Some _ -> acc | None -> f ()) None order
+
+let gen_ops ?(p_insert = 0.45) ?(p_delete = 0.25) ?(p_ins_ref = 0.2) ?(p_del_ref = 0.1)
+    ?(max_depth = 3) ~seed ~n g0 =
+  ignore p_del_ref;
+  let rng = Random.State.make [| 0x9e3779b9; seed |] in
+  let g = ref g0 in
+  let ops = ref [] in
+  for _ = 1 to n do
+    match gen_op ~p_insert ~p_delete ~p_ins_ref ~max_depth rng !g with
+    | None -> ()
+    | Some op ->
+      ops := op :: !ops;
+      g := (U.apply_graph !g op).U.graph
+  done;
+  (List.rev !ops, !g)

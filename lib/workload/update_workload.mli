@@ -1,0 +1,28 @@
+(** Seeded random data-update workloads.
+
+    Generates a sequence of {!Repro_update.Update.op} valid for sequential
+    replay from a starting graph: each operation is drawn against the
+    graph as evolved by the ones before it (inserts can graft below
+    freshly inserted elements, deletes can remove them again, reference
+    ops see the current reference set). Fragment tags are sampled from the
+    document's existing element labels plus a small pool of fresh ones, so
+    updates both reinforce existing label paths and introduce new ones —
+    the mix the incremental maintenance engine must survive. *)
+
+val gen_ops :
+  ?p_insert:float ->
+  ?p_delete:float ->
+  ?p_ins_ref:float ->
+  ?p_del_ref:float ->
+  ?max_depth:int ->
+  seed:int ->
+  n:int ->
+  Repro_graph.Data_graph.t ->
+  Repro_update.Update.op list * Repro_graph.Data_graph.t
+(** [gen_ops ~seed ~n g] draws up to [n] operations (fewer when a draw
+    finds no candidate, e.g. deleting from a nearly empty document) and
+    returns them with the graph they produce. Deterministic in [seed] and
+    [g]. Default mix: 45% subtree insert (fragments of depth
+    ≤ [max_depth], default 3), 25% subtree delete (kept away from the
+    root while the document is small), 20% reference insert, 10%
+    reference delete; a kind with no candidates falls back to the next. *)

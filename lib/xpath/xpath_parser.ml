@@ -41,7 +41,14 @@ let integer cur =
     cur.pos <- cur.pos + 1
   done;
   if cur.pos = start then fail cur "expected an integer"
-  else int_of_string (String.sub cur.input start (cur.pos - start))
+  else
+    let digits = String.sub cur.input start (cur.pos - start) in
+    (* [int_of_string] raises [Failure] on digit runs past [max_int];
+       surface that as a positioned parse error instead of escaping the
+       parser's [Fail]-based error channel. *)
+    match int_of_string_opt digits with
+    | Some n -> n
+    | None -> fail { cur with pos = start } "integer %s out of range" digits
 
 let value cur =
   if looking_at cur "\"" then begin

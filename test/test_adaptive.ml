@@ -29,10 +29,18 @@ let test_log_record_query () =
   Query_log.record_query log labels (Query.Qtype1 [ "actor"; "name" ]);
   Query_log.record_query log labels (Query.Qtype3 ([ "title" ], "Waterworld"));
   Query_log.record_query log labels (Query.Qtype2 ("movie", "title"));
-  (* skipped *)
+  (* recorded via the minimal [movie.title] fallback *)
   Query_log.record_query log labels (Query.Qtype1 [ "unknown" ]);
   (* skipped: unknown label *)
-  Alcotest.(check int) "two recorded" 2 (Query_log.length log)
+  Alcotest.(check int) "three recorded" 3 (Query_log.length log);
+  (* evaluator feedback overrides the fallback: the matched rewritings are
+     recorded verbatim, however long *)
+  Query_log.record_query ~q2_paths:[ [ 1; 2; 3 ]; [ 4; 5 ] ] log labels
+    (Query.Qtype2 ("movie", "title"));
+  Alcotest.(check int) "both rewritings recorded" 5 (Query_log.length log);
+  (* an unresolvable fallback still records nothing *)
+  Query_log.record_query log labels (Query.Qtype2 ("movie", "unknown"));
+  Alcotest.(check int) "unknown q2 skipped" 5 (Query_log.length log)
 
 let test_log_clear () =
   let log = Query_log.create ~capacity:3 in
@@ -40,6 +48,26 @@ let test_log_clear () =
   Query_log.clear log;
   Alcotest.(check int) "cleared" 0 (Query_log.length log);
   Alcotest.(check (list (list int))) "empty window" [] (Query_log.to_workload log)
+
+let test_log_clear_releases () =
+  (* regression: [clear] used to only reset the counter, so the ring kept
+     strong references to up to [capacity] label paths until they were
+     overwritten — a leak for long-lived tuners. The path must be
+     heap-allocated at runtime (a literal would be statically allocated
+     and never collected). *)
+  let log = Query_log.create ~capacity:4 in
+  let w = Weak.create 1 in
+  let record () =
+    let path = List.init 3 (fun i -> i + 100) in
+    Weak.set w 0 (Some path);
+    Query_log.record log path
+  in
+  record ();
+  Gc.full_major ();
+  Alcotest.(check bool) "retained while logged" true (Weak.check w 0);
+  Query_log.clear log;
+  Gc.full_major ();
+  Alcotest.(check bool) "released by clear" false (Weak.check w 0)
 
 let test_log_rejects_bad_capacity () =
   match Query_log.create ~capacity:0 with
@@ -178,6 +206,62 @@ let test_forced_refresh_consumes_window () =
   ignore (Self_tuning.query st (Query.Qtype1 [ "actor"; "name" ]));
   Alcotest.(check int) "periodic fires a full window later" 2 (Self_tuning.refreshes st)
 
+let test_q2_workload_extends_index () =
+  (* regression for the record_query Qtype2 drop: partial-match queries
+     must feed the log (via their matched rewritings), so a Q2-heavy
+     workload extends the index with the concrete paths it touches —
+     here the length-3 rewriting director.movie.title *)
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:8 ~min_support:0.4 g in
+  let locate_rev3 () =
+    Repro_apex.Hash_tree.locate
+      (Repro_apex.Apex.tree (Self_tuning.apex st))
+      ~rev_path:(List.rev (F.path g [ "director"; "movie"; "title" ]))
+  in
+  (match locate_rev3 () with
+   | Some (Repro_apex.Hash_tree.Exact _) -> Alcotest.fail "APEX0 must not index length-3 paths"
+   | Some (Repro_apex.Hash_tree.Approx _) | None -> ());
+  let reference = Repro_apex.Apex.build g in
+  let q = Query.Qtype2 ("director", "title") in
+  let expected = Repro_apex.Apex_query.eval_query reference q in
+  for _ = 1 to 10 do
+    Alcotest.(check (array int)) "q2 answers stable" expected (Self_tuning.query st q)
+  done;
+  Alcotest.(check bool) "refreshed at least once" true (Self_tuning.refreshes st >= 1);
+  match locate_rev3 () with
+  | Some (Repro_apex.Hash_tree.Exact _) -> ()
+  | Some (Repro_apex.Hash_tree.Approx _) | None ->
+    Alcotest.fail "q2 rewriting director.movie.title should be indexed after refresh"
+
+let test_update_interleaves_with_queries () =
+  (* data updates through the tuner: the maintained index answers like the
+     mutated document immediately, the update is counted, and the next
+     periodic refresh starts from the maintained index *)
+  let g = F.movie_db () in
+  let st = Self_tuning.create ~refresh_every:6 ~min_support:0.4 g in
+  let q = Query.Qtype1 [ "actor"; "name" ] in
+  for _ = 1 to 4 do
+    ignore (Self_tuning.query st q)
+  done;
+  let frag =
+    Repro_xml.Xml_tree.element "actor"
+      ~children:
+        [ Repro_xml.Xml_tree.Element
+            (Repro_xml.Xml_tree.element "name" ~children:[ Repro_xml.Xml_tree.Text "New" ])
+        ]
+  in
+  Self_tuning.update st [ Repro_update.Update.Insert_subtree { parent = 0; fragment = frag } ];
+  Alcotest.(check int) "update counted" 1 (Self_tuning.updates st);
+  let g' = Repro_apex.Apex.graph (Self_tuning.apex st) in
+  let expected = Repro_pathexpr.Naive_eval.eval_query g' q in
+  Alcotest.(check (array int)) "maintained answer sees the insert" expected
+    (Self_tuning.query st q);
+  for _ = 1 to 6 do
+    Alcotest.(check (array int)) "stable across the refresh" expected (Self_tuning.query st q)
+  done;
+  Alcotest.(check bool) "refreshed after the update" true (Self_tuning.refreshes st >= 1);
+  Alcotest.(check int) "no aborted updates" 0 (Self_tuning.aborted_updates st)
+
 let test_snapshot_rollback_on_faulted_refresh () =
   (* a refresh whose commit crashes rolls back to the previous epoch and
      keeps answering; the abort is visible in both counters *)
@@ -219,6 +303,7 @@ let () =
           Alcotest.test_case "window slides" `Quick test_log_window_slides;
           Alcotest.test_case "record_query" `Quick test_log_record_query;
           Alcotest.test_case "clear" `Quick test_log_clear;
+          Alcotest.test_case "clear releases retained paths" `Quick test_log_clear_releases;
           Alcotest.test_case "bad capacity" `Quick test_log_rejects_bad_capacity;
           Alcotest.test_case "wraparound boundaries" `Quick test_log_wraparound_boundaries
         ] );
@@ -230,6 +315,10 @@ let () =
           Alcotest.test_case "refresh pacing" `Quick test_refresh_pacing;
           Alcotest.test_case "forced refresh consumes window" `Quick
             test_forced_refresh_consumes_window;
+          Alcotest.test_case "q2 workload extends the index" `Quick
+            test_q2_workload_extends_index;
+          Alcotest.test_case "updates interleave with queries" `Quick
+            test_update_interleaves_with_queries;
           Alcotest.test_case "rollback on faulted refresh" `Quick
             test_snapshot_rollback_on_faulted_refresh
         ] )

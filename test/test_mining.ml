@@ -41,6 +41,35 @@ let test_threshold_equality_keeps () =
   let freq = Path_miner.frequent ~min_support:0.5 queries in
   Alcotest.check path_list "both kept" [ [ 0 ]; [ 1 ] ] freq
 
+let test_threshold_boundary_miner_matches_index () =
+  (* an exactly-integral threshold (minSup 0.5 over 4 queries = count 2)
+     must land on the same side in the standalone miner and in the index
+     construction: both compare counts against the shared
+     [Path_miner.support_threshold] with [>=], so a count-2 path is kept
+     by both and a count-1 path pruned by both *)
+  let module F = Test_support.Fixtures in
+  let g = F.movie_db () in
+  let an = F.path g [ "actor"; "name" ] in
+  let mt = F.path g [ "movie"; "title" ] in
+  let workload = [ an; an; mt; F.path g [ "name" ] ] in
+  Alcotest.(check (float 0.0)) "integral threshold" 2.0
+    (Path_miner.support_threshold ~min_support:0.5 ~n_queries:4);
+  let freq = Path_miner.frequent ~min_support:0.5 workload in
+  Alcotest.(check bool) "boundary path kept by the miner" true (List.mem an freq);
+  Alcotest.(check bool) "below-threshold path pruned by the miner" false (List.mem mt freq);
+  let apex = Repro_apex.Apex.build_adapted g ~workload ~min_support:0.5 in
+  let locate p =
+    Repro_apex.Hash_tree.locate (Repro_apex.Apex.tree apex) ~rev_path:(List.rev p)
+  in
+  (match locate an with
+   | Some (Repro_apex.Hash_tree.Exact _) -> ()
+   | Some (Repro_apex.Hash_tree.Approx _) | None ->
+     Alcotest.fail "boundary path must be indexed exactly");
+  match locate mt with
+  | Some (Repro_apex.Hash_tree.Exact _) ->
+    Alcotest.fail "pruned path must not get an exact slot"
+  | Some (Repro_apex.Hash_tree.Approx _) | None -> ()
+
 let test_broken_antimonotonicity_example () =
   (* A.B.C frequent does NOT make the non-contiguous A.C frequent — it is
      never even a candidate (Section 5.2) *)
@@ -108,6 +137,8 @@ let () =
           Alcotest.test_case "max_length" `Quick test_max_length;
           Alcotest.test_case "figure 7 pruning" `Quick test_figure7_pruning;
           Alcotest.test_case "threshold equality" `Quick test_threshold_equality_keeps;
+          Alcotest.test_case "integral threshold: miner = index" `Quick
+            test_threshold_boundary_miner_matches_index;
           Alcotest.test_case "broken anti-monotonicity" `Quick test_broken_antimonotonicity_example;
           Alcotest.test_case "required includes singles" `Quick test_required_includes_singles
         ] );

@@ -252,6 +252,53 @@ let test_extent_interleaved_alloc () =
   Alcotest.check edge_set "first intact" s1 (Extent_store.load store h1);
   Alcotest.check edge_set "second spans fresh pages" s2 (Extent_store.load store h2)
 
+let test_extent_delta_chain () =
+  let _, _, store = with_store ~page_size:128 () in
+  let base_set = Edge_set.of_list (List.init 60 (fun i -> (i, i + 1))) in
+  let h0 = Extent_store.append store base_set in
+  Alcotest.(check int) "full extent has no links" 0 (Extent_store.chain_length h0);
+  let removed = Edge_set.of_list [ (0, 1); (2, 3) ] in
+  let added = Edge_set.of_list [ (100, 101) ] in
+  let h1 = Extent_store.append_delta store ~base:h0 ~removed ~added in
+  Alcotest.(check int) "one link" 1 (Extent_store.chain_length h1);
+  Alcotest.check edge_set "chain resolves"
+    (Edge_set.union (Edge_set.diff base_set removed) added)
+    (Extent_store.load store h1);
+  (* write I/O proportional to the change: the blob holds 3 edges + a
+     count, not the 58-edge extent *)
+  Alcotest.(check bool) "delta blob smaller than the extent" true
+    (Extent_store.stored_bytes h1 < Extent_store.stored_bytes h0);
+  (* a second link may retract an edge the first one added *)
+  let h2 = Extent_store.append_delta store ~base:h1 ~removed:added ~added:Edge_set.empty in
+  Alcotest.(check int) "two links" 2 (Extent_store.chain_length h2);
+  Alcotest.check edge_set "retraction resolves"
+    (Edge_set.diff base_set removed)
+    (Extent_store.load store h2);
+  (* the base handle still names the original set *)
+  Alcotest.check edge_set "base unchanged" base_set (Extent_store.load store h0);
+  (* delta handles are in-memory only: snapshot commits must re-encode *)
+  match Extent_store.handle_fields h1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "handle_fields must reject a delta handle"
+
+let test_extent_delta_uncached () =
+  (* with the decoded-extent LRU off, every load re-reads and re-resolves
+     the whole chain — and still agrees *)
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let store = Extent_store.create ~cache_entries:0 pool in
+  let base_set = Edge_set.of_list (List.init 30 (fun i -> (2 * i, 2 * i)) ) in
+  let h = ref (Extent_store.append store base_set) in
+  let expected = ref base_set in
+  for i = 0 to 3 do
+    let added = Edge_set.of_list [ (1000 + i, i) ] in
+    h := Extent_store.append_delta store ~base:!h ~removed:Edge_set.empty ~added;
+    expected := Edge_set.union !expected added
+  done;
+  Alcotest.(check int) "four links" 4 (Extent_store.chain_length !h);
+  Alcotest.check edge_set "first load" !expected (Extent_store.load store !h);
+  Alcotest.check edge_set "second load identical" !expected (Extent_store.load store !h)
+
 let test_extent_varint_roundtrip () =
   let p = Pager.create ~page_size:128 () in
   let pool = Buffer_pool.create p ~capacity:8 in
@@ -410,6 +457,8 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_extent_roundtrip;
           Alcotest.test_case "cost charged" `Quick test_extent_cost_charged;
           Alcotest.test_case "interleaved alloc" `Quick test_extent_interleaved_alloc;
+          Alcotest.test_case "delta chain" `Quick test_extent_delta_chain;
+          Alcotest.test_case "delta chain uncached" `Quick test_extent_delta_uncached;
           Alcotest.test_case "varint roundtrip" `Quick test_extent_varint_roundtrip;
           Alcotest.test_case "varint compresses" `Quick test_extent_varint_compresses;
           QCheck_alcotest.to_alcotest prop_extent_roundtrip;

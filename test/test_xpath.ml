@@ -65,6 +65,34 @@ let test_parse_errors () =
       | Ok p -> Alcotest.failf "expected error on %s, got %s" text (Xpath_ast.to_string p))
     [ "actor/name"; "//"; "//a["; "//a[]"; "//a]"; "//a/"; "//a[text()=v" ]
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let test_parse_error_paths () =
+  (* a digit run past [max_int] must surface as a positioned parse error,
+     not as [int_of_string]'s [Failure] escaping the parser *)
+  (match Xpath_parser.parse "//a[99999999999999999999]" with
+   | Ok p -> Alcotest.failf "overflow accepted: %s" (Xpath_ast.to_string p)
+   | Error m ->
+     Alcotest.(check bool)
+       (Printf.sprintf "positioned at the digits: %s" m)
+       true
+       (String.length m >= 2 && String.equal (String.sub m 0 2) "4:");
+     Alcotest.(check bool)
+       (Printf.sprintf "names the range problem: %s" m)
+       true (contains m "out of range"));
+  (* the largest representable position still parses *)
+  (match Xpath_parser.parse (Printf.sprintf "//a[%d]" max_int) with
+   | Ok _ -> ()
+   | Error m -> Alcotest.failf "max_int rejected: %s" m);
+  (* an unterminated string literal consumes to end-of-input and must
+     report the missing quote as an error *)
+  match Xpath_parser.parse {|//name[text()="Kevin]|} with
+  | Ok p -> Alcotest.failf "unterminated literal accepted: %s" (Xpath_ast.to_string p)
+  | Error _ -> ()
+
 let test_to_string_roundtrip () =
   List.iter
     (fun text ->
@@ -260,6 +288,7 @@ let () =
           Alcotest.test_case "dereference" `Quick test_parse_deref;
           Alcotest.test_case "predicates" `Quick test_parse_predicates;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error paths" `Quick test_parse_error_paths;
           Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip
         ] );
       ( "eval",
