@@ -9,6 +9,8 @@
 
 module Experiments = Repro_harness.Experiments
 module Dataset = Repro_datagen.Dataset
+module Trace = Repro_telemetry.Trace
+module Export = Repro_telemetry.Export
 
 let standard =
   { Experiments.default with
@@ -97,13 +99,52 @@ let json =
           "Instead of the table experiments, write a machine-readable benchmark snapshot \
            (build time, Q1/Q2/Q3 latency, result checksums, cache hit rates) to $(docv).")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PREFIX"
+        ~doc:
+          "Record query-phase spans and adaptation events while the experiment runs, then \
+           write $(docv).jsonl (JSONL event log) and $(docv).trace.json (Chrome trace_event \
+           format — load into chrome://tracing or ui.perfetto.dev) and print per-phase \
+           latency percentiles.")
+
+(* large enough that a full nine-dataset sweep keeps every span; aggregate
+   histograms survive a wrap regardless *)
+let trace_capacity = 1 lsl 18
+
+let finish_trace prefix =
+  Trace.disable ();
+  let jsonl = prefix ^ ".jsonl" and chrome = prefix ^ ".trace.json" in
+  Export.save_jsonl jsonl;
+  Export.save_chrome chrome;
+  let st = Trace.stats () in
+  Printf.printf "\n== trace: %d spans/events recorded (%d retained, %d lost to ring wrap)\n"
+    st.Trace.recorded st.Trace.retained st.Trace.overwritten;
+  Printf.printf "wrote %s and %s\n\n%s" jsonl chrome (Export.live_percentile_table ());
+  let events =
+    List.filter_map
+      (fun (k, n) -> if Trace.kind_is_event k then Some (Trace.kind_name k, n) else None)
+      (Trace.kind_counts ())
+  in
+  if events <> [] then
+    Printf.printf "\nadaptation events:\n%s" (Export.event_table events)
+
 let cmd =
-  let run experiment quick full scale datasets no_verify json =
+  let run experiment quick full scale datasets no_verify json trace =
     let config = resolve_config ~quick ~full ~scale ~datasets ~no_verify in
-    run_experiment ?json experiment config
+    match trace with
+    | None -> run_experiment ?json experiment config
+    | Some prefix ->
+      Trace.enable ~capacity:trace_capacity ();
+      Fun.protect
+        ~finally:(fun () -> finish_trace prefix)
+        (fun () -> run_experiment ?json experiment config)
   in
   Cmd.v
     (Cmd.info "apex-bench" ~doc:"APEX reproduction benchmarks")
-    Term.(const run $ experiment $ quick $ full $ scale $ datasets $ no_verify $ json)
+    Term.(
+      const run $ experiment $ quick $ full $ scale $ datasets $ no_verify $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* apexctl: offline telemetry introspection.
+
+     apexctl stats trace.jsonl                    # per-phase latency percentiles
+     apexctl validate --schema schemas/trace_schema.json \
+         trace.jsonl trace.trace.json             # audit exported traces
+
+   `bench --trace PREFIX` produces the inputs; `stats` aggregates a saved
+   JSONL event log into per-phase latency histograms and adaptation-event
+   totals, and `validate` checks both export formats against the
+   checked-in schema (field presence, JSON types, legal record kinds). *)
+
+module Export = Repro_telemetry.Export
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let cmd_stats path =
+  match Export.read_jsonl path with
+  | Error e -> die "apexctl stats: %s: %s" path e
+  | Ok records ->
+    let spans = Export.summarize records in
+    if spans = [] then print_endline "no spans recorded"
+    else begin
+      Printf.printf "%d records in %s\n\n" (List.length records) path;
+      print_string (Export.percentile_table spans)
+    end;
+    let events = Export.event_totals records in
+    if events <> [] then
+      Printf.printf "\nadaptation events:\n%s" (Export.event_table events)
+
+let cmd_validate schema_path paths =
+  match Export.Schema.load schema_path with
+  | Error e -> die "apexctl validate: %s" e
+  | Ok schema ->
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        let validate =
+          if Filename.check_suffix path ".jsonl" then Export.Schema.validate_jsonl
+          else Export.Schema.validate_chrome
+        in
+        match validate schema path with
+        | Ok n -> Printf.printf "%s: OK (%d records)\n" path n
+        | Error errors ->
+          failed := true;
+          Printf.printf "%s: %d violation(s)\n" path (List.length errors);
+          List.iteri
+            (fun i e -> if i < 20 then Printf.printf "  %s\n" e)
+            errors;
+          if List.length errors > 20 then
+            Printf.printf "  ... and %d more\n" (List.length errors - 20))
+      paths;
+    if !failed then exit 1
+
+open Cmdliner
+
+let stats_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Aggregate a JSONL trace into per-phase latency percentiles and \
+          adaptation-event totals.")
+    Term.(const cmd_stats $ trace_file)
+
+let validate_cmd =
+  let schema =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA.json"
+          ~doc:"Trace schema to validate against (see schemas/trace_schema.json).")
+  in
+  let traces =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Trace files: *.jsonl are checked as JSONL event logs, anything else \
+             as Chrome trace_event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate exported traces against the checked-in schema; exit 1 on violation.")
+    Term.(const cmd_validate $ schema $ traces)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
+    [ stats_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval cmd)

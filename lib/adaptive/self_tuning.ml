@@ -1,3 +1,6 @@
+module Tr = Repro_telemetry.Trace
+module Metrics = Repro_telemetry.Metrics
+
 type t = {
   mutable apex : Repro_apex.Apex.t;
   log : Repro_workload.Query_log.t;
@@ -6,10 +9,14 @@ type t = {
   pool : Repro_storage.Buffer_pool.t option;
   snapshot : Repro_apex.Apex_persist.Snapshot.t option;
   mutable last_refresh_at : int;  (* total_recorded at the last refresh *)
-  mutable refreshes : int;
-  mutable aborted : int;
-  mutable updates : int;
-  mutable aborted_updates : int;
+  (* adaptation counters live in a per-instance registry: two indexes tuned
+     in the same process must not share counts, and the registry is what
+     apexctl/bench snapshot for introspection *)
+  metrics : Metrics.t;
+  c_refreshes : Metrics.counter;
+  c_aborted_refreshes : Metrics.counter;
+  c_updates : Metrics.counter;
+  c_aborted_updates : Metrics.counter;
 }
 
 let materialize t =
@@ -19,6 +26,15 @@ let materialize t =
 
 let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool
     ?snapshot graph =
+  let metrics = Metrics.create () in
+  (match pool with
+   | Some pool ->
+     let stats = Repro_storage.Pager.stats (Repro_storage.Buffer_pool.pager pool) in
+     Metrics.register_source metrics "io" (fun () ->
+         List.map
+           (fun (k, v) -> (k, float_of_int v))
+           (Repro_storage.Io_stats.to_fields stats))
+   | None -> ());
   let t =
     { apex = Repro_apex.Apex.build graph;
       log = Repro_workload.Query_log.create ~capacity:log_capacity;
@@ -27,10 +43,11 @@ let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) 
       pool;
       snapshot;
       last_refresh_at = 0;
-      refreshes = 0;
-      aborted = 0;
-      updates = 0;
-      aborted_updates = 0
+      metrics;
+      c_refreshes = Metrics.counter metrics "self_tuning.refreshes";
+      c_aborted_refreshes = Metrics.counter metrics "self_tuning.aborted_refreshes";
+      c_updates = Metrics.counter metrics "self_tuning.updates";
+      c_aborted_updates = Metrics.counter metrics "self_tuning.aborted_updates"
     }
   in
   materialize t;
@@ -63,12 +80,12 @@ let force_refresh t =
   | None ->
     refresh_and_commit t;
     mark_window t;
-    t.refreshes <- t.refreshes + 1
+    Metrics.incr t.c_refreshes
   | Some snap -> (
     match refresh_and_commit t with
     | () ->
       mark_window t;
-      t.refreshes <- t.refreshes + 1
+      Metrics.incr t.c_refreshes
     | exception (Repro_storage.Fault.Injected _ | Invalid_argument _) ->
       let stats =
         Repro_storage.Pager.stats
@@ -78,13 +95,15 @@ let force_refresh t =
       in
       stats.Repro_storage.Io_stats.refresh_aborts <-
         stats.Repro_storage.Io_stats.refresh_aborts + 1;
-      t.aborted <- t.aborted + 1;
+      Metrics.incr t.c_aborted_refreshes;
       t.apex <-
         Repro_apex.Apex_persist.Snapshot.load_latest snap
           (Repro_apex.Apex.graph t.apex);
+      Tr.event Tr.Epoch_rolled_back
+        (Repro_apex.Apex_persist.Snapshot.epoch snap);
       materialize t;
-      (* consume the window anyway: an immediate retry would hit the same
-         fault pattern — wait for the next full window instead *)
+      (* consume the window anyway: an immediate retry would hit the
+         same fault pattern — wait for the next full window instead *)
       mark_window t)
 
 let maybe_refresh t =
@@ -116,10 +135,11 @@ let update t ops =
   (match Repro_update.Update.apply t.apex ops with
    | (_ : Repro_update.Update.stats) -> ()
    | exception Repro_storage.Fault.Injected _ ->
-     t.aborted_updates <- t.aborted_updates + 1;
+     Metrics.incr t.c_aborted_updates;
+     Tr.event Tr.Update_aborted (List.length ops);
      t.apex <- Repro_apex.Apex.build (Repro_apex.Apex.graph t.apex);
      materialize t);
-  t.updates <- t.updates + List.length ops;
+  Metrics.add t.c_updates (List.length ops);
   (* commit the post-update state as a snapshot epoch: recovery must not
      resurrect an index describing the pre-update document *)
   match t.snapshot with
@@ -130,11 +150,13 @@ let update t ops =
     | exception (Repro_storage.Fault.Injected _ | Invalid_argument _) ->
       (* the epoch lags; queries serve from memory and the next successful
          commit (refresh or update) catches the store up *)
-      t.aborted_updates <- t.aborted_updates + 1)
+      Metrics.incr t.c_aborted_updates;
+      Tr.event Tr.Update_aborted (List.length ops))
 
 let apex t = t.apex
 let log t = t.log
-let refreshes t = t.refreshes
-let aborted_refreshes t = t.aborted
-let updates t = t.updates
-let aborted_updates t = t.aborted_updates
+let metrics t = t.metrics
+let refreshes t = Metrics.value t.c_refreshes
+let aborted_refreshes t = Metrics.value t.c_aborted_refreshes
+let updates t = Metrics.value t.c_updates
+let aborted_updates t = Metrics.value t.c_aborted_updates

@@ -59,6 +59,11 @@ val update : t -> Repro_update.Update.op list -> unit
 val apex : t -> Repro_apex.Apex.t
 val log : t -> Repro_workload.Query_log.t
 
+val metrics : t -> Repro_telemetry.Metrics.t
+(** This instance's registry: the [self_tuning.*] adaptation counters that
+    back the accessors below, plus an [io.*] source over the pool's pager
+    stats when a pool was supplied. *)
+
 val refreshes : t -> int
 (** Number of refreshes completed successfully so far (periodic and
     forced). Aborted refreshes are not counted here. *)

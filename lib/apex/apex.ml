@@ -2,6 +2,7 @@ module G = Repro_graph.Data_graph
 module Edge_set = Repro_graph.Edge_set
 module Cost = Repro_storage.Cost
 module Vec = Repro_util.Vec
+module Tr = Repro_telemetry.Trace
 
 type t = {
   mutable graph : G.t;
@@ -69,6 +70,8 @@ let run_update t =
               | None ->
                 let n = Gapex.new_node t.gapex in
                 Hash_tree.slot_set slot (Some n);
+                (* a frequent path earned its own summary node + extent *)
+                Tr.event Tr.Path_promoted n.Gapex.id;
                 n
             in
             let grow = Edge_set.diff edges xchild.Gapex.extent in
@@ -92,15 +95,23 @@ let build g =
   t
 
 let refresh t ~workload ~min_support =
+  let rtok = Tr.begin_ Tr.Refresh in
+  let mtok = Tr.begin_ Tr.Mine in
   Hash_tree.reset_marks t.tree;
   Hash_tree.count_workload t.tree workload;
   let threshold =
     Repro_mining.Path_miner.support_threshold ~min_support
       ~n_queries:(List.length workload)
   in
+  Tr.end_arg mtok (List.length workload);
+  let ptok = Tr.begin_ Tr.Prune in
   Hash_tree.prune t.tree ~threshold;
+  Tr.end_ ptok;
   t.store <- None;
-  run_update t
+  let ttok = Tr.begin_ Tr.Traverse in
+  run_update t;
+  Tr.end_arg ttok (fst (Gapex.stats t.gapex));
+  Tr.end_ rtok
 
 let extend_data t g' =
   let g = t.graph in
@@ -172,6 +183,7 @@ let flush_dirty t dirty =
           n.Gapex.handle <- Some handle
         end)
       dirty;
+    Tr.event Tr.Delta_flushed (List.length dirty);
     Hashtbl.reset t.endpoint_cache
 
 let load_endpoints ?cost t (n : Gapex.node) =

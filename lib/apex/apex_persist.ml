@@ -201,24 +201,28 @@ module Snapshot = struct
   let store t = t.store
 
   let commit t apex =
-    let image = to_image apex in
-    let image_crc = C.crc32_ints image in
-    let pager = pager_of t in
-    (* separator: force the store onto a page no committed image shares, so
-       appending this image can never rewrite a previous image's tail page *)
-    ignore (P.alloc pager : P.pid);
-    let handle = ES.append_ints t.store image in
-    let e = t.epoch + 1 in
-    let page = read_super t in
-    write_slot page ((e land 1) * slot_bytes) ~epoch:e ~handle ~image_crc;
-    (* the commit point: the image is fully on disk before the slot that
-       names it is written. A crash anywhere earlier leaves the previous
-       epoch's slot as the newest valid one. *)
-    BP.write (ES.pool t.store) t.superblock page;
-    t.epoch <- e;
-    e
+    Repro_telemetry.Trace.with_span Repro_telemetry.Trace.Snapshot_commit
+      (fun () ->
+        let image = to_image apex in
+        let image_crc = C.crc32_ints image in
+        let pager = pager_of t in
+        (* separator: force the store onto a page no committed image shares,
+           so appending this image can never rewrite a previous image's tail
+           page *)
+        ignore (P.alloc pager : P.pid);
+        let handle = ES.append_ints t.store image in
+        let e = t.epoch + 1 in
+        let page = read_super t in
+        write_slot page ((e land 1) * slot_bytes) ~epoch:e ~handle ~image_crc;
+        (* the commit point: the image is fully on disk before the slot that
+           names it is written. A crash anywhere earlier leaves the previous
+           epoch's slot as the newest valid one. *)
+        BP.write (ES.pool t.store) t.superblock page;
+        t.epoch <- e;
+        Repro_telemetry.Trace.event Repro_telemetry.Trace.Epoch_committed e;
+        e)
 
-  let load_latest t graph =
+  let load_latest_inner t graph =
     let rec try_slots = function
       | [] -> invalid_arg "Apex_persist.Snapshot.load_latest: no valid snapshot"
       | s :: rest -> (
@@ -236,4 +240,8 @@ module Snapshot = struct
         | exception Invalid_argument _ -> try_slots rest)
     in
     try_slots (valid_slots t)
+
+  let load_latest t graph =
+    Repro_telemetry.Trace.with_span Repro_telemetry.Trace.Recovery (fun () ->
+        load_latest_inner t graph)
 end

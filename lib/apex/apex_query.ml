@@ -4,6 +4,7 @@ module Label = Repro_graph.Label
 module Int_sorted = Repro_util.Int_sorted
 module Cost = Repro_storage.Cost
 module Query = Repro_pathexpr.Query
+module Tr = Repro_telemetry.Trace
 
 let charge_join cost frontier extent =
   match cost with
@@ -12,10 +13,22 @@ let charge_join cost frontier extent =
   | None -> ()
 
 let union_extents ?cost t nodes =
-  Edge_set.union_many (List.map (fun n -> Apex.load_extent ?cost t n) nodes)
+  let ftok = Tr.begin_ Tr.Fetch in
+  let extents = List.map (fun n -> Apex.load_extent ?cost t n) nodes in
+  Tr.end_arg ftok (List.length extents);
+  let jtok = Tr.begin_ Tr.Join in
+  let u = Edge_set.union_many extents in
+  Tr.end_arg jtok (Edge_set.cardinal u);
+  u
 
 let union_endpoints ?cost t nodes =
-  Int_sorted.union_many (List.map (fun n -> Apex.load_endpoints ?cost t n) nodes)
+  let ftok = Tr.begin_ Tr.Fetch in
+  let arrays = List.map (fun n -> Apex.load_endpoints ?cost t n) nodes in
+  Tr.end_arg ftok (List.length arrays);
+  let jtok = Tr.begin_ Tr.Join in
+  let u = Int_sorted.union_many arrays in
+  Tr.end_arg jtok (Array.length u);
+  u
 
 (* locate a (sub)path; each lookup touches one hash-tree page (H_APEX is
    shallow: a handful of hnodes per suffix chain fit one page) *)
@@ -41,34 +54,39 @@ let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop 
 let backward_reduce_ratio = 8
 
 let chain_join ?cost t anchor_nodes chain =
-  let chain = Array.of_list chain in
-  let k = Array.length chain in
-  if Array.exists Edge_set.is_empty chain then [||]
-  else begin
-    let shrunk = ref false in
-    for i = k - 2 downto 0 do
-      if
-        Edge_set.cardinal chain.(i)
-        > backward_reduce_ratio * Edge_set.cardinal chain.(i + 1)
-      then begin
-        let next_parents = Edge_set.parents chain.(i + 1) in
-        charge_join cost next_parents chain.(i);
-        chain.(i) <- Edge_set.semijoin_children chain.(i) next_parents;
-        shrunk := true
-      end
-    done;
-    if !shrunk && Array.exists Edge_set.is_empty chain then [||]
+  let jtok = Tr.begin_ Tr.Join in
+  let result =
+    let chain = Array.of_list chain in
+    let k = Array.length chain in
+    if Array.exists Edge_set.is_empty chain then [||]
     else begin
-      let frontier = ref (union_endpoints ?cost t anchor_nodes) in
-      let i = ref 0 in
-      while !i < k && Array.length !frontier > 0 do
-        charge_join cost !frontier chain.(!i);
-        frontier := Edge_set.semijoin_endpoints chain.(!i) !frontier;
-        incr i
+      let shrunk = ref false in
+      for i = k - 2 downto 0 do
+        if
+          Edge_set.cardinal chain.(i)
+          > backward_reduce_ratio * Edge_set.cardinal chain.(i + 1)
+        then begin
+          let next_parents = Edge_set.parents chain.(i + 1) in
+          charge_join cost next_parents chain.(i);
+          chain.(i) <- Edge_set.semijoin_children chain.(i) next_parents;
+          shrunk := true
+        end
       done;
-      !frontier
+      if !shrunk && Array.exists Edge_set.is_empty chain then [||]
+      else begin
+        let frontier = ref (union_endpoints ?cost t anchor_nodes) in
+        let i = ref 0 in
+        while !i < k && Array.length !frontier > 0 do
+          charge_join cost !frontier chain.(!i);
+          frontier := Edge_set.semijoin_endpoints chain.(!i) !frontier;
+          incr i
+        done;
+        !frontier
+      end
     end
-  end
+  in
+  Tr.end_arg jtok (Array.length result);
+  result
 
 let eval_q1 ?cost t path =
   let n = List.length path in
@@ -135,7 +153,9 @@ let eval_q2 ?cost ?on_sequence ?(max_rewrite_depth = 16) ?(reuse_partial_joins =
       match Hashtbl.find_opt extent_cache node.Gapex.id with
       | Some e -> e
       | None ->
+        let ftok = Tr.begin_ Tr.Fetch in
         let e = Apex.load_extent ?cost t node in
+        Tr.end_arg ftok (Edge_set.cardinal e);
         Hashtbl.add extent_cache node.Gapex.id e;
         e
     in
@@ -171,10 +191,12 @@ let eval_q2 ?cost ?on_sequence ?(max_rewrite_depth = 16) ?(reuse_partial_joins =
           end)
         (Gapex.out_edges node)
     in
+    let jtok = Tr.begin_ Tr.Join in
     List.iter
       (fun (start : Gapex.node) ->
         rewrite start (Apex.load_endpoints ?cost t start) [ la ] 1)
       starts;
+    Tr.end_arg jtok (Hashtbl.length rewritings);
     let results =
       Hashtbl.fold
         (fun seq partial acc ->
@@ -200,13 +222,25 @@ let eval_q3 ?cost ?table t path value =
     Array.of_seq (Seq.filter keep (Array.to_seq candidates))
 
 let eval ?cost ?table ?on_sequence ?max_rewrite_depth ?reuse_partial_joins t compiled =
-  match compiled with
-  | Query.C1 path -> eval_q1 ?cost t path
-  | Query.C2 (la, lb) ->
-    eval_q2 ?cost ?on_sequence ?max_rewrite_depth ?reuse_partial_joins t la lb
-  | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
+  (* plan selection is a constructor dispatch — the span is (honestly)
+     zero-length, but its presence makes per-query phase coverage uniform *)
+  let ptok = Tr.begin_ Tr.Plan in
+  Tr.end_ ptok;
+  let result =
+    match compiled with
+    | Query.C1 path -> eval_q1 ?cost t path
+    | Query.C2 (la, lb) ->
+      eval_q2 ?cost ?on_sequence ?max_rewrite_depth ?reuse_partial_joins t la lb
+    | Query.C3 (path, value) -> eval_q3 ?cost ?table t path value
+  in
+  let mtok = Tr.begin_ Tr.Materialize in
+  Tr.end_arg mtok (Array.length result);
+  result
 
 let eval_query ?cost ?table ?on_sequence t q =
-  match Query.compile (G.labels (Apex.graph t)) q with
+  let ptok = Tr.begin_ Tr.Parse in
+  let compiled = Query.compile (G.labels (Apex.graph t)) q in
+  Tr.end_ ptok;
+  match compiled with
   | Some compiled -> eval ?cost ?table ?on_sequence t compiled
   | None -> [||]

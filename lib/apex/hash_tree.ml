@@ -1,5 +1,6 @@
 module Label_path = Repro_pathexpr.Label_path
 module Cost = Repro_storage.Cost
+module Tr = Repro_telemetry.Trace
 
 type slot = {
   suid : int;  (* process-unique; identifies slots across maintenance passes *)
@@ -88,6 +89,7 @@ type located =
   | Approx of Gapex.node list
 
 let locate ?cost t ~rev_path =
+  let ptok = Tr.begin_ Tr.Probe in
   let rec step hnode label rest =
     charge cost;
     match Hashtbl.find_opt hnode.entries label with
@@ -103,8 +105,16 @@ let locate ?cost t ~rev_path =
        | Some sub, l :: rest' -> step sub l rest')
   in
   match rev_path with
-  | [] -> invalid_arg "Hash_tree.locate: empty path"
-  | last :: rest -> step t.head last rest
+  | [] ->
+    Tr.end_ ptok;
+    invalid_arg "Hash_tree.locate: empty path"
+  | last :: rest ->
+    let located = step t.head last rest in
+    Tr.end_arg ptok
+      (match located with
+       | None -> 0
+       | Some (Exact nodes) | Some (Approx nodes) -> List.length nodes);
+    located
 
 (* --- extraction (Figure 8) --- *)
 
@@ -167,10 +177,12 @@ let prune t ~threshold =
             e.next <- None;
             (* the entry now stands for everything that its subtree
                partitioned; any node it held is stale *)
-            e.e_slot.xnode <- None
+            e.e_slot.xnode <- None;
+            Tr.event Tr.Path_evicted e.label
           end;
           if not is_head then begin
             Hashtbl.remove hnode.entries e.label;
+            Tr.event Tr.Path_evicted e.label;
             (* deleting a previously-required entry folds its paths back
                into this hnode's remainder, so its node is stale; an entry
                that was only just created by counting never had a node and

@@ -540,11 +540,24 @@ let json_bench config ~out =
         let q1 = batch "q1" e.Env.q1 in
         let q2 = batch "q2" e.Env.q2 in
         let q3 = batch "q3" e.Env.q3 in
+        (* the I/O story behind the logical costs: every pager counter for
+           this dataset's pool (build + materialize + all three batches),
+           emitted via [to_fields] so a new counter lands here automatically *)
+        let io =
+          let stats =
+            Repro_storage.Pager.stats (Repro_storage.Buffer_pool.pager e.Env.pool)
+          in
+          String.concat ", "
+            (List.map
+               (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+               (Repro_storage.Io_stats.to_fields stats))
+        in
         Printf.sprintf
           "    {\"name\": \"%s\", \"build_seconds\": %.4f, \"apex_nodes\": %d, \
-           \"apex_edges\": %d,\n     \"q1\": %s,\n     \"q2\": %s,\n     \"q3\": %s}"
+           \"apex_edges\": %d,\n     \"q1\": %s,\n     \"q2\": %s,\n     \"q3\": %s,\n     \
+           \"io\": {%s}}"
           (json_escape spec.Dataset.name) build_seconds nodes edges (json_of_measure q1)
-          (json_of_measure q2) (json_of_measure q3))
+          (json_of_measure q2) (json_of_measure q3) io)
       config.datasets
   in
   let doc =

@@ -22,7 +22,9 @@ let run queries eval =
   let t0 = Unix.gettimeofday () in
   Array.iter
     (fun q ->
+      let qtok = Repro_telemetry.Trace.begin_ Repro_telemetry.Trace.Query in
       let r = eval ~cost q in
+      Repro_telemetry.Trace.end_arg qtok (Array.length r);
       if Array.length r > 0 then incr answered;
       result_nodes := !result_nodes + Array.length r;
       checksum := checksum_fold !checksum r)

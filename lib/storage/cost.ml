@@ -83,9 +83,41 @@ let extent_cache_hit_rate t =
   let total = t.extent_cache_hits + t.extent_cache_misses in
   if total = 0 then 0. else float_of_int t.extent_cache_hits /. float_of_int total
 
+(* Complete destructuring on purpose: adding a field to [t] makes this
+   pattern incomplete, and warning 9 (promoted to an error in the dev
+   profile) forces the new field into the snapshot — the same drift guard
+   the field-coverage test relies on. *)
+let to_fields
+    { index_node_visits;
+      struct_pages;
+      index_edge_lookups;
+      hash_probes;
+      trie_node_visits;
+      trie_pages;
+      extent_pages;
+      extent_edges;
+      extent_cache_hits;
+      extent_cache_misses;
+      join_edges;
+      table_pages
+    } =
+  [ ("index_node_visits", index_node_visits);
+    ("struct_pages", struct_pages);
+    ("index_edge_lookups", index_edge_lookups);
+    ("hash_probes", hash_probes);
+    ("trie_node_visits", trie_node_visits);
+    ("trie_pages", trie_pages);
+    ("extent_pages", extent_pages);
+    ("extent_edges", extent_edges);
+    ("extent_cache_hits", extent_cache_hits);
+    ("extent_cache_misses", extent_cache_misses);
+    ("join_edges", join_edges);
+    ("table_pages", table_pages)
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d ext_cache=%d/%d join=%d table=%d"
     t.index_node_visits t.struct_pages t.index_edge_lookups t.hash_probes t.trie_node_visits
-    t.trie_pages t.extent_pages t.extent_edges t.extent_cache_hits
-    (t.extent_cache_hits + t.extent_cache_misses) t.join_edges t.table_pages
+    t.trie_pages t.extent_pages t.extent_edges t.extent_cache_hits t.extent_cache_misses
+    t.join_edges t.table_pages

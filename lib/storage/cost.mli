@@ -49,4 +49,11 @@ val weighted_total : t -> float
     per-edge streaming work costs 1/500 page. The exact weights only scale
     the series; orderings are driven by the counter magnitudes. *)
 
+val to_fields : t -> (string * int) list
+(** Every counter as a [(name, value)] pair, in declaration order. Written
+    with a complete record pattern so adding a field without extending the
+    snapshot is a compile error under the dev profile. *)
+
 val pp : Format.formatter -> t -> unit
+(** One line, every field: [ext_cache=h/m] prints hits and misses (not
+    hits/total), so each counter appears verbatim exactly once. *)

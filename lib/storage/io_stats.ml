@@ -35,6 +35,17 @@ let copy t =
 
 let total_page_requests t = t.cache_hits + t.cache_misses
 
+(* complete destructuring on purpose — see Cost.to_fields *)
+let to_fields
+    { disk_reads; disk_writes; cache_hits; cache_misses; read_retries; refresh_aborts } =
+  [ ("disk_reads", disk_reads);
+    ("disk_writes", disk_writes);
+    ("cache_hits", cache_hits);
+    ("cache_misses", cache_misses);
+    ("read_retries", read_retries);
+    ("refresh_aborts", refresh_aborts)
+  ]
+
 let pp ppf t =
   Format.fprintf ppf "reads=%d writes=%d hits=%d misses=%d retries=%d aborts=%d" t.disk_reads
     t.disk_writes t.cache_hits t.cache_misses t.read_retries t.refresh_aborts

@@ -17,4 +17,10 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 val total_page_requests : t -> int
+
+val to_fields : t -> (string * int) list
+(** Every counter as a [(name, value)] pair, in declaration order. Written
+    with a complete record pattern so adding a field without extending the
+    snapshot is a compile error under the dev profile. *)
+
 val pp : Format.formatter -> t -> unit

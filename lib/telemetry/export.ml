@@ -1,0 +1,318 @@
+(* Exporters for the span ring: JSONL event log (one JSON object per
+   line, grep/jq-friendly, append-safe) and Chrome trace_event JSON
+   (load via chrome://tracing or https://ui.perfetto.dev). Both read the
+   live Trace ring; the JSONL reader and schema validator let a separate
+   process (apexctl) audit and summarize a saved trace. *)
+
+(* --- writing --- *)
+
+let jsonl_line buf (s : Trace.span) =
+  Buffer.clear buf;
+  let dur = match s.stop with Some stop -> stop -. s.start | None -> 0. in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"type":%S,"name":%S,"seq":%d,"ts":%.9f,"dur":%.9f,"arg":%d|}
+       (if s.is_event then "event" else "span")
+       (Trace.kind_name s.kind) s.seq s.start dur s.arg);
+  if s.note <> "" then begin
+    Buffer.add_string buf {|,"note":"|};
+    Buffer.add_string buf (Json.escape s.note);
+    Buffer.add_char buf '"'
+  end;
+  if (not s.is_event) && s.stop = None then
+    Buffer.add_string buf {|,"open":true|};
+  Buffer.add_string buf "}\n"
+
+let write_jsonl oc =
+  let buf = Buffer.create 160 in
+  Trace.iter_spans (fun s ->
+      jsonl_line buf s;
+      output_string oc (Buffer.contents buf))
+
+let us t = t *. 1e6
+
+let chrome_span buf (s : Trace.span) =
+  Buffer.clear buf;
+  if s.is_event then
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|{"name":%S,"cat":"apex","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":1,"args":{"seq":%d,"arg":%d%s}}|}
+         (Trace.kind_name s.kind) (us s.start) s.seq s.arg
+         (if s.note = "" then ""
+          else Printf.sprintf {|,"note":"%s"|} (Json.escape s.note)))
+  else begin
+    let dur = match s.stop with Some stop -> stop -. s.start | None -> 0. in
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|{"name":%S,"cat":"apex","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":1,"args":{"seq":%d,"arg":%d}}|}
+         (Trace.kind_name s.kind) (us s.start) (us dur) s.seq s.arg)
+  end
+
+let write_chrome oc =
+  output_string oc {|{"traceEvents":[|};
+  let buf = Buffer.create 200 in
+  let first = ref true in
+  Trace.iter_spans (fun s ->
+      if !first then first := false else output_string oc ",\n";
+      chrome_span buf s;
+      output_string oc (Buffer.contents buf));
+  output_string oc {|],"displayTimeUnit":"ms"}|};
+  output_string oc "\n"
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let save_jsonl path = with_file path write_jsonl
+let save_chrome path = with_file path write_chrome
+
+(* --- reading --- *)
+
+type record = {
+  name : string;
+  is_event : bool;
+  seq : int;
+  ts : float;
+  dur : float;
+  arg : int;
+  note : string;
+}
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then lines := line :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let record_of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_str in
+  let num key = Option.bind (Json.member key j) Json.to_float in
+  match (str "type", str "name", num "seq", num "ts", num "dur", num "arg") with
+  | Some typ, Some name, Some seq, Some ts, Some dur, Some arg ->
+    Ok
+      { name;
+        is_event = typ = "event";
+        seq = int_of_float seq;
+        ts;
+        dur;
+        arg = int_of_float arg;
+        note = Option.value (str "note") ~default:"" }
+  | _ -> Error "missing or mistyped field (type/name/seq/ts/dur/arg)"
+
+let read_jsonl path =
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match Json.parse line with
+       | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+       | Ok j ->
+         (match record_of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+          | Ok r -> go (n + 1) (r :: acc) rest))
+  in
+  match read_lines path with
+  | lines -> go 1 [] lines
+  | exception Sys_error e -> Error e
+
+(* --- aggregation over records (for apexctl stats) --- *)
+
+let summarize records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if not r.is_event then begin
+        let h =
+          match Hashtbl.find_opt tbl r.name with
+          | Some h -> h
+          | None ->
+            let h = Metrics.Histogram.create () in
+            Hashtbl.add tbl r.name h;
+            h
+        in
+        Metrics.Histogram.record h r.dur
+      end)
+    records;
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let event_totals records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if r.is_event then
+        Hashtbl.replace tbl r.name
+          (1 + Option.value (Hashtbl.find_opt tbl r.name) ~default:0))
+    records;
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- human-readable percentile table --- *)
+
+let pp_duration f =
+  if f < 1e-6 then Printf.sprintf "%.0fns" (f *. 1e9)
+  else if f < 1e-3 then Printf.sprintf "%.1fus" (f *. 1e6)
+  else if f < 1. then Printf.sprintf "%.2fms" (f *. 1e3)
+  else Printf.sprintf "%.3fs" f
+
+let percentile_table entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %8s %10s %10s %10s %10s %10s\n" "phase" "count"
+       "p50" "p90" "p99" "max" "total");
+  List.iter
+    (fun (name, h) ->
+      let q p = pp_duration (Metrics.Histogram.quantile h p) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %8d %10s %10s %10s %10s %10s\n" name
+           (Metrics.Histogram.count h) (q 0.5) (q 0.9) (q 0.99)
+           (pp_duration (Metrics.Histogram.max_value h))
+           (pp_duration (Metrics.Histogram.sum h))))
+    entries;
+  Buffer.contents buf
+
+let live_percentile_table () =
+  percentile_table
+    (List.map
+       (fun (k, h) -> (Trace.kind_name k, h))
+       (Trace.kind_histograms ()))
+
+let event_table entries =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (name, n) ->
+      Buffer.add_string buf (Printf.sprintf "%-20s %8d\n" name n))
+    entries;
+  Buffer.contents buf
+
+(* --- schema validation --- *)
+
+module Schema = struct
+  (* The checked-in schema (schemas/trace_schema.json) is a small
+     domain-specific contract, not JSON Schema: per-format lists of
+     required fields with expected JSON types, the set of legal record
+     types / chrome phases, and the chrome top-level key. *)
+
+  type shape = {
+    required : (string * string) list;  (* field name -> json type name *)
+    kinds_field : string option;  (* field constrained to [kinds] *)
+    kinds : string list;
+  }
+
+  type t = {
+    jsonl : shape;
+    chrome : shape;
+    chrome_top : string;
+  }
+
+  let shape_of_json j =
+    let required =
+      match Json.member "required" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun t -> (k, t)) (Json.to_str v))
+          fields
+      | _ -> []
+    in
+    let kinds_field =
+      Option.bind (Json.member "kinds_field" j) Json.to_str
+    in
+    let kinds =
+      match Json.member "kinds" j with
+      | Some (Json.Arr items) -> List.filter_map Json.to_str items
+      | _ -> []
+    in
+    { required; kinds_field; kinds }
+
+  let load path =
+    let ic = open_in path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse text with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j ->
+      (match (Json.member "jsonl" j, Json.member "chrome" j) with
+       | Some jl, Some ch ->
+         let chrome_top =
+           Option.value
+             (Option.bind (Json.member "top" ch) Json.to_str)
+             ~default:"traceEvents"
+         in
+         Ok { jsonl = shape_of_json jl; chrome = shape_of_json ch; chrome_top }
+       | _ -> Error (Printf.sprintf "%s: missing jsonl/chrome sections" path))
+    | exception Sys_error e -> Error e
+
+  let check_shape shape ctx j errors =
+    List.iter
+      (fun (field, expected) ->
+        match Json.member field j with
+        | None -> errors := Printf.sprintf "%s: missing %S" ctx field :: !errors
+        | Some v ->
+          let actual = Json.type_name v in
+          if actual <> expected then
+            errors :=
+              Printf.sprintf "%s: field %S is %s, expected %s" ctx field
+                actual expected
+              :: !errors)
+      shape.required;
+    match shape.kinds_field with
+    | None -> ()
+    | Some field ->
+      (match Option.bind (Json.member field j) Json.to_str with
+       | Some v when not (List.mem v shape.kinds) ->
+         errors :=
+           Printf.sprintf "%s: %S = %S not in schema kinds" ctx field v
+           :: !errors
+       | _ -> ())
+
+  let validate_jsonl t path =
+    match read_lines path with
+    | exception Sys_error e -> Error [ e ]
+    | lines ->
+      let errors = ref [] in
+      List.iteri
+        (fun i line ->
+          let ctx = Printf.sprintf "%s:%d" path (i + 1) in
+          match Json.parse line with
+          | Error e -> errors := Printf.sprintf "%s: %s" ctx e :: !errors
+          | Ok j -> check_shape t.jsonl ctx j errors)
+        lines;
+      if !errors = [] then Ok (List.length lines) else Error (List.rev !errors)
+
+  let validate_chrome t path =
+    let ic = open_in path in
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error [ e ]
+    | text ->
+      (match Json.parse text with
+       | Error e -> Error [ Printf.sprintf "%s: %s" path e ]
+       | Ok j ->
+         (match Option.bind (Json.member t.chrome_top j) Json.to_list with
+          | None ->
+            Error
+              [ Printf.sprintf "%s: missing top-level %S array" path
+                  t.chrome_top ]
+          | Some events ->
+            let errors = ref [] in
+            List.iteri
+              (fun i ev ->
+                let ctx = Printf.sprintf "%s[%d]" t.chrome_top i in
+                check_shape t.chrome ctx ev errors)
+              events;
+            if !errors = [] then Ok (List.length events)
+            else Error (List.rev !errors)))
+end

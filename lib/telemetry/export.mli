@@ -1,0 +1,55 @@
+(** Exporters and auditors for the span ring.
+
+    Writers read the live {!Trace} ring: JSONL (one object per line) and
+    Chrome [trace_event] JSON for [chrome://tracing] / Perfetto. The
+    reader, aggregators, and schema validator operate on saved files so a
+    separate process (apexctl) can audit and summarize a trace. *)
+
+val write_jsonl : out_channel -> unit
+val write_chrome : out_channel -> unit
+val save_jsonl : string -> unit
+val save_chrome : string -> unit
+
+type record = {
+  name : string;
+  is_event : bool;
+  seq : int;
+  ts : float;
+  dur : float;
+  arg : int;
+  note : string;
+}
+
+val read_jsonl : string -> (record list, string) result
+
+val summarize : record list -> (string * Metrics.histogram) list
+(** Per-span-name duration histograms, sorted by name. *)
+
+val event_totals : record list -> (string * int) list
+
+val pp_duration : float -> string
+(** Seconds to a human unit: ["250ns"], ["1.5us"], ["3.20ms"], ["1.200s"]. *)
+
+val percentile_table : (string * Metrics.histogram) list -> string
+(** Aligned table: count, p50/p90/p99, max, total per phase. *)
+
+val live_percentile_table : unit -> string
+(** {!percentile_table} over the live tracer's per-kind histograms. *)
+
+val event_table : (string * int) list -> string
+
+module Schema : sig
+  (** Validator for the checked-in trace schema
+      ([schemas/trace_schema.json]) — per-format required fields with
+      expected JSON types plus legal record kinds. *)
+
+  type t
+
+  val load : string -> (t, string) result
+
+  val validate_jsonl : t -> string -> (int, string list) result
+  (** [Ok n]: all [n] lines conform. *)
+
+  val validate_chrome : t -> string -> (int, string list) result
+  (** [Ok n]: well-formed with [n] conforming trace events. *)
+end

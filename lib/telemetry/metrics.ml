@@ -1,0 +1,233 @@
+(* Metrics registry: named counters, gauges, and log-bucketed histograms.
+   Handles are plain mutable records so the hot path pays one load and one
+   store per update — no hashtable lookup, no boxing. The registry is only
+   consulted at registration and snapshot time.
+
+   Registries are per-instance (e.g. one per Self_tuning.t): two indexes
+   tuned in the same process must not share counters, and tests rely on
+   exact per-instance counts. *)
+
+type counter = { mutable count : int }
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+type gauge = { mutable level : float }
+
+let set g v = g.level <- v
+let level g = g.level
+
+module Histogram = struct
+  (* Log2-bucketed histogram. Bucket 0 holds non-positive samples; bucket
+     b >= 1 holds values in [2^(b-1), 2^b) nanoseconds, i.e. the value
+     scaled by 1e9 — latencies are recorded in seconds, sizes as floats of
+     ints (where the 1e9 scale just shifts which buckets are used; the
+     bucketing stays logarithmic and quantile estimates stay within a
+     factor of 2). 96 buckets cover ~1ns to ~2.5e19s, far beyond any
+     recordable value, so clamping at the top bucket never triggers in
+     practice. *)
+  let n_buckets = 96
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create () =
+    { buckets = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.;
+      vmin = infinity;
+      vmax = neg_infinity }
+
+  let scale = 1e9
+
+  let bucket_of v =
+    if not (v > 0.) then 0
+    else begin
+      let scaled = v *. scale in
+      if scaled < 1. then 0
+      else begin
+        let b = 1 + int_of_float (Float.log2 scaled) in
+        if b >= n_buckets then n_buckets - 1 else b
+      end
+    end
+
+  (* geometric-ish midpoint of bucket b, back in value units *)
+  let bucket_mid b =
+    if b = 0 then 0.
+    else Float.of_int (1 lsl (b - 1)) *. 1.5 /. scale
+
+  let record t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = if t.count = 0 then 0. else t.vmin
+  let max_value t = if t.count = 0 then 0. else t.vmax
+  let mean t = if t.count = 0 then 0. else t.sum /. Float.of_int t.count
+  let bucket_counts t = Array.copy t.buckets
+
+  let merge a b =
+    let t = create () in
+    for i = 0 to n_buckets - 1 do
+      t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+    done;
+    t.count <- a.count + b.count;
+    t.sum <- a.sum +. b.sum;
+    t.vmin <- Float.min a.vmin b.vmin;
+    t.vmax <- Float.max a.vmax b.vmax;
+    t
+
+  (* Same observable contents: bucket counts, count, and exact-comparable
+     extrema. Excludes [sum], whose float addition is not associative —
+     the merge-associativity property quantifies over everything else. *)
+  let equal_counts a b =
+    a.count = b.count
+    && a.buckets = b.buckets
+    && Float.equal a.vmin b.vmin
+    && Float.equal a.vmax b.vmax
+
+  (* Quantile estimate by bucket walk: the answer is the midpoint of the
+     bucket containing the q-th sample, exact to within the bucket's
+     factor-of-2 width. q outside [0,1] is clamped. *)
+  let quantile t q =
+    if t.count = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank =
+        let r = int_of_float (Float.round (q *. Float.of_int t.count)) in
+        if r < 1 then 1 else if r > t.count then t.count else r
+      in
+      let acc = ref 0 and found = ref (-1) in
+      (try
+         for b = 0 to n_buckets - 1 do
+           acc := !acc + t.buckets.(b);
+           if !acc >= rank then begin
+             found := b;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let b = if !found < 0 then n_buckets - 1 else !found in
+      let est = bucket_mid b in
+      (* clamp the estimate into the observed range so p0/p100 never fall
+         outside [min, max] *)
+      Float.max t.vmin (Float.min t.vmax est)
+    end
+end
+
+type histogram = Histogram.t
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of histogram
+
+(* A source contributes computed values at snapshot time — the bridge for
+   hot structs like Io_stats / Cost that must stay plain records. *)
+type source = unit -> (string * float) list
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  mutable sources : (string * source) list;
+}
+
+let create () = { table = Hashtbl.create 32; sources = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let get_or_register t name make match_ =
+  match Hashtbl.find_opt t.table name with
+  | Some m ->
+    (match match_ m with
+     | Some v -> v
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Metrics: %S already registered as a %s" name
+            (kind_name m)))
+  | None ->
+    let v, m = make () in
+    Hashtbl.add t.table name m;
+    v
+
+let counter t name =
+  get_or_register t name
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  get_or_register t name
+    (fun () ->
+      let g = { level = 0. } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  get_or_register t name
+    (fun () ->
+      let h = Histogram.create () in
+      (h, Hist h))
+    (function Hist h -> Some h | _ -> None)
+
+let register_source t name f = t.sources <- (name, f) :: t.sources
+
+type value =
+  | Count of int
+  | Level of float
+  | Dist of histogram
+
+let snapshot t =
+  let metrics =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | Counter c -> Count c.count
+          | Gauge g -> Level g.level
+          | Hist h -> Dist h
+        in
+        (name, v) :: acc)
+      t.table []
+  in
+  let sourced =
+    List.concat_map
+      (fun (prefix, f) ->
+        List.map (fun (k, v) -> (prefix ^ "." ^ k, Level v)) (f ()))
+      t.sources
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (metrics @ sourced)
+
+let pp_value ppf = function
+  | Count n -> Format.fprintf ppf "%d" n
+  | Level v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Format.fprintf ppf "%.0f" v
+    else Format.fprintf ppf "%g" v
+  | Dist h ->
+    if Histogram.count h = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf "n=%d mean=%.3g p50=%.3g p95=%.3g max=%.3g"
+        (Histogram.count h) (Histogram.mean h)
+        (Histogram.quantile h 0.5)
+        (Histogram.quantile h 0.95)
+        (Histogram.max_value h)
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-42s %a@." name pp_value v)
+    (snapshot t)

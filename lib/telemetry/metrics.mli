@@ -1,0 +1,74 @@
+(** Metrics registry: named counters, gauges, and log-bucketed histograms.
+
+    Handles returned by {!counter} / {!gauge} / {!histogram} are plain
+    mutable records — updating one is a load and a store, with no lookup
+    or allocation. Registries are per-instance so two indexes tuned in the
+    same process never share counters. *)
+
+type counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val set : gauge -> float -> unit
+val level : gauge -> float
+
+module Histogram : sig
+  (** Log2-bucketed histogram: bucket 0 holds non-positive samples,
+      bucket [b >= 1] holds values in [[2^(b-1), 2^b)] nanoseconds.
+      Recording is O(1); quantiles are estimated by bucket walk and are
+      exact to within the bucket's factor-of-2 width. *)
+
+  type t
+
+  val n_buckets : int
+  val create : unit -> t
+  val record : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+  val mean : t -> float
+
+  val bucket_counts : t -> int array
+  (** Copy of the per-bucket sample counts; sums to {!count}. *)
+
+  val merge : t -> t -> t
+  (** Pure: returns a fresh histogram, arguments unchanged. *)
+
+  val equal_counts : t -> t -> bool
+  (** Equality over bucket counts, total count, and extrema — everything
+      except [sum], whose float addition is not associative. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [[0,1]] (clamped); [0.] when empty. *)
+end
+
+type histogram = Histogram.t
+
+type t
+(** A registry instance. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create. @raise Invalid_argument if [name] is registered as a
+    different metric kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val register_source : t -> string -> (unit -> (string * float) list) -> unit
+(** [register_source t prefix f] contributes [f ()] at snapshot time as
+    gauges named [prefix ^ "." ^ key] — the bridge for hot counter structs
+    (Io_stats, Cost) that must stay plain records. *)
+
+type value = Count of int | Level of float | Dist of histogram
+
+val snapshot : t -> (string * value) list
+(** All metrics plus source contributions, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,289 @@
+(* Span tracer: a preallocated struct-of-arrays ring of spans plus instant
+   events. Disabled (the default), [begin_] is a flag test returning -1 and
+   [end_]/[event] are flag tests returning unit — no allocation, no
+   syscalls, same discipline as the Fault hook in Pager. Enabled, each span
+   costs two [Unix.gettimeofday] calls and array stores into preallocated
+   int/float arrays (floats in a float array are unboxed).
+
+   Tokens are plain ints (the global span sequence number), not records:
+   an optional or boxed token would allocate on every hot-path call even
+   when tracing is off. The ring overwrites oldest spans on wrap; a
+   per-slot sequence number lets [end_] detect that its slot was reused
+   and drop the close instead of corrupting an unrelated span. Per-kind
+   totals and duration histograms live outside the ring, so aggregate
+   statistics survive wrap. *)
+
+type kind =
+  (* query pipeline phases *)
+  | Parse
+  | Plan
+  | Probe
+  | Fetch
+  | Join
+  | Materialize
+  (* enclosing units of work *)
+  | Query
+  | Refresh
+  | Mine
+  | Prune
+  | Traverse
+  | Update_apply
+  | Snapshot_commit
+  | Recovery
+  (* adaptation events (instants, no duration) *)
+  | Path_promoted
+  | Path_evicted
+  | Delta_flushed
+  | Epoch_committed
+  | Epoch_rolled_back
+  | Update_aborted
+
+let n_kinds = 20
+
+let kind_index = function
+  | Parse -> 0
+  | Plan -> 1
+  | Probe -> 2
+  | Fetch -> 3
+  | Join -> 4
+  | Materialize -> 5
+  | Query -> 6
+  | Refresh -> 7
+  | Mine -> 8
+  | Prune -> 9
+  | Traverse -> 10
+  | Update_apply -> 11
+  | Snapshot_commit -> 12
+  | Recovery -> 13
+  | Path_promoted -> 14
+  | Path_evicted -> 15
+  | Delta_flushed -> 16
+  | Epoch_committed -> 17
+  | Epoch_rolled_back -> 18
+  | Update_aborted -> 19
+
+let all_kinds =
+  [| Parse; Plan; Probe; Fetch; Join; Materialize; Query; Refresh; Mine;
+     Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Path_promoted;
+     Path_evicted; Delta_flushed; Epoch_committed; Epoch_rolled_back;
+     Update_aborted |]
+
+let kind_name = function
+  | Parse -> "parse"
+  | Plan -> "plan"
+  | Probe -> "probe"
+  | Fetch -> "fetch"
+  | Join -> "join"
+  | Materialize -> "materialize"
+  | Query -> "query"
+  | Refresh -> "refresh"
+  | Mine -> "mine"
+  | Prune -> "prune"
+  | Traverse -> "traverse"
+  | Update_apply -> "update_apply"
+  | Snapshot_commit -> "snapshot_commit"
+  | Recovery -> "recovery"
+  | Path_promoted -> "path_promoted"
+  | Path_evicted -> "path_evicted"
+  | Delta_flushed -> "delta_flushed"
+  | Epoch_committed -> "epoch_committed"
+  | Epoch_rolled_back -> "epoch_rolled_back"
+  | Update_aborted -> "update_aborted"
+
+let kind_is_event k = kind_index k >= kind_index Path_promoted
+
+type ring = {
+  cap : int;
+  kinds : int array;
+  seqs : int array;  (* global seq of the span occupying each slot *)
+  starts : float array;  (* seconds since [t0] *)
+  stops : float array;  (* -1.0 while the span is open *)
+  args : int array;
+  notes : string array;
+  t0 : float;
+  mutable next_seq : int;
+  counts : int array;  (* per kind; survives ring wrap *)
+  histos : Metrics.Histogram.t array;  (* per-kind span durations *)
+  mutable dropped_ends : int;  (* end_ whose slot was overwritten *)
+}
+
+let enabled = ref false
+let ring : ring option ref = ref None
+
+let default_capacity = 1 lsl 16
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
+  ring :=
+    Some
+      { cap = capacity;
+        kinds = Array.make capacity 0;
+        seqs = Array.make capacity (-1);
+        starts = Array.make capacity 0.;
+        stops = Array.make capacity 0.;
+        args = Array.make capacity 0;
+        notes = Array.make capacity "";
+        t0 = Unix.gettimeofday ();
+        next_seq = 0;
+        counts = Array.make n_kinds 0;
+        histos = Array.init n_kinds (fun _ -> Metrics.Histogram.create ());
+        dropped_ends = 0 };
+  enabled := true
+
+let disable () = enabled := false
+
+let reset () =
+  enabled := false;
+  ring := None
+
+let is_enabled () = !enabled
+
+let alloc_slot r k =
+  let seq = r.next_seq in
+  r.next_seq <- seq + 1;
+  let i = seq mod r.cap in
+  let ki = kind_index k in
+  r.kinds.(i) <- ki;
+  r.seqs.(i) <- seq;
+  r.args.(i) <- 0;
+  r.notes.(i) <- "";
+  r.counts.(ki) <- r.counts.(ki) + 1;
+  (seq, i)
+
+let begin_ k =
+  if not !enabled then -1
+  else
+    match !ring with
+    | None -> -1
+    | Some r ->
+      let seq, i = alloc_slot r k in
+      r.stops.(i) <- -1.0;
+      r.starts.(i) <- Unix.gettimeofday () -. r.t0;
+      seq
+
+let end_arg tok arg =
+  if tok >= 0 then
+    match !ring with
+    | None -> ()
+    | Some r ->
+      let i = tok mod r.cap in
+      if r.seqs.(i) = tok && r.stops.(i) < 0. then begin
+        let stop = Unix.gettimeofday () -. r.t0 in
+        r.stops.(i) <- stop;
+        r.args.(i) <- arg;
+        Metrics.Histogram.record r.histos.(r.kinds.(i)) (stop -. r.starts.(i))
+      end
+      else r.dropped_ends <- r.dropped_ends + 1
+
+let end_ tok = end_arg tok 0
+
+let event k arg =
+  if !enabled then
+    match !ring with
+    | None -> ()
+    | Some r ->
+      let _, i = alloc_slot r k in
+      let now = Unix.gettimeofday () -. r.t0 in
+      r.starts.(i) <- now;
+      r.stops.(i) <- now;
+      r.args.(i) <- arg
+
+let event_note k arg note =
+  if !enabled then
+    match !ring with
+    | None -> ()
+    | Some r ->
+      let _, i = alloc_slot r k in
+      let now = Unix.gettimeofday () -. r.t0 in
+      r.starts.(i) <- now;
+      r.stops.(i) <- now;
+      r.args.(i) <- arg;
+      r.notes.(i) <- note
+
+(* Cold-path convenience: exception-safe span around [f]. The closure
+   allocates at the call site, so this is for refresh/commit/recovery
+   lifecycles, not the per-query hot path. *)
+let with_span k f =
+  let tok = begin_ k in
+  match f () with
+  | v ->
+    end_ tok;
+    v
+  | exception e ->
+    end_ tok;
+    raise e
+
+type span = {
+  kind : kind;
+  seq : int;
+  start : float;
+  stop : float option;  (* None: still open (e.g. aborted by a fault) *)
+  arg : int;
+  note : string;
+  is_event : bool;
+}
+
+let iter_spans f =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    let first = if r.next_seq > r.cap then r.next_seq - r.cap else 0 in
+    for seq = first to r.next_seq - 1 do
+      let i = seq mod r.cap in
+      if r.seqs.(i) = seq then begin
+        let k = all_kinds.(r.kinds.(i)) in
+        f
+          { kind = k;
+            seq;
+            start = r.starts.(i);
+            stop = (if r.stops.(i) < 0. then None else Some r.stops.(i));
+            arg = r.args.(i);
+            note = r.notes.(i);
+            is_event = kind_is_event k }
+      end
+    done
+
+let kind_counts () =
+  match !ring with
+  | None -> []
+  | Some r ->
+    let acc = ref [] in
+    for ki = n_kinds - 1 downto 0 do
+      if r.counts.(ki) > 0 then acc := (all_kinds.(ki), r.counts.(ki)) :: !acc
+    done;
+    !acc
+
+let kind_histogram k =
+  match !ring with
+  | None -> None
+  | Some r ->
+    let h = r.histos.(kind_index k) in
+    if Metrics.Histogram.count h = 0 then None else Some h
+
+let kind_histograms () =
+  match !ring with
+  | None -> []
+  | Some r ->
+    let acc = ref [] in
+    for ki = n_kinds - 1 downto 0 do
+      let h = r.histos.(ki) in
+      if Metrics.Histogram.count h > 0 then acc := (all_kinds.(ki), h) :: !acc
+    done;
+    !acc
+
+type stats = {
+  recorded : int;  (* spans + events ever recorded *)
+  retained : int;  (* still present in the ring *)
+  overwritten : int;  (* lost to ring wrap *)
+  dropped_ends : int;  (* end_ calls whose slot had been reused *)
+}
+
+let stats () =
+  match !ring with
+  | None -> { recorded = 0; retained = 0; overwritten = 0; dropped_ends = 0 }
+  | Some r ->
+    let overwritten = if r.next_seq > r.cap then r.next_seq - r.cap else 0 in
+    { recorded = r.next_seq;
+      retained = r.next_seq - overwritten;
+      overwritten;
+      dropped_ends = r.dropped_ends }

@@ -1,0 +1,98 @@
+(** Span tracer: preallocated ring of spans and instant events.
+
+    Disabled (the default) every entry point is a flag test — no
+    allocation, no syscalls — so instrumentation can stay in hot paths
+    unconditionally, the same zero-cost-when-off discipline as the Fault
+    hook in Pager. Tokens are plain ints; [-1] means "tracing was off at
+    [begin_]" and makes the matching [end_] free. *)
+
+(** Span and event kinds. The first six are the query pipeline phases; the
+    middle group are enclosing units of work; the [Path_promoted ..
+    Update_aborted] tail are instant adaptation events. *)
+type kind =
+  | Parse
+  | Plan
+  | Probe
+  | Fetch
+  | Join
+  | Materialize
+  | Query
+  | Refresh
+  | Mine
+  | Prune
+  | Traverse
+  | Update_apply
+  | Snapshot_commit
+  | Recovery
+  | Path_promoted
+  | Path_evicted
+  | Delta_flushed
+  | Epoch_committed
+  | Epoch_rolled_back
+  | Update_aborted
+
+val kind_name : kind -> string
+val kind_is_event : kind -> bool
+
+val enable : ?capacity:int -> unit -> unit
+(** Allocate a fresh ring (default 65536 slots) and start recording.
+    Discards any previous ring. *)
+
+val disable : unit -> unit
+(** Stop recording; the ring is kept for export. *)
+
+val reset : unit -> unit
+(** Stop recording and drop the ring. *)
+
+val is_enabled : unit -> bool
+
+val begin_ : kind -> int
+(** Open a span; returns a token for [end_]. Returns [-1] without
+    allocating when tracing is disabled. *)
+
+val end_ : int -> unit
+
+val end_arg : int -> int -> unit
+(** [end_arg tok arg] closes the span and attaches an integer attribute
+    (result cardinality, page count, ...). *)
+
+val event : kind -> int -> unit
+(** Record an instant event with an integer attribute. *)
+
+val event_note : kind -> int -> string -> unit
+(** Instant event with a string note; allocates the note — cold paths
+    only. *)
+
+val with_span : kind -> (unit -> 'a) -> 'a
+(** Exception-safe span around [f]; allocates a closure, so for
+    refresh/commit/recovery lifecycles, not the per-query hot path. *)
+
+type span = {
+  kind : kind;
+  seq : int;
+  start : float;  (** seconds since [enable] *)
+  stop : float option;  (** [None]: never closed (e.g. aborted by fault) *)
+  arg : int;
+  note : string;
+  is_event : bool;
+}
+
+val iter_spans : (span -> unit) -> unit
+(** Spans still retained in the ring, oldest first. *)
+
+val kind_counts : unit -> (kind * int) list
+(** Per-kind totals since [enable]; survives ring wrap. *)
+
+val kind_histogram : kind -> Metrics.histogram option
+(** Duration histogram of closed spans of [kind]; [None] if empty. *)
+
+val kind_histograms : unit -> (kind * Metrics.histogram) list
+
+type stats = {
+  recorded : int;
+  retained : int;
+  overwritten : int;
+  dropped_ends : int;
+}
+
+val stats : unit -> stats

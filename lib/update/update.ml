@@ -272,7 +272,7 @@ let maintain t ~old_graph:g ~applied ~acc =
           (Hash_tree.find_assignments finder_new ~label:l ~source:u))
     !links
 
-let apply t ops =
+let apply_inner t ops =
   let acc = { a_slots_patched = 0; a_nodes_created = 0; baseline = Hashtbl.create 64 } in
   let n_ops = ref 0 and n_added = ref 0 and n_removed = ref 0 in
   List.iter
@@ -316,3 +316,16 @@ let apply t ops =
     nodes_created = acc.a_nodes_created;
     extents_flushed = List.length dirty;
   }
+
+(* a fault mid-batch propagates with the span closed, so the trace shows
+   the aborted application rather than a dangling open span *)
+let apply t ops =
+  let module Tr = Repro_telemetry.Trace in
+  let tok = Tr.begin_ Tr.Update_apply in
+  match apply_inner t ops with
+  | stats ->
+    Tr.end_arg tok stats.ops;
+    stats
+  | exception e ->
+    Tr.end_ tok;
+    raise e

@@ -99,14 +99,25 @@ let describe = function
   | Scan -> "scan"
 
 let execute ?cost ?table apex (path : Xpath_ast.t) =
+  let module Tr = Repro_telemetry.Trace in
   let g = Repro_apex.Apex.graph apex in
-  match plan g path with
+  let ptok = Tr.begin_ Tr.Plan in
+  let chosen = plan g path in
+  Tr.end_ ptok;
+  match chosen with
   | Index_path compiled -> Repro_apex.Apex_query.eval ?cost ?table apex compiled
   | Seeded { prefix; self_predicates; residual } ->
     let seeds = Repro_apex.Apex_query.eval ?cost apex (Query.C1 prefix) in
     let seeds = Xpath_eval.filter_predicates g seeds self_predicates in
-    Xpath_eval.eval_steps g ~context:seeds residual
+    let mtok = Tr.begin_ Tr.Materialize in
+    let result = Xpath_eval.eval_steps g ~context:seeds residual in
+    Tr.end_arg mtok (Array.length result);
+    result
   | Scan -> Xpath_eval.eval g path
 
 let execute_string ?cost ?table apex text =
-  execute ?cost ?table apex (Xpath_parser.parse_exn text)
+  let module Tr = Repro_telemetry.Trace in
+  let ptok = Tr.begin_ Tr.Parse in
+  let parsed = Xpath_parser.parse_exn text in
+  Tr.end_ ptok;
+  execute ?cost ?table apex parsed

@@ -1,0 +1,6 @@
+(* three direct console prints: Printf to stdout, a bare Stdlib printer,
+   and Format to stderr *)
+let report n =
+  Printf.printf "processed %d\n" n;
+  print_endline "done";
+  Format.eprintf "warning: %d leftovers@." n

@@ -1,0 +1,10 @@
+(* the sanctioned shapes: build strings, print to a caller-supplied
+   formatter, or buffer — the caller chooses the sink *)
+let describe n = Printf.sprintf "processed %d" n
+
+let pp ppf n = Format.fprintf ppf "processed %d" n
+
+let render n =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (describe n);
+  Buffer.contents buf

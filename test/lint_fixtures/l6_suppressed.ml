@@ -1,0 +1,2 @@
+(* apex_lint: allow L6 -- deliberate one-shot progress line in a long build *)
+let announce name = Printf.printf "building %s...\n%!" name

@@ -1,0 +1,165 @@
+(* Field-drift guard for the counter structs that feed telemetry.
+
+   [Cost.to_fields] / [Io_stats.to_fields] are written with complete
+   record patterns, so *omitting* a field is already a compile error.
+   What the compiler cannot check is that [reset]/[copy]/[add]/[pp]
+   handle every field, or that [to_fields] does not duplicate or
+   misorder names. These tests close that gap with sentinel records:
+   every field carries a distinct value, so a counter dropped by any of
+   the lifecycle functions — or by the pretty-printer — shows up as a
+   missing sentinel. *)
+
+module Cost = Repro_storage.Cost
+module Io_stats = Repro_storage.Io_stats
+
+let str_of pp v = Format.asprintf "%a" pp v
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* distinct sentinels, far enough apart that no sentinel is a substring
+   of another's decimal rendering and no sum collides with a sentinel *)
+let sentinel i = 1009 + (101 * i)
+
+let cost_sentinel base =
+  let c = Cost.create () in
+  let i = ref 0 in
+  let next () = incr i; base + sentinel !i in
+  c.Cost.index_node_visits <- next ();
+  c.Cost.struct_pages <- next ();
+  c.Cost.index_edge_lookups <- next ();
+  c.Cost.hash_probes <- next ();
+  c.Cost.trie_node_visits <- next ();
+  c.Cost.trie_pages <- next ();
+  c.Cost.extent_pages <- next ();
+  c.Cost.extent_edges <- next ();
+  c.Cost.extent_cache_hits <- next ();
+  c.Cost.extent_cache_misses <- next ();
+  c.Cost.join_edges <- next ();
+  c.Cost.table_pages <- next ();
+  c
+
+let io_sentinel base =
+  let s = Io_stats.create () in
+  let i = ref 0 in
+  let next () = incr i; base + sentinel !i in
+  s.Io_stats.disk_reads <- next ();
+  s.Io_stats.disk_writes <- next ();
+  s.Io_stats.cache_hits <- next ();
+  s.Io_stats.cache_misses <- next ();
+  s.Io_stats.read_retries <- next ();
+  s.Io_stats.refresh_aborts <- next ();
+  s
+
+let distinct_names fields =
+  let names = List.map fst fields in
+  List.length (List.sort_uniq String.compare names) = List.length names
+
+let cost_to_fields () =
+  let c = cost_sentinel 0 in
+  let fields = Cost.to_fields c in
+  Alcotest.(check bool) "names distinct" true (distinct_names fields);
+  List.iteri
+    (fun i (name, v) ->
+      Alcotest.(check int) ("declaration order: " ^ name) (sentinel (i + 1)) v)
+    fields
+
+let cost_pp_covers_fields () =
+  let c = cost_sentinel 0 in
+  let out = str_of Cost.pp c in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp prints %s=%d" name v)
+        true
+        (contains ~needle:(string_of_int v) out))
+    (Cost.to_fields c)
+
+let cost_add_sums () =
+  let acc = cost_sentinel 0 and x = cost_sentinel 1_000_000 in
+  let before_x = Cost.to_fields x in
+  Cost.add acc x;
+  List.iteri
+    (fun i (name, v) ->
+      let expected = (2 * sentinel (i + 1)) + 1_000_000 in
+      Alcotest.(check int) ("add sums " ^ name) expected v)
+    (Cost.to_fields acc);
+  Alcotest.(check (list (pair string int)))
+    "add leaves its argument alone" before_x (Cost.to_fields x)
+
+let cost_copy_independent () =
+  let c = cost_sentinel 0 in
+  let d = Cost.copy c in
+  Alcotest.(check (list (pair string int)))
+    "copy preserves every field" (Cost.to_fields c) (Cost.to_fields d);
+  d.Cost.hash_probes <- 0;
+  Alcotest.(check int)
+    "copy is detached" (sentinel 4) c.Cost.hash_probes
+
+let cost_reset_zeroes () =
+  let c = cost_sentinel 0 in
+  Cost.reset c;
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) ("reset zeroes " ^ name) 0 v)
+    (Cost.to_fields c)
+
+let io_to_fields () =
+  let s = io_sentinel 0 in
+  let fields = Io_stats.to_fields s in
+  Alcotest.(check bool) "names distinct" true (distinct_names fields);
+  List.iteri
+    (fun i (name, v) ->
+      Alcotest.(check int) ("declaration order: " ^ name) (sentinel (i + 1)) v)
+    fields
+
+let io_pp_covers_fields () =
+  let s = io_sentinel 0 in
+  let out = str_of Io_stats.pp s in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp prints %s=%d" name v)
+        true
+        (contains ~needle:(string_of_int v) out))
+    (Io_stats.to_fields s)
+
+let io_copy_reset () =
+  let s = io_sentinel 0 in
+  let d = Io_stats.copy s in
+  Alcotest.(check (list (pair string int)))
+    "copy preserves every field" (Io_stats.to_fields s) (Io_stats.to_fields d);
+  d.Io_stats.disk_reads <- 0;
+  Alcotest.(check int) "copy is detached" (sentinel 1) s.Io_stats.disk_reads;
+  Io_stats.reset s;
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) ("reset zeroes " ^ name) 0 v)
+    (Io_stats.to_fields s)
+
+let io_total_requests () =
+  let s = io_sentinel 0 in
+  Alcotest.(check int)
+    "total = hits + misses"
+    (s.Io_stats.cache_hits + s.Io_stats.cache_misses)
+    (Io_stats.total_page_requests s)
+
+let () =
+  Alcotest.run "cost_guard"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "to_fields sentinels" `Quick cost_to_fields;
+          Alcotest.test_case "pp covers fields" `Quick cost_pp_covers_fields;
+          Alcotest.test_case "add sums fields" `Quick cost_add_sums;
+          Alcotest.test_case "copy independent" `Quick cost_copy_independent;
+          Alcotest.test_case "reset zeroes" `Quick cost_reset_zeroes;
+        ] );
+      ( "io_stats",
+        [
+          Alcotest.test_case "to_fields sentinels" `Quick io_to_fields;
+          Alcotest.test_case "pp covers fields" `Quick io_pp_covers_fields;
+          Alcotest.test_case "copy and reset" `Quick io_copy_reset;
+          Alcotest.test_case "total page requests" `Quick io_total_requests;
+        ] );
+    ]

@@ -13,7 +13,13 @@ open Apex_lint_core
 let fixture name = Filename.concat "lint_fixtures" name
 
 (* hot-path library scope, no unsafe allowlist: every rule armed *)
-let armed = { Lint_rules.hot_path = true; l2_allowed = false; lib_code = true }
+let armed =
+  {
+    Lint_rules.hot_path = true;
+    l2_allowed = false;
+    lib_code = true;
+    no_direct_print = true;
+  }
 
 let rule_ids diags =
   diags |> List.map (fun d -> Lint_rules.rule_id d.Lint_diag.rule) |> List.sort String.compare
@@ -53,6 +59,9 @@ let corpus =
     ("l4_good.ml", []);
     ("l5_bad.ml", [ "L5" ]);
     ("l5_good.ml", []);
+    ("l6_bad.ml", [ "L6"; "L6"; "L6" ]);
+    ("l6_good.ml", []);
+    ("l6_suppressed.ml", []);
     ("suppressed.ml", []);
     ("suppressed_mismatch.ml", [ "L2" ]);
   ]
@@ -72,7 +81,14 @@ let typed_cases =
 (* the scope gates: the same bad files are clean when their rule does not
    apply to the file's location *)
 let scope_gates () =
-  let off = { Lint_rules.hot_path = false; l2_allowed = true; lib_code = false } in
+  let off =
+    {
+      Lint_rules.hot_path = false;
+      l2_allowed = true;
+      lib_code = false;
+      no_direct_print = false;
+    }
+  in
   List.iter
     (fun name ->
       let _mode, diags =
@@ -80,7 +96,7 @@ let scope_gates () =
           ~cmt_index:(Hashtbl.create 1) (fixture name)
       in
       Alcotest.(check (list string)) (name ^ " out of scope") [] (rule_ids diags))
-    [ "l1_bad.ml"; "l2_bad.ml"; "l3_bad.ml" ]
+    [ "l1_bad.ml"; "l2_bad.ml"; "l3_bad.ml"; "l6_bad.ml" ]
 
 let scope_of_path () =
   let s = Lint_rules.scope_of_path "lib/util/int_sorted.ml" in
@@ -93,7 +109,16 @@ let scope_of_path () =
   Alcotest.(check bool) "bench not lib code" false s.Lint_rules.lib_code;
   (* a directory sharing the prefix string is not a hot-path match *)
   let s = Lint_rules.scope_of_path "lib/utilities/foo.ml" in
-  Alcotest.(check bool) "prefix needs a separator" false s.Lint_rules.hot_path
+  Alcotest.(check bool) "prefix needs a separator" false s.Lint_rules.hot_path;
+  (* L6 arms everywhere in lib/ except the sanctioned printing layers *)
+  let s = Lint_rules.scope_of_path "lib/apex/apex.ml" in
+  Alcotest.(check bool) "lib code may not print" true s.Lint_rules.no_direct_print;
+  let s = Lint_rules.scope_of_path "lib/harness/report.ml" in
+  Alcotest.(check bool) "harness may print" false s.Lint_rules.no_direct_print;
+  let s = Lint_rules.scope_of_path "lib/telemetry/export.ml" in
+  Alcotest.(check bool) "telemetry may print" false s.Lint_rules.no_direct_print;
+  let s = Lint_rules.scope_of_path "bench/micro.ml" in
+  Alcotest.(check bool) "bench may print" false s.Lint_rules.no_direct_print
 
 let () =
   (* one-time compiler setup for the typed cases: stdlib on the load path *)

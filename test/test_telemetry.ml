@@ -1,0 +1,295 @@
+(* Telemetry subsystem tests.
+
+   The load-bearing guarantee is the disabled path: instrumentation sits
+   unconditionally in per-query hot loops, so with tracing off every
+   entry point must be a flag test — no allocation at all. We assert
+   that with [Gc.minor_words], the same way one would catch an
+   accidental [Some]/closure allocation sneaking into [begin_]/[end_arg].
+
+   The enabled path is checked end to end: ring wrap accounting,
+   JSONL/Chrome export, the file reader, and the schema validator run
+   against the checked-in [schemas/trace_schema.json]. Histogram
+   arithmetic is property-tested: merge associativity/commutativity
+   modulo float [sum] (excluded by [equal_counts]) and bucket-count
+   conservation. *)
+
+module Metrics = Repro_telemetry.Metrics
+module Trace = Repro_telemetry.Trace
+module Export = Repro_telemetry.Export
+
+let schema_path = Filename.concat ".." (Filename.concat "schemas" "trace_schema.json")
+
+(* ---------- disabled path: zero allocation ---------- *)
+
+let disabled_zero_alloc () =
+  Trace.reset ();
+  Alcotest.(check bool) "tracer off" false (Trace.is_enabled ());
+  let n = 100_000 in
+  (* warm up so any one-time lazy setup is paid before measuring *)
+  for _ = 1 to 100 do
+    Trace.end_arg (Trace.begin_ Trace.Probe) 1
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to n do
+    let tok = Trace.begin_ Trace.Probe in
+    Trace.end_arg tok i;
+    let tok2 = Trace.begin_ Trace.Fetch in
+    Trace.end_ tok2;
+    Trace.event Trace.Path_promoted i
+  done;
+  let delta = Gc.minor_words () -. before in
+  let per_op = delta /. float_of_int (5 * n) in
+  if per_op >= 0.01 then
+    Alcotest.failf "disabled tracer allocates: %.0f minor words over %d ops"
+      delta (5 * n);
+  Alcotest.(check int) "begin_ returns -1 when off" (-1) (Trace.begin_ Trace.Join)
+
+let disabled_end_is_noop () =
+  Trace.reset ();
+  Trace.end_ (-1);
+  Trace.end_arg (-1) 42;
+  let st = Trace.stats () in
+  Alcotest.(check int) "nothing recorded" 0 st.Trace.recorded;
+  Alcotest.(check int) "no dropped ends" 0 st.Trace.dropped_ends
+
+(* ---------- ring accounting ---------- *)
+
+let ring_wrap_accounting () =
+  Trace.enable ~capacity:8 ();
+  for i = 1 to 20 do
+    Trace.end_arg (Trace.begin_ Trace.Query) i
+  done;
+  let st = Trace.stats () in
+  Alcotest.(check int) "recorded all" 20 st.Trace.recorded;
+  Alcotest.(check int) "retained = capacity" 8 st.Trace.retained;
+  Alcotest.(check int) "overwritten = rest" 12 st.Trace.overwritten;
+  (* per-kind totals survive the wrap *)
+  Alcotest.(check int)
+    "kind_counts survives wrap" 20
+    (List.assoc Trace.Query (Trace.kind_counts ()));
+  (match Trace.kind_histogram Trace.Query with
+   | None -> Alcotest.fail "no duration histogram"
+   | Some h -> Alcotest.(check int) "histogram saw every close" 20 (Metrics.Histogram.count h));
+  (* retained window is oldest-first and contiguous *)
+  let seqs = ref [] in
+  Trace.iter_spans (fun s -> seqs := s.Trace.seq :: !seqs);
+  Alcotest.(check (list int)) "oldest first" [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.rev !seqs);
+  Trace.reset ()
+
+let stale_token_dropped () =
+  Trace.enable ~capacity:4 ();
+  let tok = Trace.begin_ Trace.Join in
+  (* wrap the ring so tok's slot is reused before the close arrives *)
+  for i = 1 to 8 do
+    Trace.end_arg (Trace.begin_ Trace.Query) i
+  done;
+  Trace.end_arg tok 7;
+  let st = Trace.stats () in
+  Alcotest.(check int) "stale end counted, not applied" 1 st.Trace.dropped_ends;
+  Trace.reset ()
+
+(* ---------- export round-trip + schema ---------- *)
+
+let populate_ring () =
+  Trace.enable ~capacity:64 ();
+  List.iter
+    (fun k ->
+      let tok = Trace.begin_ k in
+      Trace.end_arg tok 11)
+    [ Trace.Parse; Trace.Plan; Trace.Probe; Trace.Fetch; Trace.Join;
+      Trace.Materialize; Trace.Query ];
+  Trace.event Trace.Path_promoted 3;
+  Trace.event_note Trace.Path_evicted 5 "b.c";
+  ignore (Trace.begin_ Trace.Refresh) (* left open: aborted lifecycle *)
+
+let export_roundtrip () =
+  populate_ring ();
+  let jsonl = Filename.temp_file "apex_trace" ".jsonl" in
+  Export.save_jsonl jsonl;
+  (match Export.read_jsonl jsonl with
+   | Error m -> Alcotest.failf "read_jsonl: %s" m
+   | Ok records ->
+     Alcotest.(check int) "all slots exported" 10 (List.length records);
+     let spans = List.filter (fun r -> not r.Export.is_event) records in
+     let events = List.filter (fun r -> r.Export.is_event) records in
+     Alcotest.(check int) "8 spans" 8 (List.length spans);
+     Alcotest.(check int) "2 events" 2 (List.length events);
+     let names = List.map (fun r -> r.Export.name) spans in
+     List.iter
+       (fun n ->
+         Alcotest.(check bool) ("span " ^ n) true (List.mem n names))
+       [ "parse"; "plan"; "probe"; "fetch"; "join"; "materialize"; "query";
+         "refresh" ];
+     let noted = List.find (fun r -> r.Export.name = "path_evicted") events in
+     Alcotest.(check string) "note survives" "b.c" noted.Export.note;
+     Alcotest.(check int) "arg survives" 5 noted.Export.arg;
+     (* aggregation: every closed span kind lands in summarize *)
+     let hists = Export.summarize records in
+     Alcotest.(check bool) "probe summarized" true
+       (List.mem_assoc "probe" hists);
+     Alcotest.(check (list (pair string int)))
+       "event totals" [ ("path_evicted", 1); ("path_promoted", 1) ]
+       (Export.event_totals records));
+  Sys.remove jsonl;
+  Trace.reset ()
+
+let schema_validation () =
+  populate_ring ();
+  let jsonl = Filename.temp_file "apex_trace" ".jsonl" in
+  let chrome = Filename.temp_file "apex_trace" ".trace.json" in
+  Export.save_jsonl jsonl;
+  Export.save_chrome chrome;
+  (match Export.Schema.load schema_path with
+   | Error m -> Alcotest.failf "schema load: %s" m
+   | Ok schema ->
+     (match Export.Schema.validate_jsonl schema jsonl with
+      | Error errs -> Alcotest.failf "jsonl invalid: %s" (String.concat "; " errs)
+      | Ok n -> Alcotest.(check int) "jsonl lines conform" 10 n);
+     (match Export.Schema.validate_chrome schema chrome with
+      | Error errs -> Alcotest.failf "chrome invalid: %s" (String.concat "; " errs)
+      | Ok n -> Alcotest.(check int) "chrome events conform" 10 n);
+     (* the validator must actually reject garbage *)
+     let bad = Filename.temp_file "apex_trace_bad" ".jsonl" in
+     let oc = open_out bad in
+     output_string oc "{\"type\":\"span\",\"name\":\"x\"}\n";
+     close_out oc;
+     (match Export.Schema.validate_jsonl schema bad with
+      | Ok _ -> Alcotest.fail "validator accepted a record missing fields"
+      | Error _ -> ());
+     Sys.remove bad);
+  Sys.remove jsonl;
+  Sys.remove chrome;
+  Trace.reset ()
+
+(* ---------- metrics registry ---------- *)
+
+let registry_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "q.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  let c' = Metrics.counter m "q.count" in
+  Metrics.incr c';
+  Alcotest.(check int) "get-or-create shares state" 6 (Metrics.value c);
+  let g = Metrics.gauge m "pool.fill" in
+  Metrics.set g 0.75;
+  (match Metrics.snapshot m with
+   | [ ("pool.fill", Metrics.Level l); ("q.count", Metrics.Count n) ] ->
+     Alcotest.(check (float 1e-9)) "gauge level" 0.75 l;
+     Alcotest.(check int) "count" 6 n
+   | _ -> Alcotest.fail "snapshot shape");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: \"q.count\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge m "q.count"))
+
+let registry_sources () =
+  let m = Metrics.create () in
+  let hits = ref 0 in
+  Metrics.register_source m "io" (fun () ->
+      [ ("hits", float_of_int !hits); ("misses", 2.) ]);
+  hits := 9;
+  let snap = Metrics.snapshot m in
+  (match List.assoc "io.hits" snap with
+   | Metrics.Level l -> Alcotest.(check (float 1e-9)) "live source value" 9. l
+   | _ -> Alcotest.fail "io.hits not a gauge");
+  Alcotest.(check bool) "prefixed" true (List.mem_assoc "io.misses" snap)
+
+(* ---------- histogram properties ---------- *)
+
+let of_samples l =
+  let h = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.record h) l;
+  h
+
+(* durations in seconds: zero, sub-ns, and up to ~minutes, plus negatives
+   (clock went backwards) which must land in bucket 0, not crash *)
+let gen_sample =
+  QCheck.Gen.(
+    oneof
+      [
+        return 0.;
+        map (fun x -> x *. 1e-9) (float_bound_inclusive 10.);
+        map (fun x -> x *. 1e-3) (float_bound_inclusive 10.);
+        float_bound_inclusive 100.;
+        map Float.neg (float_bound_inclusive 1.);
+      ])
+
+let arb_samples =
+  QCheck.make
+    ~print:QCheck.Print.(list float)
+    QCheck.Gen.(list_size (int_bound 50) gen_sample)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~count:300 ~name:"histogram merge is associative"
+    (QCheck.triple arb_samples arb_samples arb_samples)
+    (fun (a, b, c) ->
+      let ha = of_samples a and hb = of_samples b and hc = of_samples c in
+      let open Metrics.Histogram in
+      equal_counts (merge (merge ha hb) hc) (merge ha (merge hb hc))
+      && equal_counts (merge ha hb) (merge hb ha))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~count:300 ~name:"merge a b = histogram of a @ b"
+    (QCheck.pair arb_samples arb_samples)
+    (fun (a, b) ->
+      Metrics.Histogram.equal_counts
+        (Metrics.Histogram.merge (of_samples a) (of_samples b))
+        (of_samples (a @ b)))
+
+let prop_bucket_conservation =
+  QCheck.Test.make ~count:300 ~name:"bucket counts sum to sample count"
+    arb_samples
+    (fun l ->
+      let h = of_samples l in
+      let buckets = Metrics.Histogram.bucket_counts h in
+      Array.length buckets = Metrics.Histogram.n_buckets
+      && Array.fold_left ( + ) 0 buckets = List.length l
+      && Metrics.Histogram.count h = List.length l)
+
+let prop_quantile_bounded =
+  QCheck.Test.make ~count:300 ~name:"quantiles stay within observed range"
+    arb_samples
+    (fun l ->
+      QCheck.assume (l <> []);
+      let h = of_samples l in
+      let lo = Metrics.Histogram.min_value h
+      and hi = Metrics.Histogram.max_value h in
+      List.for_all
+        (fun q ->
+          let v = Metrics.Histogram.quantile h q in
+          v >= lo && v <= hi)
+        [ 0.; 0.5; 0.9; 0.99; 1. ])
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "disabled_path",
+        [
+          Alcotest.test_case "zero allocation" `Quick disabled_zero_alloc;
+          Alcotest.test_case "end on -1 is a no-op" `Quick disabled_end_is_noop;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wrap accounting" `Quick ring_wrap_accounting;
+          Alcotest.test_case "stale token dropped" `Quick stale_token_dropped;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick export_roundtrip;
+          Alcotest.test_case "schema validation" `Quick schema_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry basics" `Quick registry_basics;
+          Alcotest.test_case "live sources" `Quick registry_sources;
+        ] );
+      ( "histogram_properties",
+        [
+          QCheck_alcotest.to_alcotest prop_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_merge_is_concat;
+          QCheck_alcotest.to_alcotest prop_bucket_conservation;
+          QCheck_alcotest.to_alcotest prop_quantile_bounded;
+        ] );
+    ]

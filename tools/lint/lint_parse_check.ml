@@ -27,6 +27,27 @@ let l3_idents = [ [ "List"; "nth" ]; [ "List"; "hd" ]; [ "Option"; "get" ] ]
 
 let l5_idents = [ [ "Obj"; "magic" ] ]
 
+(* Functions that print straight to stdout/stderr. Formatter-parameterized
+   printers (Format.fprintf ppf, pp_print_string ppf) and string builders
+   (Printf.sprintf) are fine — the caller chooses the sink. *)
+let l6_idents =
+  [
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ];
+    [ "print_string" ];
+    [ "print_endline" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "prerr_string" ];
+    [ "prerr_endline" ];
+    [ "prerr_newline" ];
+  ]
+
 (* Does the top level of a try-handler pattern catch everything? We must
    not fire on wildcards nested under a constructor (e.g. Failure _). *)
 let rec catches_all (p : pattern) =
@@ -51,7 +72,9 @@ let check ~(scope : Lint_rules.scope) ~file (str : structure) : Lint_diag.t list
       emit L2 name Lint_rules.l2_hint loc;
     if scope.lib_code && List.mem parts l3_idents then
       emit L3 name (Lint_rules.l3_hint name) loc;
-    if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc
+    if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc;
+    if scope.no_direct_print && List.mem parts l6_idents then
+      emit L6 name Lint_rules.l6_hint loc
   in
   let super = Ast_iterator.default_iterator in
   let expr it (e : expression) =

@@ -4,9 +4,11 @@
    relies on (see DESIGN.md "Static guarantees"): no polymorphic
    structural comparison on hot paths, bounds-unchecked array access
    only in audited kernels, no accidentally-quadratic list accessors in
-   library code, no swallowed exceptions, no [Obj.magic] at all. *)
+   library code, no swallowed exceptions, no [Obj.magic] at all, and no
+   direct console printing from library code — observability goes through
+   lib/telemetry, presentation through lib/harness. *)
 
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | L6
 
 let rule_id = function
   | L1 -> "L1"
@@ -14,6 +16,7 @@ let rule_id = function
   | L3 -> "L3"
   | L4 -> "L4"
   | L5 -> "L5"
+  | L6 -> "L6"
 
 let rule_title = function
   | L1 -> "polymorphic comparison in a hot-path library"
@@ -21,6 +24,7 @@ let rule_title = function
   | L3 -> "partial stdlib function in library code"
   | L4 -> "exception-swallowing wildcard handler"
   | L5 -> "Obj.magic"
+  | L6 -> "direct console printing outside telemetry/harness"
 
 let rule_of_id = function
   | "L1" -> Some L1
@@ -28,6 +32,7 @@ let rule_of_id = function
   | "L3" -> Some L3
   | "L4" -> Some L4
   | "L5" -> Some L5
+  | "L6" -> Some L6
   | _ -> None
 
 (* What a given source file is subject to. Derived from its path by
@@ -36,9 +41,14 @@ type scope = {
   hot_path : bool;  (* L1 applies: lib/util, lib/graph, lib/storage, lib/apex *)
   l2_allowed : bool;  (* file is an audited kernel: Array.unsafe_* permitted *)
   lib_code : bool;  (* L3 applies: anything under lib/ *)
+  no_direct_print : bool;
+      (* L6 applies: lib/ except the layers whose job is output —
+         lib/telemetry (exporters) and lib/harness (report tables) *)
 }
 
 let hot_path_dirs = [ "lib/util"; "lib/graph"; "lib/storage"; "lib/apex" ]
+
+let print_exempt_dirs = [ "lib/telemetry"; "lib/harness" ]
 
 (* Kernel modules audited for manual bounds reasoning; everything else
    must use checked accessors or carry an explicit suppression. *)
@@ -57,10 +67,13 @@ let path_has_prefix ~prefix p =
 let scope_of_path path =
   let p = normalize_path path in
   let base = Filename.basename p in
+  let lib_code = path_has_prefix ~prefix:"lib" p in
   {
     hot_path = List.exists (fun d -> path_has_prefix ~prefix:d p) hot_path_dirs;
     l2_allowed = List.mem base unsafe_kernel_files;
-    lib_code = path_has_prefix ~prefix:"lib" p;
+    lib_code;
+    no_direct_print =
+      lib_code && not (List.exists (fun d -> path_has_prefix ~prefix:d p) print_exempt_dirs);
   }
 
 (* Hints keyed by the offending identifier, shared by both checkers. *)
@@ -87,3 +100,9 @@ let l4_hint =
    match the exceptions you expect (e.g. Not_found) explicitly"
 
 let l5_hint = "Obj.magic defeats the type system; redesign the interface instead"
+
+let l6_hint =
+  "library code must not write to the console: record through \
+   Repro_telemetry (Metrics/Trace), return data for lib/harness to render, \
+   or take an explicit Format.formatter; suppress with \
+   (* apex_lint: allow L6 -- <reason> *) if the print is deliberate"
