@@ -51,6 +51,84 @@ let cmd_validate schema_path paths =
       paths;
     if !failed then exit 1
 
+(* `bench-diff A.json B.json` compares per-dataset q1/q2/q3 result
+   checksums between two `bench --json` outputs and exits 1 on any drift —
+   the CI guard that representation changes (codecs, join kernels) never
+   change answers. A hand-rolled scanner is enough: the bench writer emits
+   exactly one "name" and three "checksum" fields per dataset row, in
+   order, and dataset names never contain escapes. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error e -> die "apexctl bench-diff: %s" e
+
+let parse_bench path =
+  let text = read_file path in
+  let n = String.length text in
+  let name_tok = "\"name\": \"" and sum_tok = "\"checksum\": \"" in
+  let starts_with tok p =
+    p + String.length tok <= n && String.sub text p (String.length tok) = tok
+  in
+  let quoted_from p =
+    match String.index_from_opt text p '"' with
+    | Some stop -> (String.sub text p (stop - p), stop)
+    | None -> die "apexctl bench-diff: %s: unterminated string" path
+  in
+  let datasets = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if starts_with name_tok !i then begin
+      let name, stop = quoted_from (!i + String.length name_tok) in
+      datasets := (name, ref []) :: !datasets;
+      i := stop
+    end
+    else if starts_with sum_tok !i then begin
+      let sum, stop = quoted_from (!i + String.length sum_tok) in
+      (match !datasets with
+       | [] -> die "apexctl bench-diff: %s: checksum before any dataset name" path
+       | (_, sums) :: _ -> sums := sum :: !sums);
+      i := stop
+    end;
+    incr i
+  done;
+  List.rev_map (fun (name, sums) -> (name, List.rev !sums)) !datasets
+
+let cmd_bench_diff base other =
+  let a = parse_bench base and b = parse_bench other in
+  let common = List.filter (fun (name, _) -> List.mem_assoc name b) a in
+  if common = [] then
+    die "apexctl bench-diff: no dataset in common between %s and %s" base other;
+  let mismatches = ref 0 in
+  List.iter
+    (fun (name, sums_a) ->
+      let sums_b = List.assoc name b in
+      if List.length sums_a <> List.length sums_b then begin
+        incr mismatches;
+        Printf.printf "%s: %d checksum(s) vs %d\n" name (List.length sums_a)
+          (List.length sums_b)
+      end
+      else
+        List.iteri
+          (fun qi ca ->
+            let cb = List.nth sums_b qi in
+            if ca <> cb then begin
+              incr mismatches;
+              Printf.printf "%s q%d: checksum %s <> %s\n" name (qi + 1) ca cb
+            end)
+          sums_a)
+    common;
+  if !mismatches > 0 then begin
+    Printf.printf "%d checksum mismatch(es)\n" !mismatches;
+    exit 1
+  end
+  else
+    Printf.printf "bench checksums match: %s\n"
+      (String.concat ", " (List.map fst common))
+
 open Cmdliner
 
 let stats_cmd =
@@ -86,9 +164,23 @@ let validate_cmd =
        ~doc:"Validate exported traces against the checked-in schema; exit 1 on violation.")
     Term.(const cmd_validate $ schema $ traces)
 
+let bench_diff_cmd =
+  let base =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE.json")
+  in
+  let other =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE.json")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare per-dataset query checksums between two `bench --json` outputs; \
+          exit 1 if any differ.")
+    Term.(const cmd_bench_diff $ base $ other)
+
 let cmd =
   Cmd.group
     (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
-    [ stats_cmd; validate_cmd ]
+    [ stats_cmd; validate_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -133,8 +133,8 @@ let build_adapted g ~workload ~min_support =
 let assemble ~graph ~gapex ~tree =
   { graph; gapex; tree; store = None; endpoint_cache = Hashtbl.create 256 }
 
-let materialize ?codec t pool =
-  let store = Repro_storage.Extent_store.create ?codec pool in
+let materialize ?(codec = `Block) t pool =
+  let store = Repro_storage.Extent_store.create ~codec pool in
   List.iter
     (fun (n : Gapex.node) ->
       n.Gapex.handle <- Some (Repro_storage.Extent_store.append store n.Gapex.extent))
@@ -152,6 +152,73 @@ let load_extent ?cost t (n : Gapex.node) =
      | Some c -> c.Cost.extent_edges <- c.Cost.extent_edges + Edge_set.cardinal n.Gapex.extent
      | None -> ());
     n.Gapex.extent
+
+(* --- block-view extent access (decode-on-gallop) --- *)
+
+module ES = Repro_storage.Extent_store
+
+(* An extent as the join kernels consume it: either a materialized edge
+   set, or a still-compressed block view whose semijoins skip and decode
+   per block. Which one a node yields depends on the store codec; callers
+   go through [ext_*] and never branch on the representation again. *)
+type extent_ref =
+  | Mem of Edge_set.t
+  | View of ES.view
+
+let extent_ref ?cost t (n : Gapex.node) =
+  match t.store, n.Gapex.handle with
+  | Some store, Some h ->
+    (match ES.load_view ?cost store h with
+     | Some v -> View v
+     | None -> Mem (ES.load ?cost store h))
+  | _ ->
+    (match cost with
+     | Some c -> c.Cost.extent_edges <- c.Cost.extent_edges + Edge_set.cardinal n.Gapex.extent
+     | None -> ());
+    Mem n.Gapex.extent
+
+let ext_cardinal = function
+  | Mem e -> Edge_set.cardinal e
+  | View v -> ES.view_cardinal v
+
+(* the fully materialized set behind a reference; a [View] resolves
+   through the store's decoded-extent LRU, so repeated forcing decodes
+   once *)
+let ext_materialize ?cost = function
+  | Mem e -> e
+  | View v -> ES.load ?cost (ES.view_store v) (ES.view_handle v)
+
+let ext_semijoin_endpoints ?cost r frontier =
+  match r with
+  | Mem e -> Edge_set.semijoin_endpoints e frontier
+  | View v ->
+    let tok = Tr.begin_ Tr.Decode in
+    if tok < 0 then ES.view_semijoin_endpoints ?cost v frontier
+    else begin
+      let store = ES.view_store v in
+      let d0 = ES.total_blocks_decoded store and s0 = ES.total_blocks_skipped store in
+      let out = ES.view_semijoin_endpoints ?cost v frontier in
+      Tr.end_arg tok (ES.total_blocks_decoded store - d0);
+      let skipped = ES.total_blocks_skipped store - s0 in
+      if skipped > 0 then Tr.event Tr.Block_skip skipped;
+      out
+    end
+
+let ext_semijoin_children ?cost r sorted_children =
+  match r with
+  | Mem e -> Edge_set.semijoin_children e sorted_children
+  | View v ->
+    let tok = Tr.begin_ Tr.Decode in
+    if tok < 0 then ES.view_semijoin_children ?cost v sorted_children
+    else begin
+      let store = ES.view_store v in
+      let d0 = ES.total_blocks_decoded store and s0 = ES.total_blocks_skipped store in
+      let out = ES.view_semijoin_children ?cost v sorted_children in
+      Tr.end_arg tok (ES.total_blocks_decoded store - d0);
+      let skipped = ES.total_blocks_skipped store - s0 in
+      if skipped > 0 then Tr.event Tr.Block_skip skipped;
+      out
+    end
 
 (* --- incremental-maintenance hooks (lib/update) --- *)
 
@@ -190,7 +257,22 @@ let load_endpoints ?cost t (n : Gapex.node) =
   match Hashtbl.find_opt t.endpoint_cache n.Gapex.id with
   | Some eps -> eps
   | None ->
-    let eps = Edge_set.endpoints (load_extent ?cost t n) in
+    let eps =
+      (* a block view streams the endpoints out of the compressed form
+         instead of materializing the extent first *)
+      match extent_ref ?cost t n with
+      | Mem e -> Edge_set.endpoints e
+      | View v ->
+        let tok = Tr.begin_ Tr.Decode in
+        if tok < 0 then ES.view_endpoints ?cost v
+        else begin
+          let store = ES.view_store v in
+          let d0 = ES.total_blocks_decoded store in
+          let out = ES.view_endpoints ?cost v in
+          Tr.end_arg tok (ES.total_blocks_decoded store - d0);
+          out
+        end
+    in
     if Hashtbl.length t.endpoint_cache >= endpoint_cache_cap then
       Hashtbl.reset t.endpoint_cache;
     Hashtbl.add t.endpoint_cache n.Gapex.id eps;

@@ -62,15 +62,56 @@ val assemble :
 
 val materialize :
   ?codec:Repro_storage.Extent_store.codec -> t -> Repro_storage.Buffer_pool.t -> unit
-(** Write every reachable extent to an extent store (default codec [`Raw])
-    so query evaluation pays page I/O. Call after the last [refresh];
-    refreshing again requires re-materializing. *)
+(** Write every reachable extent to an extent store (default codec
+    [`Block], the block-compressed queryable form) so query evaluation
+    pays page I/O. Call after the last [refresh]; refreshing again
+    requires re-materializing. *)
 
 val load_extent :
   ?cost:Repro_storage.Cost.t -> t -> Gapex.node -> Repro_graph.Edge_set.t
 (** The node's extent, through the buffer pool when materialized (charging
     [extent_pages]/[extent_edges]); the in-memory extent otherwise (charging
     only [extent_edges]). *)
+
+(** {1 Block-view extent access}
+
+    With the [`Block] store codec, query kernels consume extents through
+    {!extent_ref} instead of {!load_extent}: a compressed extent stays
+    compressed, and the semijoin skips blocks by header range tests,
+    decoding survivors into a reusable scratch buffer
+    (decode-on-gallop). When the node is not block-materialized — no
+    store, delta chain pending resolution, non-[`Block] codec — the
+    reference degrades to the materialized edge set and the kernels below
+    behave exactly like their {!Repro_graph.Edge_set} counterparts. *)
+
+type extent_ref =
+  | Mem of Repro_graph.Edge_set.t
+  | View of Repro_storage.Extent_store.view
+
+val extent_ref : ?cost:Repro_storage.Cost.t -> t -> Gapex.node -> extent_ref
+(** The node's extent in whichever representation is cheapest to serve.
+    Cost accounting matches {!load_extent} except that a [View] charges
+    [extent_edges] lazily, as blocks actually decode. *)
+
+val ext_cardinal : extent_ref -> int
+
+val ext_materialize :
+  ?cost:Repro_storage.Cost.t -> extent_ref -> Repro_graph.Edge_set.t
+(** The fully materialized edge set behind the reference. A [View] resolves
+    through its store's decoded-extent cache, so forcing the same extent
+    repeatedly decodes it once; use only where a whole-set operation
+    (e.g. [Edge_set.parents]) is genuinely needed. *)
+
+val ext_semijoin_endpoints :
+  ?cost:Repro_storage.Cost.t -> extent_ref -> int array -> int array
+(** [Edge_set.semijoin_endpoints] on either representation. On a [View]
+    this emits a [Decode] trace span (arg = blocks decoded) and a
+    [Block_skip] event when header tests rejected blocks. *)
+
+val ext_semijoin_children :
+  ?cost:Repro_storage.Cost.t -> extent_ref -> int array -> Repro_graph.Edge_set.t
+(** [Edge_set.semijoin_children] on either representation, with the same
+    [Decode]/[Block_skip] telemetry as {!ext_semijoin_endpoints}. *)
 
 (** {1 Incremental-maintenance hooks}
 

@@ -6,20 +6,29 @@ module Cost = Repro_storage.Cost
 module Query = Repro_pathexpr.Query
 module Tr = Repro_telemetry.Trace
 
-let charge_join cost frontier extent =
+(* join accounting: probe length plus the (possibly still-compressed)
+   extent's cardinality, matching Edge_set-era semantics exactly *)
+let charge_join_ref cost frontier ext =
   match cost with
   | Some c ->
-    c.Cost.join_edges <- c.Cost.join_edges + Array.length frontier + Edge_set.cardinal extent
+    c.Cost.join_edges <- c.Cost.join_edges + Array.length frontier + Apex.ext_cardinal ext
   | None -> ()
 
-let union_extents ?cost t nodes =
+(* The (approximate) extent of a prefix as the chain join consumes it: a
+   single summary node stays in whatever representation the store serves —
+   with the [`Block] codec a compressed view the semijoin kernels can skip
+   through — and only genuine multi-node unions materialize. *)
+let union_extent_refs ?cost t nodes =
   let ftok = Tr.begin_ Tr.Fetch in
-  let extents = List.map (fun n -> Apex.load_extent ?cost t n) nodes in
-  Tr.end_arg ftok (List.length extents);
+  let r =
+    match nodes with
+    | [ n ] -> Apex.extent_ref ?cost t n
+    | ns -> Apex.Mem (Edge_set.union_many (List.map (fun n -> Apex.load_extent ?cost t n) ns))
+  in
+  Tr.end_arg ftok (List.length nodes);
   let jtok = Tr.begin_ Tr.Join in
-  let u = Edge_set.union_many extents in
-  Tr.end_arg jtok (Edge_set.cardinal u);
-  u
+  Tr.end_arg jtok (Apex.ext_cardinal r);
+  r
 
 let union_endpoints ?cost t nodes =
   let ftok = Tr.begin_ Tr.Fetch in
@@ -58,27 +67,28 @@ let chain_join ?cost t anchor_nodes chain =
   let result =
     let chain = Array.of_list chain in
     let k = Array.length chain in
-    if Array.exists Edge_set.is_empty chain then [||]
+    let empty r = Apex.ext_cardinal r = 0 in
+    if Array.exists empty chain then [||]
     else begin
       let shrunk = ref false in
       for i = k - 2 downto 0 do
         if
-          Edge_set.cardinal chain.(i)
-          > backward_reduce_ratio * Edge_set.cardinal chain.(i + 1)
+          Apex.ext_cardinal chain.(i)
+          > backward_reduce_ratio * Apex.ext_cardinal chain.(i + 1)
         then begin
-          let next_parents = Edge_set.parents chain.(i + 1) in
-          charge_join cost next_parents chain.(i);
-          chain.(i) <- Edge_set.semijoin_children chain.(i) next_parents;
+          let next_parents = Edge_set.parents (Apex.ext_materialize ?cost chain.(i + 1)) in
+          charge_join_ref cost next_parents chain.(i);
+          chain.(i) <- Apex.Mem (Apex.ext_semijoin_children ?cost chain.(i) next_parents);
           shrunk := true
         end
       done;
-      if !shrunk && Array.exists Edge_set.is_empty chain then [||]
+      if !shrunk && Array.exists empty chain then [||]
       else begin
         let frontier = ref (union_endpoints ?cost t anchor_nodes) in
         let i = ref 0 in
         while !i < k && Array.length !frontier > 0 do
-          charge_join cost !frontier chain.(!i);
-          frontier := Edge_set.semijoin_endpoints chain.(!i) !frontier;
+          charge_join_ref cost !frontier chain.(!i);
+          frontier := Apex.ext_semijoin_endpoints ?cost chain.(!i) !frontier;
           incr i
         done;
         !frontier
@@ -101,7 +111,7 @@ let eval_q1 ?cost t path =
     (* sweep prefixes l_i..l_j for j = n-1 downto 1, keeping each looked-up
        edge set; the sweep must reach an exactly-covered prefix by j = 1
        since every length-1 path is required *)
-    let e_full = union_extents ?cost t nodes_full in
+    let e_full = union_extent_refs ?cost t nodes_full in
     let rec sweep j acc =
       if j = 0 then [||] (* unreachable: length-1 lookups are exact *)
       else
@@ -109,7 +119,8 @@ let eval_q1 ?cost t path =
         match locate ?cost t ~rev_path:rev_prefix with
         | None -> [||]
         | Some (Hash_tree.Exact anchor_nodes) -> chain_join ?cost t anchor_nodes acc
-        | Some (Hash_tree.Approx nodes) -> sweep (j - 1) (union_extents ?cost t nodes :: acc)
+        | Some (Hash_tree.Approx nodes) ->
+          sweep (j - 1) (union_extent_refs ?cost t nodes :: acc)
     in
     sweep (n - 1) [ e_full ]
 
@@ -148,14 +159,14 @@ let eval_q2 ?cost ?on_sequence ?(max_rewrite_depth = 16) ?(reuse_partial_joins =
        instead the running extent join is carried as a pruning oracle — a
        branch whose join is empty has no data witness and is cut, which is
        also what terminates cycles, with [max_rewrite_depth] as a backstop. *)
-    let extent_cache : (int, Edge_set.t) Hashtbl.t = Hashtbl.create 64 in
+    let extent_cache : (int, Apex.extent_ref) Hashtbl.t = Hashtbl.create 64 in
     let extent_of (node : Gapex.node) =
       match Hashtbl.find_opt extent_cache node.Gapex.id with
       | Some e -> e
       | None ->
         let ftok = Tr.begin_ Tr.Fetch in
-        let e = Apex.load_extent ?cost t node in
-        Tr.end_arg ftok (Edge_set.cardinal e);
+        let e = Apex.extent_ref ?cost t node in
+        Tr.end_arg ftok (Apex.ext_cardinal e);
         Hashtbl.add extent_cache node.Gapex.id e;
         e
     in
@@ -181,8 +192,8 @@ let eval_q2 ?cost ?on_sequence ?(max_rewrite_depth = 16) ?(reuse_partial_joins =
              | Some c -> c.Cost.index_edge_lookups <- c.Cost.index_edge_lookups + 1
              | None -> ());
             let ey = extent_of y in
-            charge_join cost frontier ey;
-            let nxt = Edge_set.semijoin_endpoints ey frontier in
+            charge_join_ref cost frontier ey;
+            let nxt = Apex.ext_semijoin_endpoints ?cost ey frontier in
             if Array.length nxt > 0 then begin
               let rev_seq = l :: rev_seq in
               if l = lb then record (List.rev rev_seq) nxt;

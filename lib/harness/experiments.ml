@@ -511,13 +511,15 @@ let json_of_measure (m : Measure.result) =
   Printf.sprintf
     "{\"queries\": %d, \"answered\": %d, \"result_nodes\": %d, \"checksum\": \"%x\", \
      \"wall_seconds\": %.6f, \"weighted_cost\": %.1f, \"extent_pages\": %d, \
-     \"extent_edges\": %d, \"join_edges\": %d, \"extent_cache_hits\": %d, \
+     \"extent_bytes\": %d, \"extent_edges\": %d, \"join_edges\": %d, \
+     \"blocks_skipped\": %d, \"blocks_decoded\": %d, \"extent_cache_hits\": %d, \
      \"extent_cache_misses\": %d, \"extent_cache_hit_rate\": %.4f}"
     m.Measure.queries m.Measure.answered m.Measure.result_nodes m.Measure.checksum
     m.Measure.wall_seconds (Measure.weighted m) m.Measure.cost.Cost.extent_pages
-    m.Measure.cost.Cost.extent_edges m.Measure.cost.Cost.join_edges
-    m.Measure.cost.Cost.extent_cache_hits m.Measure.cost.Cost.extent_cache_misses
-    (Cost.extent_cache_hit_rate m.Measure.cost)
+    m.Measure.cost.Cost.extent_bytes m.Measure.cost.Cost.extent_edges
+    m.Measure.cost.Cost.join_edges m.Measure.cost.Cost.blocks_skipped
+    m.Measure.cost.Cost.blocks_decoded m.Measure.cost.Cost.extent_cache_hits
+    m.Measure.cost.Cost.extent_cache_misses (Cost.extent_cache_hit_rate m.Measure.cost)
 
 let json_bench config ~out =
   let ms = config.chosen_min_sup in
@@ -552,12 +554,22 @@ let json_bench config ~out =
                (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
                (Repro_storage.Io_stats.to_fields stats))
         in
+        (* store-level compression: logical (8 bytes/edge) vs encoded size
+           of everything appended to this dataset's extent store *)
+        let compression_ratio =
+          match Apex.store a with
+          | None -> 1.0
+          | Some store ->
+            let logical, stored = Repro_storage.Extent_store.compression_stats store in
+            if stored = 0 then 1.0 else float_of_int logical /. float_of_int stored
+        in
         Printf.sprintf
           "    {\"name\": \"%s\", \"build_seconds\": %.4f, \"apex_nodes\": %d, \
-           \"apex_edges\": %d,\n     \"q1\": %s,\n     \"q2\": %s,\n     \"q3\": %s,\n     \
+           \"apex_edges\": %d, \"compression_ratio\": %.2f,\n     \
+           \"q1\": %s,\n     \"q2\": %s,\n     \"q3\": %s,\n     \
            \"io\": {%s}}"
-          (json_escape spec.Dataset.name) build_seconds nodes edges (json_of_measure q1)
-          (json_of_measure q2) (json_of_measure q3) io)
+          (json_escape spec.Dataset.name) build_seconds nodes edges compression_ratio
+          (json_of_measure q1) (json_of_measure q2) (json_of_measure q3) io)
       config.datasets
   in
   let doc =

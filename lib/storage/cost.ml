@@ -11,6 +11,9 @@ type t = {
   mutable extent_cache_misses : int;
   mutable join_edges : int;
   mutable table_pages : int;
+  mutable extent_bytes : int;
+  mutable blocks_skipped : int;
+  mutable blocks_decoded : int;
 }
 
 let create () =
@@ -25,7 +28,10 @@ let create () =
     extent_cache_hits = 0;
     extent_cache_misses = 0;
     join_edges = 0;
-    table_pages = 0
+    table_pages = 0;
+    extent_bytes = 0;
+    blocks_skipped = 0;
+    blocks_decoded = 0
   }
 
 let reset t =
@@ -40,7 +46,10 @@ let reset t =
   t.extent_cache_hits <- 0;
   t.extent_cache_misses <- 0;
   t.join_edges <- 0;
-  t.table_pages <- 0
+  t.table_pages <- 0;
+  t.extent_bytes <- 0;
+  t.blocks_skipped <- 0;
+  t.blocks_decoded <- 0
 
 let copy t =
   { index_node_visits = t.index_node_visits;
@@ -54,7 +63,10 @@ let copy t =
     extent_cache_hits = t.extent_cache_hits;
     extent_cache_misses = t.extent_cache_misses;
     join_edges = t.join_edges;
-    table_pages = t.table_pages
+    table_pages = t.table_pages;
+    extent_bytes = t.extent_bytes;
+    blocks_skipped = t.blocks_skipped;
+    blocks_decoded = t.blocks_decoded
   }
 
 let add acc x =
@@ -69,7 +81,10 @@ let add acc x =
   acc.extent_cache_hits <- acc.extent_cache_hits + x.extent_cache_hits;
   acc.extent_cache_misses <- acc.extent_cache_misses + x.extent_cache_misses;
   acc.join_edges <- acc.join_edges + x.join_edges;
-  acc.table_pages <- acc.table_pages + x.table_pages
+  acc.table_pages <- acc.table_pages + x.table_pages;
+  acc.extent_bytes <- acc.extent_bytes + x.extent_bytes;
+  acc.blocks_skipped <- acc.blocks_skipped + x.blocks_skipped;
+  acc.blocks_decoded <- acc.blocks_decoded + x.blocks_decoded
 
 let weighted_total t =
   let pages = float_of_int (t.extent_pages + t.table_pages + t.trie_pages + t.struct_pages) in
@@ -99,7 +114,10 @@ let to_fields
       extent_cache_hits;
       extent_cache_misses;
       join_edges;
-      table_pages
+      table_pages;
+      extent_bytes;
+      blocks_skipped;
+      blocks_decoded
     } =
   [ ("index_node_visits", index_node_visits);
     ("struct_pages", struct_pages);
@@ -112,12 +130,15 @@ let to_fields
     ("extent_cache_hits", extent_cache_hits);
     ("extent_cache_misses", extent_cache_misses);
     ("join_edges", join_edges);
-    ("table_pages", table_pages)
+    ("table_pages", table_pages);
+    ("extent_bytes", extent_bytes);
+    ("blocks_skipped", blocks_skipped);
+    ("blocks_decoded", blocks_decoded)
   ]
 
 let pp ppf t =
   Format.fprintf ppf
-    "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d ext_cache=%d/%d join=%d table=%d"
+    "nodes=%d(%dp) edges=%d hash=%d trie=%d/%dp ext_pages=%d ext_edges=%d ext_cache=%d/%d join=%d table=%d ext_bytes=%d blk_skip=%d blk_dec=%d"
     t.index_node_visits t.struct_pages t.index_edge_lookups t.hash_probes t.trie_node_visits
     t.trie_pages t.extent_pages t.extent_edges t.extent_cache_hits t.extent_cache_misses
-    t.join_edges t.table_pages
+    t.join_edges t.table_pages t.extent_bytes t.blocks_skipped t.blocks_decoded

@@ -15,7 +15,12 @@
       decoded-extent LRU layered over the extent store (a hit skips page
       reads and varint decoding entirely);
     - [join_edges] — edges processed by multi-way extent joins;
-    - [table_pages] — data-table pages probed for value predicates. *)
+    - [table_pages] — data-table pages probed for value predicates;
+    - [extent_bytes] — encoded bytes fetched from extent storage (the
+      resident-size counterpart of [extent_pages]);
+    - [blocks_skipped] / [blocks_decoded] — block-compressed extent blocks
+      rejected by a header range test vs. actually decoded by the
+      decode-on-gallop kernels. *)
 
 type t = {
   mutable index_node_visits : int;
@@ -32,6 +37,9 @@ type t = {
   mutable extent_cache_misses : int;
   mutable join_edges : int;
   mutable table_pages : int;
+  mutable extent_bytes : int;
+  mutable blocks_skipped : int;
+  mutable blocks_decoded : int;
 }
 
 val create : unit -> t

@@ -1,0 +1,245 @@
+(* Block-compressed extents: the sorted packed-edge array is cut into
+   fixed-size blocks, each delta-encoded as varint gaps, with a per-block
+   header (packed first/last edge, child range, payload length) kept
+   separate from the payloads. The headers are what make the format a
+   *queryable* representation rather than just a compressed one: a
+   semijoin probes the header table, skips every block whose parent range
+   misses the frontier, and decodes only the blocks that can contribute —
+   decode-on-gallop. A blob-level CRC-32 rejects torn or bit-flipped
+   blobs before any length field is trusted.
+
+   Blob layout (all multi-byte values little-endian / LEB128 varints):
+
+     [crc32 : 4 bytes]            over everything that follows
+     [n_edges : varint]
+     per block b (128 edges each, the last one partial):
+       [first_b - last_{b-1} : varint]   (b = 0: first_0 itself)
+       [last_b - first_b : varint]
+       [min_child_b : varint]
+       [max_child_b - min_child_b : varint]
+       [payload_len_b : varint]
+     per block b, per edge after the first (it comes from the header):
+       [du : varint]               parent_i - parent_{i-1}
+       du = 0: [dv : varint]       child_i - child_{i-1} (>= 1)
+       du > 0: [v : varint]        child_i, absolute
+
+   Splitting the packed edge beats delta-coding it whole: a gap that
+   crosses a parent boundary is >= 2^31 and costs five varint bytes,
+   whereas [du] is almost always one byte and a child id two or three.
+   Edges are strictly increasing, so [du] >= 0, [dv] >= 1 within a
+   parent, and cross-block header deltas are >= 1 — all checked at parse
+   time. The parent range of a block needs no extra fields: packed order
+   is (parent << 31) | child, so [first_b lsr 31, last_b lsr 31]
+   brackets every parent in the block. *)
+
+(* Packing mirrors Repro_graph.Edge_set: 31 bits per component. *)
+let bits = 31
+let cmask = (1 lsl bits) - 1
+
+let block_edges = 128
+
+type t = {
+  n_edges : int;
+  firsts : int array;  (* packed first edge per block *)
+  lasts : int array;  (* packed last edge per block *)
+  min_children : int array;
+  max_children : int array;
+  offsets : int array;  (* payload byte offset per block, within [payload] *)
+  lens : int array;  (* payload byte length per block *)
+  payload : string;  (* shared backing string *)
+  payload_base : int;  (* offset of block 0's payload within [payload] *)
+}
+
+let n_edges t = t.n_edges
+let n_blocks t = Array.length t.firsts
+
+let block_count t b =
+  if b = n_blocks t - 1 then t.n_edges - (b * block_edges) else block_edges
+
+let min_parent t b = t.firsts.(b) lsr bits
+let max_parent t b = t.lasts.(b) lsr bits
+let min_child t b = t.min_children.(b)
+let max_child t b = t.max_children.(b)
+
+(* --- encoding --- *)
+
+let add_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let low = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let encode (ints : int array) =
+  let n = Array.length ints in
+  if n > 0 && ints.(0) < 0 then invalid_arg "Extent_codec.encode: negative edge";
+  for i = 1 to n - 1 do
+    if ints.(i - 1) >= ints.(i) then
+      invalid_arg "Extent_codec.encode: edges must be strictly increasing"
+  done;
+  let nb = (n + block_edges - 1) / block_edges in
+  let headers = Buffer.create (16 * nb) in
+  let payloads = Buffer.create (2 * n) in
+  add_varint headers n;
+  let prev_last = ref 0 in
+  for b = 0 to nb - 1 do
+    let lo = b * block_edges in
+    let hi = Int.min n (lo + block_edges) - 1 in
+    let first = ints.(lo) and last = ints.(hi) in
+    let min_c = ref (first land cmask) and max_c = ref (first land cmask) in
+    let payload_start = Buffer.length payloads in
+    for i = lo + 1 to hi do
+      let du = (ints.(i) lsr bits) - (ints.(i - 1) lsr bits) in
+      let c = ints.(i) land cmask in
+      add_varint payloads du;
+      if du = 0 then add_varint payloads (c - (ints.(i - 1) land cmask))
+      else add_varint payloads c;
+      if c < !min_c then min_c := c;
+      if c > !max_c then max_c := c
+    done;
+    add_varint headers (first - !prev_last);
+    add_varint headers (last - first);
+    add_varint headers !min_c;
+    add_varint headers (!max_c - !min_c);
+    add_varint headers (Buffer.length payloads - payload_start);
+    prev_last := last
+  done;
+  let body = Buffer.create (4 + Buffer.length headers + Buffer.length payloads) in
+  Buffer.add_string body "\000\000\000\000";
+  Buffer.add_buffer body headers;
+  Buffer.add_buffer body payloads;
+  let blob = Buffer.to_bytes body in
+  let crc = Codec.crc32 ~pos:4 ~len:(Bytes.length blob - 4) blob in
+  Bytes.set blob 0 (Char.chr (crc land 0xFF));
+  Bytes.set blob 1 (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set blob 2 (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set blob 3 (Char.chr ((crc lsr 24) land 0xFF));
+  Bytes.unsafe_to_string blob
+
+(* --- parsing (headers only; payloads decode on demand) --- *)
+
+let get_varint data pos limit =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= limit || !shift > 62 then
+      invalid_arg "Extent_codec: truncated or oversized varint";
+    let byte = Char.code data.[!pos] in
+    incr pos;
+    v := !v lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let of_encoded ?(pos = 0) data =
+  let limit = String.length data in
+  if limit - pos < 4 then invalid_arg "Extent_codec.of_encoded: truncated blob";
+  let stored_crc =
+    Char.code data.[pos]
+    lor (Char.code data.[pos + 1] lsl 8)
+    lor (Char.code data.[pos + 2] lsl 16)
+    lor (Char.code data.[pos + 3] lsl 24)
+  in
+  let crc =
+    Codec.crc32 ~pos:(pos + 4) ~len:(limit - pos - 4) (Bytes.unsafe_of_string data)
+  in
+  if crc <> stored_crc then invalid_arg "Extent_codec.of_encoded: checksum mismatch";
+  let p = ref (pos + 4) in
+  let n = get_varint data p limit in
+  if n < 0 || n > limit * 8 then invalid_arg "Extent_codec.of_encoded: bad edge count";
+  let nb = (n + block_edges - 1) / block_edges in
+  let firsts = Array.make nb 0
+  and lasts = Array.make nb 0
+  and min_children = Array.make nb 0
+  and max_children = Array.make nb 0
+  and offsets = Array.make nb 0
+  and lens = Array.make nb 0 in
+  let prev_last = ref 0 in
+  let payload_total = ref 0 in
+  for b = 0 to nb - 1 do
+    let dfirst = get_varint data p limit in
+    if b > 0 && dfirst < 1 then invalid_arg "Extent_codec.of_encoded: blocks out of order";
+    let first = !prev_last + dfirst in
+    let span = get_varint data p limit in
+    let last = first + span in
+    if first < 0 || last < first then invalid_arg "Extent_codec.of_encoded: bad block range";
+    let min_c = get_varint data p limit in
+    let max_c = min_c + get_varint data p limit in
+    if min_c > cmask || max_c > cmask then
+      invalid_arg "Extent_codec.of_encoded: child out of range";
+    let len = get_varint data p limit in
+    firsts.(b) <- first;
+    lasts.(b) <- last;
+    min_children.(b) <- min_c;
+    max_children.(b) <- max_c;
+    offsets.(b) <- !payload_total;
+    lens.(b) <- len;
+    payload_total := !payload_total + len;
+    prev_last := last
+  done;
+  if limit - !p <> !payload_total then
+    invalid_arg "Extent_codec.of_encoded: payload size mismatch";
+  { n_edges = n;
+    firsts;
+    lasts;
+    min_children;
+    max_children;
+    offsets;
+    lens;
+    payload = data;
+    payload_base = !p
+  }
+
+let decode_block t b out =
+  let count = block_count t b in
+  if Array.length out < count then invalid_arg "Extent_codec.decode_block: scratch too small";
+  let start = t.payload_base + t.offsets.(b) in
+  let limit = start + t.lens.(b) in
+  let p = ref start in
+  let prev = ref t.firsts.(b) in
+  out.(0) <- !prev;
+  for i = 1 to count - 1 do
+    let du = get_varint t.payload p limit in
+    let u = (!prev lsr bits) + du in
+    if u > cmask then invalid_arg "Extent_codec.decode_block: parent out of range";
+    let v =
+      if du = 0 then begin
+        let dv = get_varint t.payload p limit in
+        if dv < 1 then invalid_arg "Extent_codec.decode_block: non-increasing child";
+        (!prev land cmask) + dv
+      end
+      else get_varint t.payload p limit
+    in
+    if v > cmask then invalid_arg "Extent_codec.decode_block: child out of range";
+    (* du = 0 forces dv >= 1 and du > 0 raises the parent, so the
+       reconstructed edge is strictly above [prev] either way *)
+    prev := (u lsl bits) lor v;
+    out.(i) <- !prev
+  done;
+  if !p <> limit then invalid_arg "Extent_codec.decode_block: trailing payload bytes";
+  if !prev <> t.lasts.(b) then invalid_arg "Extent_codec.decode_block: last-edge mismatch";
+  count
+
+(* The only full-materialization entry point. apex_lint rule L7 forbids
+   calling it from lib/apex hot-path modules: query kernels must go
+   through the per-block view API so header skip tests keep paying off.
+   Storage-internal callers (cache fill, delta-chain resolution,
+   compaction) are the intended users. *)
+let decode_all t =
+  let out = Array.make t.n_edges 0 in
+  let nb = n_blocks t in
+  let scratch = Array.make block_edges 0 in
+  for b = 0 to nb - 1 do
+    let count = decode_block t b scratch in
+    Array.blit scratch 0 out (b * block_edges) count
+  done;
+  for i = 1 to t.n_edges - 1 do
+    if out.(i - 1) >= out.(i) then invalid_arg "Extent_codec.decode_all: blocks overlap"
+  done;
+  out

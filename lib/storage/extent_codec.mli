@@ -1,0 +1,58 @@
+(** Block-compressed representation for sorted packed-edge extents.
+
+    {!encode} splits a strictly increasing non-negative int array into
+    fixed {!block_edges}-sized blocks, stores each block as varint gaps
+    off its first element, and prefixes a header table — packed
+    first/last edge and child min/max per block — plus a blob-level
+    CRC-32. {!of_encoded} parses and validates headers {e only}; payloads
+    stay encoded until {!decode_block} is asked for them, which is what
+    lets join kernels skip whole blocks from the header ranges alone
+    (decode-on-gallop, see {!Extent_store}'s view API).
+
+    Every parse and decode validates against the bytes at hand: a
+    truncated or bit-flipped blob raises [Invalid_argument] (the CRC
+    catches corruption page checksums cannot, e.g. a torn multi-page
+    blob), and decoded gaps must reproduce the header's last edge. *)
+
+type t
+(** A parsed blob: header table + still-encoded payloads. *)
+
+val block_edges : int
+(** Edges per block (the final block may hold fewer). *)
+
+val encode : int array -> string
+(** @raise Invalid_argument unless the array is strictly increasing and
+    non-negative. *)
+
+val of_encoded : ?pos:int -> string -> t
+(** Parse a blob produced by {!encode}, starting at byte [pos]
+    (default 0). @raise Invalid_argument on checksum mismatch or any
+    malformed header. *)
+
+val n_edges : t -> int
+val n_blocks : t -> int
+
+val block_count : t -> int -> int
+(** Edges in block [b]. *)
+
+val min_parent : t -> int -> int
+val max_parent : t -> int -> int
+(** Parent-nid range covered by block [b], from the packed header edges:
+    a sorted parent frontier with no member in this closed range cannot
+    match any edge of the block. *)
+
+val min_child : t -> int -> int
+val max_child : t -> int -> int
+(** Child-nid range of block [b], for child-probe skip tests. *)
+
+val decode_block : t -> int -> int array -> int
+(** [decode_block t b scratch] decodes block [b] into [scratch] and
+    returns its edge count ([<= block_edges]); callers reuse one scratch
+    buffer so the decode path allocates nothing. @raise Invalid_argument
+    on malformed payloads (non-increasing gap, length or last-edge
+    mismatch). *)
+
+val decode_all : t -> int array
+(** Materialize the full extent. Restricted by apex_lint rule L7 to
+    storage-internal and compaction/persist call sites — hot-path query
+    code must use the block view kernels instead. *)

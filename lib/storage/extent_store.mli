@@ -3,28 +3,37 @@
     Extents (edge sets, {!Repro_graph.Edge_set.t}) are serialized as a
     stream of integers appended sequentially across pages. Loading an
     extent reads every page it touches through the buffer pool and charges
-    [extent_pages]/[extent_edges] to the supplied {!Cost.t}, which is how
-    "gather the extent" acquires its I/O cost in the benchmarks.
+    [extent_pages]/[extent_bytes]/[extent_edges] to the supplied
+    {!Cost.t}, which is how "gather the extent" acquires its I/O cost in
+    the benchmarks.
 
-    Two on-page codecs:
+    Three on-page codecs:
     - [`Raw]: 8 bytes per integer;
     - [`Delta_varint]: zigzag-encoded deltas in LEB128 varints — sorted
       streams (every extent is strictly increasing) compress severalfold,
-      shrinking the page counts queries pay for. The ablation benchmark
-      compares the two.
+      shrinking the page counts queries pay for;
+    - [`Block]: the {!Extent_codec} block-compressed form for sorted
+      extents — gap varints in fixed-size blocks behind a CRC-checked
+      per-block header table — which additionally supports querying
+      {e without} full decode through the view API below. Unsorted blobs
+      (delta payloads, persistence images) fall back to a tagged varint
+      stream under the same codec.
 
     A decoded-extent LRU (on by default, see {!create}) sits above the
     buffer pool: repeated loads of the same extent — within one multi-way
     join and across queries — return the already-decoded array, skipping
-    page reads and varint decoding. Hits charge [extent_cache_hits] (plus
-    [extent_edges] for the streaming the caller still performs); misses
-    charge [extent_cache_misses] on top of the usual page costs. *)
+    page reads and varint decoding. Under [`Block] the cached form is the
+    parsed-but-compressed blob, so the resident footprint stays small.
+    Hits charge [extent_cache_hits] (plus [extent_edges] for the
+    streaming the caller still performs); misses charge
+    [extent_cache_misses] on top of the usual page costs. *)
 
 type t
 
 type codec =
   [ `Raw
   | `Delta_varint
+  | `Block
   ]
 
 type handle
@@ -61,10 +70,12 @@ val append_delta :
     holds the removed and added edges, so write I/O is proportional to the
     delta, not the extent. {!load} on the returned handle resolves the
     chain ([union (diff base removed) added]); the decoded-extent LRU
-    caches the resolved set, so a warm chain re-reads nothing. Delta
-    handles are in-memory only — {!handle_fields} rejects them (snapshot
-    commits re-encode full images). Keep chains short via {!chain_length}:
-    a cold load pays one blob read per link. *)
+    caches the resolved set at the chain head and the base — intermediate
+    links retain only their raw delta payloads — so a warm chain re-reads
+    nothing and extending a chain by one link re-decodes nothing but the
+    new blob. Delta handles are in-memory only — {!handle_fields} rejects
+    them (snapshot commits re-encode full images). Keep chains short via
+    {!chain_length}: a cold load pays one blob read per link. *)
 
 val chain_length : handle -> int
 (** Number of delta links under this handle (0 for a full extent). *)
@@ -89,3 +100,63 @@ val append_ints : t -> int array -> handle
 
 val load_ints : ?cost:Cost.t -> t -> handle -> int array
 (** Counterpart of {!append_ints}. *)
+
+(** {2 Block views — decode-on-gallop}
+
+    Under the [`Block] codec, a stored full extent can be opened as a
+    {!view}: the parsed header table plus still-compressed payloads. The
+    [view_*] kernels evaluate the {!Repro_graph.Edge_set} semijoin
+    operations directly on that form, skipping every block whose header
+    range test proves it disjoint from the probe set and decoding the
+    rest one block at a time into a per-store scratch buffer (no
+    per-block allocation). They charge [blocks_skipped]/[blocks_decoded]
+    and count [extent_edges] for decoded blocks only. *)
+
+type view
+
+val load_view : ?cost:Cost.t -> t -> handle -> view option
+(** [Some] iff the store uses [`Block], the handle names a full
+    (non-delta, non-empty) block-compressed extent. Page and byte I/O are
+    charged as for {!load} on a miss; edges are charged by the kernels as
+    blocks decode. *)
+
+val view_store : view -> t
+
+val view_handle : view -> handle
+(** The handle the view was loaded from — [load view_store view_handle]
+    materializes the same extent through the decoded-extent cache, which
+    is how the semijoin kernels below serve dense frontiers (probe at
+    least as long as the block count): header tests would reject almost
+    nothing, so the cached materialized set beats re-decoding per call. *)
+
+val view_cardinal : view -> int
+
+val view_semijoin_endpoints : ?cost:Cost.t -> view -> int array -> int array
+(** Same result as
+    [Edge_set.semijoin_endpoints (load t h) sorted_parents]: the sorted
+    distinct children of edges whose parent is in [sorted_parents]. The
+    frontier cursor gallops forward across block headers. Adaptive: when
+    the probe is at least as long as the block count (a dense frontier
+    that header tests cannot prune), the kernel falls back to the cached
+    materialized extent, so block compression never costs more than the
+    flat representation did. *)
+
+val view_endpoints : ?cost:Cost.t -> view -> int array
+(** Same result as [Edge_set.endpoints (load t h)], streaming blocks
+    through the scratch buffer instead of materializing the extent. *)
+
+val view_semijoin_children : ?cost:Cost.t -> view -> int array -> Repro_graph.Edge_set.t
+(** Same result as
+    [Edge_set.semijoin_children (load t h) sorted_children], skipping
+    blocks via the header child-range test, with the same dense-probe
+    fallback as {!view_semijoin_endpoints}. *)
+
+val total_blocks_skipped : t -> int
+val total_blocks_decoded : t -> int
+(** Lifetime block skip/decode counts across every view kernel call on
+    this store (the trace layer diffs these around a kernel call). *)
+
+val compression_stats : t -> int * int
+(** [(logical_bytes, encoded_bytes)] appended over this store's lifetime,
+    logical = 8 bytes per integer. Their ratio is the achieved
+    compression factor. *)

@@ -30,6 +30,7 @@ type kind =
   | Update_apply
   | Snapshot_commit
   | Recovery
+  | Decode  (* block-compressed extent decode; arg = blocks decoded *)
   (* adaptation events (instants, no duration) *)
   | Path_promoted
   | Path_evicted
@@ -37,8 +38,9 @@ type kind =
   | Epoch_committed
   | Epoch_rolled_back
   | Update_aborted
+  | Block_skip  (* arg = compressed blocks skipped by a header range test *)
 
-let n_kinds = 20
+let n_kinds = 22
 
 let kind_index = function
   | Parse -> 0
@@ -55,18 +57,20 @@ let kind_index = function
   | Update_apply -> 11
   | Snapshot_commit -> 12
   | Recovery -> 13
-  | Path_promoted -> 14
-  | Path_evicted -> 15
-  | Delta_flushed -> 16
-  | Epoch_committed -> 17
-  | Epoch_rolled_back -> 18
-  | Update_aborted -> 19
+  | Decode -> 14
+  | Path_promoted -> 15
+  | Path_evicted -> 16
+  | Delta_flushed -> 17
+  | Epoch_committed -> 18
+  | Epoch_rolled_back -> 19
+  | Update_aborted -> 20
+  | Block_skip -> 21
 
 let all_kinds =
   [| Parse; Plan; Probe; Fetch; Join; Materialize; Query; Refresh; Mine;
-     Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Path_promoted;
-     Path_evicted; Delta_flushed; Epoch_committed; Epoch_rolled_back;
-     Update_aborted |]
+     Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Decode;
+     Path_promoted; Path_evicted; Delta_flushed; Epoch_committed;
+     Epoch_rolled_back; Update_aborted; Block_skip |]
 
 let kind_name = function
   | Parse -> "parse"
@@ -83,12 +87,14 @@ let kind_name = function
   | Update_apply -> "update_apply"
   | Snapshot_commit -> "snapshot_commit"
   | Recovery -> "recovery"
+  | Decode -> "decode"
   | Path_promoted -> "path_promoted"
   | Path_evicted -> "path_evicted"
   | Delta_flushed -> "delta_flushed"
   | Epoch_committed -> "epoch_committed"
   | Epoch_rolled_back -> "epoch_rolled_back"
   | Update_aborted -> "update_aborted"
+  | Block_skip -> "block_skip"
 
 let kind_is_event k = kind_index k >= kind_index Path_promoted
 

@@ -8,7 +8,8 @@
 
 (** Span and event kinds. The first six are the query pipeline phases; the
     middle group are enclosing units of work; the [Path_promoted ..
-    Update_aborted] tail are instant adaptation events. *)
+    Block_skip] tail are instant events (adaptation decisions and
+    block-skip notifications). *)
 type kind =
   | Parse
   | Plan
@@ -24,12 +25,17 @@ type kind =
   | Update_apply
   | Snapshot_commit
   | Recovery
+  | Decode
+      (** block-compressed extent payload decode; arg = blocks decoded *)
   | Path_promoted
   | Path_evicted
   | Delta_flushed
   | Epoch_committed
   | Epoch_rolled_back
   | Update_aborted
+  | Block_skip
+      (** instant: compressed blocks proven disjoint from a probe by their
+          header range test and never decoded; arg = blocks skipped *)
 
 val kind_name : kind -> string
 val kind_is_event : kind -> bool

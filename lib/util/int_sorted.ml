@@ -50,6 +50,15 @@ let mem a x =
   let i = lower_bound a 0 (Array.length a) x in
   i < Array.length a && a.(i) = x
 
+(* Block-header skip test for decode-on-gallop kernels: does the sorted
+   suffix a[pos..) contain an element in the closed range [lo, hi]?
+   Binary search, no allocation — a false answer proves a compressed
+   block whose key range is [lo, hi] has no match and can stay encoded. *)
+let overlaps_range (a : int array) ~pos ~lo ~hi =
+  let n = Array.length a in
+  let i = lower_bound a pos n lo in
+  i < n && a.(i) <= hi
+
 let mem_batch a queries =
   let n = Array.length a in
   let pos = ref 0 in

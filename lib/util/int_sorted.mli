@@ -25,6 +25,13 @@ val gallop_lower_bound : int array -> int -> int -> int -> int
 val mem : int array -> int -> bool
 (** Binary search. *)
 
+val overlaps_range : int array -> pos:int -> lo:int -> hi:int -> bool
+(** [overlaps_range a ~pos ~lo ~hi] — does the sorted suffix [a[pos..)]
+    contain an element in the closed range [\[lo, hi\]]? The block-skip
+    primitive of the decode-on-gallop kernels: a [false] answer proves a
+    compressed block advertising that key range in its header cannot
+    contribute and is never decoded. Allocation-free. *)
+
 val mem_batch : int array -> int array -> bool array
 (** [mem_batch a queries] answers membership in [a] for every element of
     the sorted array [queries], galloping forward from the previous hit

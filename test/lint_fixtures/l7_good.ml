@@ -1,0 +1,16 @@
+(* the sanctioned shape: per-block access through headers, no full decode *)
+module Extent_codec = struct
+  type t = int array
+
+  let n_blocks (t : t) = (Array.length t + 127) / 128
+
+  let decode_block (t : t) b out =
+    let remaining = Array.length t - (b * 128) in
+    let count = if remaining < 128 then remaining else 128 in
+    Array.blit t (b * 128) out 0 count
+end
+
+let touch_blocks ext scratch =
+  for b = 0 to Extent_codec.n_blocks ext - 1 do
+    Extent_codec.decode_block ext b scratch
+  done

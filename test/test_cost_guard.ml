@@ -39,6 +39,9 @@ let cost_sentinel base =
   c.Cost.extent_cache_misses <- next ();
   c.Cost.join_edges <- next ();
   c.Cost.table_pages <- next ();
+  c.Cost.extent_bytes <- next ();
+  c.Cost.blocks_skipped <- next ();
+  c.Cost.blocks_decoded <- next ();
   c
 
 let io_sentinel base =

@@ -19,6 +19,7 @@ let armed =
     l2_allowed = false;
     lib_code = true;
     no_direct_print = true;
+    no_full_decode = true;
   }
 
 let rule_ids diags =
@@ -62,6 +63,9 @@ let corpus =
     ("l6_bad.ml", [ "L6"; "L6"; "L6" ]);
     ("l6_good.ml", []);
     ("l6_suppressed.ml", []);
+    ("l7_bad.ml", [ "L7" ]);
+    ("l7_good.ml", []);
+    ("l7_suppressed.ml", []);
     ("suppressed.ml", []);
     ("suppressed_mismatch.ml", [ "L2" ]);
   ]
@@ -87,6 +91,7 @@ let scope_gates () =
       l2_allowed = true;
       lib_code = false;
       no_direct_print = false;
+      no_full_decode = false;
     }
   in
   List.iter
@@ -96,7 +101,7 @@ let scope_gates () =
           ~cmt_index:(Hashtbl.create 1) (fixture name)
       in
       Alcotest.(check (list string)) (name ^ " out of scope") [] (rule_ids diags))
-    [ "l1_bad.ml"; "l2_bad.ml"; "l3_bad.ml"; "l6_bad.ml" ]
+    [ "l1_bad.ml"; "l2_bad.ml"; "l3_bad.ml"; "l6_bad.ml"; "l7_bad.ml" ]
 
 let scope_of_path () =
   let s = Lint_rules.scope_of_path "lib/util/int_sorted.ml" in
@@ -118,7 +123,15 @@ let scope_of_path () =
   let s = Lint_rules.scope_of_path "lib/telemetry/export.ml" in
   Alcotest.(check bool) "telemetry may print" false s.Lint_rules.no_direct_print;
   let s = Lint_rules.scope_of_path "bench/micro.ml" in
-  Alcotest.(check bool) "bench may print" false s.Lint_rules.no_direct_print
+  Alcotest.(check bool) "bench may print" false s.Lint_rules.no_direct_print;
+  (* L7 arms only the query-path apex modules; persistence/compaction and
+     everything outside lib/apex may decode whole extents *)
+  let s = Lint_rules.scope_of_path "lib/apex/apex_query.ml" in
+  Alcotest.(check bool) "apex query path may not full-decode" true s.Lint_rules.no_full_decode;
+  let s = Lint_rules.scope_of_path "lib/apex/apex_persist.ml" in
+  Alcotest.(check bool) "apex persist may full-decode" false s.Lint_rules.no_full_decode;
+  let s = Lint_rules.scope_of_path "lib/storage/extent_store.ml" in
+  Alcotest.(check bool) "storage may full-decode" false s.Lint_rules.no_full_decode
 
 let () =
   (* one-time compiler setup for the typed cases: stdlib on the load path *)

@@ -352,6 +352,112 @@ let prop_extent_roundtrip =
       let h = Extent_store.append store set in
       Edge_set.equal set (Extent_store.load store h))
 
+let test_extent_block_roundtrip () =
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let store = Extent_store.create ~codec:`Block pool in
+  let sets =
+    [ Edge_set.of_list [ (1, 2); (3, 4) ];
+      Edge_set.empty;
+      (* several blocks' worth, runs spanning block boundaries *)
+      Edge_set.of_list (List.init 500 (fun i -> (i / 90, i)));
+      (* extremes of the packed-edge range *)
+      Edge_set.of_list [ (Edge_set.null, (1 lsl 31) - 1); (0, 0) ]
+    ]
+  in
+  let handles = List.map (Extent_store.append store) sets in
+  List.iter2
+    (fun set h -> Alcotest.check edge_set "block roundtrip" set (Extent_store.load store h))
+    sets handles;
+  (* delta chains still resolve over the block codec *)
+  let base = List.nth sets 2 and h = List.nth handles 2 in
+  let removed = Edge_set.of_list [ (0, 0); (0, 1) ] in
+  let added = Edge_set.of_list [ (9, 900) ] in
+  let hd = Extent_store.append_delta store ~base:h ~removed ~added in
+  Alcotest.check edge_set "block delta resolves"
+    (Edge_set.union (Edge_set.diff base removed) added)
+    (Extent_store.load store hd)
+
+let test_extent_block_compresses () =
+  let p = Pager.create ~page_size:8192 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let raw = Extent_store.create ~codec:`Raw pool in
+  let blk = Extent_store.create ~codec:`Block pool in
+  let set = Edge_set.of_list (List.init 512 (fun i -> (7, i))) in
+  let hr = Extent_store.append raw set in
+  let hb = Extent_store.append blk set in
+  Alcotest.(check bool)
+    (Printf.sprintf "block %d bytes << raw %d" (Extent_store.stored_bytes hb)
+       (Extent_store.stored_bytes hr))
+    true
+    (Extent_store.stored_bytes hb * 3 < Extent_store.stored_bytes hr);
+  Alcotest.check edge_set "still equal" (Extent_store.load raw hr) (Extent_store.load blk hb);
+  let logical, stored = Extent_store.compression_stats blk in
+  Alcotest.(check int) "logical bytes = 8/int" (512 * 8) logical;
+  Alcotest.(check bool) "stats agree with handle" true (stored = Extent_store.stored_bytes hb)
+
+let test_extent_chain_shares_base () =
+  (* the decoded-extent LRU must share ONE resolved base across a delta
+     chain: re-resolving (or worse, re-decoding) the base once per link
+     made chained loads O(chain^2) *)
+  let _, _, store = with_store ~page_size:128 () in
+  let base_set = Edge_set.of_list (List.init 200 (fun i -> (i, i + 1))) in
+  let h = ref (Extent_store.append store base_set) in
+  let expected = ref base_set in
+  for i = 0 to 3 do
+    let added = Edge_set.of_list [ (5000 + i, i) ] in
+    h := Extent_store.append_delta store ~base:!h ~removed:Edge_set.empty ~added;
+    expected := Edge_set.union !expected added
+  done;
+  Alcotest.(check int) "chain at the cap" 4 (Extent_store.chain_length !h);
+  (* cold: base + 4 delta blobs, each decoded exactly once *)
+  let cold = Cost.create () in
+  Alcotest.check edge_set "cold resolve" !expected (Extent_store.load ~cost:cold store !h);
+  Alcotest.(check int) "cold misses" 5 cold.Cost.extent_cache_misses;
+  Alcotest.(check int) "cold hits" 0 cold.Cost.extent_cache_hits;
+  (* warm: the resolved head is cached whole *)
+  let warm = Cost.create () in
+  Alcotest.check edge_set "warm resolve" !expected (Extent_store.load ~cost:warm store !h);
+  Alcotest.(check int) "warm hits" 1 warm.Cost.extent_cache_hits;
+  Alcotest.(check int) "warm misses" 0 warm.Cost.extent_cache_misses;
+  Alcotest.(check int) "warm reads no pages" 0 warm.Cost.extent_pages;
+  (* extending the chain by one link costs one new blob decode plus one
+     cached-base hit — NOT a re-resolution of every link *)
+  let added = Edge_set.of_list [ (6000, 0) ] in
+  let h5 = Extent_store.append_delta store ~base:!h ~removed:Edge_set.empty ~added in
+  let ext = Cost.create () in
+  Alcotest.check edge_set "extended resolve"
+    (Edge_set.union !expected added)
+    (Extent_store.load ~cost:ext store h5);
+  Alcotest.(check int) "extend misses only the new blob" 1 ext.Cost.extent_cache_misses;
+  Alcotest.(check int) "extend hits the resolved base" 1 ext.Cost.extent_cache_hits
+
+let test_extent_block_delta_payload_not_poisoned () =
+  (* regression: a delta whose payload ints happen to be strictly
+     ascending is block-encoded like an extent; resolving THROUGH it must
+     not cache the raw payload as that link's resolved set *)
+  let p = Pager.create ~page_size:128 () in
+  let pool = Buffer_pool.create p ~capacity:8 in
+  let store = Extent_store.create ~codec:`Block pool in
+  let base_set = Edge_set.of_list [ (0, 2); (0, 5); (0, 7) ] in
+  let h0 = Extent_store.append store base_set in
+  (* payload = [1; pack(0,5); pack(0,9)] = [1; 5; 9] — sorted, ascending *)
+  let h1 =
+    Extent_store.append_delta store ~base:h0
+      ~removed:(Edge_set.of_list [ (0, 5) ])
+      ~added:(Edge_set.of_list [ (0, 9) ])
+  in
+  let h2 =
+    Extent_store.append_delta store ~base:h1 ~removed:Edge_set.empty
+      ~added:(Edge_set.of_list [ (0, 11) ])
+  in
+  let want1 = Edge_set.of_list [ (0, 2); (0, 7); (0, 9) ] in
+  (* loading h2 first resolves h1's blob as an intermediate link *)
+  Alcotest.check edge_set "chain through ascending delta"
+    (Edge_set.union want1 (Edge_set.of_list [ (0, 11) ]))
+    (Extent_store.load store h2);
+  Alcotest.check edge_set "intermediate link unpoisoned" want1 (Extent_store.load store h1)
+
 (* --- Data table --- *)
 
 let test_data_table_basic () =
@@ -461,6 +567,11 @@ let () =
           Alcotest.test_case "delta chain uncached" `Quick test_extent_delta_uncached;
           Alcotest.test_case "varint roundtrip" `Quick test_extent_varint_roundtrip;
           Alcotest.test_case "varint compresses" `Quick test_extent_varint_compresses;
+          Alcotest.test_case "block roundtrip" `Quick test_extent_block_roundtrip;
+          Alcotest.test_case "block compresses" `Quick test_extent_block_compresses;
+          Alcotest.test_case "chain shares base" `Quick test_extent_chain_shares_base;
+          Alcotest.test_case "ascending delta payload" `Quick
+            test_extent_block_delta_payload_not_poisoned;
           QCheck_alcotest.to_alcotest prop_extent_roundtrip;
           QCheck_alcotest.to_alcotest prop_extent_varint_roundtrip
         ] );

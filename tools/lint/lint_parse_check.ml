@@ -27,6 +27,14 @@ let l3_idents = [ [ "List"; "nth" ]; [ "List"; "hd" ]; [ "Option"; "get" ] ]
 
 let l5_idents = [ [ "Obj"; "magic" ] ]
 
+(* The full-decode entry point, as written from lib/apex (bare module
+   name via the wrapped-library alias, or fully qualified). *)
+let l7_idents =
+  [
+    [ "Extent_codec"; "decode_all" ];
+    [ "Repro_storage"; "Extent_codec"; "decode_all" ];
+  ]
+
 (* Functions that print straight to stdout/stderr. Formatter-parameterized
    printers (Format.fprintf ppf, pp_print_string ppf) and string builders
    (Printf.sprintf) are fine — the caller chooses the sink. *)
@@ -74,7 +82,9 @@ let check ~(scope : Lint_rules.scope) ~file (str : structure) : Lint_diag.t list
       emit L3 name (Lint_rules.l3_hint name) loc;
     if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc;
     if scope.no_direct_print && List.mem parts l6_idents then
-      emit L6 name Lint_rules.l6_hint loc
+      emit L6 name Lint_rules.l6_hint loc;
+    if scope.no_full_decode && List.mem parts l7_idents then
+      emit L7 name Lint_rules.l7_hint loc
   in
   let super = Ast_iterator.default_iterator in
   let expr it (e : expression) =

@@ -8,7 +8,7 @@
    direct console printing from library code — observability goes through
    lib/telemetry, presentation through lib/harness. *)
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7
 
 let rule_id = function
   | L1 -> "L1"
@@ -17,6 +17,7 @@ let rule_id = function
   | L4 -> "L4"
   | L5 -> "L5"
   | L6 -> "L6"
+  | L7 -> "L7"
 
 let rule_title = function
   | L1 -> "polymorphic comparison in a hot-path library"
@@ -25,6 +26,7 @@ let rule_title = function
   | L4 -> "exception-swallowing wildcard handler"
   | L5 -> "Obj.magic"
   | L6 -> "direct console printing outside telemetry/harness"
+  | L7 -> "full extent decode in a decode-on-gallop query path"
 
 let rule_of_id = function
   | "L1" -> Some L1
@@ -33,6 +35,7 @@ let rule_of_id = function
   | "L4" -> Some L4
   | "L5" -> Some L5
   | "L6" -> Some L6
+  | "L7" -> Some L7
   | _ -> None
 
 (* What a given source file is subject to. Derived from its path by
@@ -44,6 +47,11 @@ type scope = {
   no_direct_print : bool;
       (* L6 applies: lib/ except the layers whose job is output —
          lib/telemetry (exporters) and lib/harness (report tables) *)
+  no_full_decode : bool;
+      (* L7 applies: lib/apex query modules must not call
+         Extent_codec.decode_all — compaction and persistence
+         (apex_persist.ml) are the sanctioned full-materialization
+         paths *)
 }
 
 let hot_path_dirs = [ "lib/util"; "lib/graph"; "lib/storage"; "lib/apex" ]
@@ -74,6 +82,7 @@ let scope_of_path path =
     lib_code;
     no_direct_print =
       lib_code && not (List.exists (fun d -> path_has_prefix ~prefix:d p) print_exempt_dirs);
+    no_full_decode = path_has_prefix ~prefix:"lib/apex" p && base <> "apex_persist.ml";
   }
 
 (* Hints keyed by the offending identifier, shared by both checkers. *)
@@ -106,3 +115,9 @@ let l6_hint =
    Repro_telemetry (Metrics/Trace), return data for lib/harness to render, \
    or take an explicit Format.formatter; suppress with \
    (* apex_lint: allow L6 -- <reason> *) if the print is deliberate"
+
+let l7_hint =
+  "Extent_codec.decode_all materializes the whole extent and defeats the \
+   block skip tests; query kernels must use Extent_store's view API \
+   (load_view / view_semijoin_*), or suppress with \
+   (* apex_lint: allow L7 -- <reason> *) on a compaction/persist path"

@@ -51,6 +51,7 @@ let l2_idents = Lint_parse_check.l2_idents
 let l3_idents = Lint_parse_check.l3_idents
 let l5_idents = Lint_parse_check.l5_idents
 let l6_idents = Lint_parse_check.l6_idents
+let l7_idents = Lint_parse_check.l7_idents
 
 (* Types at which the compiler specializes %compare/%equal and friends
    (Translprim's base types). *)
@@ -116,7 +117,9 @@ let check ?(expand_env = fun (_ : Env.t) -> Env.empty) ~(scope : Lint_rules.scop
       emit L3 name (Lint_rules.l3_hint name) loc;
     if List.mem parts l5_idents then emit L5 name Lint_rules.l5_hint loc;
     if scope.no_direct_print && List.mem parts l6_idents then
-      emit L6 name Lint_rules.l6_hint loc
+      emit L6 name Lint_rules.l6_hint loc;
+    if scope.no_full_decode && List.mem parts l7_idents then
+      emit L7 name Lint_rules.l7_hint loc
   in
   let super = Tast_iterator.default_iterator in
   let expr it (e : expression) =
