@@ -1,13 +1,19 @@
-(* apexctl: offline telemetry introspection.
+(* apexctl: offline telemetry and static-analysis introspection.
 
      apexctl stats trace.jsonl                    # per-phase latency percentiles
      apexctl validate --schema schemas/trace_schema.json \
          trace.jsonl trace.trace.json             # audit exported traces
+     apexctl lint-report --json \
+         --schema schemas/lint_report_schema.json # domain-safety report
 
-   `bench --trace PREFIX` produces the inputs; `stats` aggregates a saved
-   JSONL event log into per-phase latency histograms and adaptation-event
-   totals, and `validate` checks both export formats against the
-   checked-in schema (field presence, JSON types, legal record kinds). *)
+   `bench --trace PREFIX` produces the trace inputs; `stats` aggregates a
+   saved JSONL event log into per-phase latency histograms and
+   adaptation-event totals, and `validate` checks both export formats
+   against the checked-in schema (field presence, JSON types, legal
+   record kinds). `lint-report` runs the whole-program domain-safety
+   analysis (tools/lint) and emits the mutability map, findings, and
+   guarded-mutation inventory as schema-validated JSON for CI to diff
+   across PRs. *)
 
 module Export = Repro_telemetry.Export
 
@@ -129,6 +135,17 @@ let cmd_bench_diff base other =
     Printf.printf "bench checksums match: %s\n"
       (String.concat ", " (List.map fst common))
 
+(* `lint-report` runs the same analysis as `dune build @lint` but emits
+   the machine-readable report. Must run from the workspace root with a
+   built tree (the .cmt files drive the mutability map): CI does
+   `dune build @check` first. Exit codes follow Lint_engine.run_report:
+   0 clean, 1 on any non-suppressed L8/L9 finding, 2 on schema or
+   analysis errors. *)
+let cmd_lint_report build_dir schema out _json roots =
+  let roots = if roots = [] then [ "lib"; "bin"; "bench" ] else roots in
+  exit
+    (Apex_lint_core.Lint_engine.run_report ~build_dir ?schema_path:schema ~out roots)
+
 open Cmdliner
 
 let stats_cmd =
@@ -178,9 +195,54 @@ let bench_diff_cmd =
           exit 1 if any differ.")
     Term.(const cmd_bench_diff $ base $ other)
 
+let lint_report_cmd =
+  let build_dir =
+    Arg.(
+      value
+      & opt string "_build/default"
+      & info [ "build-dir" ] ~docv:"DIR"
+          ~doc:"Dune context root holding the .cmt files of a completed build.")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA.json"
+          ~doc:
+            "Validate the emitted report against this mini-contract schema \
+             (see schemas/lint_report_schema.json); exit 2 on violation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the JSON report to $(docv) instead of standard output.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Accepted for symmetry with other subcommands; the report is \
+             always JSON.")
+  in
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ROOT" ~doc:"Source roots to lint (default: lib bin bench).")
+  in
+  Cmd.v
+    (Cmd.info "lint-report"
+       ~doc:
+         "Run the whole-program domain-safety analysis and emit the mutability \
+          map, L1-L9 findings, classified mutation sites, and global-state \
+          inventory as schema-validated JSON.")
+    Term.(const cmd_lint_report $ build_dir $ schema $ out $ json $ roots)
+
 let cmd =
   Cmd.group
     (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
-    [ stats_cmd; validate_cmd; bench_diff_cmd ]
+    [ stats_cmd; validate_cmd; bench_diff_cmd; lint_report_cmd ]
 
 let () = exit (Cmd.eval cmd)

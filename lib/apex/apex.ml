@@ -9,11 +9,14 @@ type t = {
   gapex : Gapex.t;
   tree : Hash_tree.t;
   mutable store : Repro_storage.Extent_store.t option;
-  endpoint_cache : (int, int array) Hashtbl.t;
+  endpoint_cache : (int, int array) Hashtbl.t [@apex.guarded "memo"];
       (* Gapex.node id -> endpoints of its extent; memoizes the sort that
          [Edge_set.endpoints] performs. Invalidated whenever extents can
-         change (update traversal) or the store is replaced. *)
+         change (update traversal) or the store is replaced. The "memo"
+         discipline: reader-path fills are idempotent recomputations; the
+         server layer must make this per-domain or lock it. *)
 }
+[@@apex.shared]
 
 let endpoint_cache_cap = 16_384
 

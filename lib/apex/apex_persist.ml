@@ -178,8 +178,11 @@ module Snapshot = struct
   type t = {
     store : ES.t;
     superblock : P.pid;
-    mutable epoch : int;
+    mutable epoch : int; [@apex.guarded "commit"]
+        (* advanced only inside [commit]/[rollback], the single-writer
+           epoch protocol the snapshot exists to implement *)
   }
+  [@@apex.shared]
 
   (* One commit slot, 64 bytes on the superblock page:
        [magic] [epoch] [first_page] [first_off] [n_bytes] [n_ints]

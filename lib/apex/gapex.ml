@@ -10,6 +10,7 @@ type t = {
   mutable next_id : int;
   root : node;
 }
+[@@apex.shared]
 
 let mk_node id extent =
   { id; extent; out = Hashtbl.create 4; visited = false; handle = None }

@@ -21,18 +21,21 @@ and hnode = {
   r_slot : slot;  (* the remainder entry's xnode field *)
 }
 
-type t = { head : hnode }
+type t = { head : hnode } [@@apex.shared]
 
-let suid_counter = ref 0
-let hid_counter = ref 0
+(* Process-wide id sources. Atomic so concurrent maintenance passes on
+   separate indexes can never mint colliding slot/hnode ids. *)
+let suid_counter = Atomic.make 0
+let hid_counter = Atomic.make 0
 
-let mk_slot () =
-  incr suid_counter;
-  { suid = !suid_counter; xnode = None }
+let mk_slot () = { suid = Atomic.fetch_and_add suid_counter 1 + 1; xnode = None }
 
 let mk_hnode () =
-  incr hid_counter;
-  { hid = !hid_counter; entries = Hashtbl.create 8; r_slot = mk_slot () }
+  {
+    hid = Atomic.fetch_and_add hid_counter 1 + 1;
+    entries = Hashtbl.create 8;
+    r_slot = mk_slot ();
+  }
 
 let create () = { head = mk_hnode () }
 

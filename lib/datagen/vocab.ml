@@ -2,31 +2,36 @@ let pick rand arr =
   if Array.length arr = 0 then invalid_arg "Vocab.pick: empty array";
   arr.(Random.State.int rand (Array.length arr))
 
+(* Write-never vocabulary tables: arrays for O(1) random indexing, filled
+   at module initialization and never mutated — safe to read from any
+   domain, hence the "readonly" guard. *)
 let given_names =
   [| "Alice"; "Bruno"; "Carmen"; "Dmitri"; "Elena"; "Felix"; "Greta"; "Hugo"; "Ingrid"; "Jonas";
      "Kira"; "Leo"; "Mara"; "Nils"; "Olga"; "Pavel"; "Quincy"; "Rosa"; "Stefan"; "Tilda";
      "Ursula"; "Viktor"; "Wanda"; "Xavier"; "Yara"; "Zeno"
-  |]
+  |] [@@apex.guarded "readonly"]
 
 let family_names =
   [| "Archer"; "Bennett"; "Castillo"; "Drummond"; "Eriksen"; "Fontaine"; "Galloway"; "Hartmann";
      "Ivanov"; "Jacobsen"; "Keller"; "Lindqvist"; "Moreau"; "Novak"; "Okafor"; "Petrov";
      "Quintero"; "Rasmussen"; "Silva"; "Thornton"; "Ueda"; "Vargas"; "Whitfield"; "Yamada"
-  |]
+  |] [@@apex.guarded "readonly"]
 
 let words =
   [| "shadow"; "river"; "golden"; "night"; "storm"; "ancient"; "silver"; "whisper"; "ember";
      "frost"; "garden"; "hollow"; "iron"; "jade"; "kingdom"; "lantern"; "meadow"; "nebula";
      "ocean"; "prairie"; "quarry"; "raven"; "summit"; "thunder"; "umbra"; "valley"; "willow";
      "zephyr"; "crimson"; "dusty"; "echo"; "fable"
-  |]
+  |] [@@apex.guarded "readonly"]
 
 let places =
   [| "Springfield"; "Riverton"; "Oakdale"; "Millbrook"; "Fairview"; "Ashford"; "Brookhaven";
      "Cedarville"; "Dunmore"; "Eastleigh"; "Foxborough"; "Glenwood"
-  |]
+  |] [@@apex.guarded "readonly"]
 
-let months = [| "JAN"; "FEB"; "MAR"; "APR"; "MAY"; "JUN"; "JUL"; "AUG"; "SEP"; "OCT"; "NOV"; "DEC" |]
+let months =
+  [| "JAN"; "FEB"; "MAR"; "APR"; "MAY"; "JUN"; "JUL"; "AUG"; "SEP"; "OCT"; "NOV"; "DEC" |]
+[@@apex.guarded "readonly"]
 
 let given_name rand = pick rand given_names
 let family_name rand = pick rand family_names

@@ -14,7 +14,8 @@ let pack u v =
 
 let unpack e = (e lsr bits, e land mask)
 
-let empty = [||]
+(* zero-length: there is no element to mutate, sharing it is safe *)
+let empty = [||] [@@apex.guarded "readonly"]
 
 let of_packed_array a = if Int_sorted.is_sorted_set a then a else Int_sorted.of_unsorted a
 

@@ -9,14 +9,17 @@ let get_u16 buf off = Bytes.get_uint16_le buf off
 
 (* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) *)
 
+(* Built eagerly at module initialization (256 entries, negligible cost)
+   rather than under [lazy]: forcing a lazy from two domains races, and an
+   init-time write-once table is safe to read from any domain. *)
 let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+[@@apex.guarded "readonly"]
 
 let crc_step table crc byte = table.((crc lxor byte) land 0xFF) lxor (crc lsr 8)
 
@@ -24,7 +27,7 @@ let crc32 ?(pos = 0) ?len buf =
   let len = match len with Some l -> l | None -> Bytes.length buf - pos in
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Codec.crc32: range out of bounds";
-  let table = Lazy.force crc_table in
+  let table = crc_table in
   let crc = ref 0xFFFFFFFF in
   for i = pos to pos + len - 1 do
     crc := crc_step table !crc (Char.code (Bytes.get buf i))
@@ -32,7 +35,7 @@ let crc32 ?(pos = 0) ?len buf =
   !crc lxor 0xFFFFFFFF
 
 let crc32_ints a =
-  let table = Lazy.force crc_table in
+  let table = crc_table in
   let crc = ref 0xFFFFFFFF in
   Array.iter
     (fun v ->

@@ -51,22 +51,35 @@ type cache = {
   max_ints : int;
 }
 
+(* Guard disciplines on the shared store (see DESIGN.md "Domain-safety
+   analysis"): "lru" — the decoded-extent cache, reader-path fills and
+   evictions, to become per-domain or locked in the server; "append" — the
+   write cursor, touched only while building/compacting a store (single
+   writer); "scratch" — per-store decode space, to become per-domain;
+   "stats" — monotonic counters whose races lose increments, not answers;
+   "pool" — the pager/buffer-pool substrate, page reads on the query path
+   go through its own fill/pin discipline. *)
 type t = {
-  pool : Buffer_pool.t;
+  pool : Buffer_pool.t [@apex.guarded "pool"];
   enc : codec;
-  cache : cache option;
-  mutable cur_page : Pager.pid;
-  mutable cur_off : int;
-  cur_buf : bytes;
-  scratch : int array;
+  cache : cache option [@apex.guarded "lru"];
+  mutable cur_page : Pager.pid; [@apex.guarded "append"]
+  mutable cur_off : int; [@apex.guarded "append"]
+  cur_buf : bytes [@apex.guarded "append"];
+  scratch : int array [@apex.guarded "scratch"];
       (* one block's worth of decode space, reused by every view kernel
          on this store so the decode-on-gallop hot path allocates nothing
          per block *)
-  mutable appended_ints : int;  (* lifetime logical ints appended *)
-  mutable appended_bytes : int;  (* lifetime encoded bytes appended *)
-  mutable skipped_blocks : int;  (* lifetime view-kernel block skips *)
-  mutable decoded_blocks : int;  (* lifetime view-kernel block decodes *)
+  mutable appended_ints : int; [@apex.guarded "stats"]
+      (* lifetime logical ints appended *)
+  mutable appended_bytes : int; [@apex.guarded "stats"]
+      (* lifetime encoded bytes appended *)
+  mutable skipped_blocks : int; [@apex.guarded "stats"]
+      (* lifetime view-kernel block skips *)
+  mutable decoded_blocks : int; [@apex.guarded "stats"]
+      (* lifetime view-kernel block decodes *)
 }
+[@@apex.shared]
 
 let create ?(codec = `Raw) ?(cache_entries = 1024) ?(cache_ints = 4_000_000) pool =
   let pager = Buffer_pool.pager pool in

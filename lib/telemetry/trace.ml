@@ -71,6 +71,7 @@ let all_kinds =
      Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Decode;
      Path_promoted; Path_evicted; Delta_flushed; Epoch_committed;
      Epoch_rolled_back; Update_aborted; Block_skip |]
+[@@apex.guarded "readonly"]
 
 let kind_name = function
   | Parse -> "parse"
@@ -113,8 +114,13 @@ type ring = {
   mutable dropped_ends : int;  (* end_ whose slot was overwritten *)
 }
 
-let enabled = ref false
-let ring : ring option ref = ref None
+(* Process-wide tracing state. The "telemetry" discipline: mutated only by
+   enable/disable (harness setup, before worker domains start) and by span
+   recording, whose counters tolerate benign races — traces are
+   observability data, never answers. The server PR will revisit this with
+   per-domain rings (see DESIGN.md "Domain-safety analysis"). *)
+let enabled = ref false [@@apex.guarded "telemetry"]
+let ring : ring option ref = ref None [@@apex.guarded "telemetry"]
 
 let default_capacity = 1 lsl 16
 

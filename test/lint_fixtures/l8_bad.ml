@@ -1,0 +1,13 @@
+(* L8 true positive: a module outside the shared type's defining module
+   (and outside the writer surface) mutates state reachable from an
+   [@@apex.shared] root. *)
+
+module Root = struct
+  type t = { mutable published : int array } [@@apex.shared]
+
+  let create () = { published = [||] }
+end
+
+let _ = Root.create
+
+let reader_bump (r : Root.t) = r.published <- Array.make 4 0

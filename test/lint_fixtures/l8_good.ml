@@ -1,0 +1,17 @@
+(* L8 clean: the only mutation of the shared root lives in its defining
+   module — owner-side maintenance API, inventoried but not a violation —
+   and the outside world only reads. *)
+
+module Root = struct
+  type t = { mutable published : int array } [@@apex.shared]
+
+  let create () = { published = [||] }
+
+  let rebuild t data = t.published <- data
+end
+
+let _ = Root.create
+
+let _ = Root.rebuild
+
+let width (r : Root.t) = Array.length r.published

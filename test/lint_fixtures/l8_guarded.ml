@@ -1,0 +1,18 @@
+(* L8 guarded: the mutated field carries [@apex.guarded], so reader-path
+   fills classify as guarded-discipline sites, not violations. *)
+
+module Root = struct
+  type t = { memo : (int, int) Hashtbl.t [@apex.guarded "memo"] } [@@apex.shared]
+
+  let create () = { memo = Hashtbl.create 8 }
+end
+
+let _ = Root.create
+
+let cached (r : Root.t) k =
+  match Hashtbl.find_opt r.memo k with
+  | Some v -> v
+  | None ->
+    let v = k * k in
+    Hashtbl.add r.memo k v;
+    v

@@ -1,0 +1,10 @@
+(* L9 true positives: top-level mutable values are process-wide state
+   shared by every domain. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let hits = ref 0
+
+let lookup k =
+  incr hits;
+  Hashtbl.find_opt cache k

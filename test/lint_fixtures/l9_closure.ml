@@ -1,0 +1,9 @@
+(* L9 via closure capture: the binding's type is a function, but a
+   mutable allocation on the let-spine above the lambda outlives every
+   call — a hidden global only the typed pass can see. *)
+
+let fresh_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter

@@ -1,0 +1,17 @@
+(* L9 clean: immutable top-level values, and mutable state that is
+   per-call (allocated inside the function body, never escaping a call). *)
+
+let limit = 42
+
+let banner = "apex"
+
+let histogram xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let n = match Hashtbl.find_opt tbl x with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl x (n + 1))
+    xs;
+  tbl
+
+let _ = (limit, banner, histogram)

@@ -1,0 +1,16 @@
+(* L9 guarded: the binding declares its discipline, so it is inventoried
+   as guarded global state, not flagged. *)
+
+let intern_pool : (string, int) Hashtbl.t = Hashtbl.create 64
+[@@apex.guarded "intern"]
+
+let atomically_counted = Atomic.make 0
+
+let intern s =
+  ignore (Atomic.fetch_and_add atomically_counted 1);
+  match Hashtbl.find_opt intern_pool s with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length intern_pool in
+    Hashtbl.add intern_pool s id;
+    id

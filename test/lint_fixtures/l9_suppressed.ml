@@ -1,0 +1,7 @@
+(* L9 suppressed: a justified suppression disables the rule on the next
+   line. *)
+
+(* apex_lint: allow L9 -- single-threaded CLI tool, never runs on domains *)
+let invocation_count = ref 0
+
+let tick () = incr invocation_count

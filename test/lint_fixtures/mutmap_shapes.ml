@@ -1,0 +1,41 @@
+(* Mutability-map unit-test shapes: one declared type per lattice rule.
+   test_lint typechecks this file in-process, feeds the structure to
+   Lint_mutmap, and asserts each verdict. *)
+
+type imm_rec = { a : int; b : string list }
+
+type mut_rec = { mutable c : int }
+
+type deep = { d : mut_rec }
+
+type via_ref = { r : int ref }
+
+type arrowed = { f : int -> int }
+
+type atomicf = { g : int Atomic.t }
+
+type opt_imm = { o : imm_rec option }
+
+type tbl = { h : (int, string) Hashtbl.t }
+
+type variant_mut = Leaf of int | Node of mut_rec
+
+type inline_mut = Box of { mutable payload : int }
+
+type alias_mut = deep
+
+type lazily = { z : int lazy_t }
+
+let _ =
+  ( (fun (x : imm_rec) -> x),
+    (fun (x : mut_rec) -> x),
+    (fun (x : deep) -> x),
+    (fun (x : via_ref) -> x),
+    (fun (x : arrowed) -> x),
+    (fun (x : atomicf) -> x),
+    (fun (x : opt_imm) -> x),
+    (fun (x : tbl) -> x),
+    (fun (x : variant_mut) -> x),
+    (fun (x : inline_mut) -> x),
+    (fun (x : alias_mut) -> x),
+    (fun (x : lazily) -> x) )

@@ -1,0 +1,145 @@
+(* Whole-program call graph over top-level value bindings.
+
+   Nodes are "Module.fn" (submodule bindings are "Submodule.fn", matching
+   the mutability map's key convention). Edges are the global identifiers a
+   binding's body references, filtered — once every file has been added —
+   down to identifiers that are themselves nodes. The graph is an
+   over-approximation (a referenced function counts as called even if the
+   reference only escapes as a value), which is the safe direction for the
+   question it answers: from which functions is a shared-state mutation
+   site reachable?
+
+   The escape pass records the enclosing binding of every mutation site; the
+   report combines the two to publish, per mutator, the set of entry points
+   that can reach it. *)
+
+type t = {
+  defs : (string, Location.t) Hashtbl.t;  (* node -> definition site *)
+  refs : (string, string list) Hashtbl.t;  (* node -> referenced idents (raw) *)
+}
+
+let create () = { defs = Hashtbl.create 256; refs = Hashtbl.create 256 }
+
+let binding_names (pat : Typedtree.pattern) =
+  let acc = ref [] in
+  let rec go (p : Typedtree.pattern) =
+    match p.pat_desc with
+    | Tpat_var (id, _) -> acc := (Ident.name id, p.pat_loc) :: !acc
+    | Tpat_alias (p, id, _) ->
+      acc := (Ident.name id, p.pat_loc) :: !acc;
+      go p
+    | Tpat_tuple ps -> List.iter go ps
+    | _ -> ()
+  in
+  go pat;
+  !acc
+
+(* every global identifier referenced under [e], by normalized name *)
+let collect_refs (e : Typedtree.expression) =
+  let acc = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    (match e.exp_desc with
+     | Texp_ident (path, _, _) ->
+       (match Option.map Lint_mutmap.normalize_parts (Lint_mutmap.flatten_path path) with
+        | Some ([ _ ] as parts) | Some ([ _; _ ] as parts) ->
+          acc := String.concat "." parts :: !acc
+        | Some parts when parts <> [] ->
+          (* keep the last two components: "Repro_apex.Gapex.make_edge"
+             -> "Gapex.make_edge" *)
+          let rec last2 = function
+            | [ a; b ] -> a ^ "." ^ b
+            | _ :: tl -> last2 tl
+            | [] -> assert false
+          in
+          acc := last2 parts :: !acc
+        | _ -> ())
+     | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !acc
+
+let rec add_structure t ~modname (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            List.iter
+              (fun (name, loc) ->
+                let node = modname ^ "." ^ name in
+                Hashtbl.replace t.defs node loc;
+                let refs = collect_refs vb.vb_expr in
+                let prev = Option.value (Hashtbl.find_opt t.refs node) ~default:[] in
+                Hashtbl.replace t.refs node (refs @ prev))
+              (binding_names vb.vb_pat))
+          vbs
+      | Tstr_module mb -> add_module_binding t mb
+      | Tstr_recmodule mbs -> List.iter (add_module_binding t) mbs
+      | _ -> ())
+    str.str_items
+
+and add_module_binding t (mb : Typedtree.module_binding) =
+  let submod = match mb.mb_name.txt with Some n -> n | None -> "_" in
+  match mb.mb_expr.mod_desc with
+  | Tmod_structure str -> add_structure t ~modname:submod str
+  | Tmod_constraint ({ mod_desc = Tmod_structure str; _ }, _, _, _) ->
+    add_structure t ~modname:submod str
+  | _ -> ()
+
+(* callers: reverse edges restricted to known nodes. An unqualified
+   reference ("helper") is resolved against the caller's own module. *)
+let callers_index t =
+  let callers : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun caller refs ->
+      let caller_mod =
+        match String.index_opt caller '.' with
+        | Some i -> String.sub caller 0 i
+        | None -> caller
+      in
+      List.iter
+        (fun r ->
+          let callee =
+            if Hashtbl.mem t.defs r then Some r
+            else
+              let local = caller_mod ^ "." ^ r in
+              if String.contains r '.' then None
+              else if Hashtbl.mem t.defs local then Some local
+              else None
+          in
+          match callee with
+          | Some callee when callee <> caller ->
+            let prev = Option.value (Hashtbl.find_opt callers callee) ~default:[] in
+            if not (List.mem caller prev) then
+              Hashtbl.replace callers callee (caller :: prev)
+          | _ -> ())
+        refs)
+    t.refs;
+  callers
+
+(* all nodes that can reach any of [seeds] (inclusive), i.e. the functions
+   from which a mutation inside a seed is reachable *)
+let reachers t seeds =
+  let callers = callers_index t in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter (fun s -> if not (Hashtbl.mem seen s) then begin
+    Hashtbl.add seen s ();
+    Queue.add s queue
+  end) seeds;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          Queue.add c queue
+        end)
+      (Option.value (Hashtbl.find_opt callers n) ~default:[])
+  done;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen []
+  |> List.sort String.compare

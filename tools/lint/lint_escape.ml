@@ -1,0 +1,400 @@
+(* Escape checking for the epoch-snapshot freeze discipline.
+
+   Given the shared-root reachability computed by Lint_mutmap, this pass
+   finds every program point that mutates state reachable from a shared
+   root and classifies it:
+
+     Guarded tag   the mutated field (or the field path it was reached
+                   through) carries [@apex.guarded "tag"]: the mutation
+                   follows a named discipline the server layer enforces.
+                   Recorded in the guarded-mutation inventory.
+     Writer        the file is part of the single-writer surface
+                   (Lint_rules.writer_dirs/writer_files). Inventory.
+     Owner         the site lives in the defining module of the mutated
+                   type: its own maintenance API. Inventory; the call
+                   graph reports who can reach it.
+     Violation     anything else — rule L8.
+
+   Mutation sites are detected structurally: record-field assignment, and
+   applications of the known mutator functions of the stdlib containers
+   (:=, Array.set, Hashtbl.replace, Buffer.add_*, ...). The target is
+   resolved by walking the projection chain (t.cache.tbl): the innermost
+   expression whose type head is shared-reachable decides, and any
+   [@apex.guarded] tag on a crossed field takes precedence. Known
+   approximation (documented in DESIGN.md): a builtin container first
+   aliased to a plain let-binding and mutated through the alias escapes the
+   chain walk; declared intermediate types do not, because their type head
+   is itself in the reachability map.
+
+   The same pass audits top-level bindings for rule L9: a binding whose
+   type is transitively mutable (and not a function) is hidden cross-domain
+   sharing. Atomic.t globals are domain-safe by construction and only
+   inventoried; [@@apex.guarded "tag"] bindings are inventoried under their
+   tag. For function bindings, a mutable allocation on the let-spine above
+   the lambda (the memoized-closure pattern: `let c = ref 0 in fun () ->
+   ...`) is flagged when the closure references it. *)
+
+open Typedtree
+
+type site_class = Guarded of string | Writer | Owner | Violation
+
+let class_id = function
+  | Guarded _ -> "guarded"
+  | Writer -> "writer"
+  | Owner -> "owner"
+  | Violation -> "violation"
+
+type site = {
+  s_file : string;
+  s_line : int;
+  s_col : int;
+  s_op : string;  (* "<- extent" or "Hashtbl.replace" *)
+  s_target : string;  (* reachability key, e.g. "Extent_store.cache" *)
+  s_fn : string;  (* enclosing top-level binding, "Apex.flush_dirty" *)
+  s_class : site_class;
+}
+
+type global_class = Gmutable | Gatomic | Gguarded of string
+
+type global_entry = {
+  g_file : string;
+  g_line : int;
+  g_name : string;
+  g_type : string;  (* leading mutability reasons, for the report *)
+  g_class : global_class;
+}
+
+(* --- the stdlib mutator table: normalized path -> mutated arg index --- *)
+
+let mutators =
+  [
+    ([ ":=" ], 0);
+    ([ "incr" ], 0);
+    ([ "decr" ], 0);
+    ([ "Array"; "set" ], 0);
+    ([ "Array"; "unsafe_set" ], 0);
+    ([ "Array"; "fill" ], 0);
+    ([ "Array"; "blit" ], 2);
+    ([ "Array"; "sort" ], 1);
+    ([ "Array"; "stable_sort" ], 1);
+    ([ "Array"; "fast_sort" ], 1);
+    ([ "Bytes"; "set" ], 0);
+    ([ "Bytes"; "unsafe_set" ], 0);
+    ([ "Bytes"; "fill" ], 0);
+    ([ "Bytes"; "blit" ], 2);
+    ([ "Bytes"; "blit_string" ], 2);
+    ([ "Hashtbl"; "add" ], 0);
+    ([ "Hashtbl"; "replace" ], 0);
+    ([ "Hashtbl"; "remove" ], 0);
+    ([ "Hashtbl"; "reset" ], 0);
+    ([ "Hashtbl"; "clear" ], 0);
+    ([ "Hashtbl"; "filter_map_inplace" ], 1);
+    ([ "Buffer"; "add_char" ], 0);
+    ([ "Buffer"; "add_string" ], 0);
+    ([ "Buffer"; "add_bytes" ], 0);
+    ([ "Buffer"; "add_subbytes" ], 0);
+    ([ "Buffer"; "add_substring" ], 0);
+    ([ "Buffer"; "add_buffer" ], 0);
+    ([ "Buffer"; "clear" ], 0);
+    ([ "Buffer"; "reset" ], 0);
+    ([ "Buffer"; "truncate" ], 0);
+    ([ "Queue"; "push" ], 1);
+    ([ "Queue"; "add" ], 1);
+    ([ "Queue"; "pop" ], 0);
+    ([ "Queue"; "take" ], 0);
+    ([ "Queue"; "clear" ], 0);
+    ([ "Stack"; "push" ], 1);
+    ([ "Stack"; "pop" ], 0);
+    ([ "Stack"; "clear" ], 0);
+    ([ "Atomic"; "set" ], 0);
+    ([ "Atomic"; "exchange" ], 0);
+    ([ "Atomic"; "compare_and_set" ], 0);
+    ([ "Atomic"; "fetch_and_add" ], 0);
+    ([ "Atomic"; "incr" ], 0);
+    ([ "Atomic"; "decr" ], 0);
+    ([ "Weak"; "set" ], 0);
+    ([ "Vec"; "push" ], 0);
+    ([ "Vec"; "set" ], 0);
+    ([ "Vec"; "clear" ], 0);
+  ]
+
+let normalize_expr_path (p : Path.t) =
+  Option.map Lint_mutmap.normalize_parts (Lint_mutmap.flatten_path p)
+
+(* --- target resolution --- *)
+
+(* head key of an expression's type, resolved against the current module *)
+let head_of_type ~modname (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Lint_mutmap.head_key ~modname p
+  | _ -> None
+
+(* Walk the projection chain of the mutated expression, innermost first.
+   Returns the first shared-reachable hit: (key, guard), where guard is a
+   tag found on a crossed field, else the reachability entry's tag. *)
+let shared_target ~(reach : Lint_mutmap.reach) ~modname (e : expression) =
+  let rec go (e : expression) pending_guard =
+    let here =
+      match head_of_type ~modname e.exp_type with
+      | Some key ->
+        (match Hashtbl.find_opt reach key with
+         | Some (entry : Lint_mutmap.reach_entry) ->
+           let guard =
+             match pending_guard with Some _ -> pending_guard | None -> entry.guard
+           in
+           Some (key, guard)
+         | None -> None)
+      | None -> None
+    in
+    match here with
+    | Some _ -> here
+    | None ->
+      (match e.exp_desc with
+       | Texp_field (e', _, ld) ->
+         let pending =
+           match Lint_mutmap.guard_tag ld.lbl_attributes with
+           | Some t -> Some t
+           | None -> pending_guard
+         in
+         go e' pending
+       | _ -> None)
+  in
+  go e None
+
+let owner_module key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let classify ~(scope : Lint_rules.scope) ~modname ~guard ~key =
+  match guard with
+  | Some tag -> Guarded tag
+  | None ->
+    if scope.writer_side then Writer
+    else if owner_module key = modname then Owner
+    else Violation
+
+(* --- the pass --- *)
+
+type result = {
+  diags : Lint_diag.t list;
+  sites : site list;
+  globals : global_entry list;
+}
+
+let alloc_heads =
+  [
+    [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Buffer"; "create" ];
+    [ "Array"; "make" ]; [ "Array"; "init" ]; [ "Array"; "create_float" ];
+    [ "Bytes"; "create" ]; [ "Bytes"; "make" ]; [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+  ]
+
+let is_mut_alloc (e : expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (path, _, _); _ }, _) ->
+    (match normalize_expr_path path with
+     | Some parts -> List.mem parts alloc_heads
+     | None -> false)
+  | _ -> false
+
+(* The ident a simple binding introduces. A type-constrained binding
+   (`let ring : t = ...`) types as Tpat_alias over the constrained
+   pattern, so both shapes must be accepted. *)
+let binding_ident (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, _) -> Some id
+  | Tpat_alias (_, id, _) -> Some id
+  | _ -> None
+
+(* Mutable allocations bound on the let-spine of [e], above any lambda:
+   these outlive every call of the function the spine ends in. *)
+let rec spine_mut_allocs acc (e : expression) =
+  match e.exp_desc with
+  | Texp_let (_, vbs, body) ->
+    let acc =
+      List.fold_left
+        (fun acc (vb : value_binding) ->
+          match binding_ident vb.vb_pat with
+          | Some id when is_mut_alloc vb.vb_expr -> id :: acc
+          | _ -> acc)
+        acc vbs
+    in
+    spine_mut_allocs acc body
+  | _ -> acc
+
+let closure_capture (e : expression) =
+  match spine_mut_allocs [] e with
+  | [] -> None
+  | muts ->
+    let found = ref None in
+    let super = Tast_iterator.default_iterator in
+    let expr it (e' : expression) =
+      (match e'.exp_desc with
+       | Texp_ident (Path.Pident id, { loc; _ }, _)
+         when List.exists (Ident.same id) muts ->
+         if !found = None then found := Some (Ident.name id, loc)
+       | _ -> ());
+      super.expr it e'
+    in
+    let it = { super with expr } in
+    it.expr it e;
+    !found
+
+let check ~(table : Lint_mutmap.table) ~(reach : Lint_mutmap.reach)
+    ~(scope : Lint_rules.scope) ~modname ~file (str : structure) : result =
+  let diags = ref [] and sites = ref [] and globals = ref [] in
+  let current_mod = ref modname in
+  let fn_stack = ref [] in
+  let current_fn () =
+    match !fn_stack with
+    | name :: _ -> name
+    | [] -> !current_mod ^ ".<toplevel>"
+  in
+  let emit rule ident hint (loc : Location.t) =
+    if not loc.Location.loc_ghost then
+      diags := Lint_diag.of_location ~file ~rule ~ident ~hint loc :: !diags
+  in
+  let record_site ~op ~key ~guard (loc : Location.t) =
+    let cls = classify ~scope ~modname:!current_mod ~guard ~key in
+    let p = loc.Location.loc_start in
+    sites :=
+      {
+        s_file = file;
+        s_line = p.pos_lnum;
+        s_col = p.pos_cnum - p.pos_bol;
+        s_op = op;
+        s_target = key;
+        s_fn = current_fn ();
+        s_class = cls;
+      }
+      :: !sites;
+    match cls with
+    | Violation ->
+      emit Lint_rules.L8
+        (Printf.sprintf "%s on %s" op key)
+        Lint_rules.l8_hint loc
+    | _ -> ()
+  in
+  let consider_mutation ~op (target : expression) (loc : Location.t) =
+    if scope.shared_escape then
+      match shared_target ~reach ~modname:!current_mod target with
+      | Some (key, guard) -> record_site ~op ~key ~guard loc
+      | None -> ()
+  in
+  (* mutation-site detection inside expressions *)
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+     | Texp_setfield (obj, { loc; _ }, ld, _) ->
+       if scope.shared_escape then begin
+         (* a guard on the assigned field itself wins over the chain *)
+         let field_guard = Lint_mutmap.guard_tag ld.lbl_attributes in
+         match (field_guard, shared_target ~reach ~modname:!current_mod obj) with
+         | Some tag, Some (key, _) ->
+           record_site ~op:("<- " ^ ld.lbl_name) ~key ~guard:(Some tag) loc
+         | _, Some (key, guard) ->
+           record_site ~op:("<- " ^ ld.lbl_name) ~key ~guard loc
+         | _, None -> ()
+       end
+     | Texp_apply ({ exp_desc = Texp_ident (path, { loc; _ }, _); _ }, args) ->
+       (match normalize_expr_path path with
+        | Some parts ->
+          (match List.assoc_opt parts mutators with
+           | Some idx ->
+             let plain =
+               List.filter_map
+                 (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+                 args
+             in
+             (match List.nth_opt plain idx with
+              | Some target ->
+                consider_mutation ~op:(String.concat "." parts) target loc
+              | None -> ())
+           | None -> ())
+        | None -> ())
+     | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  let audit_binding (vb : value_binding) =
+    match binding_ident vb.vb_pat with
+    | Some id ->
+      let name = Ident.name id in
+      let loc = vb.vb_pat.pat_loc in
+      let line = loc.Location.loc_start.pos_lnum in
+      let binding_guard = Lint_mutmap.guard_tag vb.vb_attributes in
+      let is_arrow =
+        match Types.get_desc vb.vb_pat.pat_type with Tarrow _ -> true | _ -> false
+      in
+      let add_global cls ty =
+        globals :=
+          { g_file = file; g_line = line; g_name = !current_mod ^ "." ^ name;
+            g_type = ty; g_class = cls }
+          :: !globals
+      in
+      if is_arrow then begin
+        match closure_capture vb.vb_expr with
+        | Some (captured, cloc) ->
+          (match binding_guard with
+           | Some tag -> add_global (Gguarded tag) ("closure over " ^ captured)
+           | None ->
+             add_global Gmutable ("closure over " ^ captured);
+             emit Lint_rules.L9
+               (Printf.sprintf "%s (closure over %s)" name captured)
+               Lint_rules.l9_hint cloc)
+        | None -> ()
+      end
+      else begin
+        match Lint_mutmap.verdict_of_type table ~modname:!current_mod vb.vb_pat.pat_type with
+        | Imm | Opaque _ -> ()
+        | Mut { atomic_only = true; reasons } ->
+          add_global Gatomic (String.concat ", " reasons)
+        | Mut { reasons; _ } ->
+          let ty = String.concat ", " reasons in
+          (match binding_guard with
+           | Some tag -> add_global (Gguarded tag) ty
+           | None ->
+             add_global Gmutable ty;
+             emit Lint_rules.L9
+               (Printf.sprintf "%s : %s" name ty)
+               Lint_rules.l9_hint loc)
+      end
+    | _ -> ()
+  in
+  let rec walk_items items =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              if scope.global_audit then audit_binding vb;
+              let name =
+                match binding_ident vb.vb_pat with
+                | Some id -> !current_mod ^ "." ^ Ident.name id
+                | None -> !current_mod ^ ".<pattern>"
+              in
+              fn_stack := name :: !fn_stack;
+              it.expr it vb.vb_expr;
+              fn_stack := List.tl !fn_stack)
+            vbs
+        | Tstr_module mb -> walk_module mb
+        | Tstr_recmodule mbs -> List.iter walk_module mbs
+        | _ -> it.structure_item it item)
+      items
+  and walk_module (mb : module_binding) =
+    let submod = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    let saved = !current_mod in
+    (match mb.mb_expr.mod_desc with
+     | Tmod_structure s ->
+       current_mod := submod;
+       walk_items s.str_items
+     | Tmod_constraint ({ mod_desc = Tmod_structure s; _ }, _, _, _) ->
+       current_mod := submod;
+       walk_items s.str_items
+     | _ -> ());
+    current_mod := saved
+  in
+  walk_items str.str_items;
+  { diags = !diags; sites = !sites; globals = !globals }

@@ -1,0 +1,482 @@
+(* Transitive mutability map.
+
+   For every type declared in the build (read from the .cmt files the
+   normal compilation produces, grouped and cached per dune library), the
+   map answers: is mutable state reachable through a value of this type?
+   The lattice is
+
+     Imm < Opaque < Mut
+
+   - [Imm]    only immutable structure is reachable;
+   - [Opaque] the analysis hit something it cannot see through (an
+              abstract type with no recorded implementation, a functor
+              application, a first-class module) — treated as clean but
+              reported so the gap is visible;
+   - [Mut]    mutable state is reachable: mutable record fields, [ref],
+              [array]/[bytes], [Hashtbl.t], [Buffer.t], [Queue.t],
+              [Stack.t], [lazy_t] (forcing races under domains), or a
+              function type (a closure may capture any of the above).
+              [atomic_only] is true when every mutable leaf is an
+              [Atomic.t] or a lock — mutable, but domain-safe by
+              construction.
+
+   Two annotations drive the escape pass (lint_escape.ml):
+
+     type t = { ... } [@@apex.shared]        a published root: readers on
+                                             other domains hold values of
+                                             this type
+     cache : cache option [@apex.guarded "lru"]
+                                             mutations reachable through
+                                             this field follow a named
+                                             discipline the server layer
+                                             must enforce (per-domain
+                                             copy, lock, writer-only...)
+
+   [reachability] computes the set of declared types reachable from the
+   shared roots, each tagged with the guard discipline (if any) of the
+   field path it was reached through; unguarded reachability dominates. *)
+
+type verdict =
+  | Imm
+  | Opaque of string list  (* what the analysis could not see through *)
+  | Mut of { reasons : string list; atomic_only : bool }
+
+let verdict_id = function Imm -> "immutable" | Opaque _ -> "opaque" | Mut _ -> "mutable"
+
+type decl = {
+  key : string;  (* "Gapex.node" — defining module (unwrapped) + type name *)
+  library : string;  (* dune library archive name, or "<local>" for tests *)
+  modname : string;  (* defining module, for resolving unqualified refs *)
+  td : Types.type_declaration;
+  shared : bool;
+  type_guard : string option;
+  decl_loc : Location.t;
+}
+
+type table = {
+  (* library name -> per-library declaration cache; resolution falls
+     through all libraries so cross-library references (Apex.t ->
+     Extent_store.t) land in the right cache *)
+  libs : (string, (string, decl) Hashtbl.t) Hashtbl.t;
+  verdicts : (string, verdict) Hashtbl.t;  (* memo, keyed like [decl.key] *)
+}
+
+let create () = { libs = Hashtbl.create 8; verdicts = Hashtbl.create 256 }
+
+let lib_table t library =
+  match Hashtbl.find_opt t.libs library with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.add t.libs library tbl;
+    tbl
+
+let find_decl t key =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ tbl ->
+      if !found = None then
+        match Hashtbl.find_opt tbl key with Some d -> found := Some d | None -> ())
+    t.libs;
+  !found
+
+let iter_decls t f = Hashtbl.iter (fun _ tbl -> Hashtbl.iter (fun _ d -> f d) tbl) t.libs
+
+(* --- attribute vocabulary --- *)
+
+let attr_payload_string (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let guard_tag (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "apex.guarded" then
+        Some (Option.value (attr_payload_string a) ~default:"unspecified")
+      else None)
+    attrs
+
+let is_shared (attrs : Parsetree.attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = "apex.shared") attrs
+
+(* --- path normalization ---
+
+   Wrapped-library compilation units (Repro_apex__Gapex) and Stdlib
+   prefixed units (Stdlib__Hashtbl) both normalize to the module name a
+   human writes, so declaration keys and reference heads line up no
+   matter which alias the typechecker resolved through. *)
+
+let unwrap_component c =
+  (* split at the LAST "__": "Repro_storage__Extent_store" -> "Extent_store" *)
+  let n = String.length c in
+  let cut = ref (-1) in
+  for i = 0 to n - 2 do
+    if c.[i] = '_' && c.[i + 1] = '_' then cut := i
+  done;
+  if !cut < 0 || !cut + 2 >= n then c
+  else String.capitalize_ascii (String.sub c (!cut + 2) (n - !cut - 2))
+
+let rec flatten_path (p : Path.t) =
+  match p with
+  | Path.Pident id -> Some [ Ident.name id ]
+  | Path.Pdot (p, s) ->
+    Option.map (fun parts -> parts @ [ s ]) (flatten_path p)
+  | Path.Papply _ | Path.Pextra_ty _ -> None
+
+let normalize_parts parts =
+  let parts = List.map unwrap_component parts in
+  match parts with "Stdlib" :: rest when rest <> [] -> rest | parts -> parts
+
+(* The lookup key for a type reference: the last module component plus the
+   type name ("Extent_store.t"); unqualified references resolve against the
+   module being analysed. *)
+let head_key ~modname (p : Path.t) =
+  match Option.map normalize_parts (flatten_path p) with
+  | None | Some [] -> None
+  | Some [ ty ] -> Some (modname ^ "." ^ ty)
+  | Some parts ->
+    let rec last2 = function
+      | [ m; ty ] -> m ^ "." ^ ty
+      | _ :: tl -> last2 tl
+      | [] -> assert false
+    in
+    Some (last2 parts)
+
+(* the written name of a head, for messages: "Hashtbl.t", "array", ... *)
+let head_name (p : Path.t) =
+  match Option.map normalize_parts (flatten_path p) with
+  | None | Some [] -> "<complex>"
+  | Some parts -> String.concat "." parts
+
+(* --- builtin classification --- *)
+
+let mutable_builtins =
+  [ "array"; "bytes"; "floatarray"; "ref"; "Hashtbl.t"; "Buffer.t"; "Queue.t";
+    "Stack.t"; "Weak.t"; "Dynarray.t"; "Bigarray.t"; "Genarray.t"; "Random.State.t" ]
+
+let atomic_builtins = [ "Atomic.t"; "Mutex.t"; "Semaphore.t"; "Condition.t" ]
+
+let immutable_builtins =
+  [ "int"; "char"; "bool"; "unit"; "string"; "float"; "int32"; "int64";
+    "nativeint"; "exn"; "Int.t"; "Char.t"; "Bool.t"; "String.t"; "Float.t";
+    "Digest.t"; "Uchar.t" ]
+
+(* containers whose mutability is exactly their element types' *)
+let passthrough_builtins = [ "list"; "option"; "result"; "Either.t"; "Seq.t" ]
+
+let builtin_of_parts parts =
+  let name = String.concat "." parts in
+  let tail2 =
+    match List.rev parts with b :: a :: _ -> a ^ "." ^ b | _ -> name
+  in
+  let mem l = List.mem name l || List.mem tail2 l in
+  if mem mutable_builtins then `Mutable name
+  else if mem atomic_builtins then `Atomic name
+  else if mem immutable_builtins then `Immutable
+  else if mem passthrough_builtins then `Passthrough
+  else if name = "lazy_t" || tail2 = "Lazy.t" then `Lazy
+  else `Unknown
+
+(* --- verdict computation --- *)
+
+let join a b =
+  match (a, b) with
+  | Mut m, Mut m' ->
+    Mut
+      { reasons = m.reasons @ m'.reasons;
+        atomic_only = m.atomic_only && m'.atomic_only
+      }
+  | (Mut _ as m), _ | _, (Mut _ as m) -> m
+  | Opaque r, Opaque r' -> Opaque (r @ r')
+  | (Opaque _ as o), _ | _, (Opaque _ as o) -> o
+  | Imm, Imm -> Imm
+
+let mut reason = Mut { reasons = [ reason ]; atomic_only = false }
+
+(* [in_progress] breaks recursive-type cycles: the back edge contributes
+   nothing, the rest of the structure decides. *)
+let rec type_verdict t ~modname ~in_progress (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tvar _ | Tunivar _ -> Imm  (* parameters judged at the use site's args *)
+  | Tarrow _ -> mut "closure (may capture mutable state)"
+  | Ttuple tys ->
+    List.fold_left
+      (fun acc ty -> join acc (type_verdict t ~modname ~in_progress ty))
+      Imm tys
+  | Tpoly (body, _) -> type_verdict t ~modname ~in_progress body
+  | Tconstr (p, args, _) ->
+    let arg_verdict () =
+      List.fold_left
+        (fun acc ty -> join acc (type_verdict t ~modname ~in_progress ty))
+        Imm args
+    in
+    (match flatten_path p with
+     | None -> Opaque [ "functor application" ]
+     | Some parts ->
+       (match builtin_of_parts (normalize_parts parts) with
+        | `Mutable name -> join (mut name) (arg_verdict ())
+        | `Atomic name ->
+          join (Mut { reasons = [ name ]; atomic_only = true }) (arg_verdict ())
+        | `Lazy -> join (mut "lazy_t (forcing races under domains)") (arg_verdict ())
+        | `Immutable -> Imm
+        | `Passthrough -> arg_verdict ()
+        | `Unknown ->
+          (match head_key ~modname p with
+           | None -> Opaque [ head_name p ]
+           | Some key ->
+             (match find_decl t key with
+              | Some d -> join (decl_verdict t ~in_progress d) (arg_verdict ())
+              | None -> join (Opaque [ head_name p ]) (arg_verdict ())))))
+  | Tvariant row ->
+    List.fold_left
+      (fun acc (_, f) ->
+        match Types.row_field_repr f with
+        | Types.Rpresent (Some ty) -> join acc (type_verdict t ~modname ~in_progress ty)
+        | Types.Reither (_, tys, _) ->
+          List.fold_left
+            (fun acc ty -> join acc (type_verdict t ~modname ~in_progress ty))
+            acc tys
+        | _ -> acc)
+      Imm
+      (Types.row_fields row)
+  | Tobject _ -> mut "object (mutable instance state)"
+  | Tpackage _ -> Opaque [ "first-class module" ]
+  | Tfield _ | Tnil | Tlink _ | Tsubst _ -> Imm
+
+and decl_verdict t ~in_progress (d : decl) =
+  match Hashtbl.find_opt t.verdicts d.key with
+  | Some v -> v
+  | None ->
+    if List.mem d.key in_progress then Imm
+    else begin
+      let in_progress = d.key :: in_progress in
+      let modname = d.modname in
+      let v =
+        match d.td.type_kind with
+        | Type_record (lds, _) ->
+          List.fold_left
+            (fun acc (ld : Types.label_declaration) ->
+              let field =
+                if ld.ld_mutable = Mutable then
+                  mut (Printf.sprintf "mutable field %s.%s" d.key (Ident.name ld.ld_id))
+                else Imm
+              in
+              join acc
+                (join field (type_verdict t ~modname ~in_progress ld.ld_type)))
+            Imm lds
+        | Type_variant (cds, _) ->
+          List.fold_left
+            (fun acc (cd : Types.constructor_declaration) ->
+              let args =
+                match cd.cd_args with
+                | Cstr_tuple tys -> tys
+                | Cstr_record lds ->
+                  List.map (fun (ld : Types.label_declaration) -> ld.ld_type) lds
+              in
+              let inline_mut =
+                match cd.cd_args with
+                | Cstr_record lds
+                  when List.exists
+                         (fun (ld : Types.label_declaration) -> ld.ld_mutable = Mutable)
+                         lds ->
+                  mut (Printf.sprintf "mutable inline record in %s.%s" d.key
+                         (Ident.name cd.cd_id))
+                | _ -> Imm
+              in
+              List.fold_left
+                (fun acc ty -> join acc (type_verdict t ~modname ~in_progress ty))
+                (join acc inline_mut) args)
+            Imm cds
+        (* Type_abstract / Type_open; a wildcard keeps this portable across
+           the 5.1/5.2 change in Type_abstract's arity *)
+        | _ ->
+          (match d.td.type_manifest with
+           | Some ty -> type_verdict t ~modname ~in_progress ty
+           | None -> Opaque [ "abstract: " ^ d.key ])
+      in
+      Hashtbl.replace t.verdicts d.key v;
+      v
+    end
+
+let verdict t key =
+  match find_decl t key with
+  | Some d -> Some (decl_verdict t ~in_progress:[] d)
+  | None -> None
+
+let verdict_of_type t ~modname ty = type_verdict t ~modname ~in_progress:[] ty
+
+(* --- recording declarations --- *)
+
+let add_type_declaration t ~library ~modname (td : Typedtree.type_declaration) =
+  let key = modname ^ "." ^ td.typ_name.txt in
+  let decl =
+    {
+      key;
+      library;
+      modname;
+      td = td.typ_type;
+      shared = is_shared td.typ_attributes;
+      type_guard = guard_tag td.typ_attributes;
+      decl_loc = td.typ_loc;
+    }
+  in
+  Hashtbl.replace (lib_table t library) key decl
+
+(* Walk a structure for type declarations, recursing into submodules
+   (module Snapshot = struct ... end declares Snapshot.t). *)
+let rec add_structure t ~library ~modname (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_type (_, tds) ->
+        List.iter (add_type_declaration t ~library ~modname) tds
+      | Tstr_module mb -> add_module_binding t ~library mb
+      | Tstr_recmodule mbs -> List.iter (add_module_binding t ~library) mbs
+      | _ -> ())
+    str.str_items
+
+and add_module_binding t ~library (mb : Typedtree.module_binding) =
+  let submod = match mb.mb_name.txt with Some n -> n | None -> "_" in
+  match mb.mb_expr.mod_desc with
+  | Tmod_structure str -> add_structure t ~library ~modname:submod str
+  | Tmod_constraint ({ mod_desc = Tmod_structure str; _ }, _, _, _) ->
+    add_structure t ~library ~modname:submod str
+  | _ -> ()
+
+(* library name from a cmt path: .../.repro_apex.objs/byte/x.cmt *)
+let library_of_cmt_path path =
+  let rec find = function
+    | [] -> "<unknown>"
+    | seg :: rest ->
+      let n = String.length seg in
+      if n > 6 && seg.[0] = '.' && String.sub seg (n - 5) 5 = ".objs" then
+        String.sub seg 1 (n - 6)
+      else find rest
+  in
+  find (String.split_on_char '/' (Lint_rules.normalize_path path))
+
+let add_cmt t path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> ()
+  | infos ->
+    (match infos.Cmt_format.cmt_annots with
+     | Implementation str ->
+       let modname = unwrap_component infos.Cmt_format.cmt_modname in
+       add_structure t ~library:(library_of_cmt_path path) ~modname str
+     | _ -> ())
+
+(* --- shared-root reachability --- *)
+
+type reach_entry = { guard : string option; via : string (* "Apex.t.store" *) }
+type reach = (string, reach_entry) Hashtbl.t
+
+(* The declared-type references inside [ty], each with the guard tag (if
+   any) under which it is reached. [guard] is the tag inherited from the
+   field being walked. *)
+let rec type_refs t ~modname ~guard ty acc =
+  match Types.get_desc ty with
+  | Tvar _ | Tunivar _ | Tarrow _ | Tobject _ | Tpackage _ | Tfield _ | Tnil
+  | Tlink _ | Tsubst _ ->
+    acc  (* closures and opaque values are not traversed: the escape pass
+            cannot see mutations through them either *)
+  | Ttuple tys ->
+    List.fold_left (fun acc ty -> type_refs t ~modname ~guard ty acc) acc tys
+  | Tpoly (body, _) -> type_refs t ~modname ~guard body acc
+  | Tvariant row ->
+    List.fold_left
+      (fun acc (_, f) ->
+        match Types.row_field_repr f with
+        | Types.Rpresent (Some ty) -> type_refs t ~modname ~guard ty acc
+        | Types.Reither (_, tys, _) ->
+          List.fold_left (fun acc ty -> type_refs t ~modname ~guard ty acc) acc tys
+        | _ -> acc)
+      acc
+      (Types.row_fields row)
+  | Tconstr (p, args, _) ->
+    let acc =
+      match head_key ~modname p with
+      | Some key when find_decl t key <> None -> (key, guard) :: acc
+      | _ -> acc
+    in
+    List.fold_left (fun acc ty -> type_refs t ~modname ~guard ty acc) acc args
+
+let decl_refs t (d : decl) =
+  let modname = d.modname in
+  match d.td.type_kind with
+  | Type_record (lds, _) ->
+    List.concat_map
+      (fun (ld : Types.label_declaration) ->
+        let guard = guard_tag ld.ld_attributes in
+        type_refs t ~modname ~guard ld.ld_type []
+        |> List.map (fun (key, g) ->
+               (key, g, Printf.sprintf "%s.%s" d.key (Ident.name ld.ld_id))))
+      lds
+  | Type_variant (cds, _) ->
+    List.concat_map
+      (fun (cd : Types.constructor_declaration) ->
+        let tys =
+          match cd.cd_args with
+          | Cstr_tuple tys -> tys
+          | Cstr_record lds ->
+            List.map (fun (ld : Types.label_declaration) -> ld.ld_type) lds
+        in
+        List.concat_map
+          (fun ty ->
+            type_refs t ~modname ~guard:None ty []
+            |> List.map (fun (key, g) ->
+                   (key, g, Printf.sprintf "%s.%s" d.key (Ident.name cd.cd_id))))
+          tys)
+      cds
+  (* Type_abstract / Type_open (wildcard: 5.1/5.2 arity change) *)
+  | _ ->
+    (match d.td.type_manifest with
+     | Some ty ->
+       type_refs t ~modname ~guard:None ty []
+       |> List.map (fun (key, g) -> (key, g, d.key))
+     | None -> [])
+
+let shared_roots t =
+  let roots = ref [] in
+  iter_decls t (fun d -> if d.shared then roots := d :: !roots);
+  List.sort (fun a b -> String.compare a.key b.key) !roots
+
+(* BFS from the shared roots. Unguarded reachability dominates: a type
+   reachable both through a guarded field and an unguarded one is
+   unguarded (the escape pass must flag its mutations). *)
+let reachability t : reach =
+  let reach : reach = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun d ->
+      Queue.add (d.key, d.type_guard, d.key ^ " [@@apex.shared]") queue)
+    (shared_roots t);
+  while not (Queue.is_empty queue) do
+    let key, guard, via = Queue.pop queue in
+    let visit =
+      match Hashtbl.find_opt reach key with
+      | None -> true
+      | Some prev -> prev.guard <> None && guard = None  (* upgrade to unguarded *)
+    in
+    if visit then begin
+      Hashtbl.replace reach key { guard; via };
+      match find_decl t key with
+      | None -> ()
+      | Some d ->
+        List.iter
+          (fun (key', edge_guard, via') ->
+            (* a guard tag deeper in the path refines an inherited one *)
+            let guard' = match edge_guard with Some _ -> edge_guard | None -> guard in
+            Queue.add (key', guard', via') queue)
+          (decl_refs t d)
+    end
+  done;
+  reach

@@ -56,6 +56,33 @@ let l6_idents =
     [ "prerr_newline" ];
   ]
 
+(* Syntactic L9: a top-level binding whose right-hand side is (or starts
+   with) an application of a mutable-state allocator. The typed pass
+   (lint_escape.ml) is the authoritative one — it judges the binding's
+   *type* through the transitive mutability map — but the common global
+   patterns (`let enabled = ref false`, `let cache = Hashtbl.create 16`)
+   are recognizable from syntax alone. *)
+let l9_alloc_idents =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+  ]
+
+let l9_alloc_head (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let parts = normalize (flatten_lident txt) in
+    if List.mem parts l9_alloc_idents then Some (String.concat "." parts) else None
+  | _ -> None
+
 (* Does the top level of a try-handler pattern catch everything? We must
    not fire on wildcards nested under a constructor (e.g. Failure _). *)
 let rec catches_all (p : pattern) =
@@ -101,4 +128,20 @@ let check ~(scope : Lint_rules.scope) ~file (str : structure) : Lint_diag.t list
   in
   let it = { super with expr } in
   it.structure it str;
+  (* top-level structure items only: a let-bound table inside a function
+     body is per-call state, not a global *)
+  if scope.global_audit then
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              match l9_alloc_head vb.pvb_expr with
+              | Some alloc when Lint_mutmap.guard_tag vb.pvb_attributes = None ->
+                emit L9 alloc Lint_rules.l9_hint vb.pvb_pat.ppat_loc
+              | _ -> ())
+            vbs
+        | _ -> ())
+      str;
   !diags

@@ -8,7 +8,7 @@
    direct console printing from library code — observability goes through
    lib/telemetry, presentation through lib/harness. *)
 
-type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7
+type rule = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8 | L9
 
 let rule_id = function
   | L1 -> "L1"
@@ -18,6 +18,8 @@ let rule_id = function
   | L5 -> "L5"
   | L6 -> "L6"
   | L7 -> "L7"
+  | L8 -> "L8"
+  | L9 -> "L9"
 
 let rule_title = function
   | L1 -> "polymorphic comparison in a hot-path library"
@@ -27,6 +29,8 @@ let rule_title = function
   | L5 -> "Obj.magic"
   | L6 -> "direct console printing outside telemetry/harness"
   | L7 -> "full extent decode in a decode-on-gallop query path"
+  | L8 -> "mutation of state reachable from a shared index root"
+  | L9 -> "top-level mutable global in library code"
 
 let rule_of_id = function
   | "L1" -> Some L1
@@ -36,6 +40,8 @@ let rule_of_id = function
   | "L5" -> Some L5
   | "L6" -> Some L6
   | "L7" -> Some L7
+  | "L8" -> Some L8
+  | "L9" -> Some L9
   | _ -> None
 
 (* What a given source file is subject to. Derived from its path by
@@ -52,9 +58,29 @@ type scope = {
          Extent_codec.decode_all — compaction and persistence
          (apex_persist.ml) are the sanctioned full-materialization
          paths *)
+  shared_escape : bool;
+      (* L8 applies: lib/ code may not mutate state reachable from an
+         [@@apex.shared] root unless the site is writer-side, owned by
+         the type's defining module, or covered by [@apex.guarded] *)
+  writer_side : bool;
+      (* the file is part of the single-writer surface (lib/update,
+         lib/adaptive, and the index build/persist modules): its
+         mutations of shared state classify as writer-side, not L8 *)
+  global_audit : bool;
+      (* L9 applies: top-level mutable values in lib/ are hidden
+         cross-domain sharing *)
 }
 
 let hot_path_dirs = [ "lib/util"; "lib/graph"; "lib/storage"; "lib/apex" ]
+
+(* The modules allowed to mutate shared index state: the update/self-tuning
+   writer layers, plus the build/maintenance/persist surface of the index
+   itself. Everything else must go through [@apex.guarded] state or earn a
+   justified suppression. *)
+let writer_dirs = [ "lib/update"; "lib/adaptive" ]
+
+let writer_files =
+  [ "lib/apex/apex.ml"; "lib/apex/apex_persist.ml"; "lib/apex/apex_spec.ml" ]
 
 let print_exempt_dirs = [ "lib/telemetry"; "lib/harness" ]
 
@@ -83,6 +109,11 @@ let scope_of_path path =
     no_direct_print =
       lib_code && not (List.exists (fun d -> path_has_prefix ~prefix:d p) print_exempt_dirs);
     no_full_decode = path_has_prefix ~prefix:"lib/apex" p && base <> "apex_persist.ml";
+    shared_escape = lib_code;
+    writer_side =
+      List.exists (fun d -> path_has_prefix ~prefix:d p) writer_dirs
+      || List.mem p writer_files;
+    global_audit = lib_code;
   }
 
 (* Hints keyed by the offending identifier, shared by both checkers. *)
@@ -121,3 +152,16 @@ let l7_hint =
    block skip tests; query kernels must use Extent_store's view API \
    (load_view / view_semijoin_*), or suppress with \
    (* apex_lint: allow L7 -- <reason> *) on a compaction/persist path"
+
+let l8_hint =
+  "readers share this state once the server publishes an epoch: move the \
+   mutation into the writer surface (lib/update, lib/adaptive), annotate the \
+   field or type with [@apex.guarded \"<discipline>\"] if it is a cache with \
+   its own safety story, or suppress with \
+   (* apex_lint: allow L8 -- <reason> *)"
+
+let l9_hint =
+  "a top-level mutable value is shared by every domain in the process: move \
+   it into instance state threaded from the caller, make it an Atomic.t, or \
+   annotate the binding [@@apex.guarded \"<discipline>\"] with the reason it \
+   is safe (or suppress with (* apex_lint: allow L9 -- <reason> *))"
