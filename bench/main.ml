@@ -49,6 +49,7 @@ let run_experiment ?json name config =
   | "updates", _ ->
     (* --json overrides the default snapshot path *)
     Experiments.updates config ~out:(Option.value json ~default:"BENCH_PR4.json")
+  | "serve", _ -> Serve.run config ~out:(Option.value json ~default:"BENCH_SERVE.json")
   | _, Some out -> Experiments.json_bench config ~out
   | _, None ->
   match name with
@@ -67,8 +68,8 @@ open Cmdliner
 
 let experiment =
   let doc =
-    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, updates, faults, \
-     or micro."
+    "Experiment to run: all, table1, table2, fig13, fig14, fig15, ablation, updates, serve, \
+     faults, or micro."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 

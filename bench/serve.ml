@@ -1,0 +1,39 @@
+(* The serve benchmark: multi-client mixed read/write workload against the
+   concurrent query server, reporting reader latency percentiles and epoch
+   lifecycle counts as BENCH_SERVE.json.
+
+   The run is also a correctness check: every logged reader observation is
+   replayed against the naive single-threaded oracle pinned at the same
+   generation, and the mismatch count lands in the JSON — a green serve
+   bench is a differential pass, not just a timing. *)
+
+module Driver = Repro_server.Driver
+module Dataset = Repro_datagen.Dataset
+module Experiments = Repro_harness.Experiments
+
+let run (config : Experiments.config) ~out =
+  let spec =
+    match config.Experiments.datasets with
+    | spec :: _ -> Dataset.scaled spec config.Experiments.scale
+    | [] -> failwith "serve: no dataset configured"
+  in
+  Printf.printf "serve: dataset %s (target %d nodes)\n%!" spec.Dataset.name
+    spec.Dataset.target_nodes;
+  let g = Dataset.build_graph spec in
+  let report = Driver.run g in
+  let mismatches = Driver.verify_observations report in
+  let json = Driver.report_json ~dataset:spec.Dataset.name ~checksum_mismatches:mismatches report in
+  Out_channel.with_open_text out (fun oc -> output_string oc json);
+  let h = Driver.merged_latencies report in
+  let q p = Repro_telemetry.Metrics.Histogram.quantile h p *. 1e6 in
+  Printf.printf
+    "serve: %d queries on %d readers across %d publishes — p50 %.1fus p99 %.1fus, %d errors, \
+     %d stalls, %d oracle mismatches -> %s\n\
+     %!"
+    (Driver.total_queries report)
+    report.Driver.config.Driver.readers report.Driver.publishes (q 0.5) (q 0.99)
+    (Driver.total_errors report)
+    (Driver.stalled_readers report)
+    mismatches out;
+  if Driver.total_errors report > 0 || Driver.stalled_readers report > 0 || mismatches > 0 then
+    failwith "serve: reader errors, stalls, or oracle mismatches"

@@ -135,6 +135,36 @@ let cmd_bench_diff base other =
     Printf.printf "bench checksums match: %s\n"
       (String.concat ", " (List.map fst common))
 
+(* `serve` runs the multi-client epoch-isolation driver on a generated
+   dataset: N reader domains against a live writer applying update batches
+   and refreshes, every observation differentially verified against the
+   single-threaded oracle at its pinned generation. Exit 1 on any reader
+   error, stall, or oracle mismatch. *)
+let cmd_serve dataset scale readers queries batches seed out =
+  let spec =
+    match Repro_datagen.Dataset.by_name dataset with
+    | Some spec -> Repro_datagen.Dataset.scaled spec scale
+    | None -> die "apexctl serve: unknown dataset %s" dataset
+  in
+  let module Driver = Repro_server.Driver in
+  let config =
+    { Driver.default_config with Driver.readers; queries_per_reader = queries; batches; seed }
+  in
+  let g = Repro_datagen.Dataset.build_graph spec in
+  let report = Driver.run ~config g in
+  let mismatches = Driver.verify_observations report in
+  let json = Driver.report_json ~dataset:spec.Repro_datagen.Dataset.name
+      ~checksum_mismatches:mismatches report
+  in
+  (match out with
+   | "-" -> print_string json
+   | file ->
+     Out_channel.with_open_text file (fun oc -> output_string oc json);
+     Printf.printf "%d queries on %d readers across %d publishes, %d mismatches -> %s\n"
+       (Driver.total_queries report) readers report.Driver.publishes mismatches file);
+  if Driver.total_errors report > 0 || Driver.stalled_readers report > 0 || mismatches > 0
+  then exit 1
+
 (* `lint-report` runs the same analysis as `dune build @lint` but emits
    the machine-readable report. Must run from the workspace root with a
    built tree (the .cmt files drive the mutability map): CI does
@@ -195,6 +225,44 @@ let bench_diff_cmd =
           exit 1 if any differ.")
     Term.(const cmd_bench_diff $ base $ other)
 
+let serve_cmd =
+  let dataset =
+    Arg.(
+      value & opt string "four_tragedy"
+      & info [ "dataset" ] ~docv:"NAME" ~doc:"Dataset to serve (see Table 1 names).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc:"Dataset node-target factor.")
+  in
+  let readers =
+    Arg.(value & opt int 3 & info [ "readers" ] ~docv:"N" ~doc:"Reader domains to spawn.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 60
+      & info [ "queries" ] ~docv:"N" ~doc:"Queries per reader stream (readers loop over it).")
+  in
+  let batches =
+    Arg.(value & opt int 8 & info [ "batches" ] ~docv:"N" ~doc:"Writer update batches.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_SERVE.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the serve report to $(docv) ($(b,-) for standard output).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent query server under a mixed read/write workload — reader \
+          domains with epoch-snapshot isolation against a live writer — and write the \
+          latency/lifecycle report; every reader observation is verified against the \
+          single-threaded oracle at its pinned generation (exit 1 on any mismatch, \
+          error, or stall).")
+    Term.(const cmd_serve $ dataset $ scale $ readers $ queries $ batches $ seed $ out)
+
 let lint_report_cmd =
   let build_dir =
     Arg.(
@@ -243,6 +311,6 @@ let lint_report_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
-    [ stats_cmd; validate_cmd; bench_diff_cmd; lint_report_cmd ]
+    [ stats_cmd; validate_cmd; bench_diff_cmd; serve_cmd; lint_report_cmd ]
 
 let () = exit (Cmd.eval cmd)

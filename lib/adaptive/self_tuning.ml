@@ -106,9 +106,29 @@ let force_refresh t =
          same fault pattern — wait for the next full window instead *)
       mark_window t)
 
-let maybe_refresh t =
-  if Repro_workload.Query_log.total_recorded t.log - t.last_refresh_at >= t.refresh_every then
-    force_refresh t
+let due_for_refresh t =
+  Repro_workload.Query_log.total_recorded t.log - t.last_refresh_at >= t.refresh_every
+
+let maybe_refresh t = if due_for_refresh t then force_refresh t
+
+(* --- serving-layer entry points (lib/server) ---
+
+   The server evaluates queries on reader domains against published
+   epochs, so the evaluate-and-log loop of [query] splits: readers report
+   what they ran through [record_external] (via the server's feedback
+   buffer, drained on the writer domain), and the writer decides when the
+   window is due and runs [refresh_and_publish] — the refresh-through-
+   registry path, where the post-refresh index is handed to the epoch
+   publication continuation instead of being served in place. *)
+
+let record_external t ?q2_paths q =
+  Repro_workload.Query_log.record_query ?q2_paths t.log
+    (Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex))
+    q
+
+let refresh_and_publish t ~publish =
+  force_refresh t;
+  publish t.apex
 
 let query ?cost ?table t q =
   (* Q2 rewritings matched by the search are the concrete label paths the

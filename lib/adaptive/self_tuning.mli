@@ -44,6 +44,35 @@ val query :
 val force_refresh : t -> unit
 (** Run extraction + update on the current log window immediately. *)
 
+(** {1 Serving-layer entry points}
+
+    The concurrent server ([Repro_server]) evaluates queries on reader
+    domains against published read-only epochs, so {!query}'s
+    evaluate-log-refresh loop splits into writer-domain pieces: readers'
+    executed queries arrive through {!record_external}, the writer polls
+    {!due_for_refresh}, and {!refresh_and_publish} runs the refresh with
+    the epoch-publication continuation — the refresh-through-registry
+    path. *)
+
+val record_external : t -> ?q2_paths:Repro_pathexpr.Label_path.t list ->
+  Repro_pathexpr.Query.t -> unit
+(** Log a query that was evaluated elsewhere (a reader domain, against a
+    published epoch) without evaluating or triggering a refresh here.
+    [q2_paths] are the label paths Q2 rewriting matched, as reported by
+    the evaluator's [on_sequence]. Call only from the writer domain. *)
+
+val due_for_refresh : t -> bool
+(** Whether a full [refresh_every] window has been recorded since the last
+    refresh — the periodic policy exposed as a poll, for callers that must
+    couple the refresh with an epoch publish. *)
+
+val refresh_and_publish : t -> publish:(Repro_apex.Apex.t -> 'a) -> 'a
+(** {!force_refresh}, then hand the post-refresh index to [publish] (the
+    server's epoch-publication entry point) and return its result. When
+    the refresh was rolled back after a fault, [publish] still runs — on
+    the rolled-back index — so the serving side republishes a consistent
+    (if older) state under a fresh generation. *)
+
 val update : t -> Repro_update.Update.op list -> unit
 (** Apply data updates through the incremental maintenance engine
     ({!Repro_update.Update.apply}) — the index is patched, never rebuilt,

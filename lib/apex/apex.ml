@@ -13,8 +13,13 @@ type t = {
       (* Gapex.node id -> endpoints of its extent; memoizes the sort that
          [Edge_set.endpoints] performs. Invalidated whenever extents can
          change (update traversal) or the store is replaced. The "memo"
-         discipline: reader-path fills are idempotent recomputations; the
-         server layer must make this per-domain or lock it. *)
+         discipline: reader-path fills are idempotent recomputations; a
+         frozen instance pre-warms the memo and never fills it again, so
+         reader domains share it without a lock. *)
+  mutable frozen : bool;
+      (* set once by [freeze], before the instance is published to reader
+         domains; from then on every mutator raises and the read path
+         stores nothing *)
 }
 [@@apex.shared]
 
@@ -91,13 +96,21 @@ let build g =
       gapex = Gapex.create ~root_extent:(G.root_edge g);
       tree = Hash_tree.create ();
       store = None;
-      endpoint_cache = Hashtbl.create 256
+      endpoint_cache = Hashtbl.create 256;
+      frozen = false
     }
   in
   run_update t;
   t
 
+let frozen t = t.frozen
+
+let check_not_frozen t ctx =
+  if t.frozen then
+    invalid_arg (Printf.sprintf "Apex.%s: the index is frozen (published epoch)" ctx)
+
 let refresh t ~workload ~min_support =
+  check_not_frozen t "refresh";
   let rtok = Tr.begin_ Tr.Refresh in
   let mtok = Tr.begin_ Tr.Mine in
   Hash_tree.reset_marks t.tree;
@@ -117,6 +130,7 @@ let refresh t ~workload ~min_support =
   Tr.end_ rtok
 
 let extend_data t g' =
+  check_not_frozen t "extend_data";
   let g = t.graph in
   if G.n_nodes g' < G.n_nodes g || G.n_edges g' < G.n_edges g then
     invalid_arg "Apex.extend_data: the new graph must extend the indexed one";
@@ -134,9 +148,10 @@ let build_adapted g ~workload ~min_support =
   t
 
 let assemble ~graph ~gapex ~tree =
-  { graph; gapex; tree; store = None; endpoint_cache = Hashtbl.create 256 }
+  { graph; gapex; tree; store = None; endpoint_cache = Hashtbl.create 256; frozen = false }
 
 let materialize ?(codec = `Block) t pool =
+  check_not_frozen t "materialize";
   let store = Repro_storage.Extent_store.create ~codec pool in
   List.iter
     (fun (n : Gapex.node) ->
@@ -226,12 +241,19 @@ let ext_semijoin_children ?cost r sorted_children =
 (* --- incremental-maintenance hooks (lib/update) --- *)
 
 let store t = t.store
-let set_graph t g = t.graph <- g
-let invalidate_endpoints t = Hashtbl.reset t.endpoint_cache
+
+let set_graph t g =
+  check_not_frozen t "set_graph";
+  t.graph <- g
+
+let invalidate_endpoints t =
+  check_not_frozen t "invalidate_endpoints";
+  Hashtbl.reset t.endpoint_cache
 
 let max_delta_chain = 4
 
 let flush_dirty t dirty =
+  check_not_frozen t "flush_dirty";
   match t.store with
   | None -> ()
   | Some store ->
@@ -276,7 +298,30 @@ let load_endpoints ?cost t (n : Gapex.node) =
           out
         end
     in
-    if Hashtbl.length t.endpoint_cache >= endpoint_cache_cap then
-      Hashtbl.reset t.endpoint_cache;
-    Hashtbl.add t.endpoint_cache n.Gapex.id eps;
+    if not t.frozen then begin
+      (* a frozen index is shared read-only across domains: the memo was
+         pre-warmed by [freeze], and a miss (evicted by the cap during
+         pre-warm) recomputes without storing *)
+      if Hashtbl.length t.endpoint_cache >= endpoint_cache_cap then
+        Hashtbl.reset t.endpoint_cache;
+      Hashtbl.add t.endpoint_cache n.Gapex.id eps
+    end;
     eps
+
+(* --- read-only publication (lib/server) --- *)
+
+let freeze t =
+  if not t.frozen then begin
+    (match t.store with
+     | Some _ ->
+       invalid_arg
+         "Apex.freeze: cannot freeze a materialized index (the store and \
+          buffer pool mutate on reads); freeze an unmaterialized copy"
+     | None -> ());
+    (* pre-warm the endpoint memo over every reachable summary node so the
+       frozen read path is pure Hashtbl lookups *)
+    List.iter
+      (fun (n : Gapex.node) -> ignore (load_endpoints t n : int array))
+      (Gapex.reachable t.gapex);
+    t.frozen <- true
+  end

@@ -146,4 +146,24 @@ val load_endpoints :
     arrays without re-sorting anything. The memo is invalidated by
     {!refresh}/{!extend_data} (extents change) and {!materialize} (store
     replaced); a warm hit charges no cost — the first computation charges
-    the underlying {!load_extent}. *)
+    the underlying {!load_extent}. On a {!freeze}-d index a miss
+    recomputes without storing, so concurrent readers never write. *)
+
+(** {1 Read-only publication}
+
+    The serving layer ([Repro_server]) publishes epochs as frozen,
+    unmaterialized deep copies: after {!freeze}, the instance is
+    structurally immutable — every mutator raises and the query path
+    performs no stores — so any number of reader domains can evaluate
+    against it concurrently without synchronization. *)
+
+val freeze : t -> unit
+(** Make the index read-only: pre-warm the endpoint memo over every
+    reachable summary node, then lock out {!refresh}, {!extend_data},
+    {!materialize}, {!set_graph}, {!flush_dirty} and
+    {!invalidate_endpoints} (they raise [Invalid_argument]). Idempotent.
+    @raise Invalid_argument on a materialized index — store reads mutate
+    the buffer pool, so only unmaterialized copies can be shared
+    lock-free. *)
+
+val frozen : t -> bool

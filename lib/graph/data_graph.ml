@@ -530,6 +530,30 @@ let remove_ref_edge g ~owner ~attr ~target =
     in
     (g', List.rev !removed)
 
+(* A reader-safe copy for the serving layer. Adjacency rows, values and the
+   edge count are shared — they are never mutated in place (updates build
+   new arrays) — but everything a concurrent writer can grow or a reader
+   can lazily force is privatized: the label table (a writer's
+   [append_subtree] interns into the shared one), the id table, and the
+   three lazy caches, which are forced eagerly here so reads on the copy
+   never store into it. *)
+let snapshot g =
+  let g' =
+    { g with
+      labels = Label.copy_table g.labels;
+      ids = Hashtbl.copy g.ids;
+      id_inv = None;
+      in_adj = None;
+      by_label = None
+    }
+  in
+  ignore (ensure_in_adj g' : int array array);
+  ignore (ensure_by_label g' : (Label.t, Edge_set.t) Hashtbl.t);
+  let inv = Hashtbl.create (Hashtbl.length g'.ids) in
+  Hashtbl.iter (fun id (v, _) -> Hashtbl.replace inv v id) g'.ids;
+  g'.id_inv <- Some inv;
+  g'
+
 let reachable_by_label_path g path =
   match path with
   | [] -> invalid_arg "Data_graph.reachable_by_label_path: empty path"

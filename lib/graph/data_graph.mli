@@ -141,6 +141,14 @@ val remove_ref_edge : t -> owner:nid -> attr:string -> target:nid -> t * (nid * 
     too (and [a] is left disconnected). Returns the removed edges.
     @raise Invalid_argument when no such reference exists. *)
 
+val snapshot : t -> t
+(** A reader-safe copy: same nodes, edges, values and label ids, but with
+    a private label table ({!Label.copy_table}), a private id table, and
+    every lazy cache (reverse adjacency, per-label edge sets, id inverse)
+    forced eagerly — so no read on the copy ever writes to it, and no
+    writer-side {!append_subtree}/{!add_ref_edge} on the original can race
+    a reader of the copy. Used by the serving layer to publish epochs. *)
+
 (** {1 Queries used by tests and the naive evaluator} *)
 
 val reachable_by_label_path : t -> Label.t list -> Edge_set.t

@@ -17,6 +17,11 @@ let intern tbl s =
     Repro_util.Vec.push tbl.by_id s;
     id
 
+let copy_table tbl =
+  { by_string = Hashtbl.copy tbl.by_string;
+    by_id = Repro_util.Vec.of_array (Repro_util.Vec.to_array tbl.by_id)
+  }
+
 let find tbl s = Hashtbl.find_opt tbl.by_string s
 
 let to_string tbl id =

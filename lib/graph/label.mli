@@ -15,6 +15,12 @@ val create_table : unit -> table
 val intern : table -> string -> t
 (** Existing id for the string, or a fresh one. *)
 
+val copy_table : table -> table
+(** An independent table with the same string↔id assignments. Interning
+    into either afterwards does not affect the other; ids already handed
+    out stay valid against both. The serving layer snapshots a graph's
+    table this way so reader domains never race a writer's {!intern}. *)
+
 val find : table -> string -> t option
 (** Existing id only; [None] when the string was never interned. *)
 

@@ -1,0 +1,34 @@
+(** A published epoch: an immutable [(Apex.t, Data_graph.t)] pair that any
+    number of reader domains can query concurrently.
+
+    Built by deep copy off the writer's live index: the graph through
+    {!Repro_graph.Data_graph.snapshot} (private label table, pre-forced
+    lazy caches), the index by an image round-trip
+    ({!Repro_apex.Apex_persist.to_image}/[of_image]) over that snapshot,
+    then {!Repro_apex.Apex.freeze}. Nothing mutable is shared with the
+    writer, and the frozen read path performs no stores. *)
+
+type t
+
+val of_apex : ?snapshot_epoch:int -> Repro_apex.Apex.t -> t
+(** Deep-copy and freeze the given (live, possibly materialized) index
+    into a publishable epoch. [snapshot_epoch] records the durable
+    {!Repro_apex.Apex_persist.Snapshot} epoch this copy corresponds to
+    (default 0: not durably committed). *)
+
+val eval :
+  ?on_sequence:(Repro_pathexpr.Label_path.t -> unit) ->
+  t ->
+  Repro_pathexpr.Query.t ->
+  Repro_graph.Data_graph.nid array
+(** Evaluate a query against the frozen index — always uncosted (epochs
+    are unmaterialized, so no page I/O exists to account). [on_sequence]
+    reports the label paths Q2 rewriting matched, exactly as
+    {!Repro_apex.Apex_query.eval_query} does; the server feeds them back
+    to the writer's query log. *)
+
+val apex : t -> Repro_apex.Apex.t
+val graph : t -> Repro_graph.Data_graph.t
+
+val snapshot_epoch : t -> int
+(** Durable snapshot epoch recorded at publish; 0 without durability. *)

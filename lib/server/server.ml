@@ -1,0 +1,209 @@
+(* The serving layer: one writer domain, any number of reader domains.
+
+   Readers pin the current epoch in the registry, evaluate against its
+   frozen index, unpin, and push what they ran into a bounded feedback
+   buffer. The writer — the only domain allowed to call [apply] /
+   [force_refresh] / [drain_feedback] — drains that buffer into the
+   self-tuning query log, applies update batches, runs refreshes, and
+   publishes a fresh deep-copied epoch after every change. Readers in
+   flight keep answering from the generation they pinned; superseded
+   epochs are drained from the retire list once their pins reach zero.
+
+   Fault discipline: with a snapshot, Self_tuning absorbs storage faults
+   internally (refresh rolls back to the last committed epoch, updates
+   fall back to rebuild), so the writer always reaches the publish — the
+   published epoch is consistent even when degraded. Without a snapshot
+   the fault escapes before any registry state changed, so readers keep
+   serving the surviving epoch; [rollback] additionally exposes the
+   registry's own previous-generation restore for external recovery
+   logic. *)
+
+module Tr = Repro_telemetry.Trace
+module Metrics = Repro_telemetry.Metrics
+module Self_tuning = Repro_adaptive.Self_tuning
+module Registry = Epoch_registry
+
+type feedback = {
+  fb_lock : Mutex.t;
+  fb_queue : (Repro_pathexpr.Query.t * Repro_pathexpr.Label_path.t list) Queue.t;
+  fb_capacity : int;
+  mutable fb_dropped : int; [@apex.guarded "feedback"]
+      (* pushes refused because the buffer was full; under [fb_lock] *)
+}
+
+type t = {
+  tuner : Self_tuning.t;  (* writer-domain only *)
+  registry : Epoch.t Registry.t;
+  snapshot : Repro_apex.Apex_persist.Snapshot.t option;
+  writer : Mutex.t;  (* serializes every writer-side operation *)
+  feedback : feedback;
+  metrics : Metrics.t;
+  c_publishes : Metrics.counter;
+  c_epochs_freed : Metrics.counter;
+  c_rollbacks : Metrics.counter;
+  c_drained : Metrics.counter;
+  g_generation : Metrics.gauge;
+}
+
+let snapshot_epoch t =
+  match t.snapshot with
+  | Some snap -> Repro_apex.Apex_persist.Snapshot.epoch snap
+  | None -> 0
+
+(* Deep-copy the writer's index into a frozen epoch and make it current;
+   then drain what the publish superseded. Caller holds [t.writer]. *)
+let publish_locked t =
+  let tok = Tr.begin_ Tr.Epoch_publish in
+  let epoch = Epoch.of_apex ~snapshot_epoch:(snapshot_epoch t) (Self_tuning.apex t.tuner) in
+  let generation = Registry.publish t.registry epoch in
+  Tr.end_arg tok generation;
+  Metrics.incr t.c_publishes;
+  Metrics.set t.g_generation (float_of_int generation);
+  let rtok = Tr.begin_ Tr.Epoch_retire in
+  let freed = Registry.retire t.registry in
+  Tr.end_arg rtok freed;
+  Metrics.add t.c_epochs_freed freed;
+  generation
+
+let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity = 4096)
+    ?pool ?snapshot graph =
+  let tuner =
+    Self_tuning.create ?log_capacity ?min_support ~refresh_every ?pool ?snapshot graph
+  in
+  let registry =
+    Registry.create
+      (Epoch.of_apex
+         ~snapshot_epoch:
+           (match snapshot with
+            | Some snap -> Repro_apex.Apex_persist.Snapshot.epoch snap
+            | None -> 0)
+         (Self_tuning.apex tuner))
+  in
+  let metrics = Self_tuning.metrics tuner in
+  let t =
+    { tuner;
+      registry;
+      snapshot;
+      writer = Mutex.create ();
+      feedback =
+        { fb_lock = Mutex.create ();
+          fb_queue = Queue.create ();
+          fb_capacity = feedback_capacity;
+          fb_dropped = 0
+        };
+      metrics;
+      c_publishes = Metrics.counter metrics "server.publishes";
+      c_epochs_freed = Metrics.counter metrics "server.epochs_freed";
+      c_rollbacks = Metrics.counter metrics "server.rollbacks";
+      c_drained = Metrics.counter metrics "server.feedback_drained";
+      g_generation = Metrics.gauge metrics "server.generation"
+    }
+  in
+  Metrics.set t.g_generation 1.;
+  (* per-epoch gauges: live values snapshotted whenever the registry is
+     introspected (apexctl, bench) *)
+  Metrics.register_source metrics "server.epoch" (fun () ->
+      let s = Registry.stats t.registry in
+      [ ("generation", float_of_int (Registry.current_generation t.registry));
+        ("pinned", float_of_int (Registry.pinned t.registry));
+        ("retired_live", float_of_int s.Registry.retired_live);
+        ("freed", float_of_int s.Registry.freed);
+        ("generations", float_of_int s.Registry.generations)
+      ]);
+  t
+
+(* --- reader side (any domain) --- *)
+
+let offer_feedback t q q2_paths =
+  let fb = t.feedback in
+  Mutex.lock fb.fb_lock;
+  if Queue.length fb.fb_queue < fb.fb_capacity then Queue.push (q, q2_paths) fb.fb_queue
+  else fb.fb_dropped <- fb.fb_dropped + 1;
+  Mutex.unlock fb.fb_lock
+
+let query_pinned t q =
+  let tok = Tr.begin_ Tr.Reader_pin in
+  let entry = Registry.pin t.registry in
+  let generation = Registry.generation entry in
+  let q2_paths = ref [] in
+  let result =
+    match
+      Epoch.eval ~on_sequence:(fun p -> q2_paths := p :: !q2_paths) (Registry.payload entry) q
+    with
+    | r ->
+      Registry.unpin entry;
+      r
+    | exception e ->
+      Registry.unpin entry;
+      Tr.end_ tok;
+      raise e
+  in
+  Tr.end_arg tok generation;
+  offer_feedback t q !q2_paths;
+  (generation, result)
+
+let query t q = snd (query_pinned t q)
+
+(* --- writer side (single domain) --- *)
+
+let with_writer t f =
+  Mutex.lock t.writer;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) f
+
+let apply t ops =
+  with_writer t (fun () ->
+      Self_tuning.update t.tuner ops;
+      publish_locked t)
+
+let force_refresh t =
+  with_writer t (fun () ->
+      Self_tuning.refresh_and_publish t.tuner ~publish:(fun _apex -> publish_locked t))
+
+let drain_feedback t =
+  with_writer t (fun () ->
+      let fb = t.feedback in
+      Mutex.lock fb.fb_lock;
+      let batch = Queue.fold (fun acc item -> item :: acc) [] fb.fb_queue in
+      Queue.clear fb.fb_queue;
+      Mutex.unlock fb.fb_lock;
+      let batch = List.rev batch in
+      List.iter (fun (q, q2_paths) -> Self_tuning.record_external t.tuner ~q2_paths q) batch;
+      let n = List.length batch in
+      Metrics.add t.c_drained n;
+      let refreshed =
+        if Self_tuning.due_for_refresh t.tuner then
+          Some (Self_tuning.refresh_and_publish t.tuner ~publish:(fun _ -> publish_locked t))
+        else None
+      in
+      (n, refreshed))
+
+let rollback t =
+  with_writer t (fun () ->
+      match Registry.rollback t.registry with
+      | Some generation ->
+        Metrics.incr t.c_rollbacks;
+        Metrics.set t.g_generation (float_of_int generation);
+        Tr.event Tr.Epoch_rolled_back generation;
+        ignore (Registry.retire t.registry : int);
+        Some generation
+      | None -> None)
+
+let retire t = with_writer t (fun () -> Registry.retire t.registry)
+
+(* --- introspection --- *)
+
+let registry t = t.registry
+let tuner t = t.tuner
+let metrics t = t.metrics
+let generation t = Registry.current_generation t.registry
+let publishes t = Metrics.value t.c_publishes
+let epochs_freed t = Metrics.value t.c_epochs_freed
+let rollbacks t = Metrics.value t.c_rollbacks
+let feedback_drained t = Metrics.value t.c_drained
+
+let feedback_dropped t =
+  let fb = t.feedback in
+  Mutex.lock fb.fb_lock;
+  let n = fb.fb_dropped in
+  Mutex.unlock fb.fb_lock;
+  n

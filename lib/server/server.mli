@@ -1,0 +1,92 @@
+(** The concurrent query server: epoch-snapshot isolation over a
+    self-tuning APEX.
+
+    One writer domain owns a {!Repro_adaptive.Self_tuning} instance and
+    the epoch registry; reader domains evaluate queries against published
+    {!Epoch} deep copies, pinned through the registry. A publish is one
+    atomic store, so refreshes and update batches land with zero reader
+    downtime: queries in flight finish on the generation they pinned, new
+    queries see the new one, and superseded epochs are freed once their
+    pin counts drain.
+
+    Thread contract: {!query}/{!query_pinned} may be called from any
+    domain, concurrently; {!apply}, {!force_refresh}, {!drain_feedback},
+    {!rollback} and {!retire} are writer-side (they serialize on an
+    internal mutex, so a second writer blocks rather than corrupts, but
+    the intended topology is a single writer). *)
+
+type t
+
+val create :
+  ?log_capacity:int ->
+  ?min_support:float ->
+  ?refresh_every:int ->
+  ?feedback_capacity:int ->
+  ?pool:Repro_storage.Buffer_pool.t ->
+  ?snapshot:Repro_apex.Apex_persist.Snapshot.t ->
+  Repro_graph.Data_graph.t ->
+  t
+(** Build APEX0 over the graph (through {!Repro_adaptive.Self_tuning.create},
+    with the same durability semantics for [pool]/[snapshot]) and publish
+    it as generation 1. [feedback_capacity] bounds the reader→writer query
+    feedback buffer (default 4096; overflow drops, counted). *)
+
+(** {1 Reader side — any domain} *)
+
+val query : t -> Repro_pathexpr.Query.t -> Repro_graph.Data_graph.nid array
+(** Pin the current epoch, evaluate, unpin, and enqueue the query (with
+    its Q2 rewrite paths) on the feedback buffer for the writer's next
+    {!drain_feedback}. Results are identical to single-threaded
+    evaluation against the pinned generation. *)
+
+val query_pinned : t -> Repro_pathexpr.Query.t -> int * Repro_graph.Data_graph.nid array
+(** {!query}, also returning the generation that served the query — the
+    hook the differential harness uses to replay the same query against a
+    single-threaded oracle pinned at the same generation. *)
+
+(** {1 Writer side — single domain} *)
+
+val apply : t -> Repro_update.Update.op list -> int
+(** Apply one update batch through incremental maintenance
+    ({!Repro_adaptive.Self_tuning.update}) and publish the result as a new
+    epoch; returns the published generation. *)
+
+val force_refresh : t -> int
+(** Run frequent-path extraction + incremental update on the current log
+    window and publish; returns the published generation. With a
+    snapshot, a refresh aborted by a storage fault is rolled back inside
+    {!Repro_adaptive.Self_tuning} and the rolled-back (older but
+    consistent) state is republished under the fresh generation. *)
+
+val drain_feedback : t -> int * int option
+(** Move buffered reader queries into the self-tuning query log
+    ([(drained, refreshed)]): when the drained window makes a refresh due,
+    the refresh runs and publishes immediately and [refreshed] carries the
+    new generation. *)
+
+val rollback : t -> int option
+(** Restore the previous generation in the registry (see
+    {!Epoch_registry.rollback}) — recovery for a publish that must be
+    withdrawn. Returns the restored generation. *)
+
+val retire : t -> int
+(** Drain the registry's retire list now (publishing already drains);
+    returns epochs freed. *)
+
+(** {1 Introspection} *)
+
+val registry : t -> Epoch.t Epoch_registry.t
+val tuner : t -> Repro_adaptive.Self_tuning.t
+
+val metrics : t -> Repro_telemetry.Metrics.t
+(** The tuner's registry, extended with [server.*] counters
+    (publishes, epochs_freed, rollbacks, feedback_drained) and a
+    [server.epoch.*] source exposing per-epoch gauges: current
+    generation, pin count, retire-list length, epochs freed. *)
+
+val generation : t -> int
+val publishes : t -> int
+val epochs_freed : t -> int
+val rollbacks : t -> int
+val feedback_drained : t -> int
+val feedback_dropped : t -> int

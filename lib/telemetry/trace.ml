@@ -31,6 +31,10 @@ type kind =
   | Snapshot_commit
   | Recovery
   | Decode  (* block-compressed extent decode; arg = blocks decoded *)
+  (* serving lifecycle (lib/server) *)
+  | Epoch_publish  (* freeze + deep-copy + registry publish; arg = generation *)
+  | Epoch_retire  (* retire-list drain; arg = epochs freed *)
+  | Reader_pin  (* one pinned query evaluation; arg = generation served *)
   (* adaptation events (instants, no duration) *)
   | Path_promoted
   | Path_evicted
@@ -40,7 +44,7 @@ type kind =
   | Update_aborted
   | Block_skip  (* arg = compressed blocks skipped by a header range test *)
 
-let n_kinds = 22
+let n_kinds = 25
 
 let kind_index = function
   | Parse -> 0
@@ -58,17 +62,21 @@ let kind_index = function
   | Snapshot_commit -> 12
   | Recovery -> 13
   | Decode -> 14
-  | Path_promoted -> 15
-  | Path_evicted -> 16
-  | Delta_flushed -> 17
-  | Epoch_committed -> 18
-  | Epoch_rolled_back -> 19
-  | Update_aborted -> 20
-  | Block_skip -> 21
+  | Epoch_publish -> 15
+  | Epoch_retire -> 16
+  | Reader_pin -> 17
+  | Path_promoted -> 18
+  | Path_evicted -> 19
+  | Delta_flushed -> 20
+  | Epoch_committed -> 21
+  | Epoch_rolled_back -> 22
+  | Update_aborted -> 23
+  | Block_skip -> 24
 
 let all_kinds =
   [| Parse; Plan; Probe; Fetch; Join; Materialize; Query; Refresh; Mine;
      Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Decode;
+     Epoch_publish; Epoch_retire; Reader_pin;
      Path_promoted; Path_evicted; Delta_flushed; Epoch_committed;
      Epoch_rolled_back; Update_aborted; Block_skip |]
 [@@apex.guarded "readonly"]
@@ -89,6 +97,9 @@ let kind_name = function
   | Snapshot_commit -> "snapshot_commit"
   | Recovery -> "recovery"
   | Decode -> "decode"
+  | Epoch_publish -> "epoch_publish"
+  | Epoch_retire -> "epoch_retire"
+  | Reader_pin -> "reader_pin"
   | Path_promoted -> "path_promoted"
   | Path_evicted -> "path_evicted"
   | Delta_flushed -> "delta_flushed"

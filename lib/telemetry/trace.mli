@@ -27,6 +27,14 @@ type kind =
   | Recovery
   | Decode
       (** block-compressed extent payload decode; arg = blocks decoded *)
+  | Epoch_publish
+      (** serving: freeze + deep-copy + registry publish of a new epoch;
+          arg = the published generation *)
+  | Epoch_retire
+      (** serving: one retire-list drain; arg = epochs actually freed *)
+  | Reader_pin
+      (** serving: one pinned query evaluation on a reader domain;
+          arg = the generation served *)
   | Path_promoted
   | Path_evicted
   | Delta_flushed

@@ -325,3 +325,163 @@ let run_selftuning_matrix ?(seed = 1) graph queries kind =
     read_retries = !retries;
     failures = List.rev !failures
   }
+
+(* --- the concurrent serving matrix --- *)
+
+module Server = Repro_server.Server
+
+(* Readers keep serving published epochs while the writer's refresh hits an
+   injected fault mid-publish. Published epochs are unmaterialized deep
+   copies, so the reader path never touches the pager: every armed site
+   lands on the writer side (refresh / materialize / epoch commit) and must
+   be absorbed there by snapshot rollback — the writer reaches its publish
+   every round, possibly with the rolled-back index. The schedule is
+   refresh-only (no data updates), so the oracle is constant: readers check
+   every answer against it and must never observe a wrong answer, an
+   exception, or a torn index, no matter where the fault fires. *)
+
+let server_rounds = 3
+
+let run_server_schedule ~seed ~arm graph queries oracle =
+  let fault = Fault.create ~seed () in
+  let pager = Pager.create ~page_size () in
+  Pager.set_fault pager (Some fault);
+  let pool = Buffer_pool.create pager ~capacity:pool_capacity in
+  let store = Extent_store.create ~cache_entries:0 pool in
+  let snap = Snapshot.create store in
+  let server =
+    Server.create ~log_capacity:64 ~min_support ~refresh_every:1_000_000 ~pool
+      ~snapshot:snap graph
+  in
+  (* steady state: APEX0 is committed and published as generation 1; every
+     armed site sits inside one of the refresh rounds below *)
+  arm fault;
+  let stop = Atomic.make false in
+  let reader () =
+    let served = ref 0 and bad = ref 0 in
+    let errors = ref [] in
+    let pass () =
+      Array.iteri
+        (fun i q ->
+          match Server.query server q with
+          | r ->
+            incr served;
+            if not (nid_arrays_equal r oracle.(i)) then incr bad
+          | exception e -> errors := Printexc.to_string e :: !errors)
+        queries
+    in
+    (* at least one full pass even if the writer wins the race outright *)
+    pass ();
+    while not (Atomic.get stop) do
+      pass ()
+    done;
+    (!served, !bad, !errors)
+  in
+  let domains = Array.init 2 (fun _ -> Domain.spawn reader) in
+  let outcome =
+    match
+      for _round = 1 to server_rounds do
+        (* the refresh workload is recorded writer-side so the pager's op
+           sequence — and with it the site count — is identical between the
+           counting pass and every replay, independent of reader timing *)
+        Array.iter
+          (fun q -> Self_tuning.record_external (Server.tuner server) q)
+          queries;
+        ignore (Server.force_refresh server : int)
+      done
+    with
+    | () -> Completed
+    | exception Fault.Injected _ -> Crashed
+    | exception Invalid_argument _ -> Detected
+  in
+  Atomic.set stop true;
+  let readers = Array.map Domain.join domains in
+  (fault, pager, Snapshot.superblock snap, server, readers, outcome)
+
+let run_server_matrix ?(seed = 1) graph queries kind =
+  let oracle = oracle_answers graph queries in
+  let fault0, _, _, server0, readers0, outcome0 =
+    run_server_schedule ~seed ~arm:Fault.arm_count graph queries oracle
+  in
+  (match outcome0 with
+   | Completed
+     when Self_tuning.refreshes (Server.tuner server0) = server_rounds
+          && Array.for_all (fun (_, bad, errs) -> bad = 0 && errs = []) readers0 -> ()
+   | Completed | Crashed | Detected ->
+     failwith "crash_matrix: server counting pass must complete and refresh cleanly");
+  let sites = Fault.sites fault0 (Fault.op_of_kind kind) in
+  let crashes = ref 0 and detected = ref 0 and completions = ref 0 in
+  let recoveries = ref 0 in
+  let retries = ref 0 in
+  let failures = ref [] in
+  let fail site msg =
+    failures :=
+      Printf.sprintf "server seed=%d kind=%s site=%d: %s" seed (Fault.kind_name kind) site
+        msg
+      :: !failures
+  in
+  for site = 0 to sites - 1 do
+    let fault, pager, superblock, server, readers, outcome =
+      run_server_schedule ~seed
+        ~arm:(fun f -> Fault.arm_at f kind ~site)
+        graph queries oracle
+    in
+    let stats = Pager.stats pager in
+    retries := !retries + stats.Io_stats.read_retries;
+    (match outcome with
+     | Crashed -> incr crashes
+     | Detected -> incr detected
+     | Completed -> incr completions);
+    (* the writer never dies: with a snapshot every fault class is absorbed
+       inside the refresh and the publish still happens *)
+    (match outcome with
+     | Completed -> ()
+     | Crashed -> fail site "fault escaped the writer loop as Injected"
+     | Detected -> fail site "fault escaped the writer loop as Invalid_argument");
+    if not (Fault.fired fault) then fail site "armed fault never fired";
+    (* readers never observe the fault at all *)
+    Array.iteri
+      (fun i (served, bad, errors) ->
+        if errors <> [] then
+          fail site (Printf.sprintf "reader %d observed %s" i (List.hd errors));
+        if bad > 0 then
+          fail site (Printf.sprintf "reader %d served %d wrong answers" i bad);
+        if served = 0 then fail site (Printf.sprintf "reader %d starved" i))
+      readers;
+    (* publish cadence survives the fault: one generation per round on top
+       of the initial publication *)
+    if Server.generation server <> 1 + server_rounds then
+      fail site
+        (Printf.sprintf "generation %d after %d rounds (wanted %d)"
+           (Server.generation server) server_rounds (1 + server_rounds));
+    (match kind with
+     | Fault.Torn_write | Fault.Enospc ->
+       if Self_tuning.aborted_refreshes (Server.tuner server) <> 1 then
+         fail site
+           (Printf.sprintf "expected exactly 1 aborted refresh, saw %d"
+              (Self_tuning.aborted_refreshes (Server.tuner server)));
+       if stats.Io_stats.refresh_aborts <> 1 then
+         fail site
+           (Printf.sprintf "Io_stats.refresh_aborts = %d, expected 1"
+              stats.Io_stats.refresh_aborts)
+     | Fault.Read_flip | Fault.Short_read ->
+       if Self_tuning.aborted_refreshes (Server.tuner server) <> 0 then
+         fail site "transient fault must heal, not abort a refresh"
+     | Fault.Write_flip -> ());
+    (* what a restarted process finds: the newest complete epoch, serving
+       oracle-equal answers *)
+    (match recover fault pager superblock graph queries oracle with
+     | Recovered { bad_answers = 0; _ } -> incr recoveries
+     | Recovered { bad_answers; _ } ->
+       fail site (Printf.sprintf "recovery served %d wrong answers" bad_answers)
+     | No_snapshot -> fail site "no epoch survived a writer-side fault")
+  done;
+  { kind;
+    sites;
+    crashes = !crashes;
+    detected = !detected;
+    completions = !completions;
+    recoveries = !recoveries;
+    read_retries = !retries;
+    failures = List.rev !failures
+  }

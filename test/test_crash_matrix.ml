@@ -40,6 +40,12 @@ let selftuning_queries seed =
   let rand = Random.State.make [| seed; 0x57 |] in
   Generate.qtype1 ~n:18 rand graph
 
+(* small but mixed: the serving matrix replays the whole multi-domain
+   schedule once per site, so the per-site workload stays lean *)
+let server_queries seed =
+  let rand = Random.State.make [| seed; 0x5e4e |] in
+  Array.concat [ Generate.qtype1 ~n:6 rand graph; Generate.qtype3 ~n:3 rand graph ]
+
 let check_report r =
   print_endline (Crash_matrix.report_to_string r);
   Alcotest.(check (list string)) "every site honors its guarantee" [] r.Crash_matrix.failures;
@@ -50,6 +56,9 @@ let snapshot_case seed kind () =
 
 let selftuning_case seed kind () =
   check_report (Crash_matrix.run_selftuning_matrix ~seed graph (selftuning_queries seed) kind)
+
+let server_case seed kind () =
+  check_report (Crash_matrix.run_server_matrix ~seed graph (server_queries seed) kind)
 
 let () =
   let snapshot_cases =
@@ -74,5 +83,19 @@ let () =
           Crash_matrix.selftuning_kinds)
       seeds
   in
+  let server_cases =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun kind ->
+            Alcotest.test_case
+              (Printf.sprintf "seed=%d %s" seed (Fault.kind_name kind))
+              `Slow (server_case seed kind))
+          Crash_matrix.selftuning_kinds)
+      seeds
+  in
   Alcotest.run "crash-matrix"
-    [ ("snapshot", snapshot_cases); ("self-tuning", selftuning_cases) ]
+    [ ("snapshot", snapshot_cases);
+      ("self-tuning", selftuning_cases);
+      ("serving", server_cases)
+    ]

@@ -35,13 +35,18 @@ let disabled_zero_alloc () =
     Trace.end_arg tok i;
     let tok2 = Trace.begin_ Trace.Fetch in
     Trace.end_ tok2;
-    Trace.event Trace.Path_promoted i
+    Trace.event Trace.Path_promoted i;
+    (* the serving-layer kinds sit on the reader/writer hot paths of the
+       concurrent server — same zero-allocation bar *)
+    Trace.end_arg (Trace.begin_ Trace.Reader_pin) i;
+    Trace.end_arg (Trace.begin_ Trace.Epoch_publish) i;
+    Trace.end_arg (Trace.begin_ Trace.Epoch_retire) i
   done;
   let delta = Gc.minor_words () -. before in
-  let per_op = delta /. float_of_int (5 * n) in
+  let per_op = delta /. float_of_int (11 * n) in
   if per_op >= 0.01 then
     Alcotest.failf "disabled tracer allocates: %.0f minor words over %d ops"
-      delta (5 * n);
+      delta (11 * n);
   Alcotest.(check int) "begin_ returns -1 when off" (-1) (Trace.begin_ Trace.Join)
 
 let disabled_end_is_noop () =
@@ -131,6 +136,36 @@ let export_roundtrip () =
      Alcotest.(check (list (pair string int)))
        "event totals" [ ("path_evicted", 1); ("path_promoted", 1) ]
        (Export.event_totals records));
+  Sys.remove jsonl;
+  Trace.reset ()
+
+(* The serving-lifecycle kinds (concurrent server, lib/server) are spans —
+   they carry durations for the publish/retire/pin phases — with stable
+   export names that downstream tooling (apexctl stats) keys on. *)
+let serving_kinds_export () =
+  Trace.enable ~capacity:16 ();
+  Trace.end_arg (Trace.begin_ Trace.Epoch_publish) 2;
+  Trace.end_arg (Trace.begin_ Trace.Epoch_retire) 1;
+  Trace.end_arg (Trace.begin_ Trace.Reader_pin) 2;
+  List.iter
+    (fun (k, name) ->
+      Alcotest.(check string) "kind_name" name (Trace.kind_name k);
+      Alcotest.(check bool) (name ^ " is a span") false (Trace.kind_is_event k))
+    [ (Trace.Epoch_publish, "epoch_publish");
+      (Trace.Epoch_retire, "epoch_retire");
+      (Trace.Reader_pin, "reader_pin")
+    ];
+  let jsonl = Filename.temp_file "apex_trace" ".jsonl" in
+  Export.save_jsonl jsonl;
+  (match Export.read_jsonl jsonl with
+   | Error m -> Alcotest.failf "read_jsonl: %s" m
+   | Ok records ->
+     let spans = List.filter (fun r -> not r.Export.is_event) records in
+     Alcotest.(check int) "3 spans" 3 (List.length spans);
+     let names = List.map (fun r -> r.Export.name) spans in
+     List.iter
+       (fun n -> Alcotest.(check bool) ("span " ^ n) true (List.mem n names))
+       [ "epoch_publish"; "epoch_retire"; "reader_pin" ]);
   Sys.remove jsonl;
   Trace.reset ()
 
@@ -278,6 +313,7 @@ let () =
       ( "export",
         [
           Alcotest.test_case "jsonl round-trip" `Quick export_roundtrip;
+          Alcotest.test_case "serving kinds" `Quick serving_kinds_export;
           Alcotest.test_case "schema validation" `Quick schema_validation;
         ] );
       ( "metrics",
