@@ -50,6 +50,7 @@ let run_experiment ?json name config =
     (* --json overrides the default snapshot path *)
     Experiments.updates config ~out:(Option.value json ~default:"BENCH_PR4.json")
   | "serve", _ -> Serve.run config ~out:(Option.value json ~default:"BENCH_SERVE.json")
+  | "drift", _ -> Drift_bench.run config ~out:(Option.value json ~default:"BENCH_DRIFT.json")
   | _, Some out -> Experiments.json_bench config ~out
   | _, None ->
   match name with

@@ -64,13 +64,13 @@ let cmd_validate schema_path paths =
    exactly one "name" and three "checksum" fields per dataset row, in
    order, and dataset names never contain escapes. *)
 
-let read_file path =
+let read_file ?(ctx = "bench-diff") path =
   try
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
-  with Sys_error e -> die "apexctl bench-diff: %s" e
+  with Sys_error e -> die "apexctl %s: %s" ctx e
 
 let parse_bench path =
   let text = read_file path in
@@ -134,6 +134,83 @@ let cmd_bench_diff base other =
   else
     Printf.printf "bench checksums match: %s\n"
       (String.concat ", " (List.map fst common))
+
+(* `drift-check BENCH_DRIFT.json` validates a drift-bench report: on every
+   phase the cost-benefit policy must converge in fewer refreshes than
+   support-only mining AND to a smaller index, hold a stable tail of at
+   least two refreshes with zero promotion/eviction state changes, and
+   stay under the committed refreshes-to-convergence bound — the CI guard
+   that a policy change doesn't quietly reintroduce threshold-flapping.
+   Exit 1 on any regression. *)
+
+module Json = Repro_telemetry.Json
+
+let cmd_drift_check report max_rtc =
+  let json =
+    match Json.parse (read_file ~ctx:"drift-check" report) with
+    | Ok v -> v
+    | Error e -> die "apexctl drift-check: %s: %s" report e
+  in
+  let failures = ref 0 in
+  let complain fmt =
+    Printf.ksprintf (fun m -> incr failures; Printf.printf "FAIL %s\n" m) fmt
+  in
+  let phases side =
+    match Option.bind (Json.member side json) (Json.member "phases") with
+    | Some (Json.Arr l) -> l
+    | _ -> die "apexctl drift-check: %s: no %s.phases array" report side
+  in
+  let num field ph =
+    match Option.bind (Json.member field ph) Json.to_float with
+    | Some f -> f
+    | None -> die "apexctl drift-check: %s: phase missing %s" report field
+  in
+  let name ph =
+    match Option.bind (Json.member "name" ph) Json.to_str with
+    | Some s -> s
+    | None -> die "apexctl drift-check: %s: unnamed phase" report
+  in
+  let support = phases "support" and policy = phases "policy" in
+  if List.length support <> List.length policy then
+    die "apexctl drift-check: %s: %d support phases vs %d policy phases" report
+      (List.length support) (List.length policy);
+  List.iter2
+    (fun s p ->
+      let ph = name p in
+      if name s <> ph then
+        die "apexctl drift-check: %s: phase order mismatch (%s vs %s)" report
+          (name s) ph;
+      let s_rtc = num "refreshes_to_convergence" s
+      and p_rtc = num "refreshes_to_convergence" p in
+      if not (p_rtc < s_rtc) then
+        complain "%s: policy converged in %.0f refreshes, support-only in %.0f"
+          ph p_rtc s_rtc;
+      if p_rtc > float_of_int max_rtc then
+        complain "%s: policy took %.0f refreshes to converge (bound %d)" ph
+          p_rtc max_rtc;
+      let s_pages = num "index_pages" s and p_pages = num "index_pages" p in
+      if not (p_pages < s_pages) then
+        complain "%s: policy index %.0f pages not smaller than support-only %.0f"
+          ph p_pages s_pages;
+      let tail = num "stable_tail" p in
+      if tail < 2. then
+        complain "%s: policy stable tail %.0f refreshes (need >= 2)" ph tail;
+      if not (Float.equal (num "checksum" s) (num "checksum" p)) then
+        complain "%s: support and policy result checksums differ" ph)
+    support policy;
+  (match Json.member "invariants" json with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun (k, v) -> if v <> Json.Bool true then complain "invariant %s" k)
+       fields
+   | _ -> complain "missing invariants object");
+  if !failures > 0 then begin
+    Printf.printf "%d drift regression(s) in %s\n" !failures report;
+    exit 1
+  end
+  else
+    Printf.printf "drift report OK: %d phases, policy converges faster and smaller\n"
+      (List.length policy)
 
 (* `serve` runs the multi-client epoch-isolation driver on a generated
    dataset: N reader domains against a live writer applying update batches
@@ -225,6 +302,27 @@ let bench_diff_cmd =
           exit 1 if any differ.")
     Term.(const cmd_bench_diff $ base $ other)
 
+let drift_check_cmd =
+  let report =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH_DRIFT.json")
+  in
+  let max_rtc =
+    Arg.(
+      value & opt int 8
+      & info [ "max-rtc" ] ~docv:"N"
+          ~doc:
+            "Upper bound on the policy's refreshes-to-convergence in any \
+             phase (the committed baseline converges in at most 7).")
+  in
+  Cmd.v
+    (Cmd.info "drift-check"
+       ~doc:
+         "Validate a `bench drift` report: the cost-benefit policy must \
+          converge faster than support-only mining, to a smaller index, with \
+          a stable post-convergence tail, on every phase; exit 1 on any \
+          regression.")
+    Term.(const cmd_drift_check $ report $ max_rtc)
+
 let serve_cmd =
   let dataset =
     Arg.(
@@ -311,6 +409,6 @@ let lint_report_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
-    [ stats_cmd; validate_cmd; bench_diff_cmd; serve_cmd; lint_report_cmd ]
+    [ stats_cmd; validate_cmd; bench_diff_cmd; drift_check_cmd; serve_cmd; lint_report_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -6,6 +6,7 @@ type t = {
   log : Repro_workload.Query_log.t;
   min_support : float;
   refresh_every : int;
+  policy : Policy.t option;
   pool : Repro_storage.Buffer_pool.t option;
   snapshot : Repro_apex.Apex_persist.Snapshot.t option;
   mutable last_refresh_at : int;  (* total_recorded at the last refresh *)
@@ -25,7 +26,7 @@ let materialize t =
   | None -> ()
 
 let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool
-    ?snapshot graph =
+    ?snapshot ?policy graph =
   let metrics = Metrics.create () in
   (match pool with
    | Some pool ->
@@ -40,6 +41,7 @@ let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) 
       log = Repro_workload.Query_log.create ~capacity:log_capacity;
       min_support;
       refresh_every;
+      policy;
       pool;
       snapshot;
       last_refresh_at = 0;
@@ -62,13 +64,28 @@ let mark_window t =
   t.last_refresh_at <- Repro_workload.Query_log.total_recorded t.log
 
 let refresh_and_commit t =
-  Repro_apex.Apex.refresh t.apex
-    ~workload:(Repro_workload.Query_log.to_workload t.log)
-    ~min_support:t.min_support;
+  let workload = Repro_workload.Query_log.to_workload t.log in
+  let plan =
+    match t.policy with
+    | None ->
+      Repro_apex.Apex.refresh t.apex ~workload ~min_support:t.min_support;
+      None
+    | Some policy ->
+      (* the policy decides from its decayed cost/support accumulators;
+         the window's raw counts were already folded in by [plan]'s roll *)
+      let plan = Policy.plan policy in
+      Repro_apex.Apex.refresh t.apex ~workload ~min_support:t.min_support
+        ~decide:(Policy.decide plan) ~ensure:(Policy.keep_paths plan);
+      Some (policy, plan)
+  in
   materialize t;
-  match t.snapshot with
-  | Some snap -> ignore (Repro_apex.Apex_persist.Snapshot.commit snap t.apex : int)
-  | None -> ()
+  (match t.snapshot with
+   | Some snap -> ignore (Repro_apex.Apex_persist.Snapshot.commit snap t.apex : int)
+   | None -> ());
+  (* commit the plan only after the refresh has fully landed: a fault
+     above rolls the epoch back, and the hysteresis must keep comparing
+     against the state the index actually reached *)
+  match plan with Some (policy, plan) -> Policy.commit policy plan | None -> ()
 
 (* A fault mid-refresh (or mid-commit) can leave the in-memory index and
    its materialized pages in a mixed state. Roll back to the last committed
@@ -121,10 +138,18 @@ let maybe_refresh t = if due_for_refresh t then force_refresh t
    registry path, where the post-refresh index is handed to the epoch
    publication continuation instead of being served in place. *)
 
-let record_external t ?q2_paths q =
-  Repro_workload.Query_log.record_query ?q2_paths t.log
-    (Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex))
-    q
+let observe_policy t ~paths ~extent_pages ~extent_edges ~join_edges ~latency =
+  match t.policy with
+  | None -> ()
+  | Some policy ->
+    Policy.observe policy ~paths ~extent_pages ~extent_edges ~join_edges ~latency
+
+let record_external t ?q2_paths ?(extent_pages = 0) ?(extent_edges = 0)
+    ?(join_edges = 0) ?(latency = 0.) q =
+  let labels = Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex) in
+  let paths = Repro_workload.Query_log.paths_of_query ?q2_paths labels q in
+  List.iter (Repro_workload.Query_log.record t.log) paths;
+  observe_policy t ~paths ~extent_pages ~extent_edges ~join_edges ~latency
 
 let refresh_and_publish t ~publish =
   force_refresh t;
@@ -136,10 +161,30 @@ let query ?cost ?table t q =
      accumulate support for the paths they actually touch. *)
   let q2_paths = ref [] in
   let on_sequence seq = q2_paths := seq :: !q2_paths in
-  let result = Repro_apex.Apex_query.eval_query ?cost ?table ~on_sequence t.apex q in
-  Repro_workload.Query_log.record_query ~q2_paths:!q2_paths t.log
-    (Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex))
-    q;
+  let labels = Repro_graph.Data_graph.labels (Repro_apex.Apex.graph t.apex) in
+  let result =
+    match t.policy with
+    | None ->
+      let r = Repro_apex.Apex_query.eval_query ?cost ?table ~on_sequence t.apex q in
+      Repro_workload.Query_log.record_query ~q2_paths:!q2_paths t.log labels q;
+      r
+    | Some _ ->
+      (* the policy needs this query's cost even when the caller doesn't:
+         evaluate against a private Cost and latency clock, then fold the
+         charges into the caller's accumulator *)
+      let mcost = Repro_storage.Cost.create () in
+      let t0 = Unix.gettimeofday () in
+      let r = Repro_apex.Apex_query.eval_query ~cost:mcost ?table ~on_sequence t.apex q in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match cost with Some c -> Repro_storage.Cost.add c mcost | None -> ());
+      let paths = Repro_workload.Query_log.paths_of_query ~q2_paths:!q2_paths labels q in
+      List.iter (Repro_workload.Query_log.record t.log) paths;
+      observe_policy t ~paths
+        ~extent_pages:mcost.Repro_storage.Cost.extent_pages
+        ~extent_edges:mcost.Repro_storage.Cost.extent_edges
+        ~join_edges:mcost.Repro_storage.Cost.join_edges ~latency:dt;
+      r
+  in
   maybe_refresh t;
   result
 
@@ -175,6 +220,7 @@ let update t ops =
 
 let apex t = t.apex
 let log t = t.log
+let policy t = t.policy
 let metrics t = t.metrics
 let refreshes t = Metrics.value t.c_refreshes
 let aborted_refreshes t = Metrics.value t.c_aborted_refreshes

@@ -16,6 +16,7 @@ val create :
   ?refresh_every:int ->
   ?pool:Repro_storage.Buffer_pool.t ->
   ?snapshot:Repro_apex.Apex_persist.Snapshot.t ->
+  ?policy:Policy.t ->
   Repro_graph.Data_graph.t ->
   t
 (** Builds APEX0 over the graph. Defaults: a 1000-entry log, minSup 0.005,
@@ -29,7 +30,17 @@ val create :
     [Invalid_argument]) is rolled back — the index reloads from the newest
     committed epoch and keeps answering queries, the abort is counted in
     [Io_stats.refresh_aborts] and {!aborted_refreshes}, and the refresh
-    window is consumed so the next attempt waits a full window. *)
+    window is consumed so the next attempt waits a full window.
+
+    When [policy] is given, refreshes are decided by the cost-benefit
+    {!Policy} instead of raw window support: every evaluated query is
+    measured (extent pages / extent edges / join edges against a private
+    {!Repro_storage.Cost}, plus wall-clock latency) and attributed to the
+    paths it used; each refresh rolls the policy's decayed accumulators,
+    prunes/keeps paths through {!Policy.decide}, and commits the plan only
+    after the refresh (and its epoch commit) landed — a rolled-back
+    refresh leaves the policy's hysteresis state untouched. Results remain
+    identical either way; only which paths get promoted/evicted moves. *)
 
 val query :
   ?cost:Repro_storage.Cost.t ->
@@ -55,11 +66,14 @@ val force_refresh : t -> unit
     path. *)
 
 val record_external : t -> ?q2_paths:Repro_pathexpr.Label_path.t list ->
-  Repro_pathexpr.Query.t -> unit
+  ?extent_pages:int -> ?extent_edges:int -> ?join_edges:int ->
+  ?latency:float -> Repro_pathexpr.Query.t -> unit
 (** Log a query that was evaluated elsewhere (a reader domain, against a
     published epoch) without evaluating or triggering a refresh here.
     [q2_paths] are the label paths Q2 rewriting matched, as reported by
-    the evaluator's [on_sequence]. Call only from the writer domain. *)
+    the evaluator's [on_sequence]; the cost counters and [latency] (all
+    defaulting to 0) are the reader's measurements, fed to the adaptation
+    policy when one was supplied. Call only from the writer domain. *)
 
 val due_for_refresh : t -> bool
 (** Whether a full [refresh_every] window has been recorded since the last
@@ -87,6 +101,9 @@ val update : t -> Repro_update.Update.op list -> unit
 
 val apex : t -> Repro_apex.Apex.t
 val log : t -> Repro_workload.Query_log.t
+
+val policy : t -> Policy.t option
+(** The cost-benefit policy supplied to {!create}, if any. *)
 
 val metrics : t -> Repro_telemetry.Metrics.t
 (** This instance's registry: the [self_tuning.*] adaptation counters that

@@ -109,19 +109,26 @@ let check_not_frozen t ctx =
   if t.frozen then
     invalid_arg (Printf.sprintf "Apex.%s: the index is frozen (published epoch)" ctx)
 
-let refresh t ~workload ~min_support =
+let refresh ?decide ?(ensure = []) t ~workload ~min_support =
   check_not_frozen t "refresh";
   let rtok = Tr.begin_ Tr.Refresh in
   let mtok = Tr.begin_ Tr.Mine in
   Hash_tree.reset_marks t.tree;
   Hash_tree.count_workload t.tree workload;
-  let threshold =
-    Repro_mining.Path_miner.support_threshold ~min_support
-      ~n_queries:(List.length workload)
+  List.iter (Hash_tree.ensure_path t.tree) ensure;
+  let decide =
+    match decide with
+    | Some d -> d
+    | None ->
+      let k =
+        Repro_mining.Path_miner.support_count ~min_support
+          ~n_queries:(List.length workload)
+      in
+      fun ~path:_ ~count ~is_new:_ -> count >= k
   in
   Tr.end_arg mtok (List.length workload);
   let ptok = Tr.begin_ Tr.Prune in
-  Hash_tree.prune t.tree ~threshold;
+  Hash_tree.prune t.tree ~decide;
   Tr.end_ ptok;
   t.store <- None;
   let ttok = Tr.begin_ Tr.Traverse in

@@ -24,11 +24,21 @@ val build : Repro_graph.Data_graph.t -> t
 (** APEX0: the required set is exactly the length-1 paths. *)
 
 val refresh :
+  ?decide:
+    (path:Repro_pathexpr.Label_path.t -> count:int -> is_new:bool -> bool) ->
+  ?ensure:Repro_pathexpr.Label_path.t list ->
   t -> workload:Repro_pathexpr.Label_path.t list -> min_support:float -> unit
 (** Extract frequently used paths from the workload (support = fraction of
     queries containing the path as a contiguous subpath, Definition 6) and
     incrementally update the index. With an empty workload this prunes every
-    longer path and the index degenerates back to APEX0 shape. *)
+    longer path and the index degenerates back to APEX0 shape.
+
+    [decide] overrides the default support test ([count >= k] with [k] from
+    {!Repro_mining.Path_miner.support_count}) — an adaptation policy keeps
+    or drops each counted path from richer signals than the current window's
+    count; the kept set must stay closed under contiguous subpaths. [ensure]
+    pre-creates entries for paths the policy retains even when this window
+    never counted them, so [decide] is consulted for them too. *)
 
 val extend_data : t -> Repro_graph.Data_graph.t -> unit
 (** Re-point the index at a grown version of its data graph (typically from

@@ -167,12 +167,43 @@ let count_workload t queries =
     (fun q -> List.iter (fun sub -> count_subpath t (List.rev sub)) (Label_path.subpaths q))
     queries
 
-let prune t ~threshold =
-  let rec prune_hnode hnode ~is_head =
+(* insert the entry chain for a forward [path] without touching counts:
+   lets a policy retain paths the current window never counted — the
+   decide callback of [prune] is only consulted for entries that exist *)
+let ensure_path t path =
+  let rec step hnode label rest =
+    let e =
+      match Hashtbl.find_opt hnode.entries label with
+      | Some e -> e
+      | None ->
+        let e = mk_entry label in
+        Hashtbl.add hnode.entries label e;
+        e
+    in
+    match rest with
+    | [] -> ()
+    | l :: rest' ->
+      let sub =
+        match e.next with
+        | Some sub -> sub
+        | None ->
+          let sub = mk_hnode () in
+          e.next <- Some sub;
+          sub
+      in
+      step sub l rest'
+  in
+  match List.rev path with
+  | [] -> ()
+  | last :: rest -> step t.head last rest
+
+let prune t ~decide =
+  let rec prune_hnode hnode ~is_head suffix =
     let snapshot = Hashtbl.fold (fun _ e acc -> e :: acc) hnode.entries [] in
     List.iter
       (fun e ->
-        if float_of_int e.count < threshold then begin
+        if not (decide ~path:(e.label :: suffix) ~count:e.count ~is_new:e.is_new)
+        then begin
           (* infrequent: drop its subtree; outside HashHead drop the entry
              itself, which folds its paths back into this hnode's remainder
              — so that remainder's node is stale now *)
@@ -196,7 +227,7 @@ let prune t ~threshold =
         else begin
           (match e.next with
            | Some sub ->
-             if prune_hnode sub ~is_head:false then begin
+             if prune_hnode sub ~is_head:false (e.label :: suffix) then begin
                e.next <- None
                (* e.e_slot is already empty by the invariant *)
              end
@@ -211,7 +242,7 @@ let prune t ~threshold =
       snapshot;
     Hashtbl.length hnode.entries = 0
   in
-  ignore (prune_hnode t.head ~is_head:true)
+  ignore (prune_hnode t.head ~is_head:true [])
 
 (* --- introspection --- *)
 

@@ -62,12 +62,27 @@ val count_workload : t -> Repro_pathexpr.Label_path.t list -> unit
 (** Count every distinct subpath of every query, creating entries as
     needed; a query containing a subpath several times counts once. *)
 
-val prune : t -> threshold:float -> unit
-(** Remove entries with count below [threshold] (never from HashHead),
-    dropping emptied hnodes, and invalidate the xnode slots whose contents
-    the change affects (Figure 8 lines 10–15; additionally, deleting an
-    entry invalidates its sibling remainder, whose target edge set grows —
-    a case Figure 8's pseudo-code does not spell out). *)
+val ensure_path : t -> Repro_pathexpr.Label_path.t -> unit
+(** Create the entry chain for a forward label path without touching any
+    count, so {!prune}'s decide callback is consulted for it even when the
+    current window never counted it. The caller must keep the set of
+    ensured-and-kept paths closed under contiguous subpaths — the closure
+    that {!find_slots} and the update traversal depend on. *)
+
+val prune :
+  t ->
+  decide:(path:Repro_pathexpr.Label_path.t -> count:int -> is_new:bool -> bool) ->
+  unit
+(** Remove entries the callback rejects (never from HashHead — a rejected
+    head entry only loses its subtree), dropping emptied hnodes, and
+    invalidate the xnode slots whose contents the change affects (Figure 8
+    lines 10–15; additionally, deleting an entry invalidates its sibling
+    remainder, whose target edge set grows — a case Figure 8's pseudo-code
+    does not spell out). [path] is the entry's forward label path, [count]
+    its workload count from {!count_workload}, [is_new] whether this
+    window's counting created it. Support-only extraction passes
+    [fun ~path:_ ~count ~is_new:_ -> count >= k]; the decide set must stay
+    closed under contiguous subpaths. *)
 
 (** {1 Introspection} *)
 

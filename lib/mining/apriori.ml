@@ -27,12 +27,12 @@ let rec last_label p =
   | _ :: tl -> last_label tl
 
 let levels ~min_support queries =
-  let threshold =
-    Path_miner.support_threshold ~min_support ~n_queries:(List.length queries)
+  let k =
+    Path_miner.support_count ~min_support ~n_queries:(List.length queries)
   in
   let filter_frequent candidates =
     let counts = count_candidates candidates queries in
-    List.filter (fun c -> float_of_int !(Hashtbl.find counts c) >= threshold) candidates
+    List.filter (fun c -> !(Hashtbl.find counts c) >= k) candidates
   in
   (* level 1: all distinct labels in the workload *)
   let singles =

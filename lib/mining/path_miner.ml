@@ -20,15 +20,30 @@ let count_subpaths ?max_length queries =
   Hashtbl.fold (fun p r acc -> (p, !r) :: acc) counts []
   |> List.sort (fun (a, _) (b, _) -> Label_path.compare a b)
 
-let support_threshold ~min_support ~n_queries =
-  (* an empty workload supports nothing: treat it as one phantom query so a
-     positive minSup prunes every path *)
-  min_support *. float_of_int (max 1 n_queries)
+let support_count ~min_support ~n_queries =
+  (* The smallest integer count satisfying count >= min_support * n_queries
+     as a real-number inequality. The float product rounds — 0.1 *. 30. is
+     2.9999999999999996, 0.7 *. 10. is 7.000000000000001 — so comparing raw
+     counts against it moves paths sitting exactly on the boundary to
+     whichever side the representation error happened to land, and a path
+     at the boundary flaps in and out of the index as the window size
+     drifts. Snap products within one part in 10^9 of an integer back to
+     that integer, then take the ceiling.
+
+     An empty workload supports nothing: treat it as one phantom query so a
+     positive minSup prunes every path. *)
+  let exact = min_support *. float_of_int (max 1 n_queries) in
+  let nearest = Float.round exact in
+  let k =
+    if Float.abs (exact -. nearest) <= 1e-9 *. Float.max 1. (Float.abs exact) then nearest
+    else Float.ceil exact
+  in
+  int_of_float k
 
 let frequent ~min_support queries =
-  let threshold = support_threshold ~min_support ~n_queries:(List.length queries) in
+  let k = support_count ~min_support ~n_queries:(List.length queries) in
   count_subpaths queries
-  |> List.filter (fun (_, c) -> float_of_int c >= threshold)
+  |> List.filter (fun (_, c) -> c >= k)
   |> List.map fst
 
 let required ~min_support ~all_labels queries =

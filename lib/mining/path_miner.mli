@@ -14,10 +14,14 @@ val count_subpaths :
     [max_length], default unlimited), the number of queries containing it.
     Sorted by path. *)
 
-val support_threshold : min_support:float -> n_queries:int -> float
-(** The count a path needs to be frequent: [min_support *. n_queries]
-    (compared with [>=], matching the paper's example where 2 of 3 queries
-    meet minSup 0.6). *)
+val support_count : min_support:float -> n_queries:int -> int
+(** The integer count a path needs to be frequent: the smallest [k] with
+    [k >= min_support * n_queries] as a real-number inequality (compared
+    with [>=], matching the paper's example where 2 of 3 queries meet
+    minSup 0.6). Products whose float rounding lands within 1e-9 of an
+    integer are snapped to it, so a count exactly at the boundary — e.g.
+    3 of 30 queries at minSup 0.1, where the product is not representable —
+    is frequent regardless of which side the rounding error fell on. *)
 
 val frequent :
   min_support:float ->

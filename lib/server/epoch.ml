@@ -37,4 +37,4 @@ let apex t = t.apex
 let graph t = t.graph
 let snapshot_epoch t = t.snapshot_epoch
 
-let eval ?on_sequence t q = Apex_query.eval_query ?on_sequence t.apex q
+let eval ?cost ?on_sequence t q = Apex_query.eval_query ?cost ?on_sequence t.apex q

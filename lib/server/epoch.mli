@@ -17,15 +17,17 @@ val of_apex : ?snapshot_epoch:int -> Repro_apex.Apex.t -> t
     (default 0: not durably committed). *)
 
 val eval :
+  ?cost:Repro_storage.Cost.t ->
   ?on_sequence:(Repro_pathexpr.Label_path.t -> unit) ->
   t ->
   Repro_pathexpr.Query.t ->
   Repro_graph.Data_graph.nid array
-(** Evaluate a query against the frozen index — always uncosted (epochs
-    are unmaterialized, so no page I/O exists to account). [on_sequence]
-    reports the label paths Q2 rewriting matched, exactly as
-    {!Repro_apex.Apex_query.eval_query} does; the server feeds them back
-    to the writer's query log. *)
+(** Evaluate a query against the frozen index. Epochs are unmaterialized,
+    so [cost] accounts no page I/O — but extent-edge and join-edge charges
+    still accrue, which is what the reader-side cost feedback for the
+    adaptation policy measures. [on_sequence] reports the label paths Q2
+    rewriting matched, exactly as {!Repro_apex.Apex_query.eval_query}
+    does; the server feeds them back to the writer's query log. *)
 
 val apex : t -> Repro_apex.Apex.t
 val graph : t -> Repro_graph.Data_graph.t

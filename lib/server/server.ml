@@ -23,9 +23,20 @@ module Metrics = Repro_telemetry.Metrics
 module Self_tuning = Repro_adaptive.Self_tuning
 module Registry = Epoch_registry
 
+(* one reader-executed query with its measured signals: the drain path
+   feeds these to the tuner, closing the adaptation loop from the actual
+   serving traffic rather than from writer-side re-execution *)
+type observation = {
+  ob_query : Repro_pathexpr.Query.t;
+  ob_q2_paths : Repro_pathexpr.Label_path.t list;
+  ob_extent_edges : int;
+  ob_join_edges : int;
+  ob_latency : float;
+}
+
 type feedback = {
   fb_lock : Mutex.t;
-  fb_queue : (Repro_pathexpr.Query.t * Repro_pathexpr.Label_path.t list) Queue.t;
+  fb_queue : observation Queue.t;
   fb_capacity : int;
   mutable fb_dropped : int; [@apex.guarded "feedback"]
       (* pushes refused because the buffer was full; under [fb_lock] *)
@@ -66,9 +77,10 @@ let publish_locked t =
   generation
 
 let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity = 4096)
-    ?pool ?snapshot graph =
+    ?pool ?snapshot ?policy graph =
   let tuner =
-    Self_tuning.create ?log_capacity ?min_support ~refresh_every ?pool ?snapshot graph
+    Self_tuning.create ?log_capacity ?min_support ~refresh_every ?pool ?snapshot ?policy
+      graph
   in
   let registry =
     Registry.create
@@ -114,10 +126,10 @@ let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity
 
 (* --- reader side (any domain) --- *)
 
-let offer_feedback t q q2_paths =
+let offer_feedback t ob =
   let fb = t.feedback in
   Mutex.lock fb.fb_lock;
-  if Queue.length fb.fb_queue < fb.fb_capacity then Queue.push (q, q2_paths) fb.fb_queue
+  if Queue.length fb.fb_queue < fb.fb_capacity then Queue.push ob fb.fb_queue
   else fb.fb_dropped <- fb.fb_dropped + 1;
   Mutex.unlock fb.fb_lock
 
@@ -126,9 +138,15 @@ let query_pinned t q =
   let entry = Registry.pin t.registry in
   let generation = Registry.generation entry in
   let q2_paths = ref [] in
+  (* private per-query measurement: epochs are unmaterialized, so the
+     page counter stays 0 and the signal is edge/join work + wall clock *)
+  let cost = Repro_storage.Cost.create () in
+  let t0 = Unix.gettimeofday () in
   let result =
     match
-      Epoch.eval ~on_sequence:(fun p -> q2_paths := p :: !q2_paths) (Registry.payload entry) q
+      Epoch.eval ~cost
+        ~on_sequence:(fun p -> q2_paths := p :: !q2_paths)
+        (Registry.payload entry) q
     with
     | r ->
       Registry.unpin entry;
@@ -139,7 +157,12 @@ let query_pinned t q =
       raise e
   in
   Tr.end_arg tok generation;
-  offer_feedback t q !q2_paths;
+  offer_feedback t
+    { ob_query = q;
+      ob_q2_paths = !q2_paths;
+      ob_extent_edges = cost.Repro_storage.Cost.extent_edges;
+      ob_join_edges = cost.Repro_storage.Cost.join_edges;
+      ob_latency = Unix.gettimeofday () -. t0 };
   (generation, result)
 
 let query t q = snd (query_pinned t q)
@@ -167,7 +190,12 @@ let drain_feedback t =
       Queue.clear fb.fb_queue;
       Mutex.unlock fb.fb_lock;
       let batch = List.rev batch in
-      List.iter (fun (q, q2_paths) -> Self_tuning.record_external t.tuner ~q2_paths q) batch;
+      List.iter
+        (fun ob ->
+          Self_tuning.record_external t.tuner ~q2_paths:ob.ob_q2_paths
+            ~extent_edges:ob.ob_extent_edges ~join_edges:ob.ob_join_edges
+            ~latency:ob.ob_latency ob.ob_query)
+        batch;
       let n = List.length batch in
       Metrics.add t.c_drained n;
       let refreshed =

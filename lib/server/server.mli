@@ -24,20 +24,26 @@ val create :
   ?feedback_capacity:int ->
   ?pool:Repro_storage.Buffer_pool.t ->
   ?snapshot:Repro_apex.Apex_persist.Snapshot.t ->
+  ?policy:Repro_adaptive.Policy.t ->
   Repro_graph.Data_graph.t ->
   t
 (** Build APEX0 over the graph (through {!Repro_adaptive.Self_tuning.create},
     with the same durability semantics for [pool]/[snapshot]) and publish
     it as generation 1. [feedback_capacity] bounds the reader→writer query
-    feedback buffer (default 4096; overflow drops, counted). *)
+    feedback buffer (default 4096; overflow drops, counted). With
+    [policy], refreshes are decided by the cost-benefit policy: each
+    reader query's measured extent/join work and latency travel through
+    the feedback buffer and are attributed to the paths it used when the
+    writer drains. *)
 
 (** {1 Reader side — any domain} *)
 
 val query : t -> Repro_pathexpr.Query.t -> Repro_graph.Data_graph.nid array
 (** Pin the current epoch, evaluate, unpin, and enqueue the query (with
-    its Q2 rewrite paths) on the feedback buffer for the writer's next
-    {!drain_feedback}. Results are identical to single-threaded
-    evaluation against the pinned generation. *)
+    its Q2 rewrite paths and measured cost/latency signals) on the
+    feedback buffer for the writer's next {!drain_feedback}. Results are
+    identical to single-threaded evaluation against the pinned
+    generation. *)
 
 val query_pinned : t -> Repro_pathexpr.Query.t -> int * Repro_graph.Data_graph.nid array
 (** {!query}, also returning the generation that served the query — the

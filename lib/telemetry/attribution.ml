@@ -1,0 +1,157 @@
+(* Per-key decayed signal attribution: the bridge between raw measurement
+   (Cost counters, wall-clock latency) and an adaptation policy that needs
+   "how much does this path cost the workload, lately?".
+
+   Signals are accumulated into per-key *window* fields as queries run;
+   [roll] folds each window into a decayed accumulator (acc <- decay * acc
+   + window) and zeroes the windows — one roll per refresh gives every
+   signal an exponentially-decayed view of the recent windows, so cooling
+   keys fade geometrically instead of falling off a cliff when the log
+   ring overwrites them. The same fold runs over the per-table totals
+   (queries observed, total cost, total latency), so ratios of decayed
+   quantities are comparable: numerator and denominator decay through the
+   same horizon.
+
+   Keyed through a functor so callers supply a proper hash (the lint pass
+   bans polymorphic hashing in hot paths, and label paths need a content
+   hash anyway). *)
+
+module type S = sig
+  type key
+  type t
+
+  type stats = {
+    support : float;
+    cost : float;
+    latency : float;
+  }
+
+  val create : ?max_keys:int -> decay:float -> unit -> t
+  val observe_query : t -> cost:float -> latency:float -> unit
+  val observe : t -> key -> cost:float -> latency:float -> unit
+  val roll : t -> unit
+  val stats : t -> key -> stats
+  val queries : t -> float
+  val mean_query_cost : t -> float
+  val iter : t -> (key -> stats -> unit) -> unit
+  val tracked : t -> int
+  val rolls : t -> int
+end
+
+module Make (Key : Hashtbl.HashedType) : S with type key = Key.t = struct
+  module H = Hashtbl.Make (Key)
+
+  type key = Key.t
+
+  type stats = {
+    support : float;
+    cost : float;
+    latency : float;
+  }
+
+  type cell = {
+    mutable a_support : float;  (* decayed count of observations *)
+    mutable a_cost : float;     (* decayed summed unit cost *)
+    mutable a_latency : float;  (* decayed summed seconds *)
+    mutable w_support : float;  (* current-window accumulators *)
+    mutable w_cost : float;
+    mutable w_latency : float;
+  }
+
+  type t = {
+    decay : float;
+    max_keys : int;
+    table : cell H.t;
+    mutable a_queries : float;
+    mutable a_cost : float;
+    mutable a_latency : float;
+    mutable w_queries : float;
+    mutable w_cost : float;
+    mutable w_latency : float;
+    mutable n_rolls : int;
+  }
+
+  let create ?(max_keys = 65536) ~decay () =
+    if not (decay >= 0. && decay < 1.) then
+      invalid_arg "Attribution.create: decay must be in [0, 1)";
+    if max_keys <= 0 then invalid_arg "Attribution.create: max_keys must be positive";
+    { decay;
+      max_keys;
+      table = H.create 256;
+      a_queries = 0.;
+      a_cost = 0.;
+      a_latency = 0.;
+      w_queries = 0.;
+      w_cost = 0.;
+      w_latency = 0.;
+      n_rolls = 0 }
+
+  let observe_query t ~cost ~latency =
+    t.w_queries <- t.w_queries +. 1.;
+    t.w_cost <- t.w_cost +. cost;
+    t.w_latency <- t.w_latency +. latency
+
+  let cell t key =
+    match H.find_opt t.table key with
+    | Some c -> c
+    | None ->
+      let c =
+        { a_support = 0.;
+          a_cost = 0.;
+          a_latency = 0.;
+          w_support = 0.;
+          w_cost = 0.;
+          w_latency = 0. }
+      in
+      H.add t.table key c;
+      c
+
+  let observe t key ~cost ~latency =
+    let c = cell t key in
+    c.w_support <- c.w_support +. 1.;
+    c.w_cost <- c.w_cost +. cost;
+    c.w_latency <- c.w_latency +. latency
+
+  (* keys whose decayed support has faded below any plausible relevance;
+     dropped when the table outgrows [max_keys] *)
+  let negligible = 1e-6
+
+  let roll t =
+    let d = t.decay in
+    t.a_queries <- (d *. t.a_queries) +. t.w_queries;
+    t.a_cost <- (d *. t.a_cost) +. t.w_cost;
+    t.a_latency <- (d *. t.a_latency) +. t.w_latency;
+    t.w_queries <- 0.;
+    t.w_cost <- 0.;
+    t.w_latency <- 0.;
+    let dead = ref [] in
+    H.iter
+      (fun k c ->
+        c.a_support <- (d *. c.a_support) +. c.w_support;
+        c.a_cost <- (d *. c.a_cost) +. c.w_cost;
+        c.a_latency <- (d *. c.a_latency) +. c.w_latency;
+        c.w_support <- 0.;
+        c.w_cost <- 0.;
+        c.w_latency <- 0.;
+        if c.a_support < negligible then dead := k :: !dead)
+      t.table;
+    if H.length t.table > t.max_keys then
+      List.iter (fun k -> H.remove t.table k) !dead;
+    t.n_rolls <- t.n_rolls + 1
+
+  let stats t key =
+    match H.find_opt t.table key with
+    | None -> { support = 0.; cost = 0.; latency = 0. }
+    | Some c -> { support = c.a_support; cost = c.a_cost; latency = c.a_latency }
+
+  let queries t = t.a_queries
+  let mean_query_cost t = if t.a_queries > 0. then t.a_cost /. t.a_queries else 0.
+
+  let iter t f =
+    H.iter
+      (fun k c -> f k { support = c.a_support; cost = c.a_cost; latency = c.a_latency })
+      t.table
+
+  let tracked t = H.length t.table
+  let rolls t = t.n_rolls
+end

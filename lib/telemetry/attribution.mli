@@ -1,0 +1,52 @@
+(** Per-key decayed signal attribution.
+
+    Accumulates per-key measurement windows (observation count, unit cost,
+    latency) as queries run; {!S.roll} folds each window into an
+    exponentially-decayed accumulator ([acc <- decay * acc + window]) and
+    zeroes it — one roll per refresh gives every signal a decayed view of
+    recent windows, so cooling keys fade geometrically. Table-wide totals
+    (queries, cost, latency) decay through the same horizon, keeping
+    ratios of decayed quantities comparable. This is the measurement
+    substrate the adaptation policy scores candidate paths from. *)
+
+module type S = sig
+  type key
+  type t
+
+  type stats = {
+    support : float;  (** decayed count of observations of this key *)
+    cost : float;     (** decayed summed unit cost *)
+    latency : float;  (** decayed summed seconds *)
+  }
+
+  val create : ?max_keys:int -> decay:float -> unit -> t
+  (** [decay] in [[0, 1)] is the per-roll retention (0 = windows only).
+      When the table outgrows [max_keys] (default 65536), keys whose
+      decayed support has faded to negligible are dropped at the next
+      {!roll}. @raise Invalid_argument on out-of-range arguments. *)
+
+  val observe_query : t -> cost:float -> latency:float -> unit
+  (** Count one query into the table-wide window totals. *)
+
+  val observe : t -> key -> cost:float -> latency:float -> unit
+  (** Attribute one query's signals to [key] (call once per key the query
+      touched, after {!observe_query}). *)
+
+  val roll : t -> unit
+  (** Fold every window into its decayed accumulator and zero it. *)
+
+  val stats : t -> key -> stats
+  (** Decayed accumulators for [key]; zeros when never observed. *)
+
+  val queries : t -> float
+  (** Decayed query count — the support denominator. *)
+
+  val mean_query_cost : t -> float
+  (** Decayed total cost over decayed query count; 0 before any roll. *)
+
+  val iter : t -> (key -> stats -> unit) -> unit
+  val tracked : t -> int
+  val rolls : t -> int
+end
+
+module Make (Key : Hashtbl.HashedType) : S with type key = Key.t

@@ -32,7 +32,15 @@ module Histogram = struct
   type t = {
     buckets : int array;
     mutable count : int;
-    mutable sum : float;
+    (* compensated running sum (Neumaier): [hi] is the naive accumulator,
+       [comp] collects the rounding residue of every addition, so
+       [hi +. comp] is the exact sum correctly rounded (up to a residue of
+       the compensation additions themselves, far below one ulp of [hi]).
+       Shard merges combine both parts with error-free transformations, so
+       the reported sum is identical regardless of merge association —
+       drift-harness reports must be bit-stable across shard orders. *)
+    mutable hi : float;
+    mutable comp : float;
     mutable vmin : float;
     mutable vmax : float;
   }
@@ -40,9 +48,19 @@ module Histogram = struct
   let create () =
     { buckets = Array.make n_buckets 0;
       count = 0;
-      sum = 0.;
+      hi = 0.;
+      comp = 0.;
       vmin = infinity;
       vmax = neg_infinity }
+
+  (* error-free transformation: returns (s, e) with s = fl(a + b) and
+     s + e = a + b exactly (Knuth two-sum; no magnitude precondition) *)
+  let two_sum a b =
+    let s = a +. b in
+    let a' = s -. b in
+    let b' = s -. a' in
+    let e = (a -. a') +. (b -. b') in
+    (s, e)
 
   let scale = 1e9
 
@@ -66,15 +84,17 @@ module Histogram = struct
     let b = bucket_of v in
     t.buckets.(b) <- t.buckets.(b) + 1;
     t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
+    let s, e = two_sum t.hi v in
+    t.hi <- s;
+    t.comp <- t.comp +. e;
     if v < t.vmin then t.vmin <- v;
     if v > t.vmax then t.vmax <- v
 
   let count t = t.count
-  let sum t = t.sum
+  let sum t = t.hi +. t.comp
   let min_value t = if t.count = 0 then 0. else t.vmin
   let max_value t = if t.count = 0 then 0. else t.vmax
-  let mean t = if t.count = 0 then 0. else t.sum /. Float.of_int t.count
+  let mean t = if t.count = 0 then 0. else sum t /. Float.of_int t.count
   let bucket_counts t = Array.copy t.buckets
 
   let merge a b =
@@ -83,14 +103,21 @@ module Histogram = struct
       t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
     done;
     t.count <- a.count + b.count;
-    t.sum <- a.sum +. b.sum;
+    (* combine the (hi, comp) pairs and renormalize into a canonical
+       double-double, so the merged pair — and therefore [sum] — depends
+       only on the two operands' exact partial sums, not on association *)
+    let s, e = two_sum a.hi b.hi in
+    let s', e' = two_sum s (a.comp +. b.comp) in
+    t.hi <- s';
+    t.comp <- e' +. e;
     t.vmin <- Float.min a.vmin b.vmin;
     t.vmax <- Float.max a.vmax b.vmax;
     t
 
   (* Same observable contents: bucket counts, count, and exact-comparable
-     extrema. Excludes [sum], whose float addition is not associative —
-     the merge-associativity property quantifies over everything else. *)
+     extrema. [sum] is compared separately by the merge properties — the
+     compensated representation is association-stable but the (hi, comp)
+     split itself is not canonical. *)
   let equal_counts a b =
     a.count = b.count
     && a.buckets = b.buckets

@@ -28,7 +28,13 @@ module Histogram : sig
   val create : unit -> t
   val record : t -> float -> unit
   val count : t -> int
+
   val sum : t -> float
+  (** Compensated (Neumaier) running sum: exact up to the rounding residue
+      of the compensation term itself, and — because {!merge} combines the
+      compensated pairs with error-free transformations — identical no
+      matter how shard histograms are associated when merging. *)
+
   val min_value : t -> float
   val max_value : t -> float
   val mean : t -> float
@@ -40,8 +46,10 @@ module Histogram : sig
   (** Pure: returns a fresh histogram, arguments unchanged. *)
 
   val equal_counts : t -> t -> bool
-  (** Equality over bucket counts, total count, and extrema — everything
-      except [sum], whose float addition is not associative. *)
+  (** Equality over bucket counts, total count, and extrema. [sum] is
+      excluded here (its internal compensated representation is not
+      canonical) and compared bit-exactly by the merge properties via
+      {!sum} instead. *)
 
   val quantile : t -> float -> float
   (** [quantile t q] for [q] in [[0,1]] (clamped); [0.] when empty. *)

@@ -1,0 +1,269 @@
+module Label = Repro_graph.Label
+module Label_path = Repro_pathexpr.Label_path
+module Query = Repro_pathexpr.Query
+module G = Repro_graph.Data_graph
+
+type phase = {
+  ph_name : string;
+  ph_queries : Query.t array;
+}
+
+type cast = {
+  exp_rot : Label_path.t list;
+  exp_boundary : Label_path.t list;
+  diurnal : Label_path.t list;
+  crowd : Label_path.t list;
+  chatter : Label_path.t list;
+  cheap_boundary : Label_path.t list;
+  noise : Label_path.t list;
+}
+
+(* A candidate query path with the signals the phase mixes are engineered
+   from: the instance count of its labels (how much extent/join work a
+   query over it streams — the cost proxy) and its rendered steps. *)
+type candidate = {
+  c_path : Label_path.t;
+  c_steps : string list;
+  c_weight : int;  (* summed per-label edge counts: streaming-cost proxy *)
+}
+
+let candidates g =
+  let labels = G.labels g in
+  (* per-label edge counts: a query along a path streams the extents of
+     (suffixes of) its labels, so label frequency is a faithful
+     how-expensive-is-this-query proxy that needs no evaluation *)
+  let freq : (Label.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+  G.iter_edges g (fun _ l _ ->
+      match Hashtbl.find_opt freq l with
+      | Some r -> incr r
+      | None -> Hashtbl.add freq l (ref 1));
+  let weight p =
+    List.fold_left
+      (fun acc l ->
+        acc + match Hashtbl.find_opt freq l with Some r -> !r | None -> 0)
+      0 p
+  in
+  Simple_paths.enumerate ~max_length:4 g
+  |> List.filter_map (fun p ->
+         if List.length p < 2 then None
+         else begin
+           let steps = List.map (Label.to_string labels) p in
+           (* dereference steps don't render into QTYPE1 strings *)
+           if List.exists (fun s -> String.length s > 0 && s.[0] = '@') steps
+           then None
+           else Some { c_path = p; c_steps = steps; c_weight = weight p }
+         end)
+  |> List.sort (fun a b ->
+         let c = Int.compare b.c_weight a.c_weight in
+         if c <> 0 then c else Label_path.compare a.c_path b.c_path)
+
+(* --- cast selection ---
+
+   Every selected path must be pairwise subpath-disjoint from every other
+   (no contiguous subpath of length >= 2 in common, containment included):
+   the miner and the policy both attribute a query to every contiguous
+   subpath of its path, so two overlapping cast members would couple their
+   support signals and wash out the engineered traffic levels (a boundary
+   path that is also a subpath of a hot path is not at the boundary). *)
+
+let path_key p = String.concat "." (List.map string_of_int p)
+
+let sub_keys p =
+  Label_path.subpaths p
+  |> List.filter (fun s -> List.length s >= 2)
+  |> List.map path_key
+
+let pick_disjoint used pool n =
+  let rec go acc k = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | c :: tl ->
+      let keys = sub_keys c.c_path in
+      if List.exists (Hashtbl.mem used) keys then go acc k tl
+      else begin
+        List.iter (fun s -> Hashtbl.replace used s ()) keys;
+        go (c :: acc) (k - 1) tl
+      end
+  in
+  let picked = go [] n pool in
+  if List.length picked < n then
+    invalid_arg "Drift: graph yields too few subpath-disjoint candidate paths";
+  picked
+
+type roles = {
+  r_exp_rot : candidate list;
+  r_exp_boundary : candidate list;
+  r_diurnal : candidate list;
+  r_crowd : candidate list;
+  r_chatter : candidate list;
+  r_cheap_boundary : candidate list;
+  r_noise : candidate list;
+}
+
+(* Without [measure], expensive roles come from the head of the
+   weight-sorted pool and cheap roles from the third quartile — a proxy
+   that needs no query evaluation. With [measure] (the drift bench passes
+   one that actually evaluates each candidate against APEX0), expensive
+   roles are the highest measured per-query cost and cheap roles the
+   lowest-cost candidates whose result still has at least 32 instances:
+   the cheap roles must remain cheap to *query* for the score gate to
+   decline them, yet their extents must still occupy measurable index
+   pages for the index-size comparison to mean anything. *)
+let select ?measure g =
+  let pool = candidates g in
+  let n = List.length pool in
+  if n < 24 then invalid_arg "Drift: graph too small to stage drift phases";
+  let used : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let drop k l = List.filteri (fun i _ -> i >= k) l in
+  let expensive_pool, cheap_pool, cheap_tail, noise_pool =
+    match measure with
+    | None -> (pool, drop (n / 2) pool, drop (n / 2) pool, drop (n / 4) pool)
+    | Some f ->
+      let measured = List.map (fun c -> (c, f c.c_path)) pool in
+      let by_cost_desc =
+        List.sort
+          (fun (a, (ca, _)) (b, (cb, _)) ->
+            let c = Float.compare cb ca in
+            if c <> 0 then c else Label_path.compare a.c_path b.c_path)
+          measured
+      in
+      let expensive = List.map fst by_cost_desc in
+      let cheap =
+        List.rev by_cost_desc
+        |> List.filter (fun (_, (_, size)) -> size >= 32)
+        |> List.map fst
+      in
+      (* cheap_tail: cost-ascending with no result-size floor — boundary
+         paths never pass the policy's support gate, so their extent size
+         does not matter, only that support-only mining flaps them *)
+      (expensive, cheap, List.rev_map fst by_cost_desc, drop (n / 4) expensive)
+  in
+  let r_exp_rot = pick_disjoint used expensive_pool 4 in
+  let r_exp_boundary = pick_disjoint used expensive_pool 2 in
+  let r_diurnal = pick_disjoint used expensive_pool 2 in
+  let r_crowd = pick_disjoint used expensive_pool 1 in
+  let r_chatter = pick_disjoint used cheap_pool 4 in
+  let r_cheap_boundary = pick_disjoint used cheap_tail 2 in
+  let r_noise = pick_disjoint used noise_pool 4 in
+  { r_exp_rot; r_exp_boundary; r_diurnal; r_crowd; r_chatter; r_cheap_boundary;
+    r_noise }
+
+let cast ?measure g =
+  let c = select ?measure g in
+  let paths = List.map (fun x -> x.c_path) in
+  { exp_rot = paths c.r_exp_rot;
+    exp_boundary = paths c.r_exp_boundary;
+    diurnal = paths c.r_diurnal;
+    crowd = paths c.r_crowd;
+    chatter = paths c.r_chatter;
+    cheap_boundary = paths c.r_cheap_boundary;
+    noise = paths c.r_noise }
+
+let query_of c = Query.Qtype1 c.c_steps
+
+(* draw one query from a weighted mix; weights need not normalize *)
+let draw rand mix =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. mix in
+  let x = Random.State.float rand total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Drift.draw: empty mix"
+    | [ (_, q) ] -> q
+    | (w, q) :: tl -> if x < acc +. w then q else pick (acc +. w) tl
+  in
+  pick 0. mix
+
+(* Traffic levels, in multiples of [minsup]:
+   - hot 3.0 / warm 2.0 — the rotating expensive set swings between these;
+     both clear any sane promote bar, so a decayed policy promotes once
+     and rides the churn, while the hottest labels still rotate;
+   - boundary 0.9 — raw window counts straddle the support threshold
+     (mean ~0.5 sigma below it), so support-only mining flaps these paths
+     in and out on refresh noise essentially forever; a hysteresis band
+     holds them out;
+   - chatter 2.0 — frequent but cheap: support-only mining indexes these
+     forever, cost-benefit scoring declines them — the index-size gap;
+   - diurnal 2.0 by day / 0.7 by night — support-only mining follows the
+     window and flaps on every day/night edge; the decayed view never
+     leaves the retain band;
+   - spike 8.0 — the flash crowd;
+   - noise 0.2 — background that should never be indexed.
+
+   Mix weights are draw *probabilities*, so each mix is normalized to
+   total mass 1 by a filler of single-label queries: without the filler
+   the levels would only be relative (a "2.0x" path in a mix of total
+   mass 1.8 really runs at 1.1x — on top of the threshold). Single-label
+   paths are APEX0's always-required entries, so the filler pads the
+   query denominator without ever touching a promotion decision. *)
+let at level ~minsup cs = List.map (fun c -> (level *. minsup, query_of c)) cs
+
+let normalize c mix =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. mix in
+  if total >= 1. then
+    invalid_arg "Drift: mix mass exceeds 1 — lower minsup or the levels";
+  let filler =
+    match c.r_exp_rot with
+    | { c_steps = step :: _; _ } :: _ -> Query.Qtype1 [ step ]
+    | _ -> invalid_arg "Drift: empty expensive-rotation role"
+  in
+  if 1. -. total > 1e-9 then (1. -. total, filler) :: mix else mix
+
+let background ~minsup c ~rot_mix =
+  normalize c
+    (List.concat
+       [ rot_mix;
+         at 0.9 ~minsup (c.r_exp_boundary @ c.r_cheap_boundary);
+         at 2.0 ~minsup c.r_chatter;
+         at 0.2 ~minsup c.r_noise
+       ])
+
+let gen rand n m = Array.init n (fun _ -> draw rand m)
+
+(* [pieces] pieces of [n] queries total, mix rebuilt per piece *)
+let piecewise rand ~n ~pieces f =
+  Array.init n (fun i -> draw rand (f (i * pieces / max 1 n)))
+
+let phases ?(seed = 42) ?(n_per_phase = 4800) ?measure ~minsup g =
+  let c = select ?measure g in
+  let rand = Random.State.make [| seed |] in
+  (* Phase 1 — hot-label churn: which two of the four expensive paths are
+     hottest rotates every quarter; the rest stay warm. Support-only
+     mining keeps them all (they never leave the window) but flaps the
+     boundary set throughout; the policy promotes the four once. *)
+  let rot = Array.of_list c.r_exp_rot in
+  let hot_churn =
+    piecewise rand ~n:n_per_phase ~pieces:4 (fun k ->
+        let hot = [ rot.(k mod Array.length rot); rot.((k + 1) mod Array.length rot) ] in
+        let warm = List.filter (fun x -> not (List.memq x hot)) c.r_exp_rot in
+        background ~minsup c ~rot_mix:(at 3.0 ~minsup hot @ at 2.0 ~minsup warm))
+  in
+  (* Phase 2 — day/night: the diurnal pair swings between 2.0x (day) and
+     0.7x (night) every sixth, night first so the phase ends on a day
+     piece; support-only mining promotes/evicts them on every edge. *)
+  let day_night =
+    piecewise rand ~n:n_per_phase ~pieces:6 (fun k ->
+        let level = if k mod 2 = 0 then 0.7 else 2.0 in
+        background ~minsup c
+          ~rot_mix:(at 2.0 ~minsup c.r_exp_rot @ at level ~minsup c.r_diurnal))
+  in
+  (* Phase 3 — flash crowd: the crowd path takes 8x minsup for the first
+     fifth, then its traffic stops entirely; the policy promotes it during
+     the spike and evicts it once the decayed support cools through the
+     band — exactly one promotion and one eviction. *)
+  let flash_crowd =
+    piecewise rand ~n:n_per_phase ~pieces:5 (fun k ->
+        let rot_mix = at 2.0 ~minsup c.r_exp_rot in
+        if k = 0 then
+          background ~minsup c ~rot_mix:(at 8.0 ~minsup c.r_crowd @ rot_mix)
+        else background ~minsup c ~rot_mix)
+  in
+  [ { ph_name = "hot_churn"; ph_queries = hot_churn };
+    { ph_name = "day_night"; ph_queries = day_night };
+    { ph_name = "flash_crowd"; ph_queries = flash_crowd }
+  ]
+
+(* a stationary stream drawn from the warm background mix, for
+   convergence/no-flap checks *)
+let stationary ?(seed = 43) ?(n = 4800) ?measure ~minsup g =
+  let c = select ?measure g in
+  let rand = Random.State.make [| seed |] in
+  gen rand n (background ~minsup c ~rot_mix:(at 2.0 ~minsup c.r_exp_rot))

@@ -1,0 +1,85 @@
+(** Phased drifting workloads for exercising the adaptation loop.
+
+    Three phases over one data graph, each a seeded query stream whose
+    composition is engineered around a support threshold [minsup] (the
+    fraction of queries a path must appear in to clear mining):
+
+    - {b hot_churn} — which expensive paths are hottest rotates every
+      quarter of the phase (3.0x/2.0x minsup), so the hot labels churn
+      while every rotated path stays warm;
+    - {b day_night} — a diurnal pair alternates between 2.0x (day) and
+      0.7x (night) every sixth of the phase, night first;
+    - {b flash_crowd} — a stationary background with one path spiking to
+      8x the threshold for the first fifth, then vanishing entirely.
+
+    Every phase keeps a set of {e boundary} paths at ~0.9x [minsup] —
+    their raw window counts straddle the threshold, so support-only
+    mining flaps them in and out on refresh noise — and four {e
+    chatter} paths at ~2x [minsup] over light-traffic labels, which
+    support-only mining indexes forever and cost-benefit scoring
+    correctly declines.
+
+    The cast is selected from the weight-sorted simple-path pool so that
+    all members are pairwise subpath-disjoint (no shared contiguous
+    subpath of length >= 2): mining and the policy both attribute a query
+    to every contiguous subpath of its path, so overlapping members would
+    couple their support signals and wash out the engineered levels.
+    Queries are plain QTYPE1 over paths enumerated from the graph, so
+    every query has instances and a naive-oracle answer. Deterministic
+    for a given (graph, seed). *)
+
+type phase = {
+  ph_name : string;
+  ph_queries : Repro_pathexpr.Query.t array;
+}
+
+type cast = {
+  exp_rot : Repro_pathexpr.Label_path.t list;  (** 4 rotating hot/warm *)
+  exp_boundary : Repro_pathexpr.Label_path.t list;  (** 2 at 0.9x, expensive *)
+  diurnal : Repro_pathexpr.Label_path.t list;  (** 2 swinging 2.0x/0.7x *)
+  crowd : Repro_pathexpr.Label_path.t list;  (** 1 flash-crowd path *)
+  chatter : Repro_pathexpr.Label_path.t list;  (** 4 at 2x, cheap *)
+  cheap_boundary : Repro_pathexpr.Label_path.t list;  (** 2 at 0.9x, cheap *)
+  noise : Repro_pathexpr.Label_path.t list;  (** 4 at 0.2x *)
+}
+
+val cast :
+  ?measure:(Repro_pathexpr.Label_path.t -> float * int) ->
+  Repro_graph.Data_graph.t ->
+  cast
+(** The engineered path roles for a graph — deterministic; the benches
+    and tests use it to check which roles each miner actually indexed.
+    Without [measure], the expensive/cheap tiers are split by a label
+    frequency proxy. With [measure p = (unit_cost, result_size)] — the
+    drift bench passes one that evaluates each candidate against APEX0 —
+    expensive roles take the highest measured cost and cheap roles the
+    lowest-cost candidates whose result keeps at least 32 instances (so
+    their extents still occupy index pages).
+    @raise Invalid_argument when the graph yields too few
+    subpath-disjoint candidates (the pool must reach 24). *)
+
+val phases :
+  ?seed:int ->
+  ?n_per_phase:int ->
+  ?measure:(Repro_pathexpr.Label_path.t -> float * int) ->
+  minsup:float ->
+  Repro_graph.Data_graph.t ->
+  phase list
+(** The three drift phases (default seed 42, 4800 queries per phase).
+    Mixes are normalized to total draw mass 1 with a filler of
+    single-label queries, so the engineered levels are absolute
+    fractions of the stream.
+    [minsup] must match the tuner's [min_support] for the boundary
+    engineering to land on the threshold.
+    @raise Invalid_argument as {!cast}. *)
+
+val stationary :
+  ?seed:int ->
+  ?n:int ->
+  ?measure:(Repro_pathexpr.Label_path.t -> float * int) ->
+  minsup:float ->
+  Repro_graph.Data_graph.t ->
+  Repro_pathexpr.Query.t array
+(** One stationary stream from the warm background mix (rotating set all
+    warm + boundary + chatter + noise), for convergence and no-flap
+    checks. *)

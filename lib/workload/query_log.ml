@@ -12,7 +12,7 @@ let record t path =
   t.ring.(t.total mod t.capacity) <- path;
   t.total <- t.total + 1
 
-let record_query ?(q2_paths = []) t labels q =
+let paths_of_query ?(q2_paths = []) labels q =
   let resolve steps =
     let rec go acc = function
       | [] -> Some (List.rev acc)
@@ -25,19 +25,43 @@ let record_query ?(q2_paths = []) t labels q =
   in
   match q with
   | Repro_pathexpr.Query.Qtype1 steps | Repro_pathexpr.Query.Qtype3 (steps, _) ->
-    (match resolve steps with Some p when p <> [] -> record t p | Some _ | None -> ())
+    (match resolve steps with
+     | Some p when not (List.is_empty p) -> [ p ]
+     | Some _ | None -> [])
   | Repro_pathexpr.Query.Qtype2 (a, b) ->
     (* Partial-match queries carry workload signal too: the paths the
        rewrite search actually matched (when the evaluator reports them)
        are the frequently-used paths refresh should extend the index
-       with.  Without evaluator feedback, fall back to the minimal
-       [a.b] suffix so Q2-heavy workloads still accumulate support. *)
-    (match q2_paths with
-     | _ :: _ -> List.iter (fun p -> if p <> [] then record t p) q2_paths
-     | [] ->
-       (match resolve [ a; b ] with
-        | Some p -> record t p
-        | None -> ()))
+       with. But one query must contribute support exactly once — logging
+       every matched rewriting (or a fallback entry alongside them) counts
+       a single Q2 query as several workload queries, inflating both its
+       paths' support and the query total every other path is measured
+       against. Keep only the most informative rewriting: the longest
+       (ties broken by path order — mining counts every contiguous subpath
+       of a logged path, so nested shorter rewritings still accrue).
+       Without evaluator feedback, fall back to the minimal [a.b] suffix
+       so Q2-heavy workloads still accumulate support. *)
+    let best =
+      List.fold_left
+        (fun best p ->
+          if List.is_empty p then best
+          else
+            match best with
+            | None -> Some p
+            | Some b ->
+              let c = Int.compare (List.length p) (List.length b) in
+              if c > 0 || (c = 0 && Repro_pathexpr.Label_path.compare p b < 0)
+              then Some p
+              else best)
+        None q2_paths
+    in
+    (match best with
+     | Some p -> [ p ]
+     | None ->
+       (match resolve [ a; b ] with Some p -> [ p ] | None -> []))
+
+let record_query ?q2_paths t labels q =
+  List.iter (record t) (paths_of_query ?q2_paths labels q)
 
 let length t = min t.total t.capacity
 let total_recorded t = t.total

@@ -15,15 +15,23 @@ val create : capacity:int -> t
 val record : t -> Repro_pathexpr.Label_path.t -> unit
 (** Log one executed query's label path. *)
 
+val paths_of_query :
+  ?q2_paths:Repro_pathexpr.Label_path.t list ->
+  Repro_graph.Label.table -> Repro_pathexpr.Query.t ->
+  Repro_pathexpr.Label_path.t list
+(** The label paths one executed query contributes to the workload — at
+    most one entry, so a query contributes support exactly once. QTYPE1
+    paths as-is, QTYPE3 paths without their value predicate. For QTYPE2
+    the single most informative matched rewriting (the longest the
+    evaluator reported in [q2_paths], ties broken by path order; mining
+    counts contiguous subpaths, so nested shorter rewritings still
+    accrue); without evaluator feedback, the minimal [a.b] suffix.
+    Unknown-label queries contribute no path. *)
+
 val record_query :
   ?q2_paths:Repro_pathexpr.Label_path.t list ->
   t -> Repro_graph.Label.table -> Repro_pathexpr.Query.t -> unit
-(** Log a query: QTYPE1 paths are recorded as-is, QTYPE3 paths without
-    their value predicate.  QTYPE2 queries record the label paths the
-    rewrite search matched when the evaluator supplies them as
-    [q2_paths]; otherwise the minimal [a.b] suffix path is recorded.
-    Unknown-label queries are skipped (they contribute no label
-    path). *)
+(** Log {!paths_of_query} — one {!record} per returned path. *)
 
 val length : t -> int
 (** Entries currently held (≤ capacity). *)

@@ -33,14 +33,40 @@ let test_log_record_query () =
   Query_log.record_query log labels (Query.Qtype1 [ "unknown" ]);
   (* skipped: unknown label *)
   Alcotest.(check int) "three recorded" 3 (Query_log.length log);
-  (* evaluator feedback overrides the fallback: the matched rewritings are
-     recorded verbatim, however long *)
-  Query_log.record_query ~q2_paths:[ [ 1; 2; 3 ]; [ 4; 5 ] ] log labels
+  (* evaluator feedback overrides the fallback: one entry — the longest
+     matched rewriting; mining counts contiguous subpaths, so the nested
+     shorter rewriting still accrues through it *)
+  Query_log.record_query ~q2_paths:[ [ 4; 5 ]; [ 1; 2; 3 ] ] log labels
     (Query.Qtype2 ("movie", "title"));
-  Alcotest.(check int) "both rewritings recorded" 5 (Query_log.length log);
+  Alcotest.(check int) "single entry per query" 4 (Query_log.length log);
+  (match List.rev (Query_log.to_workload log) with
+   | last :: _ -> Alcotest.(check (list int)) "longest rewriting wins" [ 1; 2; 3 ] last
+   | [] -> Alcotest.fail "expected entries");
   (* an unresolvable fallback still records nothing *)
   Query_log.record_query log labels (Query.Qtype2 ("movie", "unknown"));
-  Alcotest.(check int) "unknown q2 skipped" 5 (Query_log.length log)
+  Alcotest.(check int) "unknown q2 skipped" 4 (Query_log.length log)
+
+let test_log_q2_single_support () =
+  (* regression: a QTYPE2 with several matched rewritings used to record
+     every one, so one executed query contributed support several times
+     and could promote paths no full query ever used at that rate *)
+  let g = F.movie_db () in
+  let labels = G.labels g in
+  let log = Query_log.create ~capacity:10 in
+  Query_log.record_query ~q2_paths:[ [ 4; 5 ]; [ 1; 2 ] ] log labels
+    (Query.Qtype2 ("movie", "title"));
+  Alcotest.(check int) "exactly one entry" 1 (Query_log.length log);
+  Alcotest.(check int) "one total" 1 (Query_log.total_recorded log);
+  (* equal lengths: ties broken by path order, deterministically *)
+  Query_log.record_query ~q2_paths:[ [ 4; 5 ]; [ 1; 2 ] ] log labels
+    (Query.Qtype2 ("movie", "title"));
+  Query_log.record_query ~q2_paths:[ [ 1; 2 ]; [ 4; 5 ] ] log labels
+    (Query.Qtype2 ("movie", "title"));
+  match List.rev (Query_log.to_workload log) with
+  | a :: b :: _ ->
+    Alcotest.(check (list int)) "order-independent tie-break" a b;
+    Alcotest.(check (list int)) "smallest path wins ties" [ 1; 2 ] a
+  | _ -> Alcotest.fail "expected two entries"
 
 let test_log_clear () =
   let log = Query_log.create ~capacity:3 in
@@ -302,6 +328,7 @@ let () =
         [ Alcotest.test_case "basics" `Quick test_log_basics;
           Alcotest.test_case "window slides" `Quick test_log_window_slides;
           Alcotest.test_case "record_query" `Quick test_log_record_query;
+          Alcotest.test_case "q2_single_support" `Quick test_log_q2_single_support;
           Alcotest.test_case "clear" `Quick test_log_clear;
           Alcotest.test_case "clear releases retained paths" `Quick test_log_clear_releases;
           Alcotest.test_case "bad capacity" `Quick test_log_rejects_bad_capacity;

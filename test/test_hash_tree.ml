@@ -103,6 +103,9 @@ let test_locate_unknown_label () =
 
 (* --- Figure 8 pruning --- *)
 
+(* support-only extraction: keep an entry iff its window count reaches k *)
+let by_count k ~path:_ ~count ~is_new:_ = count >= k
+
 let test_prune_drops_infrequent_subentry () =
   let tree = Hash_tree.create () in
   let gapex = fresh_gapex () in
@@ -112,8 +115,9 @@ let test_prune_drops_infrequent_subentry () =
   (* remainder of D *)
   Hash_tree.reset_marks tree;
   Hash_tree.count_workload tree [ [ a; d ]; [ c ]; [ a; d ] ];
-  (* minSup 0.6 over 3 queries: threshold 1.8 (the paper's example) *)
-  Hash_tree.prune tree ~threshold:1.8;
+  (* minSup 0.6 over 3 queries: integer threshold ceil(1.8) = 2 counts
+     (the paper's example) *)
+  Hash_tree.prune tree ~decide:(by_count 2);
   Alcotest.(check bool) "invariant" true (Hash_tree.check_invariant tree);
   (* B.D pruned: the slot for path X.B.D is now D's remainder, which was
      invalidated (it pointed to stale content) *)
@@ -131,7 +135,7 @@ let test_prune_keeps_head_entries () =
   Hash_tree.reset_marks tree;
   (* nothing in the new workload mentions B, but head entries survive *)
   Hash_tree.count_workload tree [ [ a ] ];
-  Hash_tree.prune tree ~threshold:0.9;
+  Hash_tree.prune tree ~decide:(by_count 1);
   Alcotest.(check bool) "B kept as length-1 required" true
     (Hash_tree.lookup_slot tree ~rev_path:[ b ] <> None)
 
@@ -144,7 +148,7 @@ let test_prune_invalidates_entry_gaining_subtree () =
   Hash_tree.reset_marks tree;
   (* A.D becomes frequent: D's old node covered all of T(D) and is stale *)
   Hash_tree.count_workload tree [ [ a; d ]; [ a; d ] ];
-  Hash_tree.prune tree ~threshold:1.5;
+  Hash_tree.prune tree ~decide:(by_count 2);
   Alcotest.(check bool) "invariant" true (Hash_tree.check_invariant tree);
   match Hash_tree.lookup_slot tree ~rev_path:[ d ] with
   | Some slot -> Alcotest.(check bool) "old D slot invalidated" true (Hash_tree.slot_get slot = None)
@@ -153,12 +157,12 @@ let test_prune_invalidates_entry_gaining_subtree () =
 let test_prune_collapses_empty_hnode () =
   let tree = Hash_tree.create () in
   Hash_tree.count_workload tree [ [ a; d ]; [ a; d ] ];
-  Hash_tree.prune tree ~threshold:1.5;
+  Hash_tree.prune tree ~decide:(by_count 2);
   Alcotest.(check int) "A, D, A.D" 3 (Hash_tree.n_entries tree);
   (* new workload never touches A.D: the subtree collapses *)
   Hash_tree.reset_marks tree;
   Hash_tree.count_workload tree [ [ b ]; [ b ] ];
-  Hash_tree.prune tree ~threshold:1.5;
+  Hash_tree.prune tree ~decide:(by_count 2);
   Alcotest.(check int) "A, D, B" 3 (Hash_tree.n_entries tree);
   (* D's entry is a plain maximal suffix again *)
   match Hash_tree.locate tree ~rev_path:[ d; a ] with

@@ -52,8 +52,8 @@ let test_threshold_boundary_miner_matches_index () =
   let an = F.path g [ "actor"; "name" ] in
   let mt = F.path g [ "movie"; "title" ] in
   let workload = [ an; an; mt; F.path g [ "name" ] ] in
-  Alcotest.(check (float 0.0)) "integral threshold" 2.0
-    (Path_miner.support_threshold ~min_support:0.5 ~n_queries:4);
+  Alcotest.(check int) "integral threshold" 2
+    (Path_miner.support_count ~min_support:0.5 ~n_queries:4);
   let freq = Path_miner.frequent ~min_support:0.5 workload in
   Alcotest.(check bool) "boundary path kept by the miner" true (List.mem an freq);
   Alcotest.(check bool) "below-threshold path pruned by the miner" false (List.mem mt freq);
@@ -69,6 +69,29 @@ let test_threshold_boundary_miner_matches_index () =
   | Some (Repro_apex.Hash_tree.Exact _) ->
     Alcotest.fail "pruned path must not get an exact slot"
   | Some (Repro_apex.Hash_tree.Approx _) | None -> ()
+
+let test_support_count_float_boundary () =
+  (* regression: the old float threshold compared counts against
+     [min_support *. n_queries] directly, so products that are not
+     representable (0.1 * 30 = 3.0000000000000004) pushed a path with
+     exactly the boundary count below the bar on some (minsup, window)
+     pairs and above it on others. The integer threshold snaps
+     near-integral products before ceiling. *)
+  Alcotest.(check int) "0.1 x 30 snaps to 3" 3
+    (Path_miner.support_count ~min_support:0.1 ~n_queries:30);
+  Alcotest.(check int) "0.7 x 10 snaps to 7" 7
+    (Path_miner.support_count ~min_support:0.7 ~n_queries:10);
+  Alcotest.(check int) "non-integral products still ceil" 16
+    (Path_miner.support_count ~min_support:0.04 ~n_queries:400);
+  Alcotest.(check int) "paper example: 0.6 x 3 -> 2" 2
+    (Path_miner.support_count ~min_support:0.6 ~n_queries:3);
+  (* a count exactly at the snapped boundary is frequent *)
+  let queries =
+    List.init 30 (fun i -> if i < 3 then [ 0; 1 ] else [ 2 ])
+  in
+  let freq = Path_miner.frequent ~min_support:0.1 queries in
+  Alcotest.(check bool) "3-of-30 at minsup 0.1 is frequent" true
+    (List.mem [ 0; 1 ] freq)
 
 let test_broken_antimonotonicity_example () =
   (* A.B.C frequent does NOT make the non-contiguous A.C frequent — it is
@@ -139,6 +162,8 @@ let () =
           Alcotest.test_case "threshold equality" `Quick test_threshold_equality_keeps;
           Alcotest.test_case "integral threshold: miner = index" `Quick
             test_threshold_boundary_miner_matches_index;
+          Alcotest.test_case "float boundary support counts" `Quick
+            test_support_count_float_boundary;
           Alcotest.test_case "broken anti-monotonicity" `Quick test_broken_antimonotonicity_example;
           Alcotest.test_case "required includes singles" `Quick test_required_includes_singles
         ] );

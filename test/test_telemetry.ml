@@ -265,6 +265,32 @@ let prop_merge_assoc =
       equal_counts (merge (merge ha hb) hc) (merge ha (merge hb hc))
       && equal_counts (merge ha hb) (merge hb ha))
 
+let prop_merge_sum_stable =
+  (* [sum] is carried as a compensated (hi, comp) pair and merge combines
+     the pairs with error-free transformations, so the merged sum must be
+     *bit-identical* no matter how shards are associated or ordered — the
+     guarantee that lets sharded collectors merge in whatever order their
+     threads finish. Float.equal, not a tolerance. *)
+  QCheck.Test.make ~count:300 ~name:"merged sum is association-invariant"
+    (QCheck.triple arb_samples arb_samples arb_samples)
+    (fun (a, b, c) ->
+      let ha = of_samples a and hb = of_samples b and hc = of_samples c in
+      let open Metrics.Histogram in
+      Float.equal (sum (merge (merge ha hb) hc)) (sum (merge ha (merge hb hc)))
+      && Float.equal (sum (merge ha hb)) (sum (merge hb ha)))
+
+let test_sum_compensation () =
+  (* regression: the histogram sum used to be a bare [+.] accumulator, so
+     recording [1e16; 1.; -1e16] returned 0. — the 1. fell below the
+     accumulator's ulp and p50/p99 reports on long mixed-magnitude runs
+     drifted. The compensated pair keeps it. *)
+  let h = of_samples [ 1e16; 1.; -1e16 ] in
+  Alcotest.(check (float 0.0)) "small term survives" 1. (Metrics.Histogram.sum h);
+  let shards = [ of_samples [ 1e16 ]; of_samples [ 1. ]; of_samples [ -1e16 ] ] in
+  let merged = List.fold_left Metrics.Histogram.merge (Metrics.Histogram.create ()) shards in
+  Alcotest.(check (float 0.0)) "survives sharded merge too" 1.
+    (Metrics.Histogram.sum merged)
+
 let prop_merge_is_concat =
   QCheck.Test.make ~count:300 ~name:"merge a b = histogram of a @ b"
     (QCheck.pair arb_samples arb_samples)
@@ -324,6 +350,8 @@ let () =
       ( "histogram_properties",
         [
           QCheck_alcotest.to_alcotest prop_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_merge_sum_stable;
+          Alcotest.test_case "compensated sum" `Quick test_sum_compensation;
           QCheck_alcotest.to_alcotest prop_merge_is_concat;
           QCheck_alcotest.to_alcotest prop_bucket_conservation;
           QCheck_alcotest.to_alcotest prop_quantile_bounded;
