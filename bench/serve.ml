@@ -8,10 +8,21 @@
    bench is a differential pass, not just a timing. *)
 
 module Driver = Repro_server.Driver
+module Server = Repro_server.Server
 module Dataset = Repro_datagen.Dataset
 module Experiments = Repro_harness.Experiments
+module Slo = Repro_telemetry.Slo
+module Export = Repro_telemetry.Export
+module Json = Repro_telemetry.Json
 
-let run (config : Experiments.config) ~out =
+(* With --obs PREFIX the run turns the observability layer on — SLO
+   monitor (default or --slo objectives), latency watchdog, auto incident
+   dumps — and ends by writing the introspection document, a forced
+   incident dump, and a Prometheus-style exposition next to the JSON
+   report. The CI observability-smoke job validates these artifacts. *)
+let obs_watchdog = 0.25  (* seconds; far above any healthy query *)
+
+let run ?obs ?slo (config : Experiments.config) ~out =
   let spec =
     match config.Experiments.datasets with
     | spec :: _ -> Dataset.scaled spec config.Experiments.scale
@@ -20,10 +31,32 @@ let run (config : Experiments.config) ~out =
   Printf.printf "serve: dataset %s (target %d nodes)\n%!" spec.Dataset.name
     spec.Dataset.target_nodes;
   let g = Dataset.build_graph spec in
-  let report = Driver.run g in
+  let driver_config =
+    match obs with
+    | None -> Driver.default_config
+    | Some prefix ->
+      { Driver.default_config with
+        Driver.slo = Option.value slo ~default:Slo.default_objectives;
+        watchdog = Some obs_watchdog;
+        incident_path = Some (prefix ^ ".incident.json")
+      }
+  in
+  let report = Driver.run ~config:driver_config g in
   let mismatches = Driver.verify_observations report in
   let json = Driver.report_json ~dataset:spec.Dataset.name ~checksum_mismatches:mismatches report in
   Out_channel.with_open_text out (fun oc -> output_string oc json);
+  (match obs with
+   | None -> ()
+   | Some prefix ->
+     let server = report.Driver.server in
+     Server.incident_dump ~reason:"bench serve: forced dump" server
+       (prefix ^ ".incident.json");
+     Export.save_exposition (prefix ^ ".prom") (Server.metrics server);
+     Out_channel.with_open_text (prefix ^ ".status.json") (fun oc ->
+         output_string oc (Json.to_string (Server.introspect server));
+         output_char oc '\n');
+     Printf.printf "serve: wrote %s.incident.json, %s.prom, %s.status.json\n%!" prefix
+       prefix prefix);
   let h = Driver.merged_latencies report in
   let q p = Repro_telemetry.Metrics.Histogram.quantile h p *. 1e6 in
   Printf.printf

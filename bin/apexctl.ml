@@ -216,16 +216,40 @@ let cmd_drift_check report max_rtc =
    dataset: N reader domains against a live writer applying update batches
    and refreshes, every observation differentially verified against the
    single-threaded oracle at its pinned generation. Exit 1 on any reader
-   error, stall, or oracle mismatch. *)
-let cmd_serve dataset scale readers queries batches seed out =
+   error, stall, or oracle mismatch. With --obs PREFIX the observability
+   layer comes on (SLO monitor, latency watchdog, auto incident dumps)
+   and the run ends by writing PREFIX.incident.json (forced flight dump),
+   PREFIX.prom (exposition), and PREFIX.status.json (introspection — the
+   document `apexctl top` renders). *)
+let cmd_serve dataset scale readers queries batches seed out obs slo_spec watchdog =
   let spec =
     match Repro_datagen.Dataset.by_name dataset with
     | Some spec -> Repro_datagen.Dataset.scaled spec scale
     | None -> die "apexctl serve: unknown dataset %s" dataset
   in
   let module Driver = Repro_server.Driver in
+  let module Server = Repro_server.Server in
+  let module Slo = Repro_telemetry.Slo in
   let config =
     { Driver.default_config with Driver.readers; queries_per_reader = queries; batches; seed }
+  in
+  let config =
+    match obs with
+    | None -> config
+    | Some prefix ->
+      let slo =
+        match slo_spec with
+        | None -> Slo.default_objectives
+        | Some spec ->
+          (match Slo.parse_objectives spec with
+           | Ok objectives -> objectives
+           | Error e -> die "apexctl serve: --slo: %s" e)
+      in
+      { config with
+        Driver.slo;
+        watchdog = Some watchdog;
+        incident_path = Some (prefix ^ ".incident.json")
+      }
   in
   let g = Repro_datagen.Dataset.build_graph spec in
   let report = Driver.run ~config g in
@@ -239,8 +263,186 @@ let cmd_serve dataset scale readers queries batches seed out =
      Out_channel.with_open_text file (fun oc -> output_string oc json);
      Printf.printf "%d queries on %d readers across %d publishes, %d mismatches -> %s\n"
        (Driver.total_queries report) readers report.Driver.publishes mismatches file);
+  (match obs with
+   | None -> ()
+   | Some prefix ->
+     let server = report.Driver.server in
+     Server.incident_dump ~reason:"apexctl serve: forced dump" server
+       (prefix ^ ".incident.json");
+     Repro_telemetry.Export.save_exposition (prefix ^ ".prom") (Server.metrics server);
+     Out_channel.with_open_text (prefix ^ ".status.json") (fun oc ->
+         output_string oc (Json.to_string (Server.introspect server));
+         output_char oc '\n');
+     Printf.printf "wrote %s.incident.json, %s.prom, %s.status.json\n" prefix prefix
+       prefix);
   if Driver.total_errors report > 0 || Driver.stalled_readers report > 0 || mismatches > 0
   then exit 1
+
+(* --- top: terminal dashboard over the introspection document --- *)
+
+let jget path json =
+  List.fold_left (fun acc key -> Option.bind acc (Json.member key)) (Some json) path
+
+let jnum path json = Option.bind (jget path json) Json.to_float
+let jstr path json = Option.bind (jget path json) Json.to_str
+let jarr path json = match jget path json with Some (Json.Arr l) -> l | _ -> []
+
+let jint path json =
+  match jnum path json with Some f -> Printf.sprintf "%.0f" f | None -> "-"
+
+let pp_seconds = function
+  | None -> "-"
+  | Some s -> Export.pp_duration s
+
+(* One frame of the dashboard: server counters, every live epoch with its
+   pin count and age, per-generation attribution, SLO status, policy
+   hysteresis state, and the flight recorder's ring. *)
+let render_top json =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "apex server  generation %s  publishes %s  rollbacks %s  incidents %s\n"
+    (jint [ "server"; "generation" ] json)
+    (jint [ "server"; "publishes" ] json)
+    (jint [ "server"; "rollbacks" ] json)
+    (jint [ "server"; "incidents" ] json);
+  add "feedback     drained %s  dropped %s  attributed %s\n\n"
+    (jint [ "server"; "feedback_drained" ] json)
+    (jint [ "server"; "feedback_dropped" ] json)
+    (jint [ "server"; "observed_queries" ] json);
+  add "EPOCHS     gen  state      pins      age\n";
+  List.iter
+    (fun e ->
+      add "        %6s  %-8s %5s %8s\n" (jint [ "generation" ] e)
+        (Option.value (jstr [ "state" ] e) ~default:"-")
+        (jint [ "pins" ] e)
+        (match jnum [ "age_seconds" ] e with
+         | Some a -> Printf.sprintf "%.1fs" a
+         | None -> "-"))
+    (jarr [ "epochs" ] json);
+  let attribution = jarr [ "attribution" ] json in
+  if attribution <> [] then begin
+    add "\nBY EPOCH   gen  queries    pages    edges    joins      p50      p99\n";
+    List.iter
+      (fun a ->
+        add "        %6s %8s %8s %8s %8s %8s %8s\n" (jint [ "generation" ] a)
+          (jint [ "queries" ] a)
+          (jint [ "extent_pages" ] a)
+          (jint [ "extent_edges" ] a)
+          (jint [ "join_edges" ] a)
+          (pp_seconds (jnum [ "latency"; "p50" ] a))
+          (pp_seconds (jnum [ "latency"; "p99" ] a)))
+      attribution
+  end;
+  (match jarr [ "slo"; "objectives" ] json with
+   | [] -> add "\nSLO        (not configured)\n"
+   | objectives ->
+     add "\nSLO        name   target  threshold  samples  estimate     burn  breaches\n";
+     List.iter
+       (fun o ->
+         add "        %6s  %7s %10s %8s %9s %8s %9s%s\n"
+           (Option.value (jstr [ "name" ] o) ~default:"-")
+           (match jnum [ "quantile" ] o with
+            | Some q -> Printf.sprintf "p%g" (q *. 100.)
+            | None -> "-")
+           (pp_seconds (jnum [ "threshold" ] o))
+           (jint [ "samples" ] o)
+           (pp_seconds (jnum [ "estimate" ] o))
+           (match jnum [ "burn_rate" ] o with
+            | Some r -> Printf.sprintf "%.2f" r
+            | None -> "-")
+           (jint [ "breaches" ] o)
+           (if jget [ "breached" ] o = Some (Json.Bool true) then "  BREACHED" else ""))
+       objectives);
+  (match jget [ "policy" ] json with
+   | Some (Json.Obj _ as p) ->
+     add "\nPOLICY     queries %.1f  tracked %s  indexed %s  refreshes %s  +%s/-%s (last %s)\n"
+       (Option.value (jnum [ "observed_queries" ] p) ~default:0.)
+       (jint [ "tracked_paths" ] p) (jint [ "indexed_paths" ] p)
+       (jint [ "refreshes" ] p) (jint [ "promotions" ] p) (jint [ "evictions" ] p)
+       (jint [ "last_changes" ] p)
+   | _ -> add "\nPOLICY     (support-only mining)\n");
+  add "\nFLIGHT     recorded %s  retained %s  trips %s  dumps %s  armed %s\n"
+    (jint [ "flight"; "recorded" ] json)
+    (jint [ "flight"; "retained" ] json)
+    (jint [ "flight"; "trips" ] json)
+    (jint [ "flight"; "dumps" ] json)
+    (match jget [ "flight"; "armed" ] json with
+     | Some (Json.Bool b) -> string_of_bool b
+     | _ -> "-");
+  Buffer.contents b
+
+let cmd_top file interval once =
+  let frame () =
+    match Json.parse (read_file ~ctx:"top" file) with
+    | Ok json -> render_top json
+    | Error e -> die "apexctl top: %s: %s" file e
+  in
+  if once then print_string (frame ())
+  else begin
+    (* poll the status file a live serve run keeps rewriting; ^C exits *)
+    let rec loop () =
+      let body = frame () in
+      Printf.printf "\027[2J\027[H%s\n(polling %s every %.1fs — ^C to quit)\n%!" body
+        file interval;
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  end
+
+(* --- incident-dump: validate + summarize a flight-recorder dump --- *)
+
+let cmd_incident_dump file schema =
+  let json =
+    match Json.parse (read_file ~ctx:"incident-dump" file) with
+    | Ok v -> v
+    | Error e -> die "apexctl incident-dump: %s: %s" file e
+  in
+  (match schema with
+   | None -> ()
+   | Some schema_path ->
+     (match Repro_telemetry.Flight.validate_file ~schema_path file with
+      | Ok () -> Printf.printf "%s: conforms to %s\n" file schema_path
+      | Error errors ->
+        Printf.printf "%s: %d schema violation(s)\n" file (List.length errors);
+        List.iteri (fun i e -> if i < 20 then Printf.printf "  %s\n" e) errors;
+        exit 1));
+  Printf.printf "incident: %s (after %ss up; %s events recorded, %s retained, %s trips)\n"
+    (Option.value (jstr [ "incident"; "reason" ] json) ~default:"?")
+    (jint [ "incident"; "uptime_seconds" ] json)
+    (jint [ "incident"; "recorded" ] json)
+    (jint [ "incident"; "retained" ] json)
+    (jint [ "incident"; "watchdog_trips" ] json);
+  (* events by kind, then the largest metric movements since baseline *)
+  let by_kind = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match jstr [ "kind" ] e with
+      | Some k ->
+        Hashtbl.replace by_kind k (1 + Option.value (Hashtbl.find_opt by_kind k) ~default:0)
+      | None -> ())
+    (jarr [ "events" ] json);
+  let kinds = Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_kind [] in
+  List.iter
+    (fun (k, n) -> Printf.printf "  %-14s %6d\n" k n)
+    (List.sort (fun (_, a) (_, b) -> Int.compare b a) kinds);
+  let deltas =
+    List.filter_map
+      (fun m ->
+        match (jstr [ "name" ] m, jnum [ "delta" ] m) with
+        | Some name, Some d when not (Float.equal d 0.) -> Some (name, d)
+        | _ -> None)
+      (jarr [ "metrics" ] json)
+  in
+  let spans = List.length (jarr [ "spans" ] json) in
+  if spans > 0 then Printf.printf "  %d trace spans attached\n" spans;
+  if deltas <> [] then begin
+    Printf.printf "top metric movements since baseline:\n";
+    List.iteri
+      (fun i (name, d) ->
+        if i < 12 then Printf.printf "  %-40s %+.0f\n" name d)
+      (List.sort (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a)) deltas)
+  end
 
 (* `lint-report` runs the same analysis as `dune build @lint` but emits
    the machine-readable report. Must run from the workspace root with a
@@ -351,6 +553,31 @@ let serve_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the serve report to $(docv) ($(b,-) for standard output).")
   in
+  let obs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs" ] ~docv:"PREFIX"
+          ~doc:
+            "Run with the observability layer on (SLO monitor, latency watchdog, auto \
+             incident dumps) and write $(docv).incident.json, $(docv).prom, and \
+             $(docv).status.json.")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "SLO objectives as name:pQQ:threshold_seconds specs joined by commas \
+             (with --obs; default q1/q2/q3 at p99 <= 50ms).")
+  in
+  let watchdog =
+    Arg.(
+      value & opt float 0.25
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:"Latency watchdog threshold for the flight recorder (with --obs).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -359,7 +586,51 @@ let serve_cmd =
           latency/lifecycle report; every reader observation is verified against the \
           single-threaded oracle at its pinned generation (exit 1 on any mismatch, \
           error, or stall).")
-    Term.(const cmd_serve $ dataset $ scale $ readers $ queries $ batches $ seed $ out)
+    Term.(
+      const cmd_serve $ dataset $ scale $ readers $ queries $ batches $ seed $ out $ obs
+      $ slo $ watchdog)
+
+let top_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"STATUS.json")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between polls of the status file.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Render a single frame and exit (no screen clearing).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Terminal dashboard over a server introspection document (the .status.json a \
+          serve run with --obs writes): live epochs with pin counts, per-generation \
+          attribution, SLO status, policy hysteresis state, and the flight recorder.")
+    Term.(const cmd_top $ file $ interval $ once)
+
+let incident_dump_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INCIDENT.json")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA.json"
+          ~doc:
+            "Validate the incident file against this contract first (see \
+             schemas/incident_schema.json); exit 1 on violation.")
+  in
+  Cmd.v
+    (Cmd.info "incident-dump"
+       ~doc:
+         "Validate and summarize a flight-recorder incident file: reason, uptime, \
+          events by kind, and the largest metric movements since the baseline.")
+    Term.(const cmd_incident_dump $ file $ schema)
 
 let lint_report_cmd =
   let build_dir =
@@ -409,6 +680,7 @@ let lint_report_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "apexctl" ~doc:"Telemetry introspection for the APEX reproduction")
-    [ stats_cmd; validate_cmd; bench_diff_cmd; drift_check_cmd; serve_cmd; lint_report_cmd ]
+    [ stats_cmd; validate_cmd; bench_diff_cmd; drift_check_cmd; serve_cmd; top_cmd;
+      incident_dump_cmd; lint_report_cmd ]
 
 let () = exit (Cmd.eval cmd)

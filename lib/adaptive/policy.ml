@@ -210,3 +210,29 @@ let refreshes t = t.n_refreshes
 let total_promotions t = t.n_promotions
 let total_evictions t = t.n_evictions
 let last_changes t = t.n_last_changes
+
+(* Live policy state for the introspection endpoint: config, the current
+   hysteresis band edges (recomputed exactly as [plan] does), and the
+   cumulative adaptation counters. *)
+let state_json t =
+  let module Json = Repro_telemetry.Json in
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  let base = t.config.min_support *. Float.max 1. (Attr.queries t.attr) in
+  Json.Obj
+    [ ("min_support", num t.config.min_support);
+      ("decay", num t.config.decay);
+      ("hysteresis", num t.config.hysteresis);
+      ("cost_weight", num t.config.cost_weight);
+      ("cost_scale", num t.config.cost_scale);
+      ("observed_queries", num (Attr.queries t.attr));
+      ("support_base", num base);
+      ("promote_edge", num (base *. (1. +. t.config.hysteresis)));
+      ("retain_edge", num (base *. (1. -. t.config.hysteresis)));
+      ("tracked_paths", int (Attr.tracked t.attr));
+      ("indexed_paths", int (PH.length t.indexed));
+      ("rolls", int (Attr.rolls t.attr));
+      ("refreshes", int t.n_refreshes);
+      ("promotions", int t.n_promotions);
+      ("evictions", int t.n_evictions);
+      ("last_changes", int t.n_last_changes) ]

@@ -136,3 +136,9 @@ val total_evictions : t -> int
 val last_changes : t -> int
 (** Promotions + evictions in the most recently committed plan — 0 once
     the policy has converged on a stationary workload. *)
+
+val state_json : t -> Repro_telemetry.Json.t
+(** Live policy state for [Server.introspect]: config, the current
+    hysteresis band edges ([support_base] / [promote_edge] /
+    [retain_edge], recomputed as {!plan} would), and the cumulative
+    adaptation counters. *)

@@ -28,6 +28,9 @@ let materialize t =
 let create ?(log_capacity = 1000) ?(min_support = 0.005) ?(refresh_every = 500) ?pool
     ?snapshot ?policy graph =
   let metrics = Metrics.create () in
+  (* allocation regressions show up next to the adaptation counters in
+     every snapshot (bench --json, apexctl, the exposition endpoint) *)
+  Metrics.register_gc metrics;
   (match pool with
    | Some pool ->
      let stats = Repro_storage.Pager.stats (Repro_storage.Buffer_pool.pager pool) in

@@ -572,11 +572,19 @@ let json_bench config ~out =
           (json_of_measure q1) (json_of_measure q2) (json_of_measure q3) io)
       config.datasets
   in
+  (* process-wide GC state at snapshot time: allocation regressions show
+     up in the same artifact CI already diffs *)
+  let gc =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %.0f" k v)
+         (Repro_telemetry.Metrics.gc_source ()))
+  in
   let doc =
     Printf.sprintf
       "{\n  \"config\": {\"scale\": %g, \"n_q1\": %d, \"n_q2\": %d, \"n_q3\": %d, \
-       \"min_support\": %g, \"verified\": %b},\n  \"datasets\": [\n%s\n  ]\n}\n"
-      config.scale config.n_q1 config.n_q2 config.n_q3 ms config.verify
+       \"min_support\": %g, \"verified\": %b},\n  \"gc\": {%s},\n  \"datasets\": [\n%s\n  ]\n}\n"
+      config.scale config.n_q1 config.n_q2 config.n_q3 ms config.verify gc
       (String.concat ",\n" dataset_rows)
   in
   let oc = open_out out in

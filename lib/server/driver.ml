@@ -38,6 +38,9 @@ type config = {
   log_observations : bool;
   max_logged_passes : int;  (* observation bound per reader; the final
                                post-publish pass is always logged *)
+  slo : Repro_telemetry.Slo.objective list;  (* [] = no monitor *)
+  watchdog : float option;  (* per-query latency watchdog, seconds *)
+  incident_path : string option;  (* auto-dump target for trips/breaches *)
 }
 
 let default_config =
@@ -49,7 +52,10 @@ let default_config =
     tuner_refresh_every = 1_000_000;
     seed = 1;
     log_observations = true;
-    max_logged_passes = 4
+    max_logged_passes = 4;
+    slo = [];
+    watchdog = None;
+    incident_path = None
   }
 
 type observation = {
@@ -80,6 +86,7 @@ type report = {
   feedback_drained : int;
   feedback_dropped : int;
   wall_seconds : float;
+  server : Server.t;  (* kept alive for introspection / incident dumps *)
 }
 
 (* Same FNV-1a fold as Measure.checksum over a single result array, so
@@ -152,7 +159,9 @@ let chunk n xs =
 let run ?(config = default_config) graph =
   if config.readers < 1 then invalid_arg "Driver.run: need at least one reader";
   let server =
-    Server.create ~refresh_every:config.tuner_refresh_every ~min_support:0.05 graph
+    Server.create ~refresh_every:config.tuner_refresh_every ~min_support:0.05
+      ~slo:config.slo ?watchdog:config.watchdog ?incident_path:config.incident_path
+      graph
   in
   let history = ref [] in
   let record_generation () =
@@ -201,6 +210,10 @@ let run ?(config = default_config) graph =
   Atomic.set writer_done true;
   let outcomes = Array.map Domain.join domains in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  (* one last drain now that every reader has finished: the final pass's
+     observations reach the attribution table, so per-generation query
+     totals reconcile exactly with total_queries - feedback_dropped *)
+  ignore (Server.drain_feedback server : int * int option);
   ignore (Server.retire server : int);
   { config;
     outcomes;
@@ -211,7 +224,8 @@ let run ?(config = default_config) graph =
     writer_ops;
     feedback_drained = Server.feedback_drained server;
     feedback_dropped = Server.feedback_dropped server;
-    wall_seconds
+    wall_seconds;
+    server
   }
 
 (* --- post-hoc differential verification --- *)

@@ -21,11 +21,18 @@ type config = {
   max_logged_passes : int;
       (** per-reader observation bound; the final post-publish pass is
           always logged regardless *)
+  slo : Repro_telemetry.Slo.objective list;
+      (** SLO objectives passed to {!Server.create}; [[]] = no monitor *)
+  watchdog : float option;  (** flight-recorder latency watchdog, seconds *)
+  incident_path : string option;
+      (** where the server auto-dumps an incident file on a watchdog trip
+          or SLO breach *)
 }
 
 val default_config : config
 (** 3 readers x 60 queries, 8 batches of 4 ops, refresh every 2 batches,
-    seed 1, observations logged for the first 4 passes. *)
+    seed 1, observations logged for the first 4 passes; no SLO monitor,
+    watchdog, or incident path. *)
 
 type observation = {
   obs_pass : int;
@@ -59,6 +66,9 @@ type report = {
   feedback_drained : int;
   feedback_dropped : int;
   wall_seconds : float;
+  server : Server.t;
+      (** the server the run exercised, kept for {!Server.introspect} /
+          {!Server.incident_dump} / {!Server.attribution} after the fact *)
 }
 
 val checksum : int array -> int

@@ -26,6 +26,7 @@
 type 'a entry = {
   generation : int;
   payload : 'a;
+  born : float;  (* wall-clock publish time, for epoch ages in [info] *)
   pins : int Atomic.t;
   freed : bool Atomic.t;
       (* observability for the test harness: set exactly once, by the
@@ -50,7 +51,11 @@ type 'a t = {
 [@@apex.shared]
 
 let make_entry ~generation payload =
-  { generation; payload; pins = Atomic.make 0; freed = Atomic.make false }
+  { generation;
+    payload;
+    born = Unix.gettimeofday ();
+    pins = Atomic.make 0;
+    freed = Atomic.make false }
 
 let create payload =
   { current = Atomic.make (make_entry ~generation:1 payload);
@@ -138,6 +143,36 @@ let live_retired t =
   let n = List.length t.retired in
   Mutex.unlock t.writer;
   n
+
+(* Per-entry view of everything the registry is holding alive, for the
+   introspection endpoint: the current entry, the rollback target, and
+   the retire list, each with its pin count and age. Taken under the
+   writer lock, so the listing is a consistent cut of writer state (pin
+   counts themselves stay racy snapshots, as everywhere). *)
+type info = {
+  info_generation : int;
+  info_state : string;  (* "current" | "previous" | "retired" *)
+  info_pins : int;
+  info_age : float;  (* seconds since the entry was created *)
+}
+
+let info t =
+  Mutex.lock t.writer;
+  let now = Unix.gettimeofday () in
+  let of_entry state e =
+    { info_generation = e.generation;
+      info_state = state;
+      info_pins = Atomic.get e.pins;
+      info_age = now -. e.born }
+  in
+  let infos =
+    (of_entry "current" (Atomic.get t.current)
+     ::
+     (match t.previous with Some p -> [ of_entry "previous" p ] | None -> []))
+    @ List.map (of_entry "retired") t.retired
+  in
+  Mutex.unlock t.writer;
+  infos
 
 type stats = { generations : int; freed : int; retired_live : int; rolled_back : int }
 

@@ -71,6 +71,18 @@ val is_freed : 'a entry -> bool
 (** Test-harness observability: a reader holding a validated pin must
     never see [true]. *)
 
+type info = {
+  info_generation : int;
+  info_state : string;  (** ["current"], ["previous"], or ["retired"] *)
+  info_pins : int;
+  info_age : float;  (** seconds since the entry was created *)
+}
+
+val info : 'a t -> info list
+(** Every entry the registry is holding alive — current first, then the
+    rollback target (if any), then the retire list — with pin counts and
+    ages. A consistent cut of writer state, for {!Server.introspect}. *)
+
 type stats = {
   generations : int;  (** total generations ever published (incl. the first) *)
   freed : int;  (** entries drained by {!retire} so far *)

@@ -20,7 +20,11 @@
 
 module Tr = Repro_telemetry.Trace
 module Metrics = Repro_telemetry.Metrics
+module Flight = Repro_telemetry.Flight
+module Slo = Repro_telemetry.Slo
+module Json = Repro_telemetry.Json
 module Self_tuning = Repro_adaptive.Self_tuning
+module Policy = Repro_adaptive.Policy
 module Registry = Epoch_registry
 
 (* one reader-executed query with its measured signals: the drain path
@@ -29,6 +33,8 @@ module Registry = Epoch_registry
 type observation = {
   ob_query : Repro_pathexpr.Query.t;
   ob_q2_paths : Repro_pathexpr.Label_path.t list;
+  ob_generation : int;  (* generation that served the query *)
+  ob_extent_pages : int;
   ob_extent_edges : int;
   ob_join_edges : int;
   ob_latency : float;
@@ -42,6 +48,31 @@ type feedback = {
       (* pushes refused because the buffer was full; under [fb_lock] *)
 }
 
+(* Per-generation accounting, filled by the writer as it drains feedback:
+   what each serving generation cost, so "generation 7 was 3x slower than
+   6" is a queryable fact rather than archaeology. Bounded to the last
+   [max_attributed] generations (old cells are evicted lowest-generation
+   first). *)
+type attribution_cell = {
+  at_generation : int;
+  mutable at_queries : int; [@apex.guarded "writer"]
+  mutable at_extent_pages : int; [@apex.guarded "writer"]
+  mutable at_extent_edges : int; [@apex.guarded "writer"]
+  mutable at_join_edges : int; [@apex.guarded "writer"]
+  at_latency : Metrics.histogram;  (* seconds *)
+}
+
+type epoch_totals = {
+  ep_generation : int;
+  ep_queries : int;
+  ep_extent_pages : int;
+  ep_extent_edges : int;
+  ep_join_edges : int;
+  ep_latency : Metrics.histogram;
+}
+
+let max_attributed = 64
+
 type t = {
   tuner : Self_tuning.t;  (* writer-domain only *)
   registry : Epoch.t Registry.t;
@@ -49,11 +80,25 @@ type t = {
   writer : Mutex.t;  (* serializes every writer-side operation *)
   feedback : feedback;
   metrics : Metrics.t;
+  flight : Flight.t;  (* writer-domain only (record/tick/dump) *)
+  slo : Slo.t option;  (* writer-domain only *)
+  slo_idx : int array;  (* objective index per qtype (1/2/3), -1 = none *)
+  incident_path : string option;  (* auto-dump target for trips/breaches *)
+  attribution : (int, attribution_cell) Hashtbl.t; [@apex.guarded "writer"]
+      (* generation -> cost totals; writer-owned under [writer] *)
   c_publishes : Metrics.counter;
   c_epochs_freed : Metrics.counter;
   c_rollbacks : Metrics.counter;
   c_drained : Metrics.counter;
+  c_observed : Metrics.counter;
+  c_obs_extent_pages : Metrics.counter;
+  c_obs_extent_edges : Metrics.counter;
+  c_obs_join_edges : Metrics.counter;
+  c_incidents : Metrics.counter;
   g_generation : Metrics.gauge;
+  h_latency : Metrics.histogram;
+      (* registry-level query latency (seconds) — the exposition's
+         histogram family; per-epoch splits live in [attribution] *)
 }
 
 let snapshot_epoch t =
@@ -74,10 +119,18 @@ let publish_locked t =
   let freed = Registry.retire t.registry in
   Tr.end_arg rtok freed;
   Metrics.add t.c_epochs_freed freed;
+  Flight.tick t.flight;
+  Flight.record t.flight Flight.Publish ~a:generation ~b:freed;
+  if freed > 0 then Flight.record t.flight Flight.Retire ~a:freed ~b:0;
   generation
 
+(* SLO objectives named "q1"/"q2"/"q3" receive the server's per-qtype
+   latencies automatically; other names are the caller's to feed. *)
+let qtype_names = [| "q1"; "q2"; "q3" |] [@@apex.guarded "readonly"]
+
 let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity = 4096)
-    ?pool ?snapshot ?policy graph =
+    ?pool ?snapshot ?policy ?slo ?(slo_subwindows = 6) ?watchdog ?incident_path
+    ?(flight_capacity = Flight.default_capacity) graph =
   let tuner =
     Self_tuning.create ?log_capacity ?min_support ~refresh_every ?pool ?snapshot ?policy
       graph
@@ -92,6 +145,23 @@ let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity
          (Self_tuning.apex tuner))
   in
   let metrics = Self_tuning.metrics tuner in
+  let slo =
+    match slo with
+    | None | Some [] -> None
+    | Some objectives -> Some (Slo.create ~subwindows:slo_subwindows objectives)
+  in
+  let slo_idx =
+    Array.map
+      (fun name ->
+        match slo with
+        | None -> -1
+        | Some s -> (match Slo.index s name with Some i -> i | None -> -1))
+      qtype_names
+  in
+  let flight = Flight.create ~capacity:flight_capacity ~metrics () in
+  (match watchdog with
+   | Some threshold -> Flight.set_watchdog flight ~threshold
+   | None -> ());
   let t =
     { tuner;
       registry;
@@ -104,11 +174,22 @@ let create ?log_capacity ?min_support ?(refresh_every = 500) ?(feedback_capacity
           fb_dropped = 0
         };
       metrics;
+      flight;
+      slo;
+      slo_idx;
+      incident_path;
+      attribution = Hashtbl.create 32;
       c_publishes = Metrics.counter metrics "server.publishes";
       c_epochs_freed = Metrics.counter metrics "server.epochs_freed";
       c_rollbacks = Metrics.counter metrics "server.rollbacks";
       c_drained = Metrics.counter metrics "server.feedback_drained";
-      g_generation = Metrics.gauge metrics "server.generation"
+      c_observed = Metrics.counter metrics "server.observed_queries";
+      c_obs_extent_pages = Metrics.counter metrics "server.observed_extent_pages";
+      c_obs_extent_edges = Metrics.counter metrics "server.observed_extent_edges";
+      c_obs_join_edges = Metrics.counter metrics "server.observed_join_edges";
+      c_incidents = Metrics.counter metrics "server.incidents";
+      g_generation = Metrics.gauge metrics "server.generation";
+      h_latency = Metrics.histogram metrics "server.query_latency_seconds"
     }
   in
   Metrics.set t.g_generation 1.;
@@ -160,6 +241,8 @@ let query_pinned t q =
   offer_feedback t
     { ob_query = q;
       ob_q2_paths = !q2_paths;
+      ob_generation = generation;
+      ob_extent_pages = cost.Repro_storage.Cost.extent_pages;
       ob_extent_edges = cost.Repro_storage.Cost.extent_edges;
       ob_join_edges = cost.Repro_storage.Cost.join_edges;
       ob_latency = Unix.gettimeofday () -. t0 };
@@ -175,6 +258,8 @@ let with_writer t f =
 
 let apply t ops =
   with_writer t (fun () ->
+      Flight.tick t.flight;
+      Flight.record t.flight Flight.Update_batch ~a:(List.length ops) ~b:0;
       Self_tuning.update t.tuner ops;
       publish_locked t)
 
@@ -182,27 +267,114 @@ let force_refresh t =
   with_writer t (fun () ->
       Self_tuning.refresh_and_publish t.tuner ~publish:(fun _apex -> publish_locked t))
 
+let slo_json t = match t.slo with None -> Json.Null | Some s -> Slo.to_json s
+
+(* Caller holds [t.writer]. Get-or-create the generation's accounting
+   cell; beyond [max_attributed] live generations the lowest-numbered
+   (oldest) cell is evicted first. *)
+let attribution_cell t generation =
+  match Hashtbl.find_opt t.attribution generation with
+  | Some cell -> cell
+  | None ->
+    if Hashtbl.length t.attribution >= max_attributed then begin
+      let oldest = Hashtbl.fold (fun g _ acc -> min g acc) t.attribution max_int in
+      Hashtbl.remove t.attribution oldest
+    end;
+    let cell =
+      { at_generation = generation;
+        at_queries = 0;
+        at_extent_pages = 0;
+        at_extent_edges = 0;
+        at_join_edges = 0;
+        at_latency = Metrics.Histogram.create ()
+      }
+    in
+    Hashtbl.add t.attribution generation cell;
+    cell
+
+let qtype_index = function
+  | Repro_pathexpr.Query.Qtype1 _ -> 0
+  | Repro_pathexpr.Query.Qtype2 _ -> 1
+  | Repro_pathexpr.Query.Qtype3 _ -> 2
+
 let drain_feedback t =
   with_writer t (fun () ->
       let fb = t.feedback in
       Mutex.lock fb.fb_lock;
       let batch = Queue.fold (fun acc item -> item :: acc) [] fb.fb_queue in
       Queue.clear fb.fb_queue;
+      let dropped = fb.fb_dropped in
       Mutex.unlock fb.fb_lock;
       let batch = List.rev batch in
+      (* one clock refresh per drain: every flight record below reuses the
+         coarse timestamp, keeping the per-observation path allocation-free *)
+      Flight.tick t.flight;
+      let tripped = ref false in
       List.iter
         (fun ob ->
           Self_tuning.record_external t.tuner ~q2_paths:ob.ob_q2_paths
-            ~extent_edges:ob.ob_extent_edges ~join_edges:ob.ob_join_edges
-            ~latency:ob.ob_latency ob.ob_query)
+            ~extent_pages:ob.ob_extent_pages ~extent_edges:ob.ob_extent_edges
+            ~join_edges:ob.ob_join_edges ~latency:ob.ob_latency ob.ob_query;
+          let cell = attribution_cell t ob.ob_generation in
+          cell.at_queries <- cell.at_queries + 1;
+          cell.at_extent_pages <- cell.at_extent_pages + ob.ob_extent_pages;
+          cell.at_extent_edges <- cell.at_extent_edges + ob.ob_extent_edges;
+          cell.at_join_edges <- cell.at_join_edges + ob.ob_join_edges;
+          Metrics.Histogram.record cell.at_latency ob.ob_latency;
+          Metrics.Histogram.record t.h_latency ob.ob_latency;
+          Metrics.incr t.c_observed;
+          Metrics.add t.c_obs_extent_pages ob.ob_extent_pages;
+          Metrics.add t.c_obs_extent_edges ob.ob_extent_edges;
+          Metrics.add t.c_obs_join_edges ob.ob_join_edges;
+          (match t.slo with
+           | Some s ->
+             let i = t.slo_idx.(qtype_index ob.ob_query) in
+             if i >= 0 then Slo.observe s i ob.ob_latency
+           | None -> ());
+          let latency_ns = int_of_float (ob.ob_latency *. 1e9) in
+          if Flight.check_latency t.flight ~generation:ob.ob_generation ~latency_ns
+          then tripped := true;
+          Flight.record t.flight Flight.Query ~a:ob.ob_generation ~b:latency_ns)
         batch;
       let n = List.length batch in
       Metrics.add t.c_drained n;
+      Flight.record t.flight Flight.Drain ~a:n ~b:dropped;
+      (* the SLO window rotates once per non-empty drain, so the effective
+         window tracks served traffic rather than idle polling *)
+      let breached =
+        match t.slo with
+        | Some s when n > 0 ->
+          let statuses = Slo.advance s in
+          List.iteri
+            (fun i st ->
+              if st.Slo.st_breached then
+                Flight.record t.flight Flight.Slo_breach ~a:i
+                  ~b:(int_of_float (st.Slo.st_burn *. 1000.)))
+            statuses;
+          List.exists (fun st -> st.Slo.st_breached) statuses
+        | Some _ | None -> false
+      in
+      (match t.incident_path with
+       | Some path when !tripped || breached ->
+         Metrics.incr t.c_incidents;
+         Flight.dump
+           ~reason:(if !tripped then "watchdog trip" else "slo breach")
+           ~slo:(slo_json t) t.flight path
+       | _ -> ());
       let refreshed =
         if Self_tuning.due_for_refresh t.tuner then
           Some (Self_tuning.refresh_and_publish t.tuner ~publish:(fun _ -> publish_locked t))
         else None
       in
+      (match refreshed with
+       | Some generation ->
+         let changes =
+           match Self_tuning.policy t.tuner with
+           | Some p -> Policy.last_changes p
+           | None -> 0
+         in
+         Flight.record t.flight Flight.Refresh ~a:generation ~b:changes
+       | None -> ());
       (n, refreshed))
 
 let rollback t =
@@ -212,6 +384,8 @@ let rollback t =
         Metrics.incr t.c_rollbacks;
         Metrics.set t.g_generation (float_of_int generation);
         Tr.event Tr.Epoch_rolled_back generation;
+        Flight.tick t.flight;
+        Flight.record t.flight Flight.Rollback ~a:generation ~b:0;
         ignore (Registry.retire t.registry : int);
         Some generation
       | None -> None)
@@ -235,3 +409,129 @@ let feedback_dropped t =
   let n = fb.fb_dropped in
   Mutex.unlock fb.fb_lock;
   n
+
+let observed t = Metrics.value t.c_observed
+let flight t = t.flight
+let slo t = t.slo
+
+(* Caller holds [t.writer]. Snapshot the attribution table as immutable
+   totals, oldest generation first; the histograms are copies, so the
+   caller can keep them past the lock. *)
+let attribution_locked t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      { ep_generation = c.at_generation;
+        ep_queries = c.at_queries;
+        ep_extent_pages = c.at_extent_pages;
+        ep_extent_edges = c.at_extent_edges;
+        ep_join_edges = c.at_join_edges;
+        ep_latency = Metrics.Histogram.merge c.at_latency (Metrics.Histogram.create ())
+      }
+      :: acc)
+    t.attribution []
+  |> List.sort (fun a b -> Int.compare a.ep_generation b.ep_generation)
+
+let attribution t = with_writer t (fun () -> attribution_locked t)
+
+let num i = Json.Num (float_of_int i)
+
+let histogram_json h =
+  let q p =
+    match Metrics.Histogram.quantile_opt h p with
+    | None -> Json.Null
+    | Some v -> Json.Num v
+  in
+  Json.Obj
+    [ ("count", num (Metrics.Histogram.count h));
+      ("p50", q 0.5);
+      ("p90", q 0.9);
+      ("p99", q 0.99);
+      ("max",
+       if Metrics.Histogram.count h = 0 then Json.Null
+       else Json.Num (Metrics.Histogram.max_value h))
+    ]
+
+let introspect t =
+  with_writer t (fun () ->
+      let fb = t.feedback in
+      Mutex.lock fb.fb_lock;
+      let dropped = fb.fb_dropped in
+      Mutex.unlock fb.fb_lock;
+      let server =
+        Json.Obj
+          [ ("generation", num (Registry.current_generation t.registry));
+            ("publishes", num (Metrics.value t.c_publishes));
+            ("epochs_freed", num (Metrics.value t.c_epochs_freed));
+            ("rollbacks", num (Metrics.value t.c_rollbacks));
+            ("feedback_drained", num (Metrics.value t.c_drained));
+            ("feedback_dropped", num dropped);
+            ("observed_queries", num (Metrics.value t.c_observed));
+            ("incidents", num (Metrics.value t.c_incidents))
+          ]
+      in
+      let epochs =
+        List.map
+          (fun (i : Registry.info) ->
+            Json.Obj
+              [ ("generation", num i.Registry.info_generation);
+                ("state", Json.Str i.Registry.info_state);
+                ("pins", num i.Registry.info_pins);
+                ("age_seconds", Json.Num i.Registry.info_age)
+              ])
+          (Registry.info t.registry)
+      in
+      let attribution =
+        List.map
+          (fun ep ->
+            Json.Obj
+              [ ("generation", num ep.ep_generation);
+                ("queries", num ep.ep_queries);
+                ("extent_pages", num ep.ep_extent_pages);
+                ("extent_edges", num ep.ep_extent_edges);
+                ("join_edges", num ep.ep_join_edges);
+                ("latency", histogram_json ep.ep_latency)
+              ])
+          (attribution_locked t)
+      in
+      let policy =
+        match Self_tuning.policy t.tuner with
+        | Some p -> Policy.state_json p
+        | None -> Json.Null
+      in
+      let fstats = Flight.stats t.flight in
+      let flight =
+        Json.Obj
+          [ ("recorded", num fstats.Flight.recorded);
+            ("retained", num fstats.Flight.retained);
+            ("overwritten", num fstats.Flight.overwritten);
+            ("trips", num (Flight.trips t.flight));
+            ("dumps", num (Flight.dumps t.flight));
+            ("armed", Json.Bool (Flight.is_armed t.flight))
+          ]
+      in
+      let metrics =
+        Json.Obj
+          (List.map
+             (fun (name, v) ->
+               ( name,
+                 match v with
+                 | Metrics.Count n -> num n
+                 | Metrics.Level f -> Json.Num f
+                 | Metrics.Dist h -> histogram_json h ))
+             (Metrics.snapshot t.metrics))
+      in
+      Json.Obj
+        [ ("server", server);
+          ("epochs", Json.Arr epochs);
+          ("attribution", Json.Arr attribution);
+          ("slo", slo_json t);
+          ("policy", policy);
+          ("flight", flight);
+          ("metrics", metrics)
+        ])
+
+let incident_dump ?(reason = "on-demand") t path =
+  with_writer t (fun () ->
+      Flight.tick t.flight;
+      Metrics.incr t.c_incidents;
+      Flight.dump ~reason ~slo:(slo_json t) t.flight path)

@@ -25,6 +25,11 @@ val create :
   ?pool:Repro_storage.Buffer_pool.t ->
   ?snapshot:Repro_apex.Apex_persist.Snapshot.t ->
   ?policy:Repro_adaptive.Policy.t ->
+  ?slo:Repro_telemetry.Slo.objective list ->
+  ?slo_subwindows:int ->
+  ?watchdog:float ->
+  ?incident_path:string ->
+  ?flight_capacity:int ->
   Repro_graph.Data_graph.t ->
   t
 (** Build APEX0 over the graph (through {!Repro_adaptive.Self_tuning.create},
@@ -34,7 +39,16 @@ val create :
     [policy], refreshes are decided by the cost-benefit policy: each
     reader query's measured extent/join work and latency travel through
     the feedback buffer and are attributed to the paths it used when the
-    writer drains. *)
+    writer drains.
+
+    Observability knobs: [slo] installs a {!Repro_telemetry.Slo} monitor
+    (objectives named ["q1"]/["q2"]/["q3"] automatically receive the
+    corresponding query-type latencies; the window rotates once per
+    non-empty drain). [watchdog] arms the flight recorder's per-query
+    latency watchdog at that many seconds. [incident_path] makes the
+    writer auto-dump an incident file there whenever a drain saw a
+    watchdog trip or an SLO breach. The flight recorder itself is always
+    on ([flight_capacity] slots, default 1024). *)
 
 (** {1 Reader side — any domain} *)
 
@@ -96,3 +110,40 @@ val epochs_freed : t -> int
 val rollbacks : t -> int
 val feedback_drained : t -> int
 val feedback_dropped : t -> int
+
+val observed : t -> int
+(** Observations the writer has attributed so far (equals
+    [feedback_drained] — every drained observation is attributed). *)
+
+val flight : t -> Repro_telemetry.Flight.t
+val slo : t -> Repro_telemetry.Slo.t option
+
+(** {2 Per-epoch attribution}
+
+    The writer attributes every drained observation to the generation
+    that served it: query count, extent/join work, and a latency
+    histogram per generation, bounded to the last 64 generations. *)
+
+type epoch_totals = {
+  ep_generation : int;
+  ep_queries : int;
+  ep_extent_pages : int;
+  ep_extent_edges : int;
+  ep_join_edges : int;
+  ep_latency : Repro_telemetry.Metrics.histogram;  (** seconds; a copy *)
+}
+
+val attribution : t -> epoch_totals list
+(** Snapshot of the per-generation accounting, oldest generation first.
+    The sum of [ep_queries] equals {!feedback_drained} (while fewer than
+    64 generations have been attributed). *)
+
+val introspect : t -> Repro_telemetry.Json.t
+(** One JSON document of live server state: [server] counters, [epochs]
+    (every registry entry with state/pins/age), [attribution], [slo]
+    status, [policy] hysteresis state, [flight] recorder stats, and the
+    full [metrics] snapshot. What [apexctl top] renders. *)
+
+val incident_dump : ?reason:string -> t -> string -> unit
+(** Force a flight-recorder incident dump (with current SLO state
+    attached) to the given path, counting it in [server.incidents]. *)

@@ -162,6 +162,12 @@ let pp_duration f =
   else if f < 1. then Printf.sprintf "%.2fms" (f *. 1e3)
   else Printf.sprintf "%.3fs" f
 
+(* Low-count windows are handled explicitly rather than letting the
+   quantile degenerate: an empty histogram prints "-" in every value
+   column (0 is a legal latency, absent data is not), and a 1-sample
+   histogram reports that sample exactly for every percentile (the
+   histogram's min/max clamp collapses the bucket midpoint onto the
+   single observation). *)
 let percentile_table entries =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -169,12 +175,18 @@ let percentile_table entries =
        "p50" "p90" "p99" "max" "total");
   List.iter
     (fun (name, h) ->
-      let q p = pp_duration (Metrics.Histogram.quantile h p) in
+      let n = Metrics.Histogram.count h in
+      let q p =
+        match Metrics.Histogram.quantile_opt h p with
+        | None -> "-"
+        | Some v -> pp_duration v
+      in
+      let whole f = if n = 0 then "-" else pp_duration (f h) in
       Buffer.add_string buf
-        (Printf.sprintf "%-16s %8d %10s %10s %10s %10s %10s\n" name
-           (Metrics.Histogram.count h) (q 0.5) (q 0.9) (q 0.99)
-           (pp_duration (Metrics.Histogram.max_value h))
-           (pp_duration (Metrics.Histogram.sum h))))
+        (Printf.sprintf "%-16s %8d %10s %10s %10s %10s %10s\n" name n
+           (q 0.5) (q 0.9) (q 0.99)
+           (whole Metrics.Histogram.max_value)
+           (whole Metrics.Histogram.sum)))
     entries;
   Buffer.contents buf
 
@@ -191,6 +203,68 @@ let event_table entries =
       Buffer.add_string buf (Printf.sprintf "%-20s %8d\n" name n))
     entries;
   Buffer.contents buf
+
+(* --- Prometheus-style text exposition --- *)
+
+(* One block per registry entry: counters and gauges as single samples,
+   histograms as cumulative le-labeled buckets plus _sum/_count. Bucket
+   upper bounds are the log2 histogram's bucket edges (2^b nanoseconds)
+   converted to base units; only buckets up to the highest non-empty one
+   are emitted, then "+Inf". Metric names are sanitized to the
+   [a-zA-Z0-9_] alphabet and prefixed "apex_". *)
+
+let exposition_name name =
+  let sane =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  "apex_" ^ sane
+
+let exposition_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* upper edge of bucket b in value units: 2^b ns (bucket 0's edge is 1ns) *)
+let bucket_edge b =
+  (if b = 0 then 1. else 2. ** Float.of_int b) /. Metrics.Histogram.scale
+
+let exposition m =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      let pname = exposition_name name in
+      match v with
+      | Metrics.Count n ->
+        line "# TYPE %s counter\n" pname;
+        line "%s %d\n" pname n
+      | Metrics.Level l ->
+        line "# TYPE %s gauge\n" pname;
+        line "%s %s\n" pname (exposition_num l)
+      | Metrics.Dist h ->
+        line "# TYPE %s histogram\n" pname;
+        let counts = Metrics.Histogram.bucket_counts h in
+        let top = ref (-1) in
+        Array.iteri (fun b c -> if c > 0 then top := b) counts;
+        let cum = ref 0 in
+        for b = 0 to !top do
+          cum := !cum + counts.(b);
+          line "%s_bucket{le=\"%s\"} %d\n" pname
+            (exposition_num (bucket_edge b))
+            !cum
+        done;
+        line "%s_bucket{le=\"+Inf\"} %d\n" pname (Metrics.Histogram.count h);
+        line "%s_sum %s\n" pname (exposition_num (Metrics.Histogram.sum h));
+        line "%s_count %d\n" pname (Metrics.Histogram.count h))
+    (Metrics.snapshot m);
+  Buffer.contents buf
+
+let write_exposition oc m = output_string oc (exposition m)
+let save_exposition path m = with_file path (fun oc -> write_exposition oc m)
 
 (* --- schema validation --- *)
 
@@ -274,6 +348,13 @@ module Schema = struct
            Printf.sprintf "%s: %S = %S not in schema kinds" ctx field v
            :: !errors
        | _ -> ())
+
+  (* functional face of [check_shape], for other mini-contract documents
+     (the incident schema) built from the same shape vocabulary *)
+  let check shape ~ctx j =
+    let errors = ref [] in
+    check_shape shape ctx j errors;
+    List.rev !errors
 
   let validate_jsonl t path =
     match read_lines path with

@@ -38,6 +38,15 @@ val live_percentile_table : unit -> string
 
 val event_table : (string * int) list -> string
 
+val exposition : Metrics.t -> string
+(** Prometheus-style text exposition of a registry snapshot: counters and
+    gauges as single samples, histograms as cumulative [le]-labeled
+    buckets (the log2 bucket edges) plus [_sum]/[_count]. Names are
+    sanitized to [[a-zA-Z0-9_]] and prefixed ["apex_"]. *)
+
+val write_exposition : out_channel -> Metrics.t -> unit
+val save_exposition : string -> Metrics.t -> unit
+
 module Schema : sig
   (** Validator for the checked-in trace schema
       ([schemas/trace_schema.json]) — per-format required fields with
@@ -46,6 +55,14 @@ module Schema : sig
   type t
 
   val load : string -> (t, string) result
+
+  type shape
+  (** One record contract: required fields with expected JSON types plus
+      an optional kinds-constrained field. *)
+
+  val shape_of_json : Json.t -> shape
+  val check : shape -> ctx:string -> Json.t -> string list
+  (** Conformance errors of one JSON value against [shape]; [] = ok. *)
 
   val validate_jsonl : t -> string -> (int, string list) result
   (** [Ok n]: all [n] lines conform. *)

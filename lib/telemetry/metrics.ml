@@ -126,7 +126,12 @@ module Histogram = struct
 
   (* Quantile estimate by bucket walk: the answer is the midpoint of the
      bucket containing the q-th sample, exact to within the bucket's
-     factor-of-2 width. q outside [0,1] is clamped. *)
+     factor-of-2 width. q outside [0,1] is clamped. [quantile] of an empty
+     histogram degenerates to 0. — callers that must distinguish "no data"
+     from "zero latency" (SLO evaluation, percentile tables) use
+     [quantile_opt]. A 1-sample histogram reports that sample exactly for
+     every q: the min/max clamp collapses the bucket midpoint onto the
+     single observed value. *)
   let quantile t q =
     if t.count = 0 then 0.
     else begin
@@ -151,6 +156,8 @@ module Histogram = struct
          outside [min, max] *)
       Float.max t.vmin (Float.min t.vmax est)
     end
+
+  let quantile_opt t q = if t.count = 0 then None else Some (quantile t q)
 end
 
 type histogram = Histogram.t
@@ -212,6 +219,24 @@ let histogram t name =
     (function Hist h -> Some h | _ -> None)
 
 let register_source t name f = t.sources <- (name, f) :: t.sources
+
+(* GC signals as a snapshot-time source: allocation regressions surface in
+   bench --json and the introspection endpoint without any per-allocation
+   hook. [Gc.quick_stat] skips the heap walk, so a snapshot stays cheap. *)
+let gc_source () =
+  let s = Gc.quick_stat () in
+  (* quick_stat's minor_words is only refreshed at collection
+     boundaries; Gc.minor_words reads the live allocation pointer, so
+     the gauge moves even between minor collections *)
+  [ ("minor_words", Gc.minor_words ());
+    ("promoted_words", s.Gc.promoted_words);
+    ("major_words", s.Gc.major_words);
+    ("minor_collections", Float.of_int s.Gc.minor_collections);
+    ("major_collections", Float.of_int s.Gc.major_collections);
+    ("compactions", Float.of_int s.Gc.compactions);
+    ("heap_words", Float.of_int s.Gc.heap_words) ]
+
+let register_gc t = register_source t "gc" gc_source
 
 type value =
   | Count of int

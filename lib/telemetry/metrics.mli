@@ -42,6 +42,15 @@ module Histogram : sig
   val bucket_counts : t -> int array
   (** Copy of the per-bucket sample counts; sums to {!count}. *)
 
+  val scale : float
+  (** Value-to-bucket scale (1e9: seconds record as nanoseconds). *)
+
+  val bucket_of : float -> int
+  (** Bucket index a value records into. *)
+
+  val bucket_mid : int -> float
+  (** Geometric-ish midpoint of a bucket, back in value units. *)
+
   val merge : t -> t -> t
   (** Pure: returns a fresh histogram, arguments unchanged. *)
 
@@ -52,7 +61,13 @@ module Histogram : sig
       {!sum} instead. *)
 
   val quantile : t -> float -> float
-  (** [quantile t q] for [q] in [[0,1]] (clamped); [0.] when empty. *)
+  (** [quantile t q] for [q] in [[0,1]] (clamped); [0.] when empty. A
+      1-sample histogram reports that sample exactly for every [q]. *)
+
+  val quantile_opt : t -> float -> float option
+  (** [None] when the histogram is empty — for callers that must
+      distinguish "no data" from "zero latency" (SLO windows, percentile
+      tables). *)
 end
 
 type histogram = Histogram.t
@@ -73,6 +88,14 @@ val register_source : t -> string -> (unit -> (string * float) list) -> unit
 (** [register_source t prefix f] contributes [f ()] at snapshot time as
     gauges named [prefix ^ "." ^ key] — the bridge for hot counter structs
     (Io_stats, Cost) that must stay plain records. *)
+
+val gc_source : unit -> (string * float) list
+(** GC signals from [Gc.quick_stat]: minor/promoted/major words, minor and
+    major collections, compactions, heap words. *)
+
+val register_gc : t -> unit
+(** [register_source t "gc" gc_source] — allocation regressions then show
+    up in every snapshot of [t]. *)
 
 type value = Count of int | Level of float | Dist of histogram
 

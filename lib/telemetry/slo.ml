@@ -1,0 +1,251 @@
+(* SLO monitor: per-objective latency targets (quantile + threshold)
+   evaluated over a sliding window of log2 histograms.
+
+   Each objective owns a ring of [subwindows] sub-window histograms; the
+   hot side ([observe]) records into the current sub-window — one
+   Histogram.record, no allocation beyond the histogram's own stores. The
+   cold side ([advance], called by the server writer once per drain or on
+   a timer) merges the ring into one window, estimates the target
+   quantile, compares against the threshold, updates burn-rate counters,
+   emits a [Trace.Slo_breach] instant per breached objective, and rotates
+   the ring (the oldest sub-window is replaced by a fresh histogram). The
+   effective window therefore covers the last [subwindows] advances, and
+   one advance retires exactly 1/subwindows of the evidence — the standard
+   sliding-window approximation.
+
+   Low-count windows are handled explicitly: an empty window yields
+   [st_estimate = None] and never breaches ("no data" is not "zero
+   latency"); a 1-sample window reports that sample exactly (the
+   histogram's min/max clamp collapses the bucket midpoint onto the single
+   observation) and can breach only when [min_samples <= 1].
+
+   Burn rate follows the error-budget convention: the fraction of window
+   samples over the threshold, divided by the budgeted fraction [1 - q].
+   A burn rate of 1.0 means the window spends its budget exactly; 2.0
+   means twice as fast. "Over the threshold" is counted from the bucket
+   walk — samples in buckets strictly above the threshold's bucket — so
+   it under-counts by at most the threshold's own factor-of-2 bucket,
+   consistent with every other quantile estimate in this layer.
+
+   All mutation happens on the caller's (single writer) side; the monitor
+   is reached from Server.t, hence shared, hence the "slo" guard tag on
+   its mutable state for the L8 domain-safety pass. *)
+
+type objective = {
+  slo_name : string;
+  slo_quantile : float;  (* target quantile in (0,1), e.g. 0.99 *)
+  slo_threshold : float;  (* seconds *)
+}
+
+type cell = {
+  c_objective : objective;
+  c_windows : Metrics.histogram array;  (* sub-window ring *)
+  mutable c_breaches : int;  (* windows evaluated as breached *)
+  mutable c_breached : bool;  (* latest evaluation *)
+}
+
+type t = {
+  subwindows : int;
+  min_samples : int;
+  cells : cell array; [@apex.guarded "slo"]
+  mutable cur : int; [@apex.guarded "slo"]
+  mutable advances : int; [@apex.guarded "slo"]
+}
+[@@apex.shared]
+
+let create ?(subwindows = 6) ?(min_samples = 1) objectives =
+  if subwindows < 1 then invalid_arg "Slo.create: subwindows must be positive";
+  List.iter
+    (fun o ->
+      if not (o.slo_quantile > 0. && o.slo_quantile < 1.) then
+        invalid_arg
+          (Printf.sprintf "Slo.create: %s: quantile must be in (0,1)"
+             o.slo_name);
+      if not (o.slo_threshold > 0.) then
+        invalid_arg
+          (Printf.sprintf "Slo.create: %s: threshold must be positive"
+             o.slo_name))
+    objectives;
+  { subwindows;
+    min_samples;
+    cells =
+      Array.of_list
+        (List.map
+           (fun o ->
+             { c_objective = o;
+               c_windows =
+                 Array.init subwindows (fun _ -> Metrics.Histogram.create ());
+               c_breaches = 0;
+               c_breached = false })
+           objectives);
+    cur = 0;
+    advances = 0 }
+
+let objectives t =
+  Array.to_list (Array.map (fun c -> c.c_objective) t.cells)
+
+let n_objectives t = Array.length t.cells
+
+let index t name =
+  let found = ref None in
+  Array.iteri
+    (fun i c -> if !found = None && c.c_objective.slo_name = name then found := Some i)
+    t.cells;
+  !found
+
+let observe t i latency =
+  let c = t.cells.(i) in
+  Metrics.Histogram.record c.c_windows.(t.cur) latency
+
+type status = {
+  st_name : string;
+  st_quantile : float;
+  st_threshold : float;
+  st_samples : int;  (* samples in the merged window *)
+  st_estimate : float option;  (* [None]: empty window, no verdict *)
+  st_burn : float;  (* error-budget burn rate over the window *)
+  st_breached : bool;
+  st_breaches : int;  (* cumulative breached windows *)
+  st_windows : int;  (* cumulative windows evaluated *)
+}
+
+let merged_window c =
+  Array.fold_left Metrics.Histogram.merge (Metrics.Histogram.create ())
+    c.c_windows
+
+(* samples in buckets strictly above the threshold's bucket *)
+let over_threshold merged threshold =
+  let bt = Metrics.Histogram.bucket_of threshold in
+  let counts = Metrics.Histogram.bucket_counts merged in
+  let over = ref 0 in
+  for b = bt + 1 to Array.length counts - 1 do
+    over := !over + counts.(b)
+  done;
+  !over
+
+let evaluate_cell t c =
+  let o = c.c_objective in
+  let merged = merged_window c in
+  let samples = Metrics.Histogram.count merged in
+  let estimate = Metrics.Histogram.quantile_opt merged o.slo_quantile in
+  let breached =
+    match estimate with
+    | Some e when samples >= t.min_samples -> e > o.slo_threshold
+    | _ -> false
+  in
+  let burn =
+    if samples = 0 then 0.
+    else
+      let bad = over_threshold merged o.slo_threshold in
+      Float.of_int bad /. Float.of_int samples /. (1. -. o.slo_quantile)
+  in
+  { st_name = o.slo_name;
+    st_quantile = o.slo_quantile;
+    st_threshold = o.slo_threshold;
+    st_samples = samples;
+    st_estimate = estimate;
+    st_burn = burn;
+    st_breached = breached;
+    st_breaches = c.c_breaches;
+    st_windows = t.advances }
+
+(* Evaluate without rotating or counting: the introspection view. *)
+let current t = Array.to_list (Array.map (evaluate_cell t) t.cells)
+
+let advance t =
+  t.advances <- t.advances + 1;
+  let statuses =
+    Array.mapi
+      (fun i c ->
+        let st = evaluate_cell t c in
+        c.c_breached <- st.st_breached;
+        if st.st_breached then begin
+          c.c_breaches <- c.c_breaches + 1;
+          Trace.event_note Trace.Slo_breach i c.c_objective.slo_name
+        end;
+        { st with st_breaches = c.c_breaches; st_windows = t.advances })
+      t.cells
+  in
+  t.cur <- (t.cur + 1) mod t.subwindows;
+  Array.iter
+    (fun c -> c.c_windows.(t.cur) <- Metrics.Histogram.create ())
+    t.cells;
+  Array.to_list statuses
+
+let breach_total t =
+  Array.fold_left (fun acc c -> acc + c.c_breaches) 0 t.cells
+
+let breached t = Array.exists (fun c -> c.c_breached) t.cells
+
+let advances t = t.advances
+
+let status_json st =
+  Json.Obj
+    [ ("name", Json.Str st.st_name);
+      ("quantile", Json.Num st.st_quantile);
+      ("threshold", Json.Num st.st_threshold);
+      ("samples", Json.Num (Float.of_int st.st_samples));
+      ( "estimate",
+        match st.st_estimate with None -> Json.Null | Some e -> Json.Num e );
+      ("burn_rate", Json.Num st.st_burn);
+      ("breached", Json.Bool st.st_breached);
+      ("breaches", Json.Num (Float.of_int st.st_breaches));
+      ("windows", Json.Num (Float.of_int st.st_windows)) ]
+
+let to_json t =
+  Json.Obj
+    [ ("subwindows", Json.Num (Float.of_int t.subwindows));
+      ("min_samples", Json.Num (Float.of_int t.min_samples));
+      ("advances", Json.Num (Float.of_int t.advances));
+      ("objectives", Json.Arr (List.map status_json (current t))) ]
+
+let default_objectives =
+  [ { slo_name = "q1"; slo_quantile = 0.99; slo_threshold = 0.05 };
+    { slo_name = "q2"; slo_quantile = 0.99; slo_threshold = 0.05 };
+    { slo_name = "q3"; slo_quantile = 0.99; slo_threshold = 0.05 } ]
+
+(* Objective spec: "name:pQQ:threshold_seconds" joined by commas, e.g.
+   "q1:p99:0.005,q2:p99.9:0.02". *)
+let parse_objective spec =
+  match String.split_on_char ':' spec with
+  | [ name; q; thr ] ->
+    let name = String.trim name in
+    let q = String.trim q in
+    let qlen = String.length q in
+    if name = "" then Error (Printf.sprintf "%S: empty objective name" spec)
+    else if qlen < 2 || q.[0] <> 'p' then
+      Error (Printf.sprintf "%S: quantile must look like p99" spec)
+    else begin
+      match float_of_string_opt (String.sub q 1 (qlen - 1)) with
+      | None -> Error (Printf.sprintf "%S: bad quantile %S" spec q)
+      | Some pct when not (pct > 0. && pct < 100.) ->
+        Error (Printf.sprintf "%S: quantile must be in (p0, p100)" spec)
+      | Some pct ->
+        (match float_of_string_opt (String.trim thr) with
+         | None -> Error (Printf.sprintf "%S: bad threshold %S" spec thr)
+         | Some t when not (t > 0.) ->
+           Error (Printf.sprintf "%S: threshold must be positive" spec)
+         | Some t ->
+           Ok
+             { slo_name = name;
+               slo_quantile = pct /. 100.;
+               slo_threshold = t })
+    end
+  | _ -> Error (Printf.sprintf "%S: expected name:pQQ:threshold" spec)
+
+let parse_objectives s =
+  let specs =
+    List.filter
+      (fun x -> String.trim x <> "")
+      (String.split_on_char ',' s)
+  in
+  if specs = [] then Error "empty SLO spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | spec :: rest ->
+        (match parse_objective (String.trim spec) with
+         | Ok o -> go (o :: acc) rest
+         | Error e -> Error e)
+    in
+    go [] specs

@@ -43,8 +43,9 @@ type kind =
   | Epoch_rolled_back
   | Update_aborted
   | Block_skip  (* arg = compressed blocks skipped by a header range test *)
+  | Slo_breach  (* arg = objective index; note = objective name *)
 
-let n_kinds = 25
+let n_kinds = 26
 
 let kind_index = function
   | Parse -> 0
@@ -72,13 +73,14 @@ let kind_index = function
   | Epoch_rolled_back -> 22
   | Update_aborted -> 23
   | Block_skip -> 24
+  | Slo_breach -> 25
 
 let all_kinds =
   [| Parse; Plan; Probe; Fetch; Join; Materialize; Query; Refresh; Mine;
      Prune; Traverse; Update_apply; Snapshot_commit; Recovery; Decode;
      Epoch_publish; Epoch_retire; Reader_pin;
      Path_promoted; Path_evicted; Delta_flushed; Epoch_committed;
-     Epoch_rolled_back; Update_aborted; Block_skip |]
+     Epoch_rolled_back; Update_aborted; Block_skip; Slo_breach |]
 [@@apex.guarded "readonly"]
 
 let kind_name = function
@@ -107,6 +109,7 @@ let kind_name = function
   | Epoch_rolled_back -> "epoch_rolled_back"
   | Update_aborted -> "update_aborted"
   | Block_skip -> "block_skip"
+  | Slo_breach -> "slo_breach"
 
 let kind_is_event k = kind_index k >= kind_index Path_promoted
 

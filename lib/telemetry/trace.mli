@@ -44,6 +44,9 @@ type kind =
   | Block_skip
       (** instant: compressed blocks proven disjoint from a probe by their
           header range test and never decoded; arg = blocks skipped *)
+  | Slo_breach
+      (** instant: an SLO objective's sliding-window estimate crossed its
+          threshold; arg = objective index, note = objective name *)
 
 val kind_name : kind -> string
 val kind_is_event : kind -> bool

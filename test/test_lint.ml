@@ -206,7 +206,7 @@ let real_tree () =
   List.iter
     (fun key -> Alcotest.(check string) key "mutable" (verdict key))
     [ "Apex.t"; "Gapex.t"; "Hash_tree.t"; "Extent_store.t"; "Snapshot.t";
-      "Epoch_registry.t" ];
+      "Epoch_registry.t"; "Flight.t"; "Slo.t" ];
   Alcotest.(check string) "Xpath_ast.t" "immutable" (verdict "Xpath_ast.t");
   Alcotest.(check string) "Xpath_ast.step" "immutable" (verdict "Xpath_ast.step");
   let roots =
@@ -215,8 +215,8 @@ let real_tree () =
   in
   Alcotest.(check (list string))
     "shared roots"
-    [ "Apex.t"; "Epoch_registry.t"; "Extent_store.t"; "Gapex.t"; "Hash_tree.t";
-      "Snapshot.t" ]
+    [ "Apex.t"; "Epoch_registry.t"; "Extent_store.t"; "Flight.t"; "Gapex.t";
+      "Hash_tree.t"; "Slo.t"; "Snapshot.t" ]
     roots;
   (* guard disciplines flow down the reachability closure *)
   let guard_of key =
@@ -227,6 +227,8 @@ let real_tree () =
   Alcotest.(check string) "lru cache guarded" "lru" (guard_of "Extent_store.cache");
   Alcotest.(check string) "lru nodes inherit" "lru" (guard_of "Extent_store.cache_node");
   Alcotest.(check string) "pool subtree guarded" "pool" (guard_of "Buffer_pool.t");
+  Alcotest.(check string) "flight ring guarded" "flight" (guard_of "Flight.ring");
+  Alcotest.(check string) "slo cells inherit" "slo" (guard_of "Slo.cell");
   Alcotest.(check string) "roots are unguarded" "<none>" (guard_of "Apex.t");
   (* the epoch registry's writer-side fields carry the retire discipline;
      the root itself (readers go through the Atomic) is unguarded *)

@@ -225,6 +225,103 @@ let test_config_validation () =
       ignore
         (Policy.create ~config:{ config with Policy.min_support = 0. } ()))
 
+(* --- the attribution substrate the policy scores from --- *)
+
+module Cost = Repro_storage.Cost
+
+module Attr = Repro_telemetry.Attribution.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+(* costs are small integers and latencies small dyadics (n/64), so window
+   sums are exact and the properties below only tolerate the decay
+   multiplications *)
+let arb_observations =
+  QCheck.(
+    make
+      ~print:Print.(list (triple int float float))
+      Gen.(
+        list_size (int_range 1 40)
+          (triple (int_bound 7)
+             (map float_of_int (int_bound 100))
+             (map (fun n -> float_of_int n /. 64.) (int_bound 64)))))
+
+let approx a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs b)
+
+let feed t obs =
+  List.iter
+    (fun (k, c, l) ->
+      Attr.observe_query t ~cost:c ~latency:l;
+      Attr.observe t k ~cost:c ~latency:l)
+    obs
+
+let keys_of obs = List.sort_uniq compare (List.map (fun (k, _, _) -> k) obs)
+
+let prop_decay_monotone =
+  let arb =
+    QCheck.(
+      pair
+        (make ~print:string_of_float Gen.(oneofl [ 0.; 0.25; 0.5; 0.9 ]))
+        arb_observations)
+  in
+  QCheck.Test.make ~count:100 ~name:"empty rolls decay stats geometrically" arb
+    (fun (decay, obs) ->
+      let t = Attr.create ~decay () in
+      feed t obs;
+      Attr.roll t;
+      let base = List.map (fun k -> (k, Attr.stats t k)) (keys_of obs) in
+      let q0 = Attr.queries t in
+      Attr.roll t;
+      Attr.roll t;
+      let expect = decay *. decay in
+      let ok (k, (s : Attr.stats)) =
+        let s' = Attr.stats t k in
+        approx s'.Attr.support (expect *. s.Attr.support)
+        && approx s'.Attr.cost (expect *. s.Attr.cost)
+        && approx s'.Attr.latency (expect *. s.Attr.latency)
+        (* monotone: support never grows across an empty window *)
+        && s'.Attr.support <= s.Attr.support +. 1e-9
+      in
+      approx (Attr.queries t) (expect *. q0) && List.for_all ok base)
+
+let prop_window_order_invariant =
+  QCheck.Test.make ~count:100 ~name:"window stats are order-invariant"
+    arb_observations (fun obs ->
+      let run l =
+        let t = Attr.create ~decay:0.5 () in
+        feed t l;
+        Attr.roll t;
+        t
+      in
+      let a = run obs and b = run (List.rev obs) in
+      let same k =
+        let sa = Attr.stats a k and sb = Attr.stats b k in
+        approx sa.Attr.support sb.Attr.support
+        && approx sa.Attr.cost sb.Attr.cost
+        && approx sa.Attr.latency sb.Attr.latency
+      in
+      approx (Attr.queries a) (Attr.queries b) && List.for_all same (keys_of obs))
+
+(* [Policy.unit_cost] must stay the restriction of [Cost.weighted_total]
+   to the three counters the feedback channel carries — the policy's
+   page-equivalents are directly comparable to benchmark cost curves *)
+let test_unit_cost_matches_weighted_total () =
+  List.iter
+    (fun (pages, ee, je) ->
+      let c = Cost.create () in
+      c.Cost.extent_pages <- pages;
+      c.Cost.extent_edges <- ee;
+      c.Cost.join_edges <- je;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "pages=%d ee=%d je=%d" pages ee je)
+        (Cost.weighted_total c)
+        (Policy.unit_cost ~extent_pages:pages ~extent_edges:ee ~join_edges:je))
+    [ (0, 0, 0); (1, 0, 0); (0, 500, 0); (0, 0, 500); (3, 250, 750);
+      (17, 9999, 1234) ]
+
 let () =
   Alcotest.run "policy"
     [ ( "scoring",
@@ -245,5 +342,11 @@ let () =
             test_eviction_differential;
           Alcotest.test_case "server feedback reaches policy" `Quick
             test_server_feedback_reaches_policy
+        ] );
+      ( "attribution",
+        [ QCheck_alcotest.to_alcotest prop_decay_monotone;
+          QCheck_alcotest.to_alcotest prop_window_order_invariant;
+          Alcotest.test_case "unit cost matches weighted total" `Quick
+            test_unit_cost_matches_weighted_total
         ] )
     ]

@@ -13,6 +13,7 @@
      SERVER_DIFF_SEEDS=N dune exec test/test_server_differential.exe *)
 
 module Driver = Repro_server.Driver
+module Server = Repro_server.Server
 module Fixtures = Test_support.Fixtures
 
 let seeds =
@@ -75,7 +76,65 @@ let check_run seed () =
   Alcotest.(check int) "retire list drained" 0
     report.Driver.registry_stats.Repro_server.Epoch_registry.retired_live;
   Alcotest.(check int) "no rollbacks on a fault-free run" 0
-    report.Driver.registry_stats.Repro_server.Epoch_registry.rolled_back
+    report.Driver.registry_stats.Repro_server.Epoch_registry.rolled_back;
+  (* attribution reconciliation: the driver's final drain means every
+     observation that made it into the feedback buffer is attributed to
+     exactly one serving generation — per-epoch totals must re-add to the
+     global counters, and the per-epoch latency histograms must hold one
+     sample per attributed query *)
+  let server = report.Driver.server in
+  let attribution = Server.attribution server in
+  let attributed =
+    List.fold_left (fun acc e -> acc + e.Server.ep_queries) 0 attribution
+  in
+  Alcotest.(check int) "attributed queries = feedback drained"
+    (Server.feedback_drained server) attributed;
+  Alcotest.(check int) "drained + dropped = queries observed"
+    (Server.observed server)
+    (Server.feedback_drained server);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "generation %d in served range" e.Server.ep_generation)
+        true
+        (e.Server.ep_generation >= gen_lo && e.Server.ep_generation <= gen_hi);
+      Alcotest.(check int)
+        (Printf.sprintf "generation %d latency samples" e.Server.ep_generation)
+        e.Server.ep_queries
+        (Repro_telemetry.Metrics.Histogram.count e.Server.ep_latency))
+    attribution;
+  (* the introspection document is well-formed JSON exposing the same
+     totals the typed API just reconciled *)
+  let module J = Repro_telemetry.Json in
+  let doc =
+    match J.parse (J.to_string (Server.introspect server)) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "introspect does not round-trip: %s" m
+  in
+  let get o k =
+    match J.member k o with
+    | Some v -> v
+    | None -> Alcotest.failf "introspect: missing %S" k
+  in
+  let int_field o k =
+    match J.to_float (get o k) with
+    | Some f -> int_of_float f
+    | None -> Alcotest.failf "introspect: %S is not a number" k
+  in
+  Alcotest.(check int) "introspect generation"
+    (Server.generation server)
+    (int_field (get doc "server") "generation");
+  Alcotest.(check int) "introspect drained"
+    (Server.feedback_drained server)
+    (int_field (get doc "server") "feedback_drained");
+  let attr_json =
+    match J.to_list (get doc "attribution") with
+    | Some l -> l
+    | None -> Alcotest.failf "introspect: attribution is not an array"
+  in
+  Alcotest.(check int) "introspect epoch count"
+    (List.length attribution)
+    (List.length attr_json)
 
 let () =
   let cases =

@@ -16,8 +16,19 @@
 module Metrics = Repro_telemetry.Metrics
 module Trace = Repro_telemetry.Trace
 module Export = Repro_telemetry.Export
+module Flight = Repro_telemetry.Flight
+module Slo = Repro_telemetry.Slo
+module Json = Repro_telemetry.Json
 
 let schema_path = Filename.concat ".." (Filename.concat "schemas" "trace_schema.json")
+
+let incident_schema_path =
+  Filename.concat ".." (Filename.concat "schemas" "incident_schema.json")
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 (* ---------- disabled path: zero allocation ---------- *)
 
@@ -323,6 +334,270 @@ let prop_quantile_bounded =
           v >= lo && v <= hi)
         [ 0.; 0.5; 0.9; 0.99; 1. ])
 
+(* ---------- flight recorder ---------- *)
+
+(* The whole point of the flight recorder is staying armed in production:
+   the record path must not allocate. Same Gc.minor_words technique as
+   the disabled-tracer test. *)
+let flight_zero_alloc () =
+  let f = Flight.create ~capacity:256 () in
+  Flight.tick f;
+  Flight.set_watchdog f ~threshold:1.0;
+  Alcotest.(check bool) "armed on creation" true (Flight.is_armed f);
+  for i = 1 to 100 do
+    Flight.record f Flight.Query ~a:1 ~b:i;
+    ignore (Flight.check_latency f ~generation:1 ~latency_ns:i : bool)
+  done;
+  let n = 100_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to n do
+    Flight.record f Flight.Query ~a:1 ~b:i;
+    Flight.record f Flight.Publish ~a:i ~b:0;
+    ignore (Flight.check_latency f ~generation:i ~latency_ns:1000 : bool)
+  done;
+  let per_op = (Gc.minor_words () -. before) /. float_of_int (3 * n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "armed record allocates (%.4f words/op)" per_op)
+    true (per_op < 0.01)
+
+let flight_ring_wrap () =
+  let f = Flight.create ~capacity:8 () in
+  Flight.tick f;
+  for i = 1 to 20 do
+    Flight.record f Flight.Mark ~a:i ~b:0
+  done;
+  let st = Flight.stats f in
+  Alcotest.(check int) "recorded" 20 st.Flight.recorded;
+  Alcotest.(check int) "retained" 8 st.Flight.retained;
+  Alcotest.(check int) "overwritten" 12 st.Flight.overwritten;
+  (* oldest first, contiguous sequence, and only the newest 8 survive *)
+  let seen = ref [] in
+  Flight.iter_events f (fun e -> seen := e.Flight.ev_a :: !seen);
+  Alcotest.(check (list int)) "newest retained oldest-first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.rev !seen);
+  Alcotest.(check int) "per-kind count survives wrap" 20
+    (List.assoc Flight.Mark (Flight.kind_counts f));
+  (* disarm: records become flag tests, nothing changes *)
+  Flight.disarm f;
+  Flight.record f Flight.Mark ~a:99 ~b:0;
+  Alcotest.(check int) "disarmed record dropped" 20 (Flight.stats f).Flight.recorded
+
+let flight_watchdog () =
+  let f = Flight.create ~capacity:32 () in
+  Flight.tick f;
+  Alcotest.(check bool) "no threshold, no trip" false
+    (Flight.check_latency f ~generation:1 ~latency_ns:1_000_000_000);
+  Flight.set_watchdog f ~threshold:0.001;
+  Alcotest.(check bool) "under threshold" false
+    (Flight.check_latency f ~generation:1 ~latency_ns:500_000);
+  Alcotest.(check bool) "over threshold trips" true
+    (Flight.check_latency f ~generation:2 ~latency_ns:2_000_000);
+  Alcotest.(check int) "trip counted" 1 (Flight.trips f);
+  Alcotest.(check int) "trip recorded as event" 1
+    (List.assoc Flight.Watchdog_trip (Flight.kind_counts f))
+
+(* dump -> validate against the committed contract -> parse back *)
+let flight_incident_roundtrip () =
+  let metrics = Metrics.create () in
+  let c = Metrics.counter metrics "test.queries" in
+  let f = Flight.create ~capacity:16 ~metrics () in
+  Flight.tick f;
+  Flight.record f Flight.Publish ~a:2 ~b:0;
+  Flight.record f Flight.Query ~a:2 ~b:1500;
+  Metrics.add c 7;
+  let path = Filename.temp_file "apex_incident" ".json" in
+  Flight.dump ~reason:"unit test" f path;
+  Alcotest.(check int) "dump counted" 1 (Flight.dumps f);
+  (match Flight.validate_file ~schema_path:incident_schema_path path with
+   | Ok () -> ()
+   | Error errors ->
+     Alcotest.failf "incident file invalid: %s" (String.concat "; " errors));
+  let text = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let json =
+    match Json.parse text with Ok v -> v | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (match Option.bind (Json.member "incident" json) (Json.member "reason") with
+   | Some (Json.Str "unit test") -> ()
+   | _ -> Alcotest.fail "reason not preserved");
+  (* the counter bumped after the baseline snapshot must show delta 7 *)
+  let deltas = match Json.member "metrics" json with Some (Json.Arr l) -> l | _ -> [] in
+  let test_delta =
+    List.find_opt
+      (fun m -> Json.member "name" m = Some (Json.Str "test.queries"))
+      deltas
+  in
+  (match Option.bind test_delta (Json.member "delta") with
+   | Some (Json.Num d) -> Alcotest.(check (float 1e-9)) "metric delta" 7. d
+   | _ -> Alcotest.fail "test.queries delta missing")
+
+let flight_guard_dumps_on_raise () =
+  let f = Flight.create ~capacity:16 () in
+  let path = Filename.temp_file "apex_incident" ".json" in
+  (match Flight.guard f ~dump_to:path (fun () -> failwith "boom") with
+   | () -> Alcotest.fail "guard swallowed the exception"
+   | exception Failure m -> Alcotest.(check string) "re-raised" "boom" m);
+  Alcotest.(check int) "fatal recorded" 1
+    (List.assoc Flight.Fatal (Flight.kind_counts f));
+  (match Flight.validate_file ~schema_path:incident_schema_path path with
+   | Ok () -> ()
+   | Error errors -> Alcotest.failf "fatal dump invalid: %s" (String.concat "; " errors));
+  Sys.remove path
+
+(* ---------- SLO monitor ---------- *)
+
+let objective name q threshold =
+  { Slo.slo_name = name; slo_quantile = q; slo_threshold = threshold }
+
+let slo_empty_no_breach () =
+  let s = Slo.create [ objective "q1" 0.99 0.01 ] in
+  let st = List.hd (Slo.advance s) in
+  Alcotest.(check bool) "no estimate on empty window" true (st.Slo.st_estimate = None);
+  Alcotest.(check bool) "empty window never breaches" false st.Slo.st_breached;
+  Alcotest.(check (float 1e-9)) "no burn" 0. st.Slo.st_burn;
+  Alcotest.(check int) "nothing counted" 0 (Slo.breach_total s)
+
+let slo_single_sample_exact () =
+  let s = Slo.create [ objective "q" 0.99 0.005 ] in
+  Slo.observe s 0 0.004;
+  let st = List.hd (Slo.current s) in
+  (match st.Slo.st_estimate with
+   | Some e -> Alcotest.(check (float 1e-9)) "1-sample window reports the sample" 0.004 e
+   | None -> Alcotest.fail "no estimate");
+  Alcotest.(check bool) "under threshold" false st.Slo.st_breached
+
+let slo_breach_burn_and_rotation () =
+  let s = Slo.create ~subwindows:2 [ objective "q1" 0.5 0.001 ] in
+  (match Slo.index s "q1" with
+   | Some 0 -> ()
+   | _ -> Alcotest.fail "index by name");
+  Alcotest.(check bool) "unknown name" true (Slo.index s "nope" = None);
+  for _ = 1 to 100 do
+    Slo.observe s 0 0.1 (* two decades over the 1ms threshold *)
+  done;
+  let st = List.hd (Slo.advance s) in
+  Alcotest.(check bool) "breached" true st.Slo.st_breached;
+  Alcotest.(check int) "samples" 100 st.Slo.st_samples;
+  Alcotest.(check bool) "burn rate positive" true (st.Slo.st_burn > 1.);
+  Alcotest.(check int) "breach counted" 1 (Slo.breach_total s);
+  Alcotest.(check bool) "breached flag latched" true (Slo.breached s);
+  (* rotation: after [subwindows] further advances the samples age out and
+     the objective recovers *)
+  ignore (Slo.advance s : Slo.status list);
+  let st = List.hd (Slo.advance s) in
+  Alcotest.(check bool) "window drained after rotation" true
+    (st.Slo.st_estimate = None);
+  Alcotest.(check bool) "breach clears" false (Slo.breached s)
+
+let slo_parse_and_validate () =
+  (match Slo.parse_objectives "q1:p99:0.005, q2:p99.9:0.02" with
+   | Ok [ a; b ] ->
+     Alcotest.(check string) "first name" "q1" a.Slo.slo_name;
+     Alcotest.(check (float 1e-9)) "p99" 0.99 a.Slo.slo_quantile;
+     Alcotest.(check (float 1e-9)) "p99.9" 0.999 b.Slo.slo_quantile;
+     Alcotest.(check (float 1e-9)) "threshold" 0.02 b.Slo.slo_threshold
+   | Ok _ -> Alcotest.fail "wrong arity"
+   | Error e -> Alcotest.fail e);
+  (match Slo.parse_objectives "bogus" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "accepted a bogus spec");
+  (match Slo.parse_objectives "q1:p200:0.1" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "accepted p200");
+  (match Slo.create [ objective "x" 1.5 0.1 ] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "accepted quantile 1.5");
+  match Slo.create [ objective "x" 0.9 0. ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero threshold"
+
+(* ---------- low-count percentile handling ---------- *)
+
+let low_count_percentiles () =
+  let h0 = Metrics.Histogram.create () in
+  let h1 = Metrics.Histogram.create () in
+  Metrics.Histogram.record h1 0.0042;
+  Alcotest.(check bool) "quantile_opt empty" true
+    (Metrics.Histogram.quantile_opt h0 0.5 = None);
+  (match Metrics.Histogram.quantile_opt h1 0.99 with
+   | Some v -> Alcotest.(check (float 1e-12)) "single sample exact" 0.0042 v
+   | None -> Alcotest.fail "quantile_opt on 1 sample");
+  let table = Export.percentile_table [ ("empty", h0); ("single", h1) ] in
+  (* the empty row renders "-" in every value column (0 is a legal
+     latency, absent data is not); the 1-sample row reports the sample *)
+  Alcotest.(check bool) "empty row dashed" true (contains table "-");
+  Alcotest.(check bool) "no bogus 0ns from the empty row" false (contains table "0ns");
+  Alcotest.(check bool) "single row exact" true (contains table "4.20ms")
+
+(* ---------- GC source ---------- *)
+
+let gc_source_registered () =
+  let m = Metrics.create () in
+  Metrics.register_gc m;
+  let names = List.map fst (Metrics.snapshot m) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("gc." ^ key) true (List.mem ("gc." ^ key) names))
+    [ "minor_words"; "major_words"; "heap_words"; "minor_collections" ];
+  (* sanity: a fresh allocation moves the minor-words gauge *)
+  let level () =
+    match List.assoc "gc.minor_words" (Metrics.snapshot m) with
+    | Metrics.Level l -> l
+    | _ -> Alcotest.fail "gc.minor_words not a gauge"
+  in
+  let before = level () in
+  (* small boxed allocations land in the minor heap *)
+  let acc = ref [] in
+  for i = 1 to 1000 do
+    acc := (i, float_of_int i) :: !acc
+  done;
+  ignore (Sys.opaque_identity !acc);
+  Alcotest.(check bool) "minor words advance" true (level () > before)
+
+(* ---------- Prometheus-style exposition ---------- *)
+
+let exposition_format () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "server.publishes" in
+  Metrics.add c 3;
+  let g = Metrics.gauge m "server.generation" in
+  Metrics.set g 4.;
+  let h = Metrics.histogram m "query latency (s)" in
+  Metrics.Histogram.record h 0.001;
+  Metrics.Histogram.record h 0.004;
+  let text = Export.exposition m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains text needle))
+    [ "# TYPE apex_server_publishes counter";
+      "apex_server_publishes 3";
+      "# TYPE apex_server_generation gauge";
+      "apex_server_generation 4";
+      (* names sanitized to [a-zA-Z0-9_] *)
+      "# TYPE apex_query_latency__s_ histogram";
+      "apex_query_latency__s__bucket{le=\"";
+      "apex_query_latency__s__bucket{le=\"+Inf\"} 2";
+      "apex_query_latency__s__count 2"
+    ];
+  (* cumulative buckets: counts along le-ordered buckets never decrease
+     and end at _count *)
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if contains line "_bucket{le=" then
+          match String.rindex_opt line ' ' with
+          | Some i ->
+            int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> None
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "buckets cumulative" true
+    (List.sort compare bucket_counts = bucket_counts);
+  Alcotest.(check int) "last bucket is total" 2
+    (List.nth bucket_counts (List.length bucket_counts - 1))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -355,5 +630,26 @@ let () =
           QCheck_alcotest.to_alcotest prop_merge_is_concat;
           QCheck_alcotest.to_alcotest prop_bucket_conservation;
           QCheck_alcotest.to_alcotest prop_quantile_bounded;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "armed record is zero-alloc" `Quick flight_zero_alloc;
+          Alcotest.test_case "ring wrap accounting" `Quick flight_ring_wrap;
+          Alcotest.test_case "latency watchdog" `Quick flight_watchdog;
+          Alcotest.test_case "incident dump validates" `Quick flight_incident_roundtrip;
+          Alcotest.test_case "guard dumps on raise" `Quick flight_guard_dumps_on_raise;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "empty window never breaches" `Quick slo_empty_no_breach;
+          Alcotest.test_case "1-sample window exact" `Quick slo_single_sample_exact;
+          Alcotest.test_case "breach, burn, rotation" `Quick slo_breach_burn_and_rotation;
+          Alcotest.test_case "spec parsing and validation" `Quick slo_parse_and_validate;
+        ] );
+      ( "observability_export",
+        [
+          Alcotest.test_case "low-count percentile rows" `Quick low_count_percentiles;
+          Alcotest.test_case "gc source registered" `Quick gc_source_registered;
+          Alcotest.test_case "prometheus exposition" `Quick exposition_format;
         ] );
     ]
